@@ -1,0 +1,58 @@
+#ifndef IPIN_BENCH_BENCH_COMMON_H_
+#define IPIN_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ipin/common/check.h"
+#include "ipin/common/flags.h"
+#include "ipin/common/string_util.h"
+#include "ipin/datasets/registry.h"
+#include "ipin/graph/interaction_graph.h"
+
+// Shared plumbing for the table/figure harnesses: flag handling, dataset
+// loading at a bench-appropriate scale, and small formatting helpers.
+
+namespace ipin {
+
+/// Extra down-scaling applied to the us2016 dataset: the paper ran it on a
+/// dedicated 64 GB machine; the default harness scale targets a laptop.
+inline constexpr double kUs2016ExtraScale = 0.25;
+
+/// Loads a named synthetic dataset at `scale` (us2016 gets the extra
+/// factor), sanity-checking the result.
+inline InteractionGraph LoadBenchDataset(const std::string& name,
+                                         double scale) {
+  const double effective =
+      name == "us2016" ? scale * kUs2016ExtraScale : scale;
+  InteractionGraph graph = LoadSyntheticDataset(name, effective);
+  IPIN_CHECK(graph.is_sorted());
+  return graph;
+}
+
+/// Datasets to run: --datasets=a,b,c or all six by default.
+inline std::vector<std::string> DatasetsFromFlags(const FlagMap& flags) {
+  const std::string arg = flags.GetString("datasets", "");
+  if (arg.empty()) return ListDatasetNames();
+  std::vector<std::string> names;
+  for (const auto piece : SplitString(arg, ",")) {
+    names.emplace_back(piece);
+  }
+  return names;
+}
+
+/// Prints the standard harness banner with the resolved configuration.
+inline void PrintBanner(const char* experiment, const FlagMap& flags,
+                        double scale) {
+  std::printf("# %s\n", experiment);
+  std::printf("# scale=%.4g (use --scale=... to change)\n", scale);
+  std::printf(
+      "# NOTE: datasets are synthetic stand-ins for the paper's corpora "
+      "(see DESIGN.md);\n#       compare shapes, not absolute values.\n\n");
+  (void)flags;
+}
+
+}  // namespace ipin
+
+#endif  // IPIN_BENCH_BENCH_COMMON_H_

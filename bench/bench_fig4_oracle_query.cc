@@ -1,0 +1,72 @@
+// Figure 4: influence-oracle query time (milliseconds) as a function of the
+// seed-set size (up to 10,000 random seeds) at window length 20%. The key
+// property: query time is O(|seeds| * beta), independent of graph size.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "ipin/common/random.h"
+#include "ipin/common/timer.h"
+#include "ipin/core/irs_approx.h"
+#include "ipin/eval/table.h"
+
+namespace ipin {
+namespace {
+
+int Run(int argc, char** argv) {
+  const FlagMap flags = FlagMap::Parse(argc, argv);
+  const double scale = flags.GetDouble("scale", 0.01);
+  const int precision = static_cast<int>(flags.GetInt("precision", 9));
+  const size_t repeats = static_cast<size_t>(flags.GetInt("repeats", 5));
+  PrintBanner("Figure 4: oracle query time vs seed-set size", flags, scale);
+
+  const std::vector<size_t> seed_counts = {10,   50,   100,  500, 1000,
+                                           2000, 5000, 10000};
+
+  TablePrinter table(
+      "Figure 4 — influence-oracle query time (ms), window = 20%");
+  std::vector<std::string> header = {"Dataset", "n"};
+  for (const size_t s : seed_counts) {
+    header.push_back(StrFormat("%zu", s));
+  }
+  table.SetHeader(std::move(header));
+
+  for (const std::string& name : DatasetsFromFlags(flags)) {
+    const InteractionGraph graph = LoadBenchDataset(name, scale);
+    IrsApproxOptions options;
+    options.precision = precision;
+    const IrsApprox approx =
+        IrsApprox::Compute(graph, graph.WindowFromPercent(20.0), options);
+
+    Rng rng(4242);
+    std::vector<std::string> row = {name, TablePrinter::Cell(graph.num_nodes())};
+    for (const size_t count : seed_counts) {
+      std::vector<NodeId> seeds;
+      seeds.reserve(count);
+      for (size_t i = 0; i < count; ++i) {
+        seeds.push_back(static_cast<NodeId>(rng.NextBounded(graph.num_nodes())));
+      }
+      WallTimer timer;
+      double sink = 0.0;
+      for (size_t r = 0; r < repeats; ++r) {
+        sink += approx.EstimateUnionSize(seeds);
+      }
+      const double ms = timer.ElapsedMillis() / static_cast<double>(repeats);
+      if (sink < 0) std::printf("impossible\n");  // keep the loop observable
+      row.push_back(TablePrinter::Cell(ms, 3));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape: query time scales linearly with the seed count, is a "
+      "few ms even at 10k seeds,\nand is nearly identical across graph "
+      "sizes.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ipin
+
+int main(int argc, char** argv) { return ipin::Run(argc, argv); }

@@ -1,0 +1,90 @@
+// Micro-benchmarks for the one-pass IRS algorithms and the TCIC simulator
+// (google-benchmark): end-to-end scan throughput at several graph sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "ipin/common/random.h"
+#include "ipin/core/irs_approx.h"
+#include "ipin/core/irs_exact.h"
+#include "ipin/core/tcic.h"
+#include "ipin/datasets/synthetic.h"
+
+namespace ipin {
+namespace {
+
+InteractionGraph MakeGraph(size_t num_interactions) {
+  SyntheticConfig config;
+  config.num_nodes = num_interactions / 10;
+  config.num_interactions = num_interactions;
+  config.time_span = static_cast<Duration>(num_interactions) * 20;
+  config.seed = 99;
+  return GenerateInteractionNetwork(config);
+}
+
+void BM_IrsExactScan(benchmark::State& state) {
+  const InteractionGraph g = MakeGraph(static_cast<size_t>(state.range(0)));
+  const Duration window = g.WindowFromPercent(10.0);
+  for (auto _ : state) {
+    const IrsExact irs = IrsExact::Compute(g, window);
+    benchmark::DoNotOptimize(irs.TotalSummaryEntries());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.num_interactions()));
+}
+BENCHMARK(BM_IrsExactScan)->Arg(2000)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IrsApproxScan(benchmark::State& state) {
+  const InteractionGraph g = MakeGraph(static_cast<size_t>(state.range(0)));
+  const Duration window = g.WindowFromPercent(10.0);
+  IrsApproxOptions options;
+  options.precision = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    const IrsApprox irs = IrsApprox::Compute(g, window, options);
+    benchmark::DoNotOptimize(irs.TotalSketchEntries());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.num_interactions()));
+}
+BENCHMARK(BM_IrsApproxScan)
+    ->Args({10000, 6})
+    ->Args({10000, 9})
+    ->Args({50000, 6})
+    ->Args({50000, 9})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_OracleUnionQuery(benchmark::State& state) {
+  const InteractionGraph g = MakeGraph(20000);
+  IrsApproxOptions options;
+  options.precision = 9;
+  const IrsApprox irs =
+      IrsApprox::Compute(g, g.WindowFromPercent(20.0), options);
+  Rng rng(5);
+  std::vector<NodeId> seeds;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    seeds.push_back(static_cast<NodeId>(rng.NextBounded(g.num_nodes())));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(irs.EstimateUnionSize(seeds));
+  }
+}
+BENCHMARK(BM_OracleUnionQuery)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_TcicSimulation(benchmark::State& state) {
+  const InteractionGraph g = MakeGraph(static_cast<size_t>(state.range(0)));
+  TcicOptions options;
+  options.window = g.WindowFromPercent(10.0);
+  options.probability = 0.5;
+  const std::vector<NodeId> seeds = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimulateTcic(g, seeds, options, &rng));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.num_interactions()));
+}
+BENCHMARK(BM_TcicSimulation)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ipin

@@ -1,0 +1,54 @@
+// Table 5: number of common seeds among the top-10 seed sets selected by the
+// IRS method at different window lengths (1%, 10%, 20%).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "ipin/core/influence_maximization.h"
+#include "ipin/core/influence_oracle.h"
+#include "ipin/core/irs_approx.h"
+#include "ipin/eval/metrics.h"
+#include "ipin/eval/table.h"
+
+namespace ipin {
+namespace {
+
+int Run(int argc, char** argv) {
+  const FlagMap flags = FlagMap::Parse(argc, argv);
+  const double scale = flags.GetDouble("scale", 0.01);
+  const size_t k = static_cast<size_t>(flags.GetInt("k", 10));
+  PrintBanner("Table 5: common seeds across window lengths", flags, scale);
+
+  TablePrinter table(
+      StrFormat("Table 5 — common seeds between window lengths (top %zu)", k));
+  table.SetHeader({"Dataset", "1% - 10%", "1% - 20%", "10% - 20%"});
+
+  for (const std::string& name : DatasetsFromFlags(flags)) {
+    const InteractionGraph graph = LoadBenchDataset(name, scale);
+    const std::vector<double> percents = {1.0, 10.0, 20.0};
+    std::vector<std::vector<NodeId>> seeds;
+    for (const double pct : percents) {
+      IrsApproxOptions options;
+      options.precision = 9;
+      const IrsApprox approx =
+          IrsApprox::Compute(graph, graph.WindowFromPercent(pct), options);
+      const SketchInfluenceOracle oracle(&approx);
+      seeds.push_back(SelectSeedsCelf(oracle, k).seeds);
+    }
+    table.AddRow({name, TablePrinter::Cell(SeedOverlap(seeds[0], seeds[1])),
+                  TablePrinter::Cell(SeedOverlap(seeds[0], seeds[2])),
+                  TablePrinter::Cell(SeedOverlap(seeds[1], seeds[2]))});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape: little overlap between 1%% and the larger windows; "
+      "10%% and 20%% agree much more\n(the window length genuinely changes "
+      "who the top influencers are).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ipin
+
+int main(int argc, char** argv) { return ipin::Run(argc, argv); }

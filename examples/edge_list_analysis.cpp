@@ -1,0 +1,79 @@
+// Edge-list analysis: run the full pipeline on an interaction network read
+// from a text file ("src dst time" per line — e.g. a SNAP temporal network).
+// If no file is given, a demo file is generated first so the example is
+// self-contained.
+//
+// Run:  ./build/examples/edge_list_analysis [path/to/edges.txt]
+//       ./build/examples/edge_list_analysis --window-pct=10 --k=10
+
+#include <cstdio>
+#include <string>
+
+#include "ipin/common/flags.h"
+#include "ipin/core/influence_maximization.h"
+#include "ipin/core/influence_oracle.h"
+#include "ipin/core/irs_approx.h"
+#include "ipin/datasets/synthetic.h"
+#include "ipin/graph/graph_io.h"
+
+int main(int argc, char** argv) {
+  using namespace ipin;
+  const FlagMap flags = FlagMap::Parse(argc, argv);
+  const double window_pct = flags.GetDouble("window-pct", 10.0);
+  const size_t k = static_cast<size_t>(flags.GetInt("k", 5));
+
+  std::string path;
+  if (!flags.positional().empty()) {
+    path = flags.positional()[0];
+  } else {
+    // Self-contained demo: write a synthetic network to a temp file.
+    path = "/tmp/ipin_demo_edges.txt";
+    SyntheticConfig config;
+    config.num_nodes = 2000;
+    config.num_interactions = 30000;
+    config.time_span = 500000;
+    const InteractionGraph demo = GenerateInteractionNetwork(config);
+    if (!SaveInteractionsToFile(demo, path)) {
+      std::fprintf(stderr, "failed to write demo file %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("No input file given; generated demo network at %s\n",
+                path.c_str());
+  }
+
+  const auto graph = LoadInteractionsFromFile(path);
+  if (!graph.has_value()) {
+    std::fprintf(stderr, "could not load %s\n", path.c_str());
+    return 1;
+  }
+  const auto stats = graph->ComputeStats();
+  std::printf(
+      "Loaded %zu interactions among %zu nodes; time span %lld units, %zu "
+      "distinct static edges\n",
+      stats.num_interactions, stats.num_nodes,
+      static_cast<long long>(stats.time_span), stats.num_static_edges);
+
+  const Duration window = graph->WindowFromPercent(window_pct);
+  std::printf("Window: %.1f%% of span = %lld units\n\n", window_pct,
+              static_cast<long long>(window));
+
+  IrsApproxOptions options;
+  options.precision = 9;
+  const IrsApprox irs = IrsApprox::Compute(*graph, window, options);
+  std::printf("Sketch memory: %.1f MB across %zu active sources\n",
+              static_cast<double>(irs.MemoryUsageBytes()) / (1024 * 1024),
+              irs.NumAllocatedSketches());
+
+  const SketchInfluenceOracle oracle(&irs);
+  const SeedSelection top = SelectSeedsCelf(oracle, k);
+  std::printf("\nTop-%zu influencers (window-constrained):\n", k);
+  for (size_t i = 0; i < top.seeds.size(); ++i) {
+    std::printf("  %2zu. node %-8u marginal gain %8.1f\n", i + 1,
+                top.seeds[i], top.gains[i]);
+  }
+  std::printf("Combined estimated reach: %.1f nodes (%.1f%% of network)\n",
+              top.total_coverage,
+              100.0 * top.total_coverage /
+                  static_cast<double>(graph->num_nodes()));
+  return 0;
+}

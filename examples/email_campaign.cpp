@@ -1,0 +1,72 @@
+// Email-campaign scenario (the paper's motivating use case): given a
+// corporate email network, pick k employees to brief so that a time-critical
+// message reaches as much of the organisation as possible, and check the
+// choice by simulating the spread under the TCIC model.
+//
+// Compares IRS-based seeding against High Degree and PageRank seeding.
+//
+// Run:  ./build/examples/email_campaign [--scale=0.01] [--k=10] [--runs=50]
+
+#include <cstdio>
+
+#include "ipin/baselines/degree.h"
+#include "ipin/baselines/pagerank.h"
+#include "ipin/common/flags.h"
+#include "ipin/core/influence_maximization.h"
+#include "ipin/core/influence_oracle.h"
+#include "ipin/core/irs_approx.h"
+#include "ipin/core/tcic.h"
+#include "ipin/datasets/registry.h"
+#include "ipin/eval/spread_eval.h"
+
+int main(int argc, char** argv) {
+  using namespace ipin;
+  const FlagMap flags = FlagMap::Parse(argc, argv);
+  const double scale = flags.GetDouble("scale", 0.01);
+  const size_t k = static_cast<size_t>(flags.GetInt("k", 10));
+  const size_t runs = static_cast<size_t>(flags.GetInt("runs", 50));
+
+  // An Enron-like corporate email network (synthetic stand-in).
+  const InteractionGraph graph = LoadSyntheticDataset("enron", scale);
+  std::printf("Email network: %zu employees, %zu emails\n",
+              graph.num_nodes(), graph.num_interactions());
+
+  // The campaign message stays relevant for ~1% of the archive's time span.
+  const Duration window = graph.WindowFromPercent(1.0);
+  std::printf("Campaign window: %lld time units (1%% of span)\n\n",
+              static_cast<long long>(window));
+
+  // One pass over the email log builds the influence oracle.
+  IrsApproxOptions options;
+  options.precision = 9;
+  const IrsApprox irs = IrsApprox::Compute(graph, window, options);
+  const SketchInfluenceOracle oracle(&irs);
+
+  // Greedy seed selection against the oracle.
+  const SeedSelection irs_seeds = SelectSeedsCelf(oracle, k);
+  const auto hd_seeds = SelectSeedsHighDegree(graph, k);
+  const auto pr_seeds = SelectSeedsPageRank(graph, k);
+
+  std::printf("IRS seeds (estimated combined reach %.0f):\n ",
+              irs_seeds.total_coverage);
+  for (const NodeId s : irs_seeds.seeds) std::printf(" %u", s);
+  std::printf("\n\n");
+
+  // Ground-truth check: simulate the campaign under TCIC.
+  TcicOptions tcic;
+  tcic.window = window;
+  tcic.probability = 0.5;  // each email has a 50% chance of being read
+  const double spread_irs =
+      AverageTcicSpread(graph, irs_seeds.seeds, tcic, runs, 1);
+  const double spread_hd = AverageTcicSpread(graph, hd_seeds, tcic, runs, 1);
+  const double spread_pr = AverageTcicSpread(graph, pr_seeds, tcic, runs, 1);
+
+  std::printf("Average employees reached over %zu simulated campaigns:\n",
+              runs);
+  std::printf("  IRS seeds:         %8.1f\n", spread_irs);
+  std::printf("  High Degree seeds: %8.1f\n", spread_hd);
+  std::printf("  PageRank seeds:    %8.1f\n", spread_pr);
+  std::printf("\nIRS vs best static baseline: %+.1f%%\n",
+              100.0 * (spread_irs / std::max(spread_hd, spread_pr) - 1.0));
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Influence forensics: EXPLAIN why a node is influential by reconstructing
+// the concrete information channels behind its influence reachability set —
+// the audit-trail use case of channel mining (who could have leaked what to
+// whom, through which chain of messages?).
+//
+// Demonstrates: IrsExact summaries, FindEarliestChannel path evidence,
+// temporal statistics.
+//
+// Run:  ./build/examples/influence_forensics [--scale=0.005] [--window-pct=2]
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "ipin/common/flags.h"
+#include "ipin/core/information_channel.h"
+#include "ipin/core/irs_exact.h"
+#include "ipin/datasets/registry.h"
+#include "ipin/graph/temporal_stats.h"
+
+int main(int argc, char** argv) {
+  using namespace ipin;
+  const FlagMap flags = FlagMap::Parse(argc, argv);
+  const double scale = flags.GetDouble("scale", 0.005);
+  const double window_pct = flags.GetDouble("window-pct", 2.0);
+
+  const InteractionGraph graph = LoadSyntheticDataset("enron", scale);
+  std::printf("Corporate email archive (synthetic stand-in):\n%s\n",
+              TemporalStatsReport(ComputeTemporalStats(graph)).c_str());
+
+  const Duration window = graph.WindowFromPercent(window_pct);
+  const IrsExact irs = IrsExact::Compute(graph, window);
+
+  // Find the most influential employee.
+  NodeId suspect = 0;
+  for (NodeId u = 1; u < graph.num_nodes(); ++u) {
+    if (irs.IrsSize(u) > irs.IrsSize(suspect)) suspect = u;
+  }
+  std::printf(
+      "Most influential node: %u — information could have reached %zu "
+      "distinct nodes\nwithin any %lld-unit window.\n\n",
+      suspect, irs.IrsSize(suspect), static_cast<long long>(window));
+
+  // Reconstruct evidence: the three earliest-completing channels.
+  std::vector<std::pair<Timestamp, NodeId>> targets;
+  for (const auto& [v, lambda] : irs.Summary(suspect)) {
+    targets.emplace_back(lambda, v);
+  }
+  std::sort(targets.begin(), targets.end());
+  std::printf("Channel evidence (earliest-completing targets first):\n");
+  const size_t show = std::min<size_t>(3, targets.size());
+  for (size_t i = 0; i < show; ++i) {
+    const NodeId target = targets[i].second;
+    const auto path = FindEarliestChannel(graph, suspect, target, window);
+    std::printf("  to node %u (channel completes at t=%lld, %zu hops):\n",
+                target, static_cast<long long>(targets[i].first),
+                path.size());
+    for (const Interaction& e : path) {
+      std::printf("    %u -> %u at t=%lld\n", e.src, e.dst,
+                  static_cast<long long>(e.time));
+    }
+  }
+
+  // How much of the influence is direct vs multi-hop?
+  size_t direct = 0;
+  for (const auto& [v, lambda] : irs.Summary(suspect)) {
+    const auto path = FindEarliestChannel(graph, suspect, v, window);
+    if (path.size() == 1) ++direct;
+  }
+  std::printf(
+      "\nOf %zu reachable nodes, %zu are direct contacts; %zu are only "
+      "reachable\nthrough multi-hop information channels — influence the "
+      "static contact list\nwould miss entirely.\n",
+      irs.IrsSize(suspect), direct, irs.IrsSize(suspect) - direct);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Influencer evolution: slice an interaction archive into consecutive
+// periods and track how the top influencers change over time — churn of
+// the influential set is itself a signal (stable community leaders vs
+// bursty one-off spreaders).
+//
+// Demonstrates: TimeSlice, per-period IRS indexes, seed-overlap metrics.
+//
+// Run:  ./build/examples/influencer_evolution [--dataset=higgs]
+//       [--scale=0.02] [--periods=4] [--k=10]
+
+#include <cstdio>
+#include <vector>
+
+#include "ipin/common/flags.h"
+#include "ipin/core/influence_maximization.h"
+#include "ipin/core/influence_oracle.h"
+#include "ipin/core/irs_approx.h"
+#include "ipin/datasets/registry.h"
+#include "ipin/eval/metrics.h"
+#include "ipin/graph/transforms.h"
+
+int main(int argc, char** argv) {
+  using namespace ipin;
+  const FlagMap flags = FlagMap::Parse(argc, argv);
+  const std::string dataset = flags.GetString("dataset", "higgs");
+  const double scale = flags.GetDouble("scale", 0.02);
+  const size_t periods = static_cast<size_t>(flags.GetInt("periods", 4));
+  const size_t k = static_cast<size_t>(flags.GetInt("k", 10));
+
+  const InteractionGraph graph = LoadSyntheticDataset(dataset, scale);
+  const auto stats = graph.ComputeStats();
+  std::printf("%s stand-in: %zu nodes, %zu interactions over %lld units\n\n",
+              dataset.c_str(), graph.num_nodes(), graph.num_interactions(),
+              static_cast<long long>(stats.time_span));
+
+  // Slice into equal-length periods and compute per-period top-k seeds.
+  std::vector<std::vector<NodeId>> seeds_per_period;
+  const Timestamp span = stats.time_span;
+  for (size_t p = 0; p < periods; ++p) {
+    const Timestamp begin =
+        stats.min_time + static_cast<Timestamp>(p) * span / periods;
+    const Timestamp end =
+        stats.min_time + static_cast<Timestamp>(p + 1) * span / periods - 1;
+    const InteractionGraph slice = TimeSlice(graph, begin, end);
+    if (slice.empty()) {
+      seeds_per_period.emplace_back();
+      std::printf("period %zu: empty\n", p + 1);
+      continue;
+    }
+    IrsApproxOptions options;
+    options.precision = 9;
+    const IrsApprox irs =
+        IrsApprox::Compute(slice, slice.WindowFromPercent(10.0), options);
+    const SketchInfluenceOracle oracle(&irs);
+    const SeedSelection top = SelectSeedsCelf(oracle, k);
+    seeds_per_period.push_back(top.seeds);
+    std::printf("period %zu: %7zu interactions, reach %7.1f, top-3:", p + 1,
+                slice.num_interactions(), top.total_coverage);
+    for (size_t i = 0; i < std::min<size_t>(3, top.seeds.size()); ++i) {
+      std::printf(" %u", top.seeds[i]);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nTop-%zu influencer overlap between periods:\n        ", k);
+  for (size_t p = 0; p < periods; ++p) std::printf("  P%zu", p + 1);
+  std::printf("\n");
+  for (size_t a = 0; a < periods; ++a) {
+    std::printf("  P%zu   ", a + 1);
+    for (size_t b = 0; b < periods; ++b) {
+      std::printf("%4zu",
+                  SeedOverlap(seeds_per_period[a], seeds_per_period[b]));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nLow off-diagonal overlap = influencer churn: yesterday's top "
+      "spreaders are not\ntomorrow's — rerun influence analyses per period "
+      "rather than once per archive.\n");
+  return 0;
+}

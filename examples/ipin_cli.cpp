@@ -1,0 +1,207 @@
+// ipin_cli: command-line front end to the library — generate datasets,
+// inspect them, build/persist influence indexes, answer oracle queries,
+// select seed sets, and simulate cascades, all from the shell.
+//
+// Usage:
+//   ipin_cli generate  --dataset=enron --scale=0.01 --out=net.txt
+//   ipin_cli stats     net.txt
+//   ipin_cli build-index --in=net.txt --window-pct=10 --out=index.bin
+//   ipin_cli topk      --index=index.bin --k=10
+//   ipin_cli query     --index=index.bin --seeds=1,2,3
+//   ipin_cli simulate  --in=net.txt --seeds=1,2,3 --window-pct=10 --p=0.5
+//   ipin_cli convert   --in=net.txt --dimacs=net.gr
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ipin/common/flags.h"
+#include "ipin/common/string_util.h"
+#include "ipin/common/timer.h"
+#include "ipin/core/influence_maximization.h"
+#include "ipin/core/influence_oracle.h"
+#include "ipin/core/irs_approx.h"
+#include "ipin/core/oracle_io.h"
+#include "ipin/core/tcic.h"
+#include "ipin/datasets/registry.h"
+#include "ipin/graph/graph_io.h"
+#include "ipin/graph/static_graph.h"
+
+namespace ipin {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: ipin_cli <command> [flags]\n"
+      "  generate    --dataset=<name> [--scale=0.01] --out=<file>\n"
+      "  stats       <file>\n"
+      "  build-index --in=<file> [--window-pct=10] [--precision=9] "
+      "--out=<index>\n"
+      "  topk        --index=<index> [--k=10]\n"
+      "  query       --index=<index> --seeds=a,b,c\n"
+      "  simulate    --in=<file> --seeds=a,b,c [--window-pct=10] [--p=0.5] "
+      "[--runs=50]\n"
+      "  convert     --in=<file> --dimacs=<out>\n");
+  return 2;
+}
+
+std::vector<NodeId> ParseSeeds(const std::string& arg, size_t num_nodes) {
+  std::vector<NodeId> seeds;
+  for (const auto piece : SplitString(arg, ",")) {
+    const auto id = ParseInt64(piece);
+    if (!id || *id < 0 || static_cast<size_t>(*id) >= num_nodes) {
+      std::fprintf(stderr, "bad seed id '%.*s'\n",
+                   static_cast<int>(piece.size()), piece.data());
+      return {};
+    }
+    seeds.push_back(static_cast<NodeId>(*id));
+  }
+  return seeds;
+}
+
+int CmdGenerate(const FlagMap& flags) {
+  const std::string dataset = flags.GetString("dataset", "slashdot");
+  const double scale = flags.GetDouble("scale", 0.01);
+  const std::string out = flags.GetString("out");
+  if (out.empty()) return Usage();
+  const auto config = GetDatasetConfig(dataset, scale);
+  if (!config.has_value()) {
+    std::fprintf(stderr, "unknown dataset '%s' (known:", dataset.c_str());
+    for (const auto& name : ListDatasetNames()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, ")\n");
+    return 1;
+  }
+  const InteractionGraph graph = GenerateInteractionNetwork(*config);
+  if (!SaveInteractionsToFile(graph, out)) return 1;
+  std::printf("wrote %zu interactions / %zu nodes to %s\n",
+              graph.num_interactions(), graph.num_nodes(), out.c_str());
+  return 0;
+}
+
+std::optional<InteractionGraph> LoadOrComplain(const std::string& path) {
+  if (path.empty()) {
+    Usage();
+    return std::nullopt;
+  }
+  return LoadInteractionsFromFile(path);
+}
+
+int CmdStats(const FlagMap& flags) {
+  if (flags.positional().size() < 2) return Usage();
+  const auto graph = LoadOrComplain(flags.positional()[1]);
+  if (!graph.has_value()) return 1;
+  const auto stats = graph->ComputeStats();
+  std::printf("nodes               %zu\n", stats.num_nodes);
+  std::printf("interactions        %zu\n", stats.num_interactions);
+  std::printf("distinct edges      %zu\n", stats.num_static_edges);
+  std::printf("time span           %lld\n",
+              static_cast<long long>(stats.time_span));
+  std::printf("min/max timestamp   %lld / %lld\n",
+              static_cast<long long>(stats.min_time),
+              static_cast<long long>(stats.max_time));
+  return 0;
+}
+
+int CmdBuildIndex(const FlagMap& flags) {
+  const auto graph = LoadOrComplain(flags.GetString("in"));
+  if (!graph.has_value()) return 1;
+  const std::string out = flags.GetString("out");
+  if (out.empty()) return Usage();
+  const double window_pct = flags.GetDouble("window-pct", 10.0);
+  IrsApproxOptions options;
+  options.precision = static_cast<int>(flags.GetInt("precision", 9));
+
+  WallTimer timer;
+  const IrsApprox index =
+      IrsApprox::Compute(*graph, graph->WindowFromPercent(window_pct), options);
+  const double build_seconds = timer.ElapsedSeconds();
+  if (!SaveInfluenceIndex(index, out)) return 1;
+  std::printf(
+      "built index in %.2fs (window %lld, beta %zu, %.1f MB) -> %s\n",
+      build_seconds, static_cast<long long>(index.window()),
+      static_cast<size_t>(1) << options.precision,
+      index.MemoryUsageBytes() / (1024.0 * 1024.0), out.c_str());
+  return 0;
+}
+
+int CmdTopk(const FlagMap& flags) {
+  const auto index = LoadInfluenceIndex(flags.GetString("index"));
+  if (!index.has_value()) return 1;
+  const size_t k = static_cast<size_t>(flags.GetInt("k", 10));
+  const SketchInfluenceOracle oracle(&*index);
+  WallTimer timer;
+  const SeedSelection selection = SelectSeedsCelf(oracle, k);
+  std::printf("# top-%zu influencers (%.0f ms)\n", k, timer.ElapsedMillis());
+  std::printf("# rank node gain\n");
+  for (size_t i = 0; i < selection.seeds.size(); ++i) {
+    std::printf("%zu %u %.1f\n", i + 1, selection.seeds[i],
+                selection.gains[i]);
+  }
+  std::printf("# combined reach: %.1f\n", selection.total_coverage);
+  return 0;
+}
+
+int CmdQuery(const FlagMap& flags) {
+  const auto index = LoadInfluenceIndex(flags.GetString("index"));
+  if (!index.has_value()) return 1;
+  const auto seeds = ParseSeeds(flags.GetString("seeds"), index->num_nodes());
+  if (seeds.empty()) return 1;
+  WallTimer timer;
+  const double estimate = index->EstimateUnionSize(seeds);
+  std::printf("estimated influence of %zu seeds: %.1f nodes (%.3f ms)\n",
+              seeds.size(), estimate, timer.ElapsedMillis());
+  return 0;
+}
+
+int CmdSimulate(const FlagMap& flags) {
+  const auto graph = LoadOrComplain(flags.GetString("in"));
+  if (!graph.has_value()) return 1;
+  const auto seeds = ParseSeeds(flags.GetString("seeds"), graph->num_nodes());
+  if (seeds.empty()) return 1;
+  TcicOptions options;
+  options.window = graph->WindowFromPercent(flags.GetDouble("window-pct", 10));
+  options.probability = flags.GetDouble("p", 0.5);
+  const size_t runs = static_cast<size_t>(flags.GetInt("runs", 50));
+  const double spread = AverageTcicSpread(*graph, seeds, options,
+                                          runs, flags.GetInt("seed", 1));
+  std::printf("TCIC spread over %zu runs (w=%lld, p=%.2f): %.1f nodes\n",
+              runs, static_cast<long long>(options.window),
+              options.probability, spread);
+  return 0;
+}
+
+int CmdConvert(const FlagMap& flags) {
+  const auto graph = LoadOrComplain(flags.GetString("in"));
+  if (!graph.has_value()) return 1;
+  const std::string dimacs = flags.GetString("dimacs");
+  if (dimacs.empty()) return Usage();
+  const StaticGraph flat = StaticGraph::FromInteractions(*graph);
+  if (!SaveDimacs(flat, dimacs)) return 1;
+  std::printf("wrote DIMACS graph (%zu nodes, %zu arcs) to %s\n",
+              flat.num_nodes(), flat.num_edges(), dimacs.c_str());
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  const FlagMap flags = FlagMap::Parse(argc, argv);
+  if (flags.positional().empty()) return Usage();
+  const std::string& command = flags.positional()[0];
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "stats") return CmdStats(flags);
+  if (command == "build-index") return CmdBuildIndex(flags);
+  if (command == "topk") return CmdTopk(flags);
+  if (command == "query") return CmdQuery(flags);
+  if (command == "simulate") return CmdSimulate(flags);
+  if (command == "convert") return CmdConvert(flags);
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  return Usage();
+}
+
+}  // namespace
+}  // namespace ipin
+
+int main(int argc, char** argv) { return ipin::Run(argc, argv); }

@@ -1,0 +1,77 @@
+// Window-length study: how does the maximal channel duration omega change
+// who the top influencers are and how far information can flow?
+//
+// Reproduces the qualitative finding behind the paper's Table 5: short and
+// long windows can disagree almost completely on the top-k seed set.
+//
+// Run:  ./build/examples/window_study [--dataset=facebook] [--scale=0.01]
+
+#include <cstdio>
+#include <vector>
+
+#include "ipin/common/flags.h"
+#include "ipin/core/influence_maximization.h"
+#include "ipin/core/influence_oracle.h"
+#include "ipin/core/irs_approx.h"
+#include "ipin/datasets/registry.h"
+#include "ipin/eval/metrics.h"
+
+int main(int argc, char** argv) {
+  using namespace ipin;
+  const FlagMap flags = FlagMap::Parse(argc, argv);
+  const std::string dataset = flags.GetString("dataset", "facebook");
+  const double scale = flags.GetDouble("scale", 0.01);
+  const size_t k = static_cast<size_t>(flags.GetInt("k", 10));
+
+  const InteractionGraph graph = LoadSyntheticDataset(dataset, scale);
+  std::printf("Dataset %s: %zu nodes, %zu interactions\n\n", dataset.c_str(),
+              graph.num_nodes(), graph.num_interactions());
+
+  const std::vector<double> percents = {0.5, 1, 5, 10, 20, 50};
+  std::vector<std::vector<NodeId>> seeds_per_window;
+  std::vector<double> reach_per_window;
+
+  std::printf("%8s  %14s  %14s  top-3 seeds\n", "window%", "avg |IRS|",
+              "greedy reach");
+  for (const double pct : percents) {
+    const Duration window = graph.WindowFromPercent(pct);
+    IrsApproxOptions options;
+    options.precision = 9;
+    const IrsApprox irs = IrsApprox::Compute(graph, window, options);
+
+    double total = 0.0;
+    for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+      total += irs.EstimateIrsSize(u);
+    }
+    const SketchInfluenceOracle oracle(&irs);
+    const SeedSelection selection = SelectSeedsCelf(oracle, k);
+    seeds_per_window.push_back(selection.seeds);
+    reach_per_window.push_back(selection.total_coverage);
+
+    std::printf("%8.1f  %14.1f  %14.1f  ", pct,
+                total / static_cast<double>(graph.num_nodes()),
+                selection.total_coverage);
+    for (size_t i = 0; i < std::min<size_t>(3, selection.seeds.size()); ++i) {
+      std::printf("%u ", selection.seeds[i]);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nSeed-set overlap between window lengths (of %zu):\n", k);
+  std::printf("%10s", "");
+  for (const double pct : percents) std::printf("%7.1f%%", pct);
+  std::printf("\n");
+  for (size_t i = 0; i < percents.size(); ++i) {
+    std::printf("%9.1f%%", percents[i]);
+    for (size_t j = 0; j < percents.size(); ++j) {
+      std::printf("%8zu",
+                  SeedOverlap(seeds_per_window[i], seeds_per_window[j]));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nTakeaway: the window length materially changes the optimal seed "
+      "set —\ninfluence maximization must be window-aware (paper Section "
+      "6.5).\n");
+  return 0;
+}

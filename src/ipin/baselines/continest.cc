@@ -1,0 +1,209 @@
+#include "ipin/baselines/continest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "ipin/common/check.h"
+#include "ipin/common/random.h"
+
+namespace ipin {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Reverse view of a weighted graph with per-run sampled delays.
+struct ReverseEdges {
+  std::vector<size_t> offsets;
+  struct Arc {
+    NodeId source;  // original edge source (target in the reverse view)
+    double weight;  // original edge weight (delay scale input)
+  };
+  std::vector<Arc> arcs;
+};
+
+ReverseEdges BuildReverse(const WeightedStaticGraph& graph) {
+  const size_t n = graph.num_nodes();
+  ReverseEdges rev;
+  rev.offsets.assign(n + 1, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const auto& e : graph.Neighbors(u)) rev.offsets[e.target + 1]++;
+  }
+  for (size_t i = 1; i <= n; ++i) rev.offsets[i] += rev.offsets[i - 1];
+  rev.arcs.resize(graph.num_edges());
+  std::vector<size_t> cursor(rev.offsets.begin(), rev.offsets.end() - 1);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const auto& e : graph.Neighbors(u)) {
+      rev.arcs[cursor[e.target]++] = ReverseEdges::Arc{u, e.weight};
+    }
+  }
+  return rev;
+}
+
+double MeanWeight(const WeightedStaticGraph& graph) {
+  if (graph.num_edges() == 0) return 1.0;
+  double total = 0.0;
+  const size_t n = graph.num_nodes();
+  for (NodeId u = 0; u < n; ++u) {
+    for (const auto& e : graph.Neighbors(u)) total += e.weight;
+  }
+  return std::max(total / static_cast<double>(graph.num_edges()), 1e-9);
+}
+
+// One round of Cohen's randomized neighbourhood estimation: computes, for
+// every node u, the minimum exponential label among nodes in u's forward
+// ball of radius T under freshly sampled delays. Works on the reverse graph
+// (w reaches u in reverse == u reaches w forward), processing sources in
+// ascending label order with distance-based pruning, so each node is
+// expanded O(log n) expected times.
+void MinLabelRound(const WeightedStaticGraph& graph, const ReverseEdges& rev,
+                   double mean_weight, double horizon, Rng* rng,
+                   std::vector<double>* min_label) {
+  const size_t n = graph.num_nodes();
+  min_label->assign(n, kInf);
+
+  // Per-round exponential delay for each reverse arc: Exp(1) scaled by the
+  // edge's normalized weight (slower historical interaction -> slower
+  // expected transmission).
+  std::vector<double> delay(rev.arcs.size());
+  for (size_t i = 0; i < rev.arcs.size(); ++i) {
+    const double scale = 1.0 + rev.arcs[i].weight / mean_weight;
+    delay[i] = rng->NextExponential(1.0) * scale;
+  }
+
+  std::vector<double> label(n);
+  std::vector<NodeId> order(n);
+  for (NodeId u = 0; u < n; ++u) {
+    label[u] = rng->NextExponential(1.0);
+    order[u] = u;
+  }
+  std::sort(order.begin(), order.end(),
+            [&label](NodeId a, NodeId b) { return label[a] < label[b]; });
+
+  std::vector<double> dist_best(n, kInf);
+  using QueueItem = std::pair<double, NodeId>;
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> pq;
+
+  for (const NodeId w : order) {
+    if (dist_best[w] <= 0.0) continue;  // already reached at distance 0
+    pq.push({0.0, w});
+    while (!pq.empty()) {
+      const auto [d, v] = pq.top();
+      pq.pop();
+      if (d >= dist_best[v]) continue;  // a smaller label got here closer
+      dist_best[v] = d;
+      if ((*min_label)[v] == kInf) (*min_label)[v] = label[w];
+      for (size_t i = rev.offsets[v]; i < rev.offsets[v + 1]; ++i) {
+        const double nd = d + delay[i];
+        const NodeId x = rev.arcs[i].source;
+        if (nd <= horizon && nd < dist_best[x]) pq.push({nd, x});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+WeightedStaticGraph BuildContinestGraph(const InteractionGraph& interactions) {
+  IPIN_CHECK(interactions.is_sorted());
+  const size_t n = interactions.num_nodes();
+  std::vector<Timestamp> first_out(n, kNoTimestamp);
+  for (const Interaction& e : interactions.interactions()) {
+    if (first_out[e.src] == kNoTimestamp) first_out[e.src] = e.time;
+  }
+  std::vector<std::tuple<NodeId, NodeId, double>> edges;
+  edges.reserve(interactions.num_interactions());
+  for (const Interaction& e : interactions.interactions()) {
+    const double w = static_cast<double>(e.time - first_out[e.src]);
+    edges.emplace_back(e.src, e.dst, w);
+  }
+  return WeightedStaticGraph::FromEdges(n, std::move(edges));
+}
+
+ContinestResult SelectSeedsContinest(const WeightedStaticGraph& graph,
+                                     size_t k,
+                                     const ContinestOptions& options) {
+  IPIN_CHECK_GE(options.num_samples, 2u);
+  IPIN_CHECK_GT(options.time_horizon, 0.0);
+  ContinestResult result;
+  const size_t n = graph.num_nodes();
+  if (n == 0 || k == 0) return result;
+  k = std::min(k, n);
+
+  const ReverseEdges rev = BuildReverse(graph);
+  const double mean_weight = MeanWeight(graph);
+  Rng rng(options.seed);
+
+  // min_labels[l][u]: round l's minimum label within u's forward ball.
+  const size_t L = options.num_samples;
+  std::vector<std::vector<double>> min_labels(L);
+  for (size_t l = 0; l < L; ++l) {
+    MinLabelRound(graph, rev, mean_weight, options.time_horizon, &rng,
+                  &min_labels[l]);
+  }
+
+  // Influence estimator for a seed set: sigma(S) ~ (L-1) / sum_l lambda_l,
+  // lambda_l = min over seeds of min_labels[l][seed].
+  std::vector<double> current(L, kInf);
+  const auto estimate_with = [&](NodeId u) {
+    double sum = 0.0;
+    for (size_t l = 0; l < L; ++l) {
+      sum += std::min(current[l], min_labels[l][u]);
+    }
+    if (sum <= 0.0 || !std::isfinite(sum)) return 0.0;
+    return static_cast<double>(L - 1) / sum;
+  };
+  double current_estimate = 0.0;
+
+  // CELF lazy greedy.
+  struct HeapEntry {
+    double gain;
+    NodeId node;
+    size_t round;
+  };
+  const auto cmp = [](const HeapEntry& a, const HeapEntry& b) {
+    if (a.gain != b.gain) return a.gain < b.gain;
+    return a.node > b.node;
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, decltype(cmp)> heap(
+      cmp);
+  for (NodeId u = 0; u < n; ++u) {
+    heap.push(HeapEntry{estimate_with(u), u, 1});
+  }
+
+  size_t round = 1;
+  while (result.seeds.size() < k && !heap.empty()) {
+    HeapEntry top = heap.top();
+    heap.pop();
+    if (top.round != round) {
+      top.gain = std::max(0.0, estimate_with(top.node) - current_estimate);
+      top.round = round;
+      heap.push(top);
+      continue;
+    }
+    for (size_t l = 0; l < L; ++l) {
+      current[l] = std::min(current[l], min_labels[l][top.node]);
+    }
+    current_estimate = 0.0;
+    {
+      double sum = 0.0;
+      for (const double c : current) sum += c;
+      if (sum > 0.0 && std::isfinite(sum)) {
+        current_estimate = static_cast<double>(L - 1) / sum;
+      }
+    }
+    result.seeds.push_back(top.node);
+    result.influence_after_pick.push_back(current_estimate);
+    ++round;
+  }
+  return result;
+}
+
+ContinestResult SelectSeedsContinest(const InteractionGraph& interactions,
+                                     size_t k,
+                                     const ContinestOptions& options) {
+  return SelectSeedsContinest(BuildContinestGraph(interactions), k, options);
+}
+
+}  // namespace ipin

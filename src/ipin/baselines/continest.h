@@ -1,0 +1,58 @@
+#ifndef IPIN_BASELINES_CONTINEST_H_
+#define IPIN_BASELINES_CONTINEST_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ipin/graph/interaction_graph.h"
+#include "ipin/graph/static_graph.h"
+#include "ipin/graph/types.h"
+
+namespace ipin {
+
+/// Options for the ConTinEst-style continuous-time influence maximizer
+/// (after Du, Song, Gomez-Rodriguez, Zha: "Scalable Influence Estimation in
+/// Continuous-Time Diffusion Networks", NIPS 2013).
+struct ContinestOptions {
+  /// Number L of (transmission-time sample x label sample) rounds; the
+  /// influence estimator is (L-1) / sum of per-round minimum labels.
+  size_t num_samples = 32;
+  /// Diffusion time horizon T, in normalized delay units (per-edge delays
+  /// are Exp(1)-scaled by 1 + weight/mean_weight, so typical single-hop
+  /// delays are O(1)).
+  double time_horizon = 5.0;
+  /// PRNG seed.
+  uint64_t seed = 0xc0417e57ULL;
+};
+
+/// The paper's Section 6 transformation of an interaction network into the
+/// weighted static graph ConTinEst consumes: each interaction (u, v, t)
+/// becomes edge (u, v) weighted t - first_out_time(u), where
+/// first_out_time(u) is the time u first appears as a source (its assumed
+/// infection time); duplicate edges keep the smallest weight.
+WeightedStaticGraph BuildContinestGraph(const InteractionGraph& interactions);
+
+/// Result of a ConTinEst run.
+struct ContinestResult {
+  std::vector<NodeId> seeds;
+  /// Estimated influence sigma(S, T) after each pick.
+  std::vector<double> influence_after_pick;
+};
+
+/// Runs ConTinEst: for each of L rounds, samples exponential per-edge
+/// transmission delays and exponential node labels, computes every node's
+/// minimum label within its forward ball of radius T (Cohen's randomized
+/// neighbourhood estimation, ascending-label pruned reverse Dijkstra), then
+/// greedily (lazy/CELF) maximizes the neighbourhood-size estimator.
+ContinestResult SelectSeedsContinest(const WeightedStaticGraph& graph,
+                                     size_t k,
+                                     const ContinestOptions& options = {});
+
+/// Convenience: applies BuildContinestGraph first.
+ContinestResult SelectSeedsContinest(const InteractionGraph& interactions,
+                                     size_t k,
+                                     const ContinestOptions& options = {});
+
+}  // namespace ipin
+
+#endif  // IPIN_BASELINES_CONTINEST_H_

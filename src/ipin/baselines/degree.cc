@@ -1,0 +1,84 @@
+#include "ipin/baselines/degree.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+namespace ipin {
+
+std::vector<NodeId> SelectSeedsHighDegree(const StaticGraph& graph, size_t k) {
+  const size_t n = graph.num_nodes();
+  std::vector<NodeId> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<NodeId>(i);
+  k = std::min(k, n);
+  std::partial_sort(order.begin(), order.begin() + static_cast<ptrdiff_t>(k),
+                    order.end(), [&graph](NodeId a, NodeId b) {
+                      const size_t da = graph.OutDegree(a);
+                      const size_t db = graph.OutDegree(b);
+                      if (da != db) return da > db;
+                      return a < b;
+                    });
+  order.resize(k);
+  return order;
+}
+
+std::vector<NodeId> SelectSeedsHighDegree(const InteractionGraph& interactions,
+                                          size_t k) {
+  return SelectSeedsHighDegree(StaticGraph::FromInteractions(interactions), k);
+}
+
+std::vector<NodeId> SelectSeedsSmartHighDegree(const StaticGraph& graph,
+                                               size_t k) {
+  const size_t n = graph.num_nodes();
+  k = std::min(k, n);
+  std::vector<NodeId> seeds;
+  if (k == 0) return seeds;
+
+  std::unordered_set<NodeId> covered;
+  struct HeapEntry {
+    size_t gain;
+    NodeId node;
+    size_t round;
+  };
+  const auto cmp = [](const HeapEntry& a, const HeapEntry& b) {
+    if (a.gain != b.gain) return a.gain < b.gain;
+    return a.node > b.node;
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, decltype(cmp)> heap(
+      cmp);
+  for (NodeId u = 0; u < n; ++u) {
+    heap.push(HeapEntry{graph.OutDegree(u), u, 0});
+  }
+
+  const auto gain_of = [&graph, &covered](NodeId u) {
+    size_t gain = 0;
+    for (const NodeId v : graph.Neighbors(u)) {
+      if (covered.find(v) == covered.end()) ++gain;
+    }
+    return gain;
+  };
+
+  size_t round = 1;
+  while (seeds.size() < k && !heap.empty()) {
+    HeapEntry top = heap.top();
+    heap.pop();
+    if (top.round != round) {
+      top.gain = gain_of(top.node);
+      top.round = round;
+      heap.push(top);
+      continue;
+    }
+    for (const NodeId v : graph.Neighbors(top.node)) covered.insert(v);
+    seeds.push_back(top.node);
+    ++round;
+  }
+  return seeds;
+}
+
+std::vector<NodeId> SelectSeedsSmartHighDegree(
+    const InteractionGraph& interactions, size_t k) {
+  return SelectSeedsSmartHighDegree(StaticGraph::FromInteractions(interactions),
+                                    k);
+}
+
+}  // namespace ipin

@@ -1,0 +1,34 @@
+#ifndef IPIN_BASELINES_DEGREE_H_
+#define IPIN_BASELINES_DEGREE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ipin/graph/interaction_graph.h"
+#include "ipin/graph/static_graph.h"
+#include "ipin/graph/types.h"
+
+namespace ipin {
+
+/// High Degree baseline (Kempe et al. 2003): the k nodes with the largest
+/// out-degree in the flattened static graph (distinct out-neighbours).
+std::vector<NodeId> SelectSeedsHighDegree(const StaticGraph& graph, size_t k);
+
+/// Convenience overload flattening an interaction network first.
+std::vector<NodeId> SelectSeedsHighDegree(const InteractionGraph& interactions,
+                                          size_t k);
+
+/// Smart High Degree (the paper's SHD): greedy maximum coverage over the
+/// static out-neighbourhoods — pick the node covering the most not-yet-
+/// covered distinct neighbours. The paper notes SHD is exactly the IRS
+/// method with omega = 0. Implemented with CELF-style lazy evaluation.
+std::vector<NodeId> SelectSeedsSmartHighDegree(const StaticGraph& graph,
+                                               size_t k);
+
+/// Convenience overload flattening an interaction network first.
+std::vector<NodeId> SelectSeedsSmartHighDegree(
+    const InteractionGraph& interactions, size_t k);
+
+}  // namespace ipin
+
+#endif  // IPIN_BASELINES_DEGREE_H_

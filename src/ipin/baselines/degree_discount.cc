@@ -1,0 +1,73 @@
+#include "ipin/baselines/degree_discount.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "ipin/common/check.h"
+
+namespace ipin {
+
+std::vector<NodeId> SelectSeedsDegreeDiscount(const StaticGraph& graph,
+                                              size_t k, double probability) {
+  IPIN_CHECK_GE(probability, 0.0);
+  IPIN_CHECK_LE(probability, 1.0);
+  const size_t n = graph.num_nodes();
+  k = std::min(k, n);
+  std::vector<NodeId> seeds;
+  if (k == 0) return seeds;
+
+  std::vector<double> degree(n);
+  std::vector<size_t> selected_in_neighbors(n, 0);
+  std::vector<char> selected(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    degree[v] = static_cast<double>(graph.OutDegree(v));
+  }
+
+  // Lazy max-heap over discounted scores; entries are re-checked against
+  // the current score when popped.
+  struct HeapEntry {
+    double score;
+    NodeId node;
+  };
+  const auto cmp = [](const HeapEntry& a, const HeapEntry& b) {
+    if (a.score != b.score) return a.score < b.score;
+    return a.node > b.node;
+  };
+  const auto score_of = [&](NodeId v) {
+    const double d = degree[v];
+    const double t = static_cast<double>(selected_in_neighbors[v]);
+    return d - 2.0 * t - (d - t) * t * probability;
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, decltype(cmp)> heap(
+      cmp);
+  for (NodeId v = 0; v < n; ++v) heap.push(HeapEntry{score_of(v), v});
+
+  while (seeds.size() < k && !heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    if (selected[top.node]) continue;
+    const double current = score_of(top.node);
+    if (top.score != current) {
+      heap.push(HeapEntry{current, top.node});  // stale; re-queue
+      continue;
+    }
+    selected[top.node] = 1;
+    seeds.push_back(top.node);
+    // Discount every node the new seed points to.
+    for (const NodeId v : graph.Neighbors(top.node)) {
+      if (!selected[v]) {
+        ++selected_in_neighbors[v];
+        heap.push(HeapEntry{score_of(v), v});
+      }
+    }
+  }
+  return seeds;
+}
+
+std::vector<NodeId> SelectSeedsDegreeDiscount(
+    const InteractionGraph& interactions, size_t k, double probability) {
+  return SelectSeedsDegreeDiscount(StaticGraph::FromInteractions(interactions),
+                                   k, probability);
+}
+
+}  // namespace ipin

@@ -1,0 +1,28 @@
+#ifndef IPIN_BASELINES_DEGREE_DISCOUNT_H_
+#define IPIN_BASELINES_DEGREE_DISCOUNT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ipin/graph/interaction_graph.h"
+#include "ipin/graph/static_graph.h"
+#include "ipin/graph/types.h"
+
+namespace ipin {
+
+/// DegreeDiscountIC heuristic (Chen, Wang, Yang, KDD 2009 — cited by the
+/// paper as a scalable IC heuristic): picks k seeds by out-degree, but
+/// discounts each candidate's score for already-selected in-neighbours:
+///   dd(v) = d_v - 2 t_v - (d_v - t_v) t_v p
+/// where d_v is v's out-degree and t_v the number of selected seeds with an
+/// edge into v. An extension baseline for the ablation harness.
+std::vector<NodeId> SelectSeedsDegreeDiscount(const StaticGraph& graph,
+                                              size_t k, double probability);
+
+/// Convenience overload flattening an interaction network first.
+std::vector<NodeId> SelectSeedsDegreeDiscount(
+    const InteractionGraph& interactions, size_t k, double probability);
+
+}  // namespace ipin
+
+#endif  // IPIN_BASELINES_DEGREE_DISCOUNT_H_

@@ -1,0 +1,67 @@
+#include "ipin/baselines/pagerank.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ipin/common/check.h"
+
+namespace ipin {
+
+std::vector<double> ComputePageRank(const StaticGraph& graph,
+                                    const PageRankOptions& options) {
+  const size_t n = graph.num_nodes();
+  if (n == 0) return {};
+  IPIN_CHECK_GT(options.damping, 0.0);
+  IPIN_CHECK_LT(options.damping, 1.0);
+
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    double dangling_mass = 0.0;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (NodeId u = 0; u < n; ++u) {
+      const size_t degree = graph.OutDegree(u);
+      if (degree == 0) {
+        dangling_mass += rank[u];
+        continue;
+      }
+      const double share = rank[u] / static_cast<double>(degree);
+      for (const NodeId v : graph.Neighbors(u)) next[v] += share;
+    }
+    const double base = (1.0 - options.damping) / static_cast<double>(n) +
+                        options.damping * dangling_mass /
+                            static_cast<double>(n);
+    double l1 = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      next[i] = base + options.damping * next[i];
+      l1 += std::abs(next[i] - rank[i]);
+    }
+    rank.swap(next);
+    if (l1 < options.tolerance) break;
+  }
+  return rank;
+}
+
+std::vector<NodeId> TopKByScore(const std::vector<double>& scores, size_t k) {
+  std::vector<NodeId> order(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) order[i] = static_cast<NodeId>(i);
+  k = std::min(k, scores.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<ptrdiff_t>(k),
+                    order.end(), [&scores](NodeId a, NodeId b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  order.resize(k);
+  return order;
+}
+
+std::vector<NodeId> SelectSeedsPageRank(const InteractionGraph& interactions,
+                                        size_t k,
+                                        const PageRankOptions& options) {
+  const StaticGraph reversed =
+      StaticGraph::FromInteractions(interactions, /*reversed=*/true);
+  return TopKByScore(ComputePageRank(reversed, options), k);
+}
+
+}  // namespace ipin

@@ -1,0 +1,37 @@
+#ifndef IPIN_BASELINES_PAGERANK_H_
+#define IPIN_BASELINES_PAGERANK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ipin/graph/static_graph.h"
+#include "ipin/graph/types.h"
+
+namespace ipin {
+
+/// PageRank power-iteration parameters. The paper's setup: restart
+/// probability 0.15 (damping 0.85) and L1 convergence threshold 1e-4.
+struct PageRankOptions {
+  double damping = 0.85;
+  double tolerance = 1e-4;
+  size_t max_iterations = 200;
+};
+
+/// Computes PageRank scores of `graph` (scores sum to 1; dangling mass is
+/// redistributed uniformly).
+std::vector<double> ComputePageRank(const StaticGraph& graph,
+                                    const PageRankOptions& options = {});
+
+/// Top-k node ids by descending score (ties by ascending id).
+std::vector<NodeId> TopKByScore(const std::vector<double>& scores, size_t k);
+
+/// The paper's PageRank seed-selection baseline: ranks nodes by PageRank on
+/// the *reversed* flattened interaction graph (PageRank measures incoming
+/// importance; reversing converts it to outgoing influence).
+std::vector<NodeId> SelectSeedsPageRank(const InteractionGraph& interactions,
+                                        size_t k,
+                                        const PageRankOptions& options = {});
+
+}  // namespace ipin
+
+#endif  // IPIN_BASELINES_PAGERANK_H_

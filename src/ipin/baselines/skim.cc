@@ -1,0 +1,225 @@
+#include "ipin/baselines/skim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "ipin/common/check.h"
+#include "ipin/common/random.h"
+#include "ipin/sketch/bottom_k.h"
+
+namespace ipin {
+namespace {
+
+// One live-edge instance of the IC model, as forward and reverse CSR.
+struct Instance {
+  StaticGraph forward;
+  StaticGraph reverse;
+};
+
+std::vector<Instance> SampleInstances(const StaticGraph& graph,
+                                      const SkimOptions& options, Rng* rng) {
+  std::vector<Instance> instances;
+  instances.reserve(options.num_instances);
+  const size_t n = graph.num_nodes();
+  for (size_t i = 0; i < options.num_instances; ++i) {
+    std::vector<std::pair<NodeId, NodeId>> kept;
+    for (NodeId u = 0; u < n; ++u) {
+      for (const NodeId v : graph.Neighbors(u)) {
+        if (rng->NextBernoulli(options.probability)) kept.emplace_back(u, v);
+      }
+    }
+    Instance inst;
+    inst.forward = StaticGraph::FromEdges(n, kept);
+    inst.reverse = inst.forward.Transpose();
+    instances.push_back(std::move(inst));
+  }
+  return instances;
+}
+
+// Cohen-style combined bottom-k reachability sketches: (instance, node)
+// items are processed in ascending rank order; a reverse search from the
+// item inserts its rank into the sketch of every node that reaches it,
+// pruning at nodes whose sketch is already full.
+std::vector<BottomK> BuildCombinedSketches(
+    const std::vector<Instance>& instances, size_t n,
+    const SkimOptions& options, Rng* rng) {
+  std::vector<BottomK> sketches(n, BottomK(options.sketch_k));
+
+  struct Item {
+    uint64_t rank;
+    uint32_t instance;
+    NodeId node;
+  };
+  std::vector<Item> items;
+  items.reserve(instances.size() * n);
+  for (uint32_t i = 0; i < instances.size(); ++i) {
+    for (NodeId v = 0; v < n; ++v) {
+      items.push_back(Item{rng->NextUint64(), i, v});
+    }
+  }
+  std::sort(items.begin(), items.end(),
+            [](const Item& a, const Item& b) { return a.rank < b.rank; });
+
+  std::vector<NodeId> stack;
+  std::vector<uint32_t> visit_mark(n, 0xffffffffu);
+  uint32_t visit_id = 0;
+  for (const Item& item : items) {
+    const StaticGraph& reverse = instances[item.instance].reverse;
+    ++visit_id;
+    stack.clear();
+    stack.push_back(item.node);
+    visit_mark[item.node] = visit_id;
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      // Prune once full: all k stored ranks are smaller than item.rank
+      // (ascending processing), so neither u nor anything upstream that
+      // reaches item only through u benefits from this rank.
+      if (sketches[u].IsFull()) continue;
+      sketches[u].AddHash(item.rank);
+      for (const NodeId w : reverse.Neighbors(u)) {
+        if (visit_mark[w] != visit_id) {
+          visit_mark[w] = visit_id;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  return sketches;
+}
+
+// Exact residual coverage of seeding `u`: number of still-uncovered
+// (instance, node) pairs reachable from u, summed over instances.
+size_t ResidualCoverage(const std::vector<Instance>& instances,
+                        const std::vector<std::vector<char>>& covered,
+                        NodeId u, std::vector<NodeId>* stack,
+                        std::vector<uint32_t>* visit_mark,
+                        uint32_t* visit_id) {
+  size_t total = 0;
+  for (size_t i = 0; i < instances.size(); ++i) {
+    const StaticGraph& fwd = instances[i].forward;
+    ++*visit_id;
+    stack->clear();
+    stack->push_back(u);
+    (*visit_mark)[u] = *visit_id;
+    while (!stack->empty()) {
+      const NodeId x = stack->back();
+      stack->pop_back();
+      if (!covered[i][x]) ++total;
+      for (const NodeId w : fwd.Neighbors(x)) {
+        if ((*visit_mark)[w] != *visit_id) {
+          (*visit_mark)[w] = *visit_id;
+          stack->push_back(w);
+        }
+      }
+    }
+  }
+  return total;
+}
+
+// Marks everything reachable from `u` as covered; returns newly covered.
+size_t CommitSeed(const std::vector<Instance>& instances,
+                  std::vector<std::vector<char>>* covered, NodeId u,
+                  std::vector<NodeId>* stack,
+                  std::vector<uint32_t>* visit_mark, uint32_t* visit_id) {
+  size_t newly = 0;
+  for (size_t i = 0; i < instances.size(); ++i) {
+    const StaticGraph& fwd = instances[i].forward;
+    ++*visit_id;
+    stack->clear();
+    stack->push_back(u);
+    (*visit_mark)[u] = *visit_id;
+    while (!stack->empty()) {
+      const NodeId x = stack->back();
+      stack->pop_back();
+      if (!(*covered)[i][x]) {
+        (*covered)[i][x] = 1;
+        ++newly;
+      }
+      for (const NodeId w : fwd.Neighbors(x)) {
+        if ((*visit_mark)[w] != *visit_id) {
+          (*visit_mark)[w] = *visit_id;
+          stack->push_back(w);
+        }
+      }
+    }
+  }
+  return newly;
+}
+
+}  // namespace
+
+SkimResult SelectSeedsSkim(const StaticGraph& graph, size_t k,
+                           const SkimOptions& options) {
+  IPIN_CHECK_GE(options.num_instances, 1u);
+  IPIN_CHECK_GE(options.sketch_k, 2u);
+  SkimResult result;
+  const size_t n = graph.num_nodes();
+  if (n == 0 || k == 0) return result;
+  k = std::min(k, n);
+
+  Rng rng(options.seed);
+  const std::vector<Instance> instances = SampleInstances(graph, options, &rng);
+  const std::vector<BottomK> sketches =
+      BuildCombinedSketches(instances, n, options, &rng);
+
+  // CELF over sketch estimates, confirmed by exact residual coverage.
+  struct HeapEntry {
+    double gain;
+    NodeId node;
+    size_t round;  // 0 = sketch estimate, else round of exact evaluation
+  };
+  const auto cmp = [](const HeapEntry& a, const HeapEntry& b) {
+    if (a.gain != b.gain) return a.gain < b.gain;
+    return a.node > b.node;
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, decltype(cmp)> heap(
+      cmp);
+  for (NodeId u = 0; u < n; ++u) {
+    // Inflate sketch estimates slightly so they act as optimistic bounds in
+    // the lazy queue (bottom-k relative error ~ 1/sqrt(k)).
+    const double optimism =
+        1.0 + 2.0 / std::sqrt(static_cast<double>(options.sketch_k));
+    heap.push(HeapEntry{sketches[u].Estimate() * optimism, u, 0});
+  }
+
+  std::vector<std::vector<char>> covered(
+      instances.size(), std::vector<char>(n, 0));
+  std::vector<NodeId> stack;
+  std::vector<uint32_t> visit_mark(n, 0);
+  uint32_t visit_id = 0;
+  size_t evaluations = 0;
+  size_t total_covered = 0;
+
+  size_t round = 1;
+  while (result.seeds.size() < k && !heap.empty()) {
+    HeapEntry top = heap.top();
+    heap.pop();
+    if (top.round != round && evaluations < options.max_gain_evaluations) {
+      top.gain = static_cast<double>(ResidualCoverage(
+          instances, covered, top.node, &stack, &visit_mark, &visit_id));
+      ++evaluations;
+      top.round = round;
+      heap.push(top);
+      continue;
+    }
+    const size_t newly = CommitSeed(instances, &covered, top.node, &stack,
+                                    &visit_mark, &visit_id);
+    total_covered += newly;
+    result.seeds.push_back(top.node);
+    result.gains.push_back(static_cast<double>(newly));
+    ++round;
+  }
+  result.estimated_spread = static_cast<double>(total_covered) /
+                            static_cast<double>(instances.size());
+  return result;
+}
+
+SkimResult SelectSeedsSkim(const InteractionGraph& interactions, size_t k,
+                           const SkimOptions& options) {
+  return SelectSeedsSkim(StaticGraph::FromInteractions(interactions), k,
+                         options);
+}
+
+}  // namespace ipin

@@ -1,0 +1,48 @@
+#ifndef IPIN_COMMON_CHECK_H_
+#define IPIN_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Fatal-assertion macros in the spirit of glog's CHECK family. The project
+// does not use exceptions (Google C++ style); invariant violations abort with
+// a source location so that failures in one-pass scans are easy to localize.
+
+namespace ipin {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "[ipin] CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace ipin
+
+// Always-on invariant check; aborts the process on violation.
+#define IPIN_CHECK(expr)                              \
+  do {                                                \
+    if (!(expr)) {                                    \
+      ::ipin::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                 \
+  } while (0)
+
+// Binary comparison checks (print only the expression text, not values, to
+// keep the header dependency-free).
+#define IPIN_CHECK_EQ(a, b) IPIN_CHECK((a) == (b))
+#define IPIN_CHECK_NE(a, b) IPIN_CHECK((a) != (b))
+#define IPIN_CHECK_LT(a, b) IPIN_CHECK((a) < (b))
+#define IPIN_CHECK_LE(a, b) IPIN_CHECK((a) <= (b))
+#define IPIN_CHECK_GT(a, b) IPIN_CHECK((a) > (b))
+#define IPIN_CHECK_GE(a, b) IPIN_CHECK((a) >= (b))
+
+// Debug-only check; compiled out in release builds.
+#ifndef NDEBUG
+#define IPIN_DCHECK(expr) IPIN_CHECK(expr)
+#else
+#define IPIN_DCHECK(expr) \
+  do {                    \
+  } while (0)
+#endif
+
+#endif  // IPIN_COMMON_CHECK_H_

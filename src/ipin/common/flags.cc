@@ -1,0 +1,60 @@
+#include "ipin/common/flags.h"
+
+#include "ipin/common/string_util.h"
+
+namespace ipin {
+
+FlagMap FlagMap::Parse(int argc, char** argv) {
+  FlagMap flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (StartsWith(arg, "--")) {
+      const std::string_view body = arg.substr(2);
+      const size_t eq = body.find('=');
+      if (eq == std::string_view::npos) {
+        flags.values_[std::string(body)] = "true";
+      } else {
+        flags.values_[std::string(body.substr(0, eq))] =
+            std::string(body.substr(eq + 1));
+      }
+    } else {
+      flags.positional_.emplace_back(arg);
+    }
+  }
+  return flags;
+}
+
+std::string FlagMap::GetString(const std::string& name,
+                               const std::string& def) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+int64_t FlagMap::GetInt(const std::string& name, int64_t def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const auto parsed = ParseInt64(it->second);
+  return parsed.has_value() ? *parsed : def;
+}
+
+double FlagMap::GetDouble(const std::string& name, double def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const auto parsed = ParseDouble(it->second);
+  return parsed.has_value() ? *parsed : def;
+}
+
+bool FlagMap::GetBool(const std::string& name, bool def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  return def;
+}
+
+bool FlagMap::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+}  // namespace ipin

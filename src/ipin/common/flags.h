@@ -1,0 +1,50 @@
+#ifndef IPIN_COMMON_FLAGS_H_
+#define IPIN_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+// Minimal --key=value command-line parsing shared by the bench harnesses and
+// example programs. Not a general flags library: no registration, no types —
+// each harness pulls the values it cares about with typed getters.
+
+namespace ipin {
+
+/// Parsed command line: `--name=value` and `--name` (value "true") flags plus
+/// positional arguments.
+class FlagMap {
+ public:
+  /// Parses argv[1..argc-1]. Unrecognized syntax ("-x", "x=y") is treated as
+  /// a positional argument.
+  static FlagMap Parse(int argc, char** argv);
+
+  /// Returns the raw value or `def` if the flag is absent.
+  std::string GetString(const std::string& name,
+                        const std::string& def = "") const;
+
+  /// Returns the integer value, or `def` if absent/unparsable.
+  int64_t GetInt(const std::string& name, int64_t def) const;
+
+  /// Returns the double value, or `def` if absent/unparsable.
+  double GetDouble(const std::string& name, double def) const;
+
+  /// Returns the boolean value: present with no value or value in
+  /// {"true","1","yes"} -> true; {"false","0","no"} -> false; else `def`.
+  bool GetBool(const std::string& name, bool def) const;
+
+  /// True if the flag appeared on the command line.
+  bool Has(const std::string& name) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ipin
+
+#endif  // IPIN_COMMON_FLAGS_H_

@@ -1,0 +1,42 @@
+#include "ipin/common/hash.h"
+
+#include <cstring>
+
+namespace ipin {
+
+uint64_t HashBytes(const void* data, size_t length, uint64_t seed) {
+  // MurmurHash64A (Austin Appleby, public domain), seeded.
+  const uint64_t m = 0xc6a4a7935bd1e995ULL;
+  const int r = 47;
+  uint64_t h = seed ^ (length * m);
+
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  const unsigned char* end = p + (length / 8) * 8;
+  while (p != end) {
+    uint64_t k;
+    std::memcpy(&k, p, 8);
+    p += 8;
+    k *= m;
+    k ^= k >> r;
+    k *= m;
+    h ^= k;
+    h *= m;
+  }
+
+  const size_t tail = length & 7;
+  uint64_t k = 0;
+  for (size_t i = 0; i < tail; ++i) {
+    k |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  if (tail != 0) {
+    h ^= k;
+    h *= m;
+  }
+
+  h ^= h >> r;
+  h *= m;
+  h ^= h >> r;
+  return h;
+}
+
+}  // namespace ipin

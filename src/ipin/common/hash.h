@@ -1,0 +1,58 @@
+#ifndef IPIN_COMMON_HASH_H_
+#define IPIN_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+// Deterministic 64-bit hashing used throughout the library. Sketch accuracy
+// (HyperLogLog, bottom-k) depends on these hashes behaving like uniform
+// random 64-bit values; the mixers below are the splitmix64 finalizer and a
+// murmur-inspired byte hash, both of which pass standard avalanche tests.
+
+namespace ipin {
+
+/// splitmix64 finalizer: bijective strong mixer for 64-bit integers.
+constexpr uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Hashes a 64-bit value with an optional seed; different seeds give
+/// independent-looking hash functions (used for per-sketch salting).
+constexpr uint64_t Hash64(uint64_t value, uint64_t seed = 0) {
+  return Mix64(value ^ Mix64(seed ^ 0x8f462907e7e9faecULL));
+}
+
+/// Hashes an arbitrary byte string (murmur64a-style).
+uint64_t HashBytes(const void* data, size_t length, uint64_t seed = 0);
+
+/// Hashes a string view.
+inline uint64_t HashString(std::string_view s, uint64_t seed = 0) {
+  return HashBytes(s.data(), s.size(), seed);
+}
+
+/// Combines two hashes (boost-style, with 64-bit constant).
+constexpr uint64_t HashCombine(uint64_t h1, uint64_t h2) {
+  return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 12) + (h1 >> 4));
+}
+
+/// Number of trailing one-position of the least significant set bit,
+/// 1-based, as used by HyperLogLog's rho function: Rho(1) == 1,
+/// Rho(0b100) == 3. Returns 64 for x == 0 (all bits zero: treat as the
+/// maximum observable rank so the estimator stays finite).
+constexpr int RhoLsb(uint64_t x) {
+  if (x == 0) return 64;
+  int rho = 1;
+  while ((x & 1) == 0) {
+    x >>= 1;
+    ++rho;
+  }
+  return rho;
+}
+
+}  // namespace ipin
+
+#endif  // IPIN_COMMON_HASH_H_

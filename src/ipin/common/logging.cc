@@ -1,0 +1,48 @@
+#include "ipin/common/logging.h"
+
+#include <cstdio>
+
+namespace ipin {
+namespace {
+
+LogLevel g_min_level = LogLevel::kInfo;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_min_level = level; }
+
+LogLevel GetLogLevel() { return g_min_level; }
+
+void LogMessage(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_min_level)) return;
+  std::fprintf(stderr, "[ipin][%s] %s\n", LevelName(level), message.c_str());
+}
+
+void LogDebug(const std::string& message) {
+  LogMessage(LogLevel::kDebug, message);
+}
+void LogInfo(const std::string& message) {
+  LogMessage(LogLevel::kInfo, message);
+}
+void LogWarning(const std::string& message) {
+  LogMessage(LogLevel::kWarning, message);
+}
+void LogError(const std::string& message) {
+  LogMessage(LogLevel::kError, message);
+}
+
+}  // namespace ipin

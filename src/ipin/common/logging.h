@@ -1,0 +1,34 @@
+#ifndef IPIN_COMMON_LOGGING_H_
+#define IPIN_COMMON_LOGGING_H_
+
+#include <string>
+
+namespace ipin {
+
+/// Severity levels for the process-wide logger.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+/// Sets the minimum severity that is emitted; defaults to kInfo.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current minimum severity.
+LogLevel GetLogLevel();
+
+/// Writes one line to stderr as "[ipin][LEVEL] message" if `level` is at or
+/// above the configured minimum. Thread-compatible (callers serialize).
+void LogMessage(LogLevel level, const std::string& message);
+
+/// Convenience wrappers.
+void LogDebug(const std::string& message);
+void LogInfo(const std::string& message);
+void LogWarning(const std::string& message);
+void LogError(const std::string& message);
+
+}  // namespace ipin
+
+#endif  // IPIN_COMMON_LOGGING_H_

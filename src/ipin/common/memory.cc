@@ -1,0 +1,29 @@
+#include "ipin/common/memory.h"
+
+#include <cstdio>
+
+namespace ipin {
+
+size_t HashMapBytes(size_t num_elements, size_t num_buckets,
+                    size_t element_bytes) {
+  // libstdc++ unordered_map: one heap node per element holding the value,
+  // a cached hash, and a next pointer, plus the bucket pointer array.
+  const size_t node_overhead = 2 * sizeof(void*);
+  return num_elements * (element_bytes + node_overhead) +
+         num_buckets * sizeof(void*);
+}
+
+std::string FormatBytes(size_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", value, units[unit]);
+  return std::string(buf);
+}
+
+}  // namespace ipin

@@ -1,0 +1,31 @@
+#ifndef IPIN_COMMON_MEMORY_H_
+#define IPIN_COMMON_MEMORY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+// Helpers for the analytic memory accounting used by the Table 4 harness.
+// Structures report their own footprint via MemoryUsageBytes(); these
+// utilities make the per-container arithmetic uniform.
+
+namespace ipin {
+
+/// Bytes held by a vector's allocation (capacity, not size).
+template <typename T>
+size_t VectorBytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+/// Approximate bytes of an unordered_map node store: per-element node
+/// overhead (two pointers' worth on common implementations) plus the bucket
+/// array. `num_elements`/`num_buckets` are taken from the live container.
+size_t HashMapBytes(size_t num_elements, size_t num_buckets,
+                    size_t element_bytes);
+
+/// Pretty-prints a byte count as "12.3 MB" (binary units).
+std::string FormatBytes(size_t bytes);
+
+}  // namespace ipin
+
+#endif  // IPIN_COMMON_MEMORY_H_

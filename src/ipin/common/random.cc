@@ -1,0 +1,136 @@
+#include "ipin/common/random.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "ipin/common/check.h"
+#include "ipin/common/hash.h"
+
+namespace ipin {
+namespace {
+
+constexpr uint64_t RotL(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // splitmix64 seeding, as recommended by the xoshiro authors.
+  uint64_t s = seed;
+  for (int i = 0; i < 4; ++i) {
+    s += 0x9e3779b97f4a7c15ULL;
+    state_[i] = Mix64(s);
+  }
+  // Avoid the (astronomically unlikely) all-zero state.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+    state_[0] = 1;
+  }
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = RotL(state_[0] + state_[3], 23) + state_[0];
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotL(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  IPIN_CHECK_GT(bound, 0u);
+  // Lemire's nearly-divisionless method with rejection for exact uniformity.
+  uint64_t x = NextUint64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    const uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = NextUint64();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextExponential(double rate) {
+  IPIN_CHECK_GT(rate, 0.0);
+  double u = NextDouble();
+  // Guard against log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(u) / rate;
+}
+
+double Rng::NextGaussian() {
+  // Box-Muller; regenerate on the degenerate u == 0 draw.
+  double u1 = NextDouble();
+  while (u1 <= 0.0) u1 = NextDouble();
+  const double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+uint64_t Rng::NextZipf(uint64_t n, double s) {
+  IPIN_CHECK_GT(n, 0u);
+  IPIN_CHECK_GT(s, 0.0);
+  // Rejection-inversion sampling (Hormann & Derflinger 1996) over [1, n];
+  // returned value is shifted to [0, n).
+  const double b = std::pow(2.0, 1.0 - s);
+  while (true) {
+    const double u = NextDouble();
+    const double v = NextDouble();
+    const double x = std::floor(std::pow(static_cast<double>(n) + 1.0, u));
+    // x in [1, n+1); clamp to [1, n].
+    const double k = (x > static_cast<double>(n)) ? static_cast<double>(n) : x;
+    const double t = std::pow(1.0 + 1.0 / k, s - 1.0);
+    if (v * k * (t - 1.0) / (b - 1.0) <= t / b) {
+      return static_cast<uint64_t>(k) - 1;
+    }
+  }
+}
+
+std::vector<uint64_t> Rng::SampleWithoutReplacement(uint64_t n, uint64_t k) {
+  std::vector<uint64_t> result;
+  if (n == 0) return result;
+  if (k >= n) {
+    result.resize(n);
+    for (uint64_t i = 0; i < n; ++i) result[i] = i;
+    Shuffle(&result);
+    return result;
+  }
+  result.reserve(k);
+  if (k > n / 3) {
+    // Dense case: partial Fisher-Yates over an index array.
+    std::vector<uint64_t> all(n);
+    for (uint64_t i = 0; i < n; ++i) all[i] = i;
+    for (uint64_t i = 0; i < k; ++i) {
+      const uint64_t j = i + NextBounded(n - i);
+      std::swap(all[i], all[j]);
+      result.push_back(all[i]);
+    }
+    return result;
+  }
+  // Sparse case: rejection sampling into a hash set.
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(static_cast<size_t>(k) * 2);
+  while (result.size() < k) {
+    const uint64_t x = NextBounded(n);
+    if (seen.insert(x).second) result.push_back(x);
+  }
+  return result;
+}
+
+}  // namespace ipin

@@ -1,0 +1,61 @@
+#ifndef IPIN_COMMON_RANDOM_H_
+#define IPIN_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ipin {
+
+/// Fast, seedable PRNG (xoshiro256++). Deterministic across platforms so
+/// experiments are reproducible bit-for-bit from a seed. Not for crypto.
+class Rng {
+ public:
+  /// Seeds the four-word state from a single 64-bit seed via splitmix64.
+  explicit Rng(uint64_t seed = 0x1234567890abcdefULL);
+
+  /// Returns the next 64 uniformly random bits.
+  uint64_t NextUint64();
+
+  /// Returns a uniform integer in [0, bound) using Lemire's method.
+  /// `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Returns a uniform double in [0, 1).
+  double NextDouble();
+
+  /// Returns true with probability `p` (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  /// Returns an exponentially distributed value with the given rate
+  /// (mean 1/rate). `rate` must be > 0.
+  double NextExponential(double rate);
+
+  /// Returns a standard-normal deviate (Box-Muller; one value per call).
+  double NextGaussian();
+
+  /// Returns an integer drawn from a Zipf distribution on [0, n) with
+  /// exponent `s` (rejection-inversion). `n` must be > 0, `s` > 0.
+  uint64_t NextZipf(uint64_t n, double s);
+
+  /// Fisher-Yates shuffles `values` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    for (size_t i = values->size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(NextBounded(i));
+      std::swap((*values)[i - 1], (*values)[j]);
+    }
+  }
+
+  /// Samples `k` distinct values uniformly from [0, n). If k >= n, returns
+  /// all of [0, n) in random order.
+  std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace ipin
+
+#endif  // IPIN_COMMON_RANDOM_H_

@@ -1,0 +1,35 @@
+#ifndef IPIN_COMMON_STRING_UTIL_H_
+#define IPIN_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ipin {
+
+/// Splits `s` on any character in `delims`, dropping empty pieces.
+std::vector<std::string_view> SplitString(std::string_view s,
+                                          std::string_view delims = " \t");
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view TrimString(std::string_view s);
+
+/// Parses a signed 64-bit integer; returns nullopt on any syntax error or
+/// trailing garbage.
+std::optional<int64_t> ParseInt64(std::string_view s);
+
+/// Parses a double; returns nullopt on any syntax error or trailing garbage.
+std::optional<double> ParseDouble(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace ipin
+
+#endif  // IPIN_COMMON_STRING_UTIL_H_

@@ -1,0 +1,34 @@
+#ifndef IPIN_COMMON_TIMER_H_
+#define IPIN_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace ipin {
+
+/// Simple monotonic wall-clock timer for experiment harnesses.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Resets the epoch to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Restart, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ipin
+
+#endif  // IPIN_COMMON_TIMER_H_

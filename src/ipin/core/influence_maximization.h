@@ -1,0 +1,43 @@
+#ifndef IPIN_CORE_INFLUENCE_MAXIMIZATION_H_
+#define IPIN_CORE_INFLUENCE_MAXIMIZATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ipin/core/influence_oracle.h"
+#include "ipin/graph/types.h"
+
+namespace ipin {
+
+/// Result of a greedy influence-maximization run.
+struct SeedSelection {
+  /// Selected seeds in pick order (size <= k; smaller if coverage saturates).
+  std::vector<NodeId> seeds;
+  /// Marginal gain of each pick (same length as `seeds`).
+  std::vector<double> gains;
+  /// Coverage after the last pick.
+  double total_coverage = 0.0;
+  /// Number of GainOf evaluations (for efficiency comparisons).
+  size_t gain_evaluations = 0;
+};
+
+/// The paper's Algorithm 4: nodes are sorted descending by individual
+/// influence |sigma(u)|; each round scans that list, tracking the best
+/// marginal gain, and stops early as soon as the best gain found exceeds the
+/// next candidate's individual influence (an upper bound on its marginal
+/// gain by submodularity, Lemma 8). The greedy solution is a (1 - 1/e)
+/// approximation of the NP-hard optimum (Lemma 7).
+SeedSelection SelectSeedsGreedy(const InfluenceOracle& oracle, size_t k);
+
+/// CELF lazy-greedy variant (Leskovec et al. 2007): identical output for a
+/// deterministic oracle, typically far fewer gain evaluations. Stale gains
+/// live in a max-heap and are re-evaluated only when they reach the top.
+SeedSelection SelectSeedsCelf(const InfluenceOracle& oracle, size_t k);
+
+/// Exhaustive search over all size-k seed subsets; exponential, for
+/// cross-validating greedy on tiny instances in tests.
+SeedSelection SelectSeedsExhaustive(const InfluenceOracle& oracle, size_t k);
+
+}  // namespace ipin
+
+#endif  // IPIN_CORE_INFLUENCE_MAXIMIZATION_H_

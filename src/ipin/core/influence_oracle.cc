@@ -1,0 +1,183 @@
+#include "ipin/core/influence_oracle.h"
+
+#include <algorithm>
+
+#include "ipin/common/check.h"
+#include "ipin/sketch/estimators.h"
+
+namespace ipin {
+namespace {
+
+// Coverage over exact hash-set summaries.
+class ExactCoverage : public CoverageState {
+ public:
+  explicit ExactCoverage(const IrsExact* irs) : irs_(irs) {}
+
+  double Covered() const override {
+    return static_cast<double>(covered_.size());
+  }
+
+  double GainOf(NodeId u) const override {
+    size_t gain = 0;
+    for (const auto& [v, t] : irs_->Summary(u)) {
+      (void)t;
+      if (covered_.find(v) == covered_.end()) ++gain;
+    }
+    return static_cast<double>(gain);
+  }
+
+  void Commit(NodeId u) override {
+    for (const auto& [v, t] : irs_->Summary(u)) {
+      (void)t;
+      covered_.insert(v);
+    }
+  }
+
+ private:
+  const IrsExact* irs_;
+  std::unordered_set<NodeId> covered_;
+};
+
+// Coverage over vHLL sketches: the covered set is a plain rank vector
+// (cellwise max of committed sketches).
+class SketchCoverage : public CoverageState {
+ public:
+  explicit SketchCoverage(const IrsApprox* irs)
+      : irs_(irs),
+        ranks_(static_cast<size_t>(1) << irs->options().precision, 0),
+        covered_(0.0) {}
+
+  double Covered() const override { return covered_; }
+
+  double GainOf(NodeId u) const override {
+    const VersionedHll* sketch = irs_->Sketch(u);
+    if (sketch == nullptr) return 0.0;
+    std::vector<uint8_t> merged = ranks_;
+    MaxInto(*sketch, &merged);
+    const double with_u = EstimateOf(merged);
+    return std::max(0.0, with_u - covered_);
+  }
+
+  void Commit(NodeId u) override {
+    const VersionedHll* sketch = irs_->Sketch(u);
+    if (sketch == nullptr) return;
+    MaxInto(*sketch, &ranks_);
+    covered_ = EstimateOf(ranks_);
+  }
+
+ private:
+  static void MaxInto(const VersionedHll& sketch, std::vector<uint8_t>* ranks) {
+    for (size_t c = 0; c < ranks->size(); ++c) {
+      const auto& list = sketch.cell(c);
+      if (!list.empty() && list.back().rank > (*ranks)[c]) {
+        (*ranks)[c] = list.back().rank;
+      }
+    }
+  }
+
+  static double EstimateOf(const std::vector<uint8_t>& ranks) {
+    bool any = false;
+    for (const uint8_t r : ranks) {
+      if (r != 0) {
+        any = true;
+        break;
+      }
+    }
+    return any ? EstimateFromRanks(ranks) : 0.0;
+  }
+
+  const IrsApprox* irs_;
+  std::vector<uint8_t> ranks_;
+  double covered_;
+};
+
+// Coverage over explicit sets.
+class SetCoverage : public CoverageState {
+ public:
+  explicit SetCoverage(const SetCoverageOracle* oracle) : oracle_(oracle) {}
+
+  double Covered() const override {
+    return static_cast<double>(covered_.size());
+  }
+
+  double GainOf(NodeId u) const override {
+    size_t gain = 0;
+    for (const NodeId v : oracle_->set(u)) {
+      if (covered_.find(v) == covered_.end()) ++gain;
+    }
+    return static_cast<double>(gain);
+  }
+
+  void Commit(NodeId u) override {
+    for (const NodeId v : oracle_->set(u)) covered_.insert(v);
+  }
+
+ private:
+  const SetCoverageOracle* oracle_;
+  std::unordered_set<NodeId> covered_;
+};
+
+}  // namespace
+
+ExactInfluenceOracle::ExactInfluenceOracle(const IrsExact* irs) : irs_(irs) {
+  IPIN_CHECK(irs != nullptr);
+}
+
+size_t ExactInfluenceOracle::num_nodes() const { return irs_->num_nodes(); }
+
+double ExactInfluenceOracle::InfluenceOf(NodeId u) const {
+  return static_cast<double>(irs_->IrsSize(u));
+}
+
+double ExactInfluenceOracle::InfluenceOfSet(
+    std::span<const NodeId> seeds) const {
+  return static_cast<double>(irs_->UnionSize(seeds));
+}
+
+std::unique_ptr<CoverageState> ExactInfluenceOracle::NewCoverage() const {
+  return std::make_unique<ExactCoverage>(irs_);
+}
+
+SketchInfluenceOracle::SketchInfluenceOracle(const IrsApprox* irs)
+    : irs_(irs) {
+  IPIN_CHECK(irs != nullptr);
+}
+
+size_t SketchInfluenceOracle::num_nodes() const { return irs_->num_nodes(); }
+
+double SketchInfluenceOracle::InfluenceOf(NodeId u) const {
+  return irs_->EstimateIrsSize(u);
+}
+
+double SketchInfluenceOracle::InfluenceOfSet(
+    std::span<const NodeId> seeds) const {
+  return irs_->EstimateUnionSize(seeds);
+}
+
+std::unique_ptr<CoverageState> SketchInfluenceOracle::NewCoverage() const {
+  return std::make_unique<SketchCoverage>(irs_);
+}
+
+SetCoverageOracle::SetCoverageOracle(std::vector<std::vector<NodeId>> sets)
+    : sets_(std::move(sets)) {}
+
+size_t SetCoverageOracle::num_nodes() const { return sets_.size(); }
+
+double SetCoverageOracle::InfluenceOf(NodeId u) const {
+  return static_cast<double>(sets_[u].size());
+}
+
+double SetCoverageOracle::InfluenceOfSet(std::span<const NodeId> seeds) const {
+  std::unordered_set<NodeId> seen;
+  for (const NodeId u : seeds) {
+    IPIN_CHECK_LT(u, sets_.size());
+    seen.insert(sets_[u].begin(), sets_[u].end());
+  }
+  return static_cast<double>(seen.size());
+}
+
+std::unique_ptr<CoverageState> SetCoverageOracle::NewCoverage() const {
+  return std::make_unique<SetCoverage>(this);
+}
+
+}  // namespace ipin

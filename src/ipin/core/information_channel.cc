@@ -1,0 +1,110 @@
+#include "ipin/core/information_channel.h"
+
+#include <algorithm>
+
+#include "ipin/common/check.h"
+
+namespace ipin {
+namespace {
+
+// Earliest arrival time at every node over channels that start with the
+// interaction at index `start` (inclusive of its destination). Arrival times
+// are populated in ascending edge-time order, so the first time a node is
+// reached is its earliest arrival. Optionally records, per reached node, the
+// index of the interaction that first reached it (for path reconstruction).
+std::unordered_map<NodeId, Timestamp> EarliestArrivals(
+    const InteractionGraph& graph, size_t start, Duration window,
+    std::unordered_map<NodeId, size_t>* via_edge) {
+  const auto& edges = graph.interactions();
+  const Interaction& first = edges[start];
+  const Timestamp t1 = first.time;
+  const Timestamp latest_end = t1 + window - 1;  // dur = tk - t1 + 1 <= window
+
+  std::unordered_map<NodeId, Timestamp> arrival;
+  arrival.emplace(first.dst, t1);
+  if (via_edge != nullptr) via_edge->emplace(first.dst, start);
+
+  for (size_t j = start + 1; j < edges.size(); ++j) {
+    const Interaction& e = edges[j];
+    if (e.time > latest_end) break;  // sorted ascending: rest is too late
+    const auto it = arrival.find(e.src);
+    if (it == arrival.end() || it->second >= e.time) continue;  // strict order
+    const auto [ins, inserted] = arrival.emplace(e.dst, e.time);
+    (void)ins;
+    if (inserted && via_edge != nullptr) via_edge->emplace(e.dst, j);
+  }
+  return arrival;
+}
+
+}  // namespace
+
+IrsSummary BruteForceIrsSummary(const InteractionGraph& graph, NodeId source,
+                                Duration window) {
+  IPIN_CHECK(graph.is_sorted());
+  IPIN_CHECK_GE(window, 1);
+  IrsSummary summary;
+  const auto& edges = graph.interactions();
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (edges[i].src != source) continue;
+    const auto arrival = EarliestArrivals(graph, i, window, nullptr);
+    for (const auto& [node, t] : arrival) {
+      // A node is not a member of its own IRS (it may still act as transit
+      // on a temporal cycle) — matching the paper's Example 2.
+      if (node == source) continue;
+      const auto it = summary.find(node);
+      if (it == summary.end() || it->second > t) summary[node] = t;
+    }
+  }
+  return summary;
+}
+
+std::vector<IrsSummary> BruteForceAllIrsSummaries(const InteractionGraph& graph,
+                                                  Duration window) {
+  std::vector<IrsSummary> result(graph.num_nodes());
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    result[u] = BruteForceIrsSummary(graph, u, window);
+  }
+  return result;
+}
+
+bool HasInformationChannel(const InteractionGraph& graph, NodeId src,
+                           NodeId dst, Duration window) {
+  return BruteForceIrsSummary(graph, src, window).count(dst) > 0;
+}
+
+std::vector<Interaction> FindEarliestChannel(const InteractionGraph& graph,
+                                             NodeId src, NodeId dst,
+                                             Duration window) {
+  IPIN_CHECK(graph.is_sorted());
+  const auto& edges = graph.interactions();
+
+  Timestamp best_end = kNoTimestamp;
+  size_t best_start = 0;
+  std::unordered_map<NodeId, size_t> best_via;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (edges[i].src != src) continue;
+    std::unordered_map<NodeId, size_t> via;
+    const auto arrival = EarliestArrivals(graph, i, window, &via);
+    const auto it = arrival.find(dst);
+    if (it == arrival.end()) continue;
+    if (best_end == kNoTimestamp || it->second < best_end) {
+      best_end = it->second;
+      best_start = i;
+      best_via = std::move(via);
+    }
+  }
+  if (best_end == kNoTimestamp) return {};
+
+  // Walk parent edges back from dst to the start interaction.
+  std::vector<Interaction> path;
+  size_t edge_index = best_via.at(dst);
+  while (true) {
+    path.push_back(edges[edge_index]);
+    if (edge_index == best_start) break;
+    edge_index = best_via.at(edges[edge_index].src);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace ipin

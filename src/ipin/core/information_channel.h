@@ -1,0 +1,46 @@
+#ifndef IPIN_CORE_INFORMATION_CHANNEL_H_
+#define IPIN_CORE_INFORMATION_CHANNEL_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "ipin/graph/interaction_graph.h"
+#include "ipin/graph/types.h"
+
+// Reference (brute-force) implementations of the paper's Definitions 1-4:
+// information channels, influence reachability sets (IRS), and IRS
+// summaries. These run in O(m^2) per source and exist to cross-validate the
+// one-pass algorithms in tests; use IrsExact / IrsApprox for real workloads.
+
+namespace ipin {
+
+/// lambda(u, v) values for one source: for every node v reachable from u via
+/// an information channel of duration <= window, the earliest end time of
+/// such a channel (Definition 4).
+using IrsSummary = std::unordered_map<NodeId, Timestamp>;
+
+/// Computes sigma_omega(u) and lambda(u, .) for a single source by forward
+/// temporal scans (one per outgoing interaction of `u`). `graph` must be
+/// sorted by time.
+IrsSummary BruteForceIrsSummary(const InteractionGraph& graph, NodeId source,
+                                Duration window);
+
+/// Computes summaries for every node. O(n * m^2) worst case — test sizes
+/// only.
+std::vector<IrsSummary> BruteForceAllIrsSummaries(const InteractionGraph& graph,
+                                                  Duration window);
+
+/// True if at least one information channel of duration <= window exists
+/// from `src` to `dst`.
+bool HasInformationChannel(const InteractionGraph& graph, NodeId src,
+                           NodeId dst, Duration window);
+
+/// Returns one minimum-end-time channel from `src` to `dst` of duration <=
+/// window as a sequence of interactions, or an empty vector if none exists.
+std::vector<Interaction> FindEarliestChannel(const InteractionGraph& graph,
+                                             NodeId src, NodeId dst,
+                                             Duration window);
+
+}  // namespace ipin
+
+#endif  // IPIN_CORE_INFORMATION_CHANNEL_H_

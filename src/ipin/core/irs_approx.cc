@@ -1,0 +1,129 @@
+#include "ipin/core/irs_approx.h"
+
+#include "ipin/common/check.h"
+#include "ipin/common/hash.h"
+#include "ipin/sketch/estimators.h"
+
+namespace ipin {
+
+IrsApprox::IrsApprox(size_t num_nodes, Duration window,
+                     const IrsApproxOptions& options)
+    : window_(window), options_(options), sketches_(num_nodes) {
+  IPIN_CHECK_GE(window, 1);
+}
+
+IrsApprox::IrsApprox(Duration window, const IrsApproxOptions& options,
+                     std::vector<std::unique_ptr<VersionedHll>> sketches)
+    : window_(window), options_(options), sketches_(std::move(sketches)) {
+  IPIN_CHECK_GE(window, 1);
+  for (const auto& sketch : sketches_) {
+    if (sketch != nullptr) {
+      IPIN_CHECK_EQ(sketch->precision(), options_.precision);
+      IPIN_CHECK_EQ(sketch->salt(), options_.salt);
+    }
+  }
+}
+
+IrsApprox IrsApprox::Compute(const InteractionGraph& graph, Duration window,
+                             const IrsApproxOptions& options) {
+  IPIN_CHECK(graph.is_sorted());
+  IrsApprox irs(graph.num_nodes(), window, options);
+  const auto& edges = graph.interactions();
+  for (size_t i = edges.size(); i > 0; --i) {
+    irs.ProcessInteraction(edges[i - 1]);
+  }
+  return irs;
+}
+
+VersionedHll* IrsApprox::MutableSketch(NodeId u) {
+  if (sketches_[u] == nullptr) {
+    sketches_[u] =
+        std::make_unique<VersionedHll>(options_.precision, options_.salt);
+  }
+  return sketches_[u].get();
+}
+
+void IrsApprox::ProcessInteraction(const Interaction& interaction) {
+  const auto [u, v, t] = interaction;
+  IPIN_CHECK_LT(u, sketches_.size());
+  IPIN_CHECK_LT(v, sketches_.size());
+  if (saw_interaction_) {
+    IPIN_CHECK_LE(t, last_time_);  // reverse chronological order required
+  }
+  last_time_ = t;
+  saw_interaction_ = true;
+
+  VersionedHll* sketch_u = MutableSketch(u);
+  // ApproxAdd: v joins sigma(u) with channel end time t. Self-loops are
+  // filtered like in IrsExact (a node is not in its own IRS); a merge can
+  // still fold u's own hash in via a temporal cycle — a one-item bias the
+  // sketch cannot distinguish, documented in DESIGN.md.
+  if (u != v) sketch_u->Add(static_cast<uint64_t>(v), t);
+  // ApproxMerge: fold in phi(v) entries still inside the window. Self-loops
+  // would merge the sketch into itself (a no-op); skip like IrsExact.
+  if (u == v) return;
+  const VersionedHll* sketch_v = sketches_[v].get();
+  if (sketch_v != nullptr) {
+    sketch_u->MergeWindow(*sketch_v, t, window_);
+  }
+}
+
+double IrsApprox::EstimateIrsSize(NodeId u) const {
+  IPIN_CHECK_LT(u, sketches_.size());
+  const VersionedHll* sketch = sketches_[u].get();
+  return sketch == nullptr ? 0.0 : sketch->Estimate();
+}
+
+double IrsApprox::EstimateUnionSize(std::span<const NodeId> seeds) const {
+  const size_t beta = static_cast<size_t>(1) << options_.precision;
+  std::vector<uint8_t> ranks(beta, 0);
+  bool any = false;
+  for (const NodeId u : seeds) {
+    IPIN_CHECK_LT(u, sketches_.size());
+    const VersionedHll* sketch = sketches_[u].get();
+    if (sketch == nullptr) continue;
+    any = true;
+    for (size_t c = 0; c < beta; ++c) {
+      const auto& list = sketch->cell(c);
+      if (!list.empty() && list.back().rank > ranks[c]) {
+        ranks[c] = list.back().rank;
+      }
+    }
+  }
+  if (!any) return 0.0;
+  return EstimateFromRanks(ranks);
+}
+
+size_t IrsApprox::NumAllocatedSketches() const {
+  size_t count = 0;
+  for (const auto& s : sketches_) {
+    if (s != nullptr) ++count;
+  }
+  return count;
+}
+
+size_t IrsApprox::TotalSketchEntries() const {
+  size_t total = 0;
+  for (const auto& s : sketches_) {
+    if (s != nullptr) total += s->NumEntries();
+  }
+  return total;
+}
+
+size_t IrsApprox::TotalInsertAttempts() const {
+  size_t total = 0;
+  for (const auto& s : sketches_) {
+    if (s != nullptr) total += s->NumInsertAttempts();
+  }
+  return total;
+}
+
+size_t IrsApprox::MemoryUsageBytes() const {
+  size_t bytes = sketches_.capacity() * sizeof(std::unique_ptr<VersionedHll>);
+  for (const auto& s : sketches_) {
+    if (s != nullptr) bytes += sizeof(VersionedHll) + s->MemoryUsageBytes();
+  }
+  return bytes;
+}
+
+}  // namespace ipin

@@ -1,0 +1,94 @@
+#ifndef IPIN_CORE_IRS_APPROX_H_
+#define IPIN_CORE_IRS_APPROX_H_
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ipin/graph/interaction_graph.h"
+#include "ipin/graph/types.h"
+#include "ipin/sketch/vhll.h"
+
+namespace ipin {
+
+/// Options for the sketch-based IRS computation.
+struct IrsApproxOptions {
+  /// HLL precision k; beta = 2^k cells per node. The paper evaluates
+  /// beta in {16 .. 512} and defaults to 512 (k = 9).
+  int precision = 9;
+  /// Hash salt; runs with different salts are independent estimators.
+  uint64_t salt = 0;
+};
+
+/// Approximate influence-reachability-set computation (the paper's
+/// Algorithm 3): the same one-pass reverse scan as IrsExact, with each
+/// node's exact summary phi(u) replaced by a versioned HyperLogLog sketch.
+///
+/// Expected complexity: O(m * beta * log^2(window)) time and
+/// O(n * beta * log^2(window)) space (Lemmas 5-6); estimates carry the HLL
+/// relative error of ~1.04/sqrt(beta).
+class IrsApprox {
+ public:
+  /// Runs the full reverse scan over a time-sorted interaction list.
+  static IrsApprox Compute(const InteractionGraph& graph, Duration window,
+                           const IrsApproxOptions& options = {});
+
+  /// Empty instance; feed interactions with ProcessInteraction in reverse
+  /// time order.
+  IrsApprox(size_t num_nodes, Duration window, const IrsApproxOptions& options);
+
+  /// Reassembles an instance from per-node sketches (nullptr = node never
+  /// sent). Used by the oracle persistence layer (oracle_io.h); every
+  /// non-null sketch must match `options`' precision and salt (checked).
+  IrsApprox(Duration window, const IrsApproxOptions& options,
+            std::vector<std::unique_ptr<VersionedHll>> sketches);
+
+  /// Processes one interaction; MUST be called in non-increasing time order
+  /// (checked).
+  void ProcessInteraction(const Interaction& interaction);
+
+  /// Estimated |sigma_omega(u)|.
+  double EstimateIrsSize(NodeId u) const;
+
+  /// Estimated |union of sigma_omega(s) for s in seeds| — the sketch-based
+  /// Influence Oracle (Section 4.1): cellwise max over the seeds' sketches,
+  /// O(|seeds| * beta * log) time, independent of the set sizes.
+  double EstimateUnionSize(std::span<const NodeId> seeds) const;
+
+  /// The raw sketch of node u, or nullptr if u never appeared as a source
+  /// (its IRS is empty).
+  const VersionedHll* Sketch(NodeId u) const { return sketches_[u].get(); }
+
+  size_t num_nodes() const { return sketches_.size(); }
+  Duration window() const { return window_; }
+  const IrsApproxOptions& options() const { return options_; }
+
+  /// Number of nodes that own a (non-null) sketch.
+  size_t NumAllocatedSketches() const;
+
+  /// Total (rank, time) entries across all sketches.
+  size_t TotalSketchEntries() const;
+
+  /// Total AddEntry attempts across all sketches (pre-pruning volume).
+  size_t TotalInsertAttempts() const;
+
+  /// Approximate heap footprint in bytes (the paper's Table 4 quantity).
+  size_t MemoryUsageBytes() const;
+
+ private:
+  VersionedHll* MutableSketch(NodeId u);
+
+  Duration window_;
+  IrsApproxOptions options_;
+  Timestamp last_time_ = 0;
+  bool saw_interaction_ = false;
+  // Sketches are allocated lazily: a node that never sends has an empty IRS
+  // and needs no sketch. This mirrors phi(v) = {} in the exact algorithm and
+  // keeps memory proportional to the number of *active* sources.
+  std::vector<std::unique_ptr<VersionedHll>> sketches_;
+};
+
+}  // namespace ipin
+
+#endif  // IPIN_CORE_IRS_APPROX_H_

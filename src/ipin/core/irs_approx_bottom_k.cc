@@ -1,0 +1,96 @@
+#include "ipin/core/irs_approx_bottom_k.h"
+
+#include <algorithm>
+
+#include "ipin/common/check.h"
+
+namespace ipin {
+
+IrsApproxBottomK::IrsApproxBottomK(size_t num_nodes, Duration window,
+                                   const IrsBottomKOptions& options)
+    : window_(window), options_(options), sketches_(num_nodes) {
+  IPIN_CHECK_GE(window, 1);
+}
+
+IrsApproxBottomK IrsApproxBottomK::Compute(const InteractionGraph& graph,
+                                           Duration window,
+                                           const IrsBottomKOptions& options) {
+  IPIN_CHECK(graph.is_sorted());
+  IrsApproxBottomK irs(graph.num_nodes(), window, options);
+  const auto& edges = graph.interactions();
+  for (size_t i = edges.size(); i > 0; --i) {
+    irs.ProcessInteraction(edges[i - 1]);
+  }
+  return irs;
+}
+
+VersionedBottomK* IrsApproxBottomK::MutableSketch(NodeId u) {
+  if (sketches_[u] == nullptr) {
+    sketches_[u] =
+        std::make_unique<VersionedBottomK>(options_.k, options_.salt);
+  }
+  return sketches_[u].get();
+}
+
+void IrsApproxBottomK::ProcessInteraction(const Interaction& interaction) {
+  const auto [u, v, t] = interaction;
+  IPIN_CHECK_LT(u, sketches_.size());
+  IPIN_CHECK_LT(v, sketches_.size());
+  if (saw_interaction_) {
+    IPIN_CHECK_LE(t, last_time_);  // reverse chronological order required
+  }
+  last_time_ = t;
+  saw_interaction_ = true;
+
+  VersionedBottomK* sketch_u = MutableSketch(u);
+  if (u != v) sketch_u->Add(static_cast<uint64_t>(v), t);
+  if (u == v) return;
+  const VersionedBottomK* sketch_v = sketches_[v].get();
+  if (sketch_v != nullptr) {
+    sketch_u->MergeWindow(*sketch_v, t, window_);
+  }
+}
+
+double IrsApproxBottomK::EstimateIrsSize(NodeId u) const {
+  IPIN_CHECK_LT(u, sketches_.size());
+  const VersionedBottomK* sketch = sketches_[u].get();
+  return sketch == nullptr ? 0.0 : sketch->Estimate();
+}
+
+double IrsApproxBottomK::EstimateUnionSize(
+    std::span<const NodeId> seeds) const {
+  VersionedBottomK merged(options_.k, options_.salt);
+  for (const NodeId u : seeds) {
+    IPIN_CHECK_LT(u, sketches_.size());
+    const VersionedBottomK* sketch = sketches_[u].get();
+    if (sketch != nullptr) merged.MergeAll(*sketch);
+  }
+  return merged.Estimate();
+}
+
+size_t IrsApproxBottomK::NumAllocatedSketches() const {
+  size_t count = 0;
+  for (const auto& s : sketches_) {
+    if (s != nullptr) ++count;
+  }
+  return count;
+}
+
+size_t IrsApproxBottomK::TotalSketchEntries() const {
+  size_t total = 0;
+  for (const auto& s : sketches_) {
+    if (s != nullptr) total += s->NumEntries();
+  }
+  return total;
+}
+
+size_t IrsApproxBottomK::MemoryUsageBytes() const {
+  size_t bytes =
+      sketches_.capacity() * sizeof(std::unique_ptr<VersionedBottomK>);
+  for (const auto& s : sketches_) {
+    if (s != nullptr) bytes += sizeof(VersionedBottomK) + s->MemoryUsageBytes();
+  }
+  return bytes;
+}
+
+}  // namespace ipin

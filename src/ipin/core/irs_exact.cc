@@ -1,0 +1,97 @@
+#include "ipin/core/irs_exact.h"
+
+#include <algorithm>
+
+#include "ipin/common/check.h"
+#include "ipin/common/memory.h"
+
+namespace ipin {
+
+IrsExact::IrsExact(size_t num_nodes, Duration window)
+    : window_(window), last_time_(0), summaries_(num_nodes) {
+  IPIN_CHECK_GE(window, 1);
+}
+
+IrsExact IrsExact::Compute(const InteractionGraph& graph, Duration window) {
+  IPIN_CHECK(graph.is_sorted());
+  IrsExact irs(graph.num_nodes(), window);
+  const auto& edges = graph.interactions();
+  for (size_t i = edges.size(); i > 0; --i) {
+    irs.ProcessInteraction(edges[i - 1]);
+  }
+  return irs;
+}
+
+void IrsExact::Add(NodeId u, NodeId v, Timestamp t) {
+  // A node is not part of its own IRS: the paper's Example 2 drops the
+  // temporal cycle e -> b -> e from phi(e), so Add filters self-entries
+  // (they can arise from self-loop interactions or temporal cycles).
+  if (u == v) return;
+  auto [it, inserted] = summaries_[u].emplace(v, t);
+  if (!inserted && it->second > t) it->second = t;
+}
+
+void IrsExact::ProcessInteraction(const Interaction& interaction) {
+  const auto [u, v, t] = interaction;
+  IPIN_CHECK_LT(u, summaries_.size());
+  IPIN_CHECK_LT(v, summaries_.size());
+  if (saw_interaction_) {
+    IPIN_CHECK_LE(t, last_time_);  // reverse chronological order required
+  }
+  last_time_ = t;
+  saw_interaction_ = true;
+
+  // Add: the single-interaction channel u -> v ends at t.
+  Add(u, v, t);
+
+  // Merge: channels that start with (u, v, t) and continue along a channel
+  // from v reaching x at time t_x are valid iff t_x - t < window
+  // (duration t_x - t + 1 <= window). A self-loop would merge phi(u) into
+  // itself — semantically a no-op (Add never worsens an entry), so skip it
+  // rather than iterate a container being modified.
+  if (u == v) return;
+  for (const auto& [x, tx] : summaries_[v]) {
+    if (tx - t < window_) Add(u, x, tx);  // Add drops x == u (self-cycles)
+  }
+}
+
+std::vector<NodeId> IrsExact::IrsSet(NodeId u) const {
+  std::vector<NodeId> nodes;
+  nodes.reserve(summaries_[u].size());
+  for (const auto& [v, t] : summaries_[u]) {
+    (void)t;
+    nodes.push_back(v);
+  }
+  std::sort(nodes.begin(), nodes.end());
+  return nodes;
+}
+
+size_t IrsExact::UnionSize(std::span<const NodeId> seeds) const {
+  std::unordered_map<NodeId, char> seen;
+  for (const NodeId u : seeds) {
+    IPIN_CHECK_LT(u, summaries_.size());
+    for (const auto& [v, t] : summaries_[u]) {
+      (void)t;
+      seen.emplace(v, 1);
+    }
+  }
+  return seen.size();
+}
+
+size_t IrsExact::TotalSummaryEntries() const {
+  size_t total = 0;
+  for (const auto& summary : summaries_) total += summary.size();
+  return total;
+}
+
+size_t IrsExact::MemoryUsageBytes() const {
+  size_t bytes = summaries_.capacity() *
+                 sizeof(std::unordered_map<NodeId, Timestamp>);
+  for (const auto& summary : summaries_) {
+    bytes += HashMapBytes(summary.size(), summary.bucket_count(),
+                          sizeof(NodeId) + sizeof(Timestamp));
+  }
+  return bytes;
+}
+
+}  // namespace ipin

@@ -1,0 +1,242 @@
+#include "ipin/core/neighborhood_profile.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "ipin/common/check.h"
+#include "ipin/common/hash.h"
+#include "ipin/common/memory.h"
+#include "ipin/sketch/estimators.h"
+
+namespace ipin {
+
+WindowedProfileExact::WindowedProfileExact(size_t num_nodes,
+                                           const ProfileOptions& options)
+    : options_(options),
+      profiles_(num_nodes,
+                std::vector<Layer>(static_cast<size_t>(options.max_distance))),
+      in_edges_(num_nodes) {
+  IPIN_CHECK_GE(options.max_distance, 1);
+  IPIN_CHECK_GE(options.window, 1);
+}
+
+bool WindowedProfileExact::AddPath(NodeId u, int distance, NodeId target,
+                                   Timestamp freshness) {
+  if (u == target) return false;  // self never counts (cycles are walks)
+  Layer& layer = profiles_[u][static_cast<size_t>(distance) - 1];
+  auto [it, inserted] = layer.emplace(target, freshness);
+  if (!inserted) {
+    if (it->second >= freshness) return false;
+    it->second = freshness;  // keep the maximum freshness
+  }
+  return true;
+}
+
+void WindowedProfileExact::PruneInEdges(NodeId u) {
+  const Timestamp expiry = now_ - options_.window;
+  auto& edges = in_edges_[u];
+  edges.erase(std::remove_if(edges.begin(), edges.end(),
+                             [expiry](const std::pair<NodeId, Timestamp>& e) {
+                               return e.second <= expiry;
+                             }),
+              edges.end());
+}
+
+void WindowedProfileExact::ProcessInteraction(const Interaction& interaction) {
+  const auto [u, v, t] = interaction;
+  IPIN_CHECK_LT(u, profiles_.size());
+  IPIN_CHECK_LT(v, profiles_.size());
+  if (saw_interaction_) IPIN_CHECK_GE(t, now_);
+  now_ = t;
+  saw_interaction_ = true;
+  if (u != v) in_edges_[v].emplace_back(u, t);
+
+  const Timestamp expiry = t - options_.window;
+
+  // Work items: target became reachable from `node` at exactly `distance`
+  // hops with `freshness`; back-propagate along fresh in-edges.
+  struct Item {
+    NodeId node;
+    int distance;
+    NodeId target;
+    Timestamp freshness;
+  };
+  std::deque<Item> queue;
+
+  // Paths created by the new edge: u -> v plus u -> v -> (paths from v).
+  if (AddPath(u, 1, v, t)) queue.push_back({u, 1, v, t});
+  for (int d = 1; d < options_.max_distance; ++d) {
+    for (const auto& [x, f] : profiles_[v][static_cast<size_t>(d) - 1]) {
+      if (f <= expiry) continue;  // stale path, cannot matter anymore
+      const Timestamp fresh = std::min(f, t);
+      if (AddPath(u, d + 1, x, fresh)) queue.push_back({u, d + 1, x, fresh});
+    }
+  }
+
+  // Bounded BFS back-propagation.
+  while (!queue.empty()) {
+    const Item item = queue.front();
+    queue.pop_front();
+    if (item.distance >= options_.max_distance) continue;
+    PruneInEdges(item.node);
+    for (const auto& [w, tw] : in_edges_[item.node]) {
+      const Timestamp fresh = std::min(item.freshness, tw);
+      if (fresh <= expiry) continue;
+      if (AddPath(w, item.distance + 1, item.target, fresh)) {
+        queue.push_back({w, item.distance + 1, item.target, fresh});
+      }
+    }
+  }
+}
+
+size_t WindowedProfileExact::NeighborhoodSize(NodeId u, int distance) const {
+  IPIN_CHECK_LT(u, profiles_.size());
+  IPIN_CHECK_GE(distance, 1);
+  IPIN_CHECK_LE(distance, options_.max_distance);
+  if (!saw_interaction_) return 0;
+  const Timestamp expiry = now_ - options_.window;
+  std::unordered_map<NodeId, char> seen;
+  for (int d = 1; d <= distance; ++d) {
+    for (const auto& [x, f] : profiles_[u][static_cast<size_t>(d) - 1]) {
+      if (f > expiry) seen.emplace(x, 1);
+    }
+  }
+  return seen.size();
+}
+
+size_t WindowedProfileExact::MemoryUsageBytes() const {
+  size_t bytes = 0;
+  for (const auto& layers : profiles_) {
+    for (const Layer& layer : layers) {
+      bytes += HashMapBytes(layer.size(), layer.bucket_count(),
+                            sizeof(NodeId) + sizeof(Timestamp));
+    }
+  }
+  for (const auto& edges : in_edges_) bytes += VectorBytes(edges);
+  return bytes;
+}
+
+WindowedProfileApprox::WindowedProfileApprox(
+    size_t num_nodes, const ProfileOptions& options,
+    const IrsApproxOptions& sketch_options)
+    : options_(options),
+      sketch_options_(sketch_options),
+      sketches_(num_nodes),
+      in_edges_(num_nodes) {
+  IPIN_CHECK_GE(options.max_distance, 1);
+  IPIN_CHECK_GE(options.window, 1);
+  for (auto& layers : sketches_) {
+    layers.resize(static_cast<size_t>(options.max_distance));
+  }
+}
+
+VersionedHll* WindowedProfileApprox::MutableSketch(NodeId u, int distance) {
+  auto& slot = sketches_[u][static_cast<size_t>(distance) - 1];
+  if (slot == nullptr) {
+    slot = std::make_unique<VersionedHll>(sketch_options_.precision,
+                                          sketch_options_.salt);
+  }
+  return slot.get();
+}
+
+void WindowedProfileApprox::PruneInEdges(NodeId u) {
+  const Timestamp expiry = now_ - options_.window;
+  auto& edges = in_edges_[u];
+  edges.erase(std::remove_if(edges.begin(), edges.end(),
+                             [expiry](const std::pair<NodeId, Timestamp>& e) {
+                               return e.second <= expiry;
+                             }),
+              edges.end());
+}
+
+void WindowedProfileApprox::ProcessInteraction(
+    const Interaction& interaction) {
+  const auto [u, v, t] = interaction;
+  IPIN_CHECK_LT(u, sketches_.size());
+  IPIN_CHECK_LT(v, sketches_.size());
+  if (saw_interaction_) IPIN_CHECK_GE(t, now_);
+  now_ = t;
+  saw_interaction_ = true;
+  if (u != v) in_edges_[v].emplace_back(u, t);
+
+  // Negated-freshness encoding: an entry with freshness f is stored at time
+  // -f; only entries with f > now - window, i.e. stored time < bound, are
+  // alive.
+  const Timestamp bound = -(t - options_.window);
+
+  struct Item {
+    NodeId node;
+    int distance;
+  };
+  std::deque<Item> queue;
+
+  // The new edge: v joins u's 1-hop profile with freshness t...
+  if (u != v &&
+      MutableSketch(u, 1)->Add(static_cast<uint64_t>(v), -t)) {
+    queue.push_back({u, 1});
+  }
+
+  // ...and v's d-hop profile extends u's (d+1)-hop profile (freshness
+  // clamped at t — a no-op since all stored freshness <= t).
+  for (int d = 1; d < options_.max_distance; ++d) {
+    const auto& src = sketches_[v][static_cast<size_t>(d) - 1];
+    if (src == nullptr || u == v) continue;
+    if (MutableSketch(u, d + 1)->MergeWithFloor(*src, -t, bound)) {
+      queue.push_back({u, d + 1});
+    }
+  }
+
+  // Back-propagate changed (node, distance) sketches along fresh in-edges.
+  while (!queue.empty()) {
+    const Item item = queue.front();
+    queue.pop_front();
+    if (item.distance >= options_.max_distance) continue;
+    PruneInEdges(item.node);
+    const auto& src =
+        sketches_[item.node][static_cast<size_t>(item.distance) - 1];
+    if (src == nullptr) continue;
+    for (const auto& [w, tw] : in_edges_[item.node]) {
+      if (w == item.node) continue;
+      if (MutableSketch(w, item.distance + 1)
+              ->MergeWithFloor(*src, -tw, bound)) {
+        queue.push_back({w, item.distance + 1});
+      }
+    }
+  }
+}
+
+double WindowedProfileApprox::EstimateNeighborhoodSize(NodeId u,
+                                                       int distance) const {
+  IPIN_CHECK_LT(u, sketches_.size());
+  IPIN_CHECK_GE(distance, 1);
+  IPIN_CHECK_LE(distance, options_.max_distance);
+  if (!saw_interaction_) return 0.0;
+  const Timestamp bound = -(now_ - options_.window);
+  const size_t beta = static_cast<size_t>(1) << sketch_options_.precision;
+  std::vector<uint8_t> ranks(beta, 0);
+  bool any = false;
+  for (int d = 1; d <= distance; ++d) {
+    const auto& sketch = sketches_[u][static_cast<size_t>(d) - 1];
+    if (sketch == nullptr) continue;
+    any = true;
+    sketch->MaxRanks(bound, &ranks);
+  }
+  if (!any) return 0.0;
+  const double estimate = EstimateFromRanks(ranks);
+  return estimate;
+}
+
+size_t WindowedProfileApprox::MemoryUsageBytes() const {
+  size_t bytes = 0;
+  for (const auto& layers : sketches_) {
+    for (const auto& sketch : layers) {
+      if (sketch != nullptr) {
+        bytes += sizeof(VersionedHll) + sketch->MemoryUsageBytes();
+      }
+    }
+  }
+  for (const auto& edges : in_edges_) bytes += VectorBytes(edges);
+  return bytes;
+}
+
+}  // namespace ipin

@@ -1,0 +1,118 @@
+#ifndef IPIN_CORE_NEIGHBORHOOD_PROFILE_H_
+#define IPIN_CORE_NEIGHBORHOOD_PROFILE_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "ipin/core/irs_approx.h"
+#include "ipin/graph/interaction_graph.h"
+#include "ipin/graph/types.h"
+#include "ipin/sketch/vhll.h"
+
+// Sliding-window neighborhood profiles, after Kumar, Calders, Gionis,
+// Tatti: "Maintaining Sliding-Window Neighborhood Profiles in Interaction
+// Networks" (ECML/PKDD 2015) — the paper's reference [15] and the origin of
+// its versioned-HLL idea.
+//
+// The *snapshot graph* at time `now` contains every interaction observed in
+// the window (now - window, now]. The d-hop neighborhood profile of node u
+// is the number of distinct nodes reachable from u within d hops in that
+// snapshot. A path's *freshness* is the minimum timestamp of its edges: the
+// path (and its contribution) expires exactly when that oldest edge slides
+// out of the window. Summaries therefore store, per reachable node, the
+// MAXIMUM freshness over connecting paths, and a query at time `now` counts
+// entries with freshness > now - window.
+//
+// Updates propagate: a new edge (u, v, t) extends not only u's profile but,
+// recursively, the profiles of nodes with recent edges into u. Both
+// variants below perform this bounded BFS propagation; the approximate one
+// stores per-(node, distance) vHLL sketches (negated freshness timestamps,
+// so "fresher dominates") and is what makes the structure practical.
+
+namespace ipin {
+
+/// Options for the windowed profile structures.
+struct ProfileOptions {
+  /// Maximum hop distance H tracked (profiles exist for d = 1..H).
+  int max_distance = 3;
+  /// Sliding-window length W.
+  Duration window = 1;
+};
+
+/// Exact sliding-window neighborhood profiles. Memory and update cost can
+/// be large (per node and distance, a map over reachable nodes): intended
+/// as the testing reference and for small graphs.
+class WindowedProfileExact {
+ public:
+  WindowedProfileExact(size_t num_nodes, const ProfileOptions& options);
+
+  /// Processes one interaction in arrival (non-decreasing time) order.
+  void ProcessInteraction(const Interaction& interaction);
+
+  /// Number of distinct nodes within <= `distance` hops of `u` in the
+  /// current snapshot (u itself excluded).
+  size_t NeighborhoodSize(NodeId u, int distance) const;
+
+  /// Timestamp of the last processed interaction (kNoTimestamp if none).
+  Timestamp now() const { return saw_interaction_ ? now_ : kNoTimestamp; }
+
+  const ProfileOptions& options() const { return options_; }
+  size_t num_nodes() const { return in_edges_.size(); }
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryUsageBytes() const;
+
+ private:
+  // profiles_[u][d-1]: reachable node -> max freshness over <= d-hop paths.
+  using Layer = std::unordered_map<NodeId, Timestamp>;
+
+  bool AddPath(NodeId u, int distance, NodeId target, Timestamp freshness);
+  void Propagate(const Interaction& interaction);
+  void PruneInEdges(NodeId u);
+
+  ProfileOptions options_;
+  Timestamp now_ = 0;
+  bool saw_interaction_ = false;
+  std::vector<std::vector<Layer>> profiles_;
+  // Recent in-edges per node: (source, time), pruned lazily.
+  std::vector<std::vector<std::pair<NodeId, Timestamp>>> in_edges_;
+};
+
+/// Sketch-based sliding-window neighborhood profiles: per (node, distance)
+/// a versioned HLL over reachable nodes keyed by negated freshness.
+class WindowedProfileApprox {
+ public:
+  WindowedProfileApprox(size_t num_nodes, const ProfileOptions& options,
+                        const IrsApproxOptions& sketch_options);
+
+  /// Processes one interaction in arrival (non-decreasing time) order.
+  void ProcessInteraction(const Interaction& interaction);
+
+  /// Estimated number of distinct nodes within <= `distance` hops of `u`
+  /// in the current snapshot.
+  double EstimateNeighborhoodSize(NodeId u, int distance) const;
+
+  Timestamp now() const { return saw_interaction_ ? now_ : kNoTimestamp; }
+  const ProfileOptions& options() const { return options_; }
+  size_t num_nodes() const { return in_edges_.size(); }
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryUsageBytes() const;
+
+ private:
+  VersionedHll* MutableSketch(NodeId u, int distance);
+  void PruneInEdges(NodeId u);
+
+  ProfileOptions options_;
+  IrsApproxOptions sketch_options_;
+  Timestamp now_ = 0;
+  bool saw_interaction_ = false;
+  // sketches_[u][d-1], allocated lazily.
+  std::vector<std::vector<std::unique_ptr<VersionedHll>>> sketches_;
+  std::vector<std::vector<std::pair<NodeId, Timestamp>>> in_edges_;
+};
+
+}  // namespace ipin
+
+#endif  // IPIN_CORE_NEIGHBORHOOD_PROFILE_H_

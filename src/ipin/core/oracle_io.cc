@@ -1,0 +1,112 @@
+#include "ipin/core/oracle_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "ipin/common/logging.h"
+
+namespace ipin {
+namespace {
+
+// File layout (little-endian):
+//   8 bytes magic "IPINIDX1"
+//   i64 window, u8 precision, u64 salt, u64 num_nodes
+//   per node: u8 present; if present, a VersionedHll::Serialize blob.
+constexpr char kMagic[8] = {'I', 'P', 'I', 'N', 'I', 'D', 'X', '1'};
+
+template <typename T>
+void AppendRaw(std::string* out, T value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadRaw(std::string_view data, size_t* offset, T* value) {
+  if (data.size() - *offset < sizeof(T)) return false;
+  std::memcpy(value, data.data() + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+bool SaveInfluenceIndex(const IrsApprox& index, const std::string& path) {
+  std::string buffer;
+  buffer.append(kMagic, sizeof(kMagic));
+  AppendRaw<int64_t>(&buffer, index.window());
+  AppendRaw<uint8_t>(&buffer, static_cast<uint8_t>(index.options().precision));
+  AppendRaw<uint64_t>(&buffer, index.options().salt);
+  AppendRaw<uint64_t>(&buffer, index.num_nodes());
+  for (NodeId u = 0; u < index.num_nodes(); ++u) {
+    const VersionedHll* sketch = index.Sketch(u);
+    AppendRaw<uint8_t>(&buffer, sketch != nullptr ? 1 : 0);
+    if (sketch != nullptr) sketch->Serialize(&buffer);
+  }
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    LogError("cannot open index file for writing: " + path);
+    return false;
+  }
+  out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+  return static_cast<bool>(out);
+}
+
+std::optional<IrsApprox> LoadInfluenceIndex(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    LogError("cannot open index file: " + path);
+    return std::nullopt;
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  const std::string buffer = contents.str();
+
+  size_t offset = 0;
+  if (buffer.size() < sizeof(kMagic) ||
+      std::memcmp(buffer.data(), kMagic, sizeof(kMagic)) != 0) {
+    LogError("bad magic in index file: " + path);
+    return std::nullopt;
+  }
+  offset = sizeof(kMagic);
+
+  int64_t window = 0;
+  uint8_t precision = 0;
+  uint64_t salt = 0;
+  uint64_t num_nodes = 0;
+  if (!ReadRaw<int64_t>(buffer, &offset, &window) ||
+      !ReadRaw<uint8_t>(buffer, &offset, &precision) ||
+      !ReadRaw<uint64_t>(buffer, &offset, &salt) ||
+      !ReadRaw<uint64_t>(buffer, &offset, &num_nodes)) {
+    LogError("truncated index header: " + path);
+    return std::nullopt;
+  }
+  if (window < 1 || precision < 4 || precision > 18) {
+    LogError("corrupt index header: " + path);
+    return std::nullopt;
+  }
+
+  std::vector<std::unique_ptr<VersionedHll>> sketches(num_nodes);
+  for (uint64_t u = 0; u < num_nodes; ++u) {
+    uint8_t present = 0;
+    if (!ReadRaw<uint8_t>(buffer, &offset, &present)) {
+      LogError("truncated index body: " + path);
+      return std::nullopt;
+    }
+    if (present == 0) continue;
+    auto sketch = VersionedHll::Deserialize(buffer, &offset);
+    if (!sketch.has_value() || sketch->precision() != precision ||
+        sketch->salt() != salt) {
+      LogError("corrupt sketch in index file: " + path);
+      return std::nullopt;
+    }
+    sketches[u] = std::make_unique<VersionedHll>(std::move(*sketch));
+  }
+
+  IrsApproxOptions options;
+  options.precision = precision;
+  options.salt = salt;
+  return IrsApprox(window, options, std::move(sketches));
+}
+
+}  // namespace ipin

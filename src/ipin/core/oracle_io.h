@@ -1,0 +1,27 @@
+#ifndef IPIN_CORE_ORACLE_IO_H_
+#define IPIN_CORE_ORACLE_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "ipin/core/irs_approx.h"
+
+// Persistence for the sketch-based influence index: the one-pass build
+// (IrsApprox::Compute) is the expensive step; saving the resulting index
+// lets a deployment precompute it offline and serve influence-oracle
+// queries (Section 4.1) without re-scanning the interaction log.
+
+namespace ipin {
+
+/// Writes the index to `path` in a self-contained binary format
+/// (magic + window + options + per-node sketches). Returns false on I/O
+/// error.
+bool SaveInfluenceIndex(const IrsApprox& index, const std::string& path);
+
+/// Reads an index written by SaveInfluenceIndex. Returns nullopt on open
+/// failure, truncation, or corruption (every sketch is invariant-checked).
+std::optional<IrsApprox> LoadInfluenceIndex(const std::string& path);
+
+}  // namespace ipin
+
+#endif  // IPIN_CORE_ORACLE_IO_H_

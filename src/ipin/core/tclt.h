@@ -1,0 +1,47 @@
+#ifndef IPIN_CORE_TCLT_H_
+#define IPIN_CORE_TCLT_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ipin/common/random.h"
+#include "ipin/graph/interaction_graph.h"
+#include "ipin/graph/types.h"
+
+// Time-Constrained Linear Threshold model: the LT counterpart of the
+// paper's TCIC (Section 2 derives TCIC from Independent Cascade and notes
+// LT as the other classic model). Each node draws a uniform threshold; an
+// interaction (u, v, t) from an active node u whose chain window has not
+// expired contributes u's edge weight to v (once per distinct static edge);
+// v activates when the accumulated weight reaches its threshold, inheriting
+// the chain's start time exactly like TCIC. Used as an extension experiment
+// validating that IRS seed sets transfer across propagation models.
+
+namespace ipin {
+
+/// Parameters of the TCLT simulation.
+struct TcltOptions {
+  /// Maximal spread window omega (chain-anchored, like TCIC).
+  Duration window = 1;
+  /// Edge weight scale: weight(u, v) = scale / static_in_degree(v),
+  /// clamped to 1. scale = 1 gives the classic normalized LT weights.
+  double weight_scale = 1.0;
+};
+
+/// Runs one TCLT cascade over a time-sorted interaction list; returns the
+/// number of active nodes (seeds included once activated).
+size_t SimulateTclt(const InteractionGraph& graph,
+                    std::span<const NodeId> seeds, const TcltOptions& options,
+                    Rng* rng);
+
+/// Mean active count over `num_runs` cascades (fresh thresholds per run).
+/// Deterministic given `seed`.
+double AverageTcltSpread(const InteractionGraph& graph,
+                         std::span<const NodeId> seeds,
+                         const TcltOptions& options, size_t num_runs,
+                         uint64_t seed);
+
+}  // namespace ipin
+
+#endif  // IPIN_CORE_TCLT_H_

@@ -1,0 +1,131 @@
+#include "ipin/datasets/synthetic.h"
+
+#include <algorithm>
+
+#include "ipin/common/check.h"
+#include "ipin/common/random.h"
+
+namespace ipin {
+namespace {
+
+// m strictly increasing timestamps in [0, ~time_span). Duplicates from the
+// uniform draw are bumped forward, which can extend the range by at most m.
+std::vector<Timestamp> DrawTimestamps(size_t m, Duration time_span, Rng* rng) {
+  std::vector<Timestamp> times(m);
+  if (static_cast<Duration>(m) >= time_span) {
+    for (size_t i = 0; i < m; ++i) times[i] = static_cast<Timestamp>(i);
+    return times;
+  }
+  for (size_t i = 0; i < m; ++i) {
+    times[i] = static_cast<Timestamp>(
+        rng->NextBounded(static_cast<uint64_t>(time_span)));
+  }
+  std::sort(times.begin(), times.end());
+  for (size_t i = 1; i < m; ++i) {
+    if (times[i] <= times[i - 1]) times[i] = times[i - 1] + 1;
+  }
+  return times;
+}
+
+// Random permutation of [0, n): maps Zipf ranks to node ids so that hub
+// identities are seed-dependent rather than always the low ids.
+std::vector<NodeId> DrawPermutation(size_t n, Rng* rng) {
+  std::vector<NodeId> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = static_cast<NodeId>(i);
+  std::vector<NodeId>* p = &perm;
+  rng->Shuffle(p);
+  return perm;
+}
+
+}  // namespace
+
+InteractionGraph GenerateInteractionNetwork(const SyntheticConfig& config) {
+  IPIN_CHECK_GE(config.num_nodes, 2u);
+  IPIN_CHECK_GE(config.num_interactions, 1u);
+  IPIN_CHECK_GE(config.time_span, 1);
+  IPIN_CHECK_GE(config.num_communities, 1u);
+
+  Rng rng(config.seed);
+  const size_t n = config.num_nodes;
+  const size_t m = config.num_interactions;
+  const size_t num_communities = std::min(config.num_communities, n);
+
+  const std::vector<Timestamp> times = DrawTimestamps(m, config.time_span, &rng);
+  const std::vector<NodeId> perm = DrawPermutation(n, &rng);
+
+  // Node u lives in community u % num_communities; community c's members are
+  // {c, c + C, c + 2C, ...}.
+  const auto community_size = [&](size_t c) {
+    return (n - c + num_communities - 1) / num_communities;
+  };
+
+  std::vector<NodeId> reply_pool;
+  reply_pool.reserve(config.reply_pool_size);
+  size_t reply_cursor = 0;
+
+  const auto draw_zipf_node = [&](double exponent) {
+    return perm[rng.NextZipf(n, exponent)];
+  };
+
+  std::vector<Interaction> interactions;
+  interactions.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    // Sender: a recent receiver (chain continuation) or an active hub.
+    NodeId src;
+    if (!reply_pool.empty() && rng.NextBernoulli(config.reply_probability)) {
+      src = reply_pool[rng.NextBounded(reply_pool.size())];
+    } else {
+      src = draw_zipf_node(config.activity_exponent);
+    }
+
+    // Receiver: popular node inside the sender's community, or globally.
+    NodeId dst = src;
+    for (int attempt = 0; attempt < 8 && dst == src; ++attempt) {
+      if (rng.NextBernoulli(config.intra_community_probability)) {
+        const size_t c = src % num_communities;
+        const size_t size = community_size(c);
+        const uint64_t rank =
+            rng.NextZipf(size, config.popularity_exponent);
+        dst = static_cast<NodeId>(c + rank * num_communities);
+      } else {
+        dst = draw_zipf_node(config.popularity_exponent);
+      }
+    }
+    if (dst == src) dst = static_cast<NodeId>((src + 1) % n);
+
+    interactions.push_back(Interaction{src, dst, times[i]});
+
+    // Receivers become eligible reply senders (ring buffer).
+    if (reply_pool.size() < config.reply_pool_size) {
+      reply_pool.push_back(dst);
+    } else if (!reply_pool.empty()) {
+      reply_pool[reply_cursor] = dst;
+      reply_cursor = (reply_cursor + 1) % reply_pool.size();
+    }
+  }
+
+  InteractionGraph graph(n, std::move(interactions));
+  IPIN_CHECK(graph.is_sorted());
+  return graph;
+}
+
+InteractionGraph GenerateUniformRandomNetwork(size_t num_nodes,
+                                              size_t num_interactions,
+                                              Duration time_span,
+                                              uint64_t seed) {
+  IPIN_CHECK_GE(num_nodes, 2u);
+  Rng rng(seed);
+  const std::vector<Timestamp> times =
+      DrawTimestamps(num_interactions, time_span, &rng);
+  std::vector<Interaction> interactions;
+  interactions.reserve(num_interactions);
+  for (size_t i = 0; i < num_interactions; ++i) {
+    const NodeId src = static_cast<NodeId>(rng.NextBounded(num_nodes));
+    NodeId dst = static_cast<NodeId>(rng.NextBounded(num_nodes));
+    if (dst == src) dst = static_cast<NodeId>((dst + 1) % num_nodes);
+    interactions.push_back(Interaction{src, dst, times[i]});
+  }
+  return InteractionGraph(num_nodes, std::move(interactions));
+}
+
+}  // namespace ipin

@@ -1,0 +1,46 @@
+#include "ipin/eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "ipin/common/check.h"
+
+namespace ipin {
+
+double MeanRelativeError(std::span<const double> exact,
+                         std::span<const double> estimated) {
+  IPIN_CHECK_EQ(exact.size(), estimated.size());
+  double total = 0.0;
+  size_t count = 0;
+  for (size_t i = 0; i < exact.size(); ++i) {
+    if (exact[i] <= 0.0) continue;
+    total += std::abs(estimated[i] - exact[i]) / exact[i];
+    ++count;
+  }
+  return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+size_t SeedOverlap(std::span<const NodeId> a, std::span<const NodeId> b) {
+  const std::unordered_set<NodeId> set_a(a.begin(), a.end());
+  std::unordered_set<NodeId> counted;
+  size_t overlap = 0;
+  for (const NodeId x : b) {
+    if (set_a.count(x) > 0 && counted.insert(x).second) ++overlap;
+  }
+  return overlap;
+}
+
+double SeedJaccard(std::span<const NodeId> a, std::span<const NodeId> b) {
+  const std::unordered_set<NodeId> set_a(a.begin(), a.end());
+  const std::unordered_set<NodeId> set_b(b.begin(), b.end());
+  if (set_a.empty() && set_b.empty()) return 1.0;
+  size_t inter = 0;
+  for (const NodeId x : set_b) {
+    if (set_a.count(x) > 0) ++inter;
+  }
+  const size_t uni = set_a.size() + set_b.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace ipin

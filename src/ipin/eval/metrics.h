@@ -1,0 +1,26 @@
+#ifndef IPIN_EVAL_METRICS_H_
+#define IPIN_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <span>
+
+#include "ipin/graph/types.h"
+
+namespace ipin {
+
+/// Mean relative error |est - exact| / exact over entries whose exact value
+/// is positive (the paper's Table 3 accuracy metric); entries with exact
+/// value 0 are skipped. Returns 0 when nothing qualifies.
+double MeanRelativeError(std::span<const double> exact,
+                         std::span<const double> estimated);
+
+/// Number of elements common to the two seed lists (order-insensitive) —
+/// the paper's Table 5 seed-overlap metric.
+size_t SeedOverlap(std::span<const NodeId> a, std::span<const NodeId> b);
+
+/// Jaccard similarity of the two seed lists viewed as sets.
+double SeedJaccard(std::span<const NodeId> a, std::span<const NodeId> b);
+
+}  // namespace ipin
+
+#endif  // IPIN_EVAL_METRICS_H_

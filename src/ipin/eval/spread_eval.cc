@@ -1,0 +1,27 @@
+#include "ipin/eval/spread_eval.h"
+
+#include <algorithm>
+
+#include "ipin/common/check.h"
+
+namespace ipin {
+
+SpreadCurve EvaluateSpreadCurve(const InteractionGraph& graph,
+                                const std::string& method,
+                                std::span<const NodeId> ranked_seeds,
+                                std::span<const size_t> top_k_values,
+                                const TcicOptions& options, size_t num_runs,
+                                uint64_t seed) {
+  SpreadCurve curve;
+  curve.method = method;
+  for (const size_t k : top_k_values) {
+    const size_t use = std::min(k, ranked_seeds.size());
+    const std::span<const NodeId> prefix = ranked_seeds.subspan(0, use);
+    curve.top_k_values.push_back(k);
+    curve.spreads.push_back(
+        AverageTcicSpread(graph, prefix, options, num_runs, seed));
+  }
+  return curve;
+}
+
+}  // namespace ipin

@@ -1,0 +1,35 @@
+#ifndef IPIN_EVAL_SPREAD_EVAL_H_
+#define IPIN_EVAL_SPREAD_EVAL_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ipin/core/tcic.h"
+#include "ipin/graph/interaction_graph.h"
+#include "ipin/graph/types.h"
+
+namespace ipin {
+
+/// One seed-selection method's spread curve: average TCIC spread of its top
+/// k seeds for each k in `top_k_values`.
+struct SpreadCurve {
+  std::string method;
+  std::vector<size_t> top_k_values;
+  std::vector<double> spreads;  // parallel to top_k_values
+};
+
+/// Evaluates a ranked seed list under the TCIC model (the paper's Figure 5
+/// protocol): for each k, simulate the top-k prefix `num_runs` times and
+/// average the number of influenced nodes.
+SpreadCurve EvaluateSpreadCurve(const InteractionGraph& graph,
+                                const std::string& method,
+                                std::span<const NodeId> ranked_seeds,
+                                std::span<const size_t> top_k_values,
+                                const TcicOptions& options, size_t num_runs,
+                                uint64_t seed);
+
+}  // namespace ipin
+
+#endif  // IPIN_EVAL_SPREAD_EVAL_H_

@@ -1,0 +1,70 @@
+#include "ipin/eval/table.h"
+
+#include <cstdio>
+
+#include "ipin/common/check.h"
+#include "ipin/common/string_util.h"
+
+namespace ipin {
+
+TablePrinter::TablePrinter(std::string title) : title_(std::move(title)) {}
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  IPIN_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::Cell(double value, int decimals) {
+  return StrFormat("%.*f", decimals, value);
+}
+
+std::string TablePrinter::Cell(size_t value) {
+  return StrFormat("%zu", value);
+}
+
+std::string TablePrinter::Cell(int64_t value) {
+  return StrFormat("%lld", static_cast<long long>(value));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::string out;
+  if (!title_.empty()) {
+    out += "== " + title_ + " ==\n";
+  }
+  const auto emit_row = [&out, &widths](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += "  ";
+      const size_t pad = widths[c] - row[c].size();
+      out.append(pad, ' ');
+      out += row[c];
+    }
+    out += '\n';
+  };
+  emit_row(header_);
+  size_t total = header_.size() >= 1 ? 2 * (header_.size() - 1) : 0;
+  for (const size_t w : widths) total += w;
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+void TablePrinter::Print() const {
+  const std::string s = ToString();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace ipin

@@ -1,0 +1,41 @@
+#ifndef IPIN_EVAL_TABLE_H_
+#define IPIN_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace ipin {
+
+/// Minimal right-aligned ASCII table printer used by the bench harnesses to
+/// emit the paper's tables/series in a uniform, diffable format.
+class TablePrinter {
+ public:
+  /// Optional table caption printed above the header.
+  explicit TablePrinter(std::string title = "");
+
+  /// Sets the column headers; must be called before AddRow.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a row (must have exactly as many cells as the header).
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience cell formatters.
+  static std::string Cell(double value, int decimals = 3);
+  static std::string Cell(size_t value);
+  static std::string Cell(int64_t value);
+
+  /// Renders the table to a string.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ipin
+
+#endif  // IPIN_EVAL_TABLE_H_

@@ -1,0 +1,148 @@
+#include "ipin/graph/graph_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <unordered_map>
+
+#include "ipin/common/logging.h"
+#include "ipin/common/string_util.h"
+
+namespace ipin {
+namespace {
+
+bool IsCommentOrBlank(std::string_view line) {
+  line = TrimString(line);
+  return line.empty() || line[0] == '#' || line[0] == '%';
+}
+
+}  // namespace
+
+std::optional<InteractionGraph> LoadInteractionsFromFile(
+    const std::string& path, EdgeListFormat format) {
+  std::ifstream in(path);
+  if (!in) {
+    LogError("cannot open interaction file: " + path);
+    return std::nullopt;
+  }
+
+  std::unordered_map<int64_t, NodeId> remap;
+  InteractionGraph graph;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (IsCommentOrBlank(line)) continue;
+    const auto fields = SplitString(line, " \t,");
+    const size_t expected = format == EdgeListFormat::kKonect ? 4 : 3;
+    if (fields.size() < expected) {
+      LogError(StrFormat("%s:%zu: expected %zu fields, got %zu", path.c_str(),
+                         line_no, expected, fields.size()));
+      return std::nullopt;
+    }
+    const auto src = ParseInt64(fields[0]);
+    const auto dst = ParseInt64(fields[1]);
+    const auto time =
+        ParseInt64(fields[format == EdgeListFormat::kKonect ? 3 : 2]);
+    if (!src || !dst || !time || *src < 0 || *dst < 0) {
+      LogError(StrFormat("%s:%zu: malformed edge line", path.c_str(), line_no));
+      return std::nullopt;
+    }
+    const auto intern = [&remap](int64_t raw) {
+      const auto [it, inserted] =
+          remap.emplace(raw, static_cast<NodeId>(remap.size()));
+      (void)inserted;
+      return it->second;
+    };
+    // Intern in (src, dst) order; function-argument evaluation order is
+    // unspecified, so do it in named statements.
+    const NodeId src_id = intern(*src);
+    const NodeId dst_id = intern(*dst);
+    graph.AddInteraction(src_id, dst_id, *time);
+  }
+  graph.SortByTime();
+  return graph;
+}
+
+bool SaveInteractionsToFile(const InteractionGraph& graph,
+                            const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    LogError("cannot open file for writing: " + path);
+    return false;
+  }
+  out << "# src dst time (" << graph.num_nodes() << " nodes, "
+      << graph.num_interactions() << " interactions)\n";
+  for (const Interaction& e : graph.interactions()) {
+    out << e.src << ' ' << e.dst << ' ' << e.time << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+bool SaveDimacs(const StaticGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    LogError("cannot open file for writing: " + path);
+    return false;
+  }
+  out << "p sp " << graph.num_nodes() << ' ' << graph.num_edges() << '\n';
+  const size_t n = graph.num_nodes();
+  for (NodeId u = 0; u < n; ++u) {
+    for (const NodeId v : graph.Neighbors(u)) {
+      out << "a " << (u + 1) << ' ' << (v + 1) << " 1\n";
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<StaticGraph> LoadDimacs(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    LogError("cannot open DIMACS file: " + path);
+    return std::nullopt;
+  }
+  size_t num_nodes = 0;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::string line;
+  size_t line_no = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view trimmed = TrimString(line);
+    if (trimmed.empty() || trimmed[0] == 'c') continue;
+    const auto fields = SplitString(trimmed, " \t");
+    if (fields[0] == "p") {
+      if (fields.size() < 4 || fields[1] != "sp") {
+        LogError(StrFormat("%s:%zu: bad DIMACS header", path.c_str(), line_no));
+        return std::nullopt;
+      }
+      const auto n = ParseInt64(fields[2]);
+      if (!n || *n < 0) return std::nullopt;
+      num_nodes = static_cast<size_t>(*n);
+      saw_header = true;
+    } else if (fields[0] == "a") {
+      if (!saw_header || fields.size() < 3) {
+        LogError(StrFormat("%s:%zu: arc before header or too few fields",
+                           path.c_str(), line_no));
+        return std::nullopt;
+      }
+      const auto u = ParseInt64(fields[1]);
+      const auto v = ParseInt64(fields[2]);
+      if (!u || !v || *u < 1 || *v < 1 ||
+          static_cast<size_t>(*u) > num_nodes ||
+          static_cast<size_t>(*v) > num_nodes) {
+        LogError(StrFormat("%s:%zu: arc endpoint out of range", path.c_str(),
+                           line_no));
+        return std::nullopt;
+      }
+      edges.emplace_back(static_cast<NodeId>(*u - 1),
+                         static_cast<NodeId>(*v - 1));
+    }
+  }
+  if (!saw_header) {
+    LogError("DIMACS file has no 'p sp' header: " + path);
+    return std::nullopt;
+  }
+  return StaticGraph::FromEdges(num_nodes, std::move(edges));
+}
+
+}  // namespace ipin

@@ -1,0 +1,45 @@
+#ifndef IPIN_GRAPH_GRAPH_IO_H_
+#define IPIN_GRAPH_GRAPH_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "ipin/graph/interaction_graph.h"
+#include "ipin/graph/static_graph.h"
+
+namespace ipin {
+
+/// Text formats for timestamped edge lists.
+enum class EdgeListFormat {
+  /// "src dst time" per line (SNAP temporal networks; also accepts commas).
+  kSrcDstTime,
+  /// "src dst weight time" per line (KONECT "out." files); weight is ignored.
+  kKonect,
+};
+
+/// Loads an interaction network from a whitespace/comma-separated text file.
+/// Lines starting with '#' or '%' are comments. Node ids may be arbitrary
+/// non-negative integers; they are remapped to a dense [0, n) range in order
+/// of first appearance. Interactions are sorted by time after loading.
+/// Returns nullopt if the file cannot be opened or any data line is
+/// malformed (logs the offending line).
+std::optional<InteractionGraph> LoadInteractionsFromFile(
+    const std::string& path, EdgeListFormat format = EdgeListFormat::kSrcDstTime);
+
+/// Writes "src dst time" lines (the kSrcDstTime format). Returns false on
+/// I/O error.
+bool SaveInteractionsToFile(const InteractionGraph& graph,
+                            const std::string& path);
+
+/// Writes a static graph in the DIMACS shortest-paths format the SKIM code
+/// of Cohen et al. consumes: "p sp <n> <m>" header plus one "a u v 1" line
+/// per edge (1-based node ids). Returns false on I/O error.
+bool SaveDimacs(const StaticGraph& graph, const std::string& path);
+
+/// Reads a DIMACS "p sp" file back into a static graph (arc weights are
+/// ignored). Returns nullopt on open/parse failure.
+std::optional<StaticGraph> LoadDimacs(const std::string& path);
+
+}  // namespace ipin
+
+#endif  // IPIN_GRAPH_GRAPH_IO_H_

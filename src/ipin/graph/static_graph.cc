@@ -1,0 +1,107 @@
+#include "ipin/graph/static_graph.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "ipin/common/check.h"
+#include "ipin/common/memory.h"
+
+namespace ipin {
+
+StaticGraph StaticGraph::FromEdges(
+    size_t num_nodes, std::vector<std::pair<NodeId, NodeId>> edges) {
+  for (const auto& [u, v] : edges) {
+    IPIN_CHECK_LT(u, num_nodes);
+    IPIN_CHECK_LT(v, num_nodes);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  StaticGraph g;
+  g.offsets_.assign(num_nodes + 1, 0);
+  g.targets_.resize(edges.size());
+  for (const auto& [u, v] : edges) g.offsets_[u + 1]++;
+  for (size_t i = 1; i <= num_nodes; ++i) g.offsets_[i] += g.offsets_[i - 1];
+  size_t pos = 0;
+  for (const auto& [u, v] : edges) {
+    (void)u;
+    g.targets_[pos++] = v;
+  }
+  return g;
+}
+
+StaticGraph StaticGraph::FromInteractions(const InteractionGraph& graph,
+                                          bool reversed) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(graph.num_interactions());
+  for (const Interaction& e : graph.interactions()) {
+    if (reversed) {
+      edges.emplace_back(e.dst, e.src);
+    } else {
+      edges.emplace_back(e.src, e.dst);
+    }
+  }
+  return FromEdges(graph.num_nodes(), std::move(edges));
+}
+
+StaticGraph StaticGraph::Transpose() const {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(num_edges());
+  const size_t n = num_nodes();
+  for (NodeId u = 0; u < n; ++u) {
+    for (const NodeId v : Neighbors(u)) edges.emplace_back(v, u);
+  }
+  return FromEdges(n, std::move(edges));
+}
+
+bool StaticGraph::HasEdge(NodeId u, NodeId v) const {
+  IPIN_CHECK_LT(u, num_nodes());
+  const auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+size_t StaticGraph::MemoryUsageBytes() const {
+  return VectorBytes(offsets_) + VectorBytes(targets_);
+}
+
+WeightedStaticGraph WeightedStaticGraph::FromEdges(
+    size_t num_nodes, std::vector<std::tuple<NodeId, NodeId, double>> edges) {
+  for (const auto& [u, v, w] : edges) {
+    (void)w;
+    IPIN_CHECK_LT(u, num_nodes);
+    IPIN_CHECK_LT(v, num_nodes);
+  }
+  std::sort(edges.begin(), edges.end());
+  // Keep the smallest weight per (src, dst); sorted order puts it first.
+  std::vector<std::tuple<NodeId, NodeId, double>> dedup;
+  dedup.reserve(edges.size());
+  for (const auto& e : edges) {
+    if (!dedup.empty() && std::get<0>(dedup.back()) == std::get<0>(e) &&
+        std::get<1>(dedup.back()) == std::get<1>(e)) {
+      continue;
+    }
+    dedup.push_back(e);
+  }
+
+  WeightedStaticGraph g;
+  g.offsets_.assign(num_nodes + 1, 0);
+  g.edges_.resize(dedup.size());
+  for (const auto& [u, v, w] : dedup) {
+    (void)v;
+    (void)w;
+    g.offsets_[u + 1]++;
+  }
+  for (size_t i = 1; i <= num_nodes; ++i) g.offsets_[i] += g.offsets_[i - 1];
+  size_t pos = 0;
+  for (const auto& [u, v, w] : dedup) {
+    (void)u;
+    g.edges_[pos++] = Edge{v, w};
+  }
+  return g;
+}
+
+size_t WeightedStaticGraph::MemoryUsageBytes() const {
+  return VectorBytes(offsets_) + VectorBytes(edges_);
+}
+
+}  // namespace ipin

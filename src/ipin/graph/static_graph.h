@@ -1,0 +1,97 @@
+#ifndef IPIN_GRAPH_STATIC_GRAPH_H_
+#define IPIN_GRAPH_STATIC_GRAPH_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ipin/graph/interaction_graph.h"
+#include "ipin/graph/types.h"
+
+namespace ipin {
+
+/// Immutable directed graph in CSR (compressed sparse row) form. This is the
+/// "flattened" static view of an interaction network used by the static
+/// baselines (PageRank, High Degree, SKIM): repeated interactions collapse to
+/// a single edge and timestamps are dropped.
+class StaticGraph {
+ public:
+  StaticGraph() = default;
+
+  /// Builds from explicit edge pairs (parallel edges are deduplicated,
+  /// self-loops kept as given).
+  static StaticGraph FromEdges(size_t num_nodes,
+                               std::vector<std::pair<NodeId, NodeId>> edges);
+
+  /// Flattens an interaction network: one edge per distinct (src, dst).
+  /// If `reversed`, edge direction is flipped (used for PageRank, which
+  /// measures incoming importance — see Section 6 of the paper).
+  static StaticGraph FromInteractions(const InteractionGraph& graph,
+                                      bool reversed = false);
+
+  size_t num_nodes() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  size_t num_edges() const { return targets_.size(); }
+
+  /// Out-neighbours of `u` (sorted ascending, no duplicates).
+  std::span<const NodeId> Neighbors(NodeId u) const {
+    return std::span<const NodeId>(targets_.data() + offsets_[u],
+                                   offsets_[u + 1] - offsets_[u]);
+  }
+
+  /// Out-degree of `u`.
+  size_t OutDegree(NodeId u) const { return offsets_[u + 1] - offsets_[u]; }
+
+  /// Returns the graph with every edge reversed.
+  StaticGraph Transpose() const;
+
+  /// True if edge (u, v) exists (binary search, O(log degree)).
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryUsageBytes() const;
+
+ private:
+  // offsets_ has num_nodes+1 entries; targets_[offsets_[u]..offsets_[u+1])
+  // are u's out-neighbours.
+  std::vector<size_t> offsets_;
+  std::vector<NodeId> targets_;
+};
+
+/// Directed graph in CSR form with a double weight per edge. Used by the
+/// ConTinEst baseline, where the weight parameterizes the transmission-time
+/// distribution of the edge.
+class WeightedStaticGraph {
+ public:
+  struct Edge {
+    NodeId target = 0;
+    double weight = 0.0;
+  };
+
+  WeightedStaticGraph() = default;
+
+  /// Builds from (src, dst, weight) triples; duplicate (src, dst) keep the
+  /// smallest weight (earliest transmission opportunity).
+  static WeightedStaticGraph FromEdges(
+      size_t num_nodes, std::vector<std::tuple<NodeId, NodeId, double>> edges);
+
+  size_t num_nodes() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  size_t num_edges() const { return edges_.size(); }
+
+  std::span<const Edge> Neighbors(NodeId u) const {
+    return std::span<const Edge>(edges_.data() + offsets_[u],
+                                 offsets_[u + 1] - offsets_[u]);
+  }
+
+  size_t OutDegree(NodeId u) const { return offsets_[u + 1] - offsets_[u]; }
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryUsageBytes() const;
+
+ private:
+  std::vector<size_t> offsets_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace ipin
+
+#endif  // IPIN_GRAPH_STATIC_GRAPH_H_

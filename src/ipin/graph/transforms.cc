@@ -1,0 +1,118 @@
+#include "ipin/graph/transforms.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "ipin/common/check.h"
+
+namespace ipin {
+
+InteractionGraph TimeSlice(const InteractionGraph& graph, Timestamp t_begin,
+                           Timestamp t_end) {
+  IPIN_CHECK_LE(t_begin, t_end);
+  std::vector<Interaction> kept;
+  for (const Interaction& e : graph.interactions()) {
+    if (e.time >= t_begin && e.time <= t_end) kept.push_back(e);
+  }
+  InteractionGraph result(graph.num_nodes(), std::move(kept));
+  result.SortByTime();
+  return result;
+}
+
+InteractionGraph SampleInteractions(const InteractionGraph& graph, double p,
+                                    Rng* rng) {
+  IPIN_CHECK(rng != nullptr);
+  std::vector<Interaction> kept;
+  for (const Interaction& e : graph.interactions()) {
+    if (rng->NextBernoulli(p)) kept.push_back(e);
+  }
+  InteractionGraph result(graph.num_nodes(), std::move(kept));
+  result.SortByTime();
+  return result;
+}
+
+InteractionGraph InducedSubgraph(const InteractionGraph& graph,
+                                 const std::vector<NodeId>& nodes) {
+  std::vector<char> member(graph.num_nodes(), 0);
+  for (const NodeId u : nodes) {
+    IPIN_CHECK_LT(u, graph.num_nodes());
+    member[u] = 1;
+  }
+  std::vector<Interaction> kept;
+  for (const Interaction& e : graph.interactions()) {
+    if (member[e.src] && member[e.dst]) kept.push_back(e);
+  }
+  InteractionGraph result(graph.num_nodes(), std::move(kept));
+  result.SortByTime();
+  return result;
+}
+
+InteractionGraph RelabelDense(const InteractionGraph& graph,
+                              std::vector<NodeId>* old_to_new) {
+  std::unordered_map<NodeId, NodeId> remap;
+  std::vector<Interaction> edges;
+  edges.reserve(graph.num_interactions());
+  const auto intern = [&remap](NodeId raw) {
+    const auto [it, inserted] =
+        remap.emplace(raw, static_cast<NodeId>(remap.size()));
+    (void)inserted;
+    return it->second;
+  };
+  for (const Interaction& e : graph.interactions()) {
+    const NodeId src = intern(e.src);
+    const NodeId dst = intern(e.dst);
+    edges.push_back(Interaction{src, dst, e.time});
+  }
+  if (old_to_new != nullptr) {
+    old_to_new->assign(graph.num_nodes(), kInvalidNode);
+    for (const auto& [raw, dense] : remap) (*old_to_new)[raw] = dense;
+  }
+  InteractionGraph result(remap.size(), std::move(edges));
+  result.SortByTime();
+  return result;
+}
+
+InteractionGraph MergeNetworks(const InteractionGraph& a,
+                               const InteractionGraph& b) {
+  std::vector<Interaction> edges;
+  edges.reserve(a.num_interactions() + b.num_interactions());
+  edges.insert(edges.end(), a.interactions().begin(), a.interactions().end());
+  edges.insert(edges.end(), b.interactions().begin(), b.interactions().end());
+  InteractionGraph result(std::max(a.num_nodes(), b.num_nodes()),
+                          std::move(edges));
+  result.SortByTime();
+  return result;
+}
+
+InteractionGraph ReverseDirections(const InteractionGraph& graph) {
+  std::vector<Interaction> edges;
+  edges.reserve(graph.num_interactions());
+  for (const Interaction& e : graph.interactions()) {
+    edges.push_back(Interaction{e.dst, e.src, e.time});
+  }
+  InteractionGraph result(graph.num_nodes(), std::move(edges));
+  result.SortByTime();
+  return result;
+}
+
+InteractionGraph TemporalTranspose(const InteractionGraph& graph) {
+  if (graph.empty()) return InteractionGraph(graph.num_nodes());
+  Timestamp min_t = graph.interaction(0).time;
+  Timestamp max_t = graph.interaction(0).time;
+  for (const Interaction& e : graph.interactions()) {
+    min_t = std::min(min_t, e.time);
+    max_t = std::max(max_t, e.time);
+  }
+  const Timestamp mirror = min_t + max_t;
+  std::vector<Interaction> edges;
+  edges.reserve(graph.num_interactions());
+  for (const Interaction& e : graph.interactions()) {
+    edges.push_back(Interaction{e.dst, e.src, mirror - e.time});
+  }
+  InteractionGraph result(graph.num_nodes(), std::move(edges));
+  result.SortByTime();
+  return result;
+}
+
+}  // namespace ipin

@@ -1,0 +1,57 @@
+#ifndef IPIN_GRAPH_TRANSFORMS_H_
+#define IPIN_GRAPH_TRANSFORMS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ipin/common/random.h"
+#include "ipin/graph/interaction_graph.h"
+#include "ipin/graph/types.h"
+
+// Preprocessing transforms for interaction networks: the operations a
+// practitioner applies before analysis (slicing an archive to a study
+// period, subsampling for experimentation, restricting to a community,
+// merging shards). Every transform returns a fresh, time-sorted graph.
+
+namespace ipin {
+
+/// Keeps interactions with time in [t_begin, t_end]; node-id space is
+/// preserved.
+InteractionGraph TimeSlice(const InteractionGraph& graph, Timestamp t_begin,
+                           Timestamp t_end);
+
+/// Keeps each interaction independently with probability `p` (thinning).
+InteractionGraph SampleInteractions(const InteractionGraph& graph, double p,
+                                    Rng* rng);
+
+/// Keeps only interactions whose endpoints are both in `nodes`; node-id
+/// space is preserved.
+InteractionGraph InducedSubgraph(const InteractionGraph& graph,
+                                 const std::vector<NodeId>& nodes);
+
+/// Compacts the node-id space to [0, k): ids are renumbered in order of
+/// first appearance; `old_to_new` (optional, may be null) receives the
+/// mapping (kInvalidNode for untouched nodes).
+InteractionGraph RelabelDense(const InteractionGraph& graph,
+                              std::vector<NodeId>* old_to_new);
+
+/// Concatenates two interaction sets over a shared node-id space and
+/// re-sorts by time.
+InteractionGraph MergeNetworks(const InteractionGraph& a,
+                               const InteractionGraph& b);
+
+/// Reverses every interaction's direction (timestamps kept). Note this is
+/// NOT the temporal dual: time-respecting chains do not survive plain
+/// direction reversal. See TemporalTranspose.
+InteractionGraph ReverseDirections(const InteractionGraph& graph);
+
+/// The temporal transpose: reverses directions AND mirrors timestamps
+/// (t -> min_time + max_time - t). Time-respecting channels map exactly
+/// onto reversed channels with preserved durations, so
+/// sigma_omega(transpose) equals tau_omega(original) — who-can-u-reach
+/// becomes who-can-reach-u.
+InteractionGraph TemporalTranspose(const InteractionGraph& graph);
+
+}  // namespace ipin
+
+#endif  // IPIN_GRAPH_TRANSFORMS_H_

@@ -1,0 +1,43 @@
+#include "ipin/sketch/bottom_k.h"
+
+#include <algorithm>
+
+#include "ipin/common/check.h"
+#include "ipin/common/hash.h"
+#include "ipin/common/memory.h"
+
+namespace ipin {
+
+BottomK::BottomK(size_t k, uint64_t salt) : k_(k), salt_(salt) {
+  IPIN_CHECK_GE(k, 1u);
+  hashes_.reserve(k);
+}
+
+void BottomK::Add(uint64_t item) { AddHash(Hash64(item, salt_)); }
+
+void BottomK::AddHash(uint64_t hash) {
+  if (hashes_.size() >= k_ && hash >= hashes_.back()) return;
+  const auto it = std::lower_bound(hashes_.begin(), hashes_.end(), hash);
+  if (it != hashes_.end() && *it == hash) return;  // duplicate
+  hashes_.insert(it, hash);
+  if (hashes_.size() > k_) hashes_.pop_back();
+}
+
+void BottomK::Merge(const BottomK& other) {
+  IPIN_CHECK_EQ(k_, other.k_);
+  IPIN_CHECK_EQ(salt_, other.salt_);
+  for (const uint64_t h : other.hashes_) AddHash(h);
+}
+
+double BottomK::Estimate() const {
+  if (hashes_.size() < k_) return static_cast<double>(hashes_.size());
+  // k-th minimum of n uniform [0,1) values is ~ k/(n+1); invert.
+  const double kth = static_cast<double>(hashes_.back()) /
+                     18446744073709551616.0;  // 2^64
+  if (kth <= 0.0) return static_cast<double>(k_);
+  return static_cast<double>(k_ - 1) / kth;
+}
+
+size_t BottomK::MemoryUsageBytes() const { return VectorBytes(hashes_); }
+
+}  // namespace ipin

@@ -1,0 +1,53 @@
+#ifndef IPIN_SKETCH_BOTTOM_K_H_
+#define IPIN_SKETCH_BOTTOM_K_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ipin {
+
+/// Bottom-k min-hash sketch (Cohen's size-estimation framework). Keeps the
+/// k smallest distinct hash values seen; the cardinality of the underlying
+/// set is estimated from the k-th smallest value. Mergeable by union. Used
+/// by the SKIM baseline's combined-reachability sketches.
+class BottomK {
+ public:
+  /// `k` must be >= 1.
+  explicit BottomK(size_t k, uint64_t salt = 0);
+
+  /// Inserts a 64-bit item (hashed internally with the sketch's salt).
+  void Add(uint64_t item);
+
+  /// Inserts a pre-computed hash value.
+  void AddHash(uint64_t hash);
+
+  /// Merges another sketch (same k and salt required).
+  void Merge(const BottomK& other);
+
+  /// Estimated number of distinct items: exact count while the sketch holds
+  /// fewer than k hashes, otherwise (k-1) / normalized k-th minimum.
+  double Estimate() const;
+
+  /// True once k distinct hashes have been absorbed (estimates switch from
+  /// exact to statistical).
+  bool IsFull() const { return hashes_.size() >= k_; }
+
+  size_t k() const { return k_; }
+  uint64_t salt() const { return salt_; }
+
+  /// The stored hashes, sorted ascending (size <= k).
+  const std::vector<uint64_t>& hashes() const { return hashes_; }
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryUsageBytes() const;
+
+ private:
+  size_t k_;
+  uint64_t salt_;
+  std::vector<uint64_t> hashes_;  // sorted ascending, distinct
+};
+
+}  // namespace ipin
+
+#endif  // IPIN_SKETCH_BOTTOM_K_H_

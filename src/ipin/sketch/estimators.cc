@@ -1,0 +1,46 @@
+#include "ipin/sketch/estimators.h"
+
+#include <cmath>
+
+#include "ipin/common/check.h"
+
+namespace ipin {
+
+double HllAlpha(size_t num_cells) {
+  IPIN_CHECK_GE(num_cells, 2u);
+  switch (num_cells) {
+    case 16:
+      return 0.673;
+    case 32:
+      return 0.697;
+    case 64:
+      return 0.709;
+    default:
+      if (num_cells < 16) return 0.673;  // below the published table; clamp
+      return 0.7213 / (1.0 + 1.079 / static_cast<double>(num_cells));
+  }
+}
+
+double EstimateFromRanks(std::span<const uint8_t> ranks) {
+  const size_t m = ranks.size();
+  IPIN_CHECK_GE(m, 2u);
+  double inverse_sum = 0.0;
+  size_t zeros = 0;
+  for (const uint8_t r : ranks) {
+    inverse_sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zeros;
+  }
+  const double md = static_cast<double>(m);
+  const double raw = HllAlpha(m) * md * md / inverse_sum;
+  if (raw <= 2.5 * md && zeros > 0) {
+    // Linear counting in the small-cardinality regime.
+    return md * std::log(md / static_cast<double>(zeros));
+  }
+  return raw;
+}
+
+double HllStandardError(size_t num_cells) {
+  return 1.04 / std::sqrt(static_cast<double>(num_cells));
+}
+
+}  // namespace ipin

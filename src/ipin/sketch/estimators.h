@@ -1,0 +1,31 @@
+#ifndef IPIN_SKETCH_ESTIMATORS_H_
+#define IPIN_SKETCH_ESTIMATORS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+// Shared cardinality-estimation math for HyperLogLog-family sketches
+// (Flajolet et al., 2007). Both the classic HLL and the paper's versioned
+// HLL reduce a query to "one max-rank per cell"; this header turns that rank
+// vector into a cardinality estimate.
+
+namespace ipin {
+
+/// Bias-correction constant alpha_m for m cells (m a power of two >= 16;
+/// the standard small-m values are special-cased).
+double HllAlpha(size_t num_cells);
+
+/// Raw + corrected HyperLogLog estimate from one max-rank per cell.
+/// rank 0 means "cell never touched". Applies the linear-counting
+/// small-range correction; no large-range correction is needed with 64-bit
+/// hashes.
+double EstimateFromRanks(std::span<const uint8_t> ranks);
+
+/// Expected relative standard error of an HLL with `num_cells` cells
+/// (~1.04/sqrt(m)); used by tests to set statistical tolerances.
+double HllStandardError(size_t num_cells);
+
+}  // namespace ipin
+
+#endif  // IPIN_SKETCH_ESTIMATORS_H_

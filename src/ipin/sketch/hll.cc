@@ -1,0 +1,51 @@
+#include "ipin/sketch/hll.h"
+
+#include <algorithm>
+
+#include "ipin/common/check.h"
+#include "ipin/common/hash.h"
+#include "ipin/common/memory.h"
+#include "ipin/sketch/estimators.h"
+
+namespace ipin {
+
+HyperLogLog::HyperLogLog(int precision, uint64_t salt)
+    : precision_(precision), salt_(salt) {
+  IPIN_CHECK_GE(precision, 4);
+  IPIN_CHECK_LE(precision, 18);
+  cells_.assign(static_cast<size_t>(1) << precision, 0);
+}
+
+void HyperLogLog::HashToCell(uint64_t hash, size_t* cell,
+                             uint8_t* rank) const {
+  *cell = static_cast<size_t>(hash & (cells_.size() - 1));
+  const uint64_t rest = hash >> precision_;
+  // Cap the rank so it fits the remaining bit budget even for rest == 0.
+  const int r = std::min(RhoLsb(rest), 64 - precision_ + 1);
+  *rank = static_cast<uint8_t>(r);
+}
+
+void HyperLogLog::Add(uint64_t item) { AddHash(Hash64(item, salt_)); }
+
+void HyperLogLog::AddHash(uint64_t hash) {
+  size_t cell;
+  uint8_t rank;
+  HashToCell(hash, &cell, &rank);
+  cells_[cell] = std::max(cells_[cell], rank);
+}
+
+double HyperLogLog::Estimate() const { return EstimateFromRanks(cells_); }
+
+void HyperLogLog::Merge(const HyperLogLog& other) {
+  IPIN_CHECK_EQ(precision_, other.precision_);
+  IPIN_CHECK_EQ(salt_, other.salt_);
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i] = std::max(cells_[i], other.cells_[i]);
+  }
+}
+
+void HyperLogLog::Clear() { std::fill(cells_.begin(), cells_.end(), 0); }
+
+size_t HyperLogLog::MemoryUsageBytes() const { return VectorBytes(cells_); }
+
+}  // namespace ipin

@@ -1,0 +1,58 @@
+#ifndef IPIN_SKETCH_HLL_H_
+#define IPIN_SKETCH_HLL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ipin {
+
+/// Classic HyperLogLog cardinality sketch (Flajolet et al., 2007) over
+/// 64-bit items. `precision` k gives beta = 2^k cells; relative standard
+/// error is ~1.04/sqrt(2^k). Mergeable by cellwise max.
+///
+/// An item x is hashed to h = Hash64(x, salt); the low k bits pick the cell
+/// and the rank is the 1-based position of the least significant set bit of
+/// the remaining bits (the paper's rho) — matching Section 3.2.1.
+class HyperLogLog {
+ public:
+  /// `precision` must be in [4, 18]. Sketches built with different salts are
+  /// independent hash functions and must not be merged.
+  explicit HyperLogLog(int precision, uint64_t salt = 0);
+
+  /// Inserts a 64-bit item.
+  void Add(uint64_t item);
+
+  /// Inserts a pre-computed hash value (for callers sharing hashes across
+  /// sketches).
+  void AddHash(uint64_t hash);
+
+  /// Estimated number of distinct inserted items.
+  double Estimate() const;
+
+  /// Cellwise-max merge. Both sketches must have equal precision and salt.
+  void Merge(const HyperLogLog& other);
+
+  /// Resets to the empty sketch.
+  void Clear();
+
+  int precision() const { return precision_; }
+  uint64_t salt() const { return salt_; }
+  size_t num_cells() const { return cells_.size(); }
+  const std::vector<uint8_t>& cells() const { return cells_; }
+
+  /// Splits a hash into (cell index, rank) exactly as Add does.
+  void HashToCell(uint64_t hash, size_t* cell, uint8_t* rank) const;
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryUsageBytes() const;
+
+ private:
+  int precision_;
+  uint64_t salt_;
+  std::vector<uint8_t> cells_;
+};
+
+}  // namespace ipin
+
+#endif  // IPIN_SKETCH_HLL_H_

@@ -1,0 +1,138 @@
+#include "ipin/sketch/versioned_bottom_k.h"
+
+#include <algorithm>
+
+#include "ipin/common/check.h"
+#include "ipin/common/hash.h"
+#include "ipin/common/memory.h"
+
+namespace ipin {
+
+VersionedBottomK::VersionedBottomK(size_t k, uint64_t salt)
+    : k_(k), salt_(salt) {
+  IPIN_CHECK_GE(k, 2u);
+}
+
+bool VersionedBottomK::Add(uint64_t item, Timestamp t) {
+  return AddHash(Hash64(item, salt_), t);
+}
+
+bool VersionedBottomK::AddHash(uint64_t hash, Timestamp t) {
+  // Same hash: the earlier timestamp dominates (outlives in every window).
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].hash == hash) {
+      if (entries_[i].time <= t) return false;
+      entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(i));
+      break;
+    }
+  }
+  // Dominated if k smaller hashes exist at earlier-or-equal times.
+  size_t smaller_earlier = 0;
+  for (const Entry& e : entries_) {
+    if (e.time > t) break;  // ascending time
+    if (e.hash < hash && ++smaller_earlier >= k_) return false;
+  }
+  // Insert keeping (time, hash) order — same-time entries sorted by hash so
+  // Compact's single forward pass sees every earlier-or-equal dominator —
+  // then drop newly dominated entries.
+  const Entry entry{hash, t};
+  const auto pos = std::upper_bound(
+      entries_.begin(), entries_.end(), entry,
+      [](const Entry& a, const Entry& b) {
+        if (a.time != b.time) return a.time < b.time;
+        return a.hash < b.hash;
+      });
+  entries_.insert(pos, entry);
+  Compact();
+  return true;
+}
+
+void VersionedBottomK::Compact() {
+  // One pass in time order: an entry preceded by >= k smaller hashes is
+  // dominated. `seen` holds the hashes of kept earlier entries, sorted.
+  std::vector<uint64_t> seen;
+  seen.reserve(entries_.size());
+  size_t out = 0;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const Entry e = entries_[i];
+    const auto it = std::lower_bound(seen.begin(), seen.end(), e.hash);
+    const size_t rank = static_cast<size_t>(it - seen.begin());
+    if (rank >= k_) continue;  // dominated: drop
+    seen.insert(it, e.hash);
+    entries_[out++] = e;
+  }
+  entries_.resize(out);
+}
+
+void VersionedBottomK::MergeWindow(const VersionedBottomK& other,
+                                   Timestamp merge_time, Duration window) {
+  IPIN_CHECK_EQ(k_, other.k_);
+  IPIN_CHECK_EQ(salt_, other.salt_);
+  const Timestamp bound = merge_time + window;
+  for (const Entry& e : other.entries_) {
+    if (e.time >= bound) break;  // ascending time
+    AddHash(e.hash, e.time);
+  }
+}
+
+void VersionedBottomK::MergeAll(const VersionedBottomK& other) {
+  IPIN_CHECK_EQ(k_, other.k_);
+  IPIN_CHECK_EQ(salt_, other.salt_);
+  for (const Entry& e : other.entries_) AddHash(e.hash, e.time);
+}
+
+namespace {
+
+double EstimateFromHashes(std::vector<uint64_t>* hashes, size_t k) {
+  if (hashes->size() < k) return static_cast<double>(hashes->size());
+  std::nth_element(hashes->begin(),
+                   hashes->begin() + static_cast<ptrdiff_t>(k - 1),
+                   hashes->end());
+  const double kth =
+      static_cast<double>((*hashes)[k - 1]) / 18446744073709551616.0;
+  if (kth <= 0.0) return static_cast<double>(k);
+  return static_cast<double>(k - 1) / kth;
+}
+
+}  // namespace
+
+double VersionedBottomK::Estimate() const {
+  std::vector<uint64_t> hashes;
+  hashes.reserve(entries_.size());
+  for (const Entry& e : entries_) hashes.push_back(e.hash);
+  return EstimateFromHashes(&hashes, k_);
+}
+
+double VersionedBottomK::EstimateBefore(Timestamp bound) const {
+  std::vector<uint64_t> hashes;
+  for (const Entry& e : entries_) {
+    if (e.time >= bound) break;
+    hashes.push_back(e.hash);
+  }
+  return EstimateFromHashes(&hashes, k_);
+}
+
+bool VersionedBottomK::CheckInvariants() const {
+  for (size_t i = 1; i < entries_.size(); ++i) {
+    if (entries_[i].time < entries_[i - 1].time) return false;
+  }
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    size_t smaller_earlier = 0;
+    for (size_t j = 0; j < entries_.size(); ++j) {
+      if (j == i) continue;
+      if (entries_[j].hash == entries_[i].hash) return false;  // duplicates
+      if (entries_[j].time <= entries_[i].time &&
+          entries_[j].hash < entries_[i].hash) {
+        ++smaller_earlier;
+      }
+    }
+    if (smaller_earlier >= k_) return false;  // dominated entry retained
+  }
+  return true;
+}
+
+size_t VersionedBottomK::MemoryUsageBytes() const {
+  return VectorBytes(entries_);
+}
+
+}  // namespace ipin

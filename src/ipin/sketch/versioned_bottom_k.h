@@ -1,0 +1,79 @@
+#ifndef IPIN_SKETCH_VERSIONED_BOTTOM_K_H_
+#define IPIN_SKETCH_VERSIONED_BOTTOM_K_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ipin/graph/types.h"
+
+namespace ipin {
+
+/// Versioned bottom-k sketch: the bottom-k analogue of the paper's
+/// versioned HyperLogLog, provided as a design-alternative backend for the
+/// IRS computation (see bench_ablation_design).
+///
+/// A plain bottom-k sketch keeps the k smallest item hashes; a *versioned*
+/// one keeps (hash, timestamp) pairs such that, for ANY time bound b, the k
+/// smallest hashes among entries with time < b are retained. An entry is
+/// dominated — and dropped — exactly when k entries with smaller hashes and
+/// earlier-or-equal timestamps exist (they will outlive it in every
+/// window). Expected size is O(k log(n/k)).
+///
+/// Like the vHLL, merges can filter by a time bound, so the one-pass IRS
+/// scan works unchanged; estimates use the classic (k-1)/kth-minimum rule.
+class VersionedBottomK {
+ public:
+  /// One (hash, timestamp) pair; entries_ stays sorted ascending by time.
+  struct Entry {
+    uint64_t hash = 0;
+    Timestamp time = 0;
+  };
+
+  /// `k` >= 2 (the estimator divides by the k-th minimum).
+  explicit VersionedBottomK(size_t k, uint64_t salt = 0);
+
+  /// Inserts an item observed at time `t`. Returns true if kept.
+  bool Add(uint64_t item, Timestamp t);
+
+  /// Inserts a pre-computed hash observed at time `t`.
+  bool AddHash(uint64_t hash, Timestamp t);
+
+  /// Folds in every entry of `other` with time < merge_time + window
+  /// (the windowed merge of the IRS scan).
+  void MergeWindow(const VersionedBottomK& other, Timestamp merge_time,
+                   Duration window);
+
+  /// Unrestricted merge.
+  void MergeAll(const VersionedBottomK& other);
+
+  /// Estimated number of distinct items ever inserted.
+  double Estimate() const;
+
+  /// Estimated number of distinct items with timestamp < `bound`.
+  double EstimateBefore(Timestamp bound) const;
+
+  size_t k() const { return k_; }
+  uint64_t salt() const { return salt_; }
+  size_t NumEntries() const { return entries_.size(); }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Verifies the domination invariant (test helper, O(len^2)).
+  bool CheckInvariants() const;
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryUsageBytes() const;
+
+ private:
+  // Re-establishes the invariant after an insertion: one pass in time
+  // order, dropping entries preceded by >= k smaller hashes.
+  void Compact();
+
+  size_t k_;
+  uint64_t salt_;
+  std::vector<Entry> entries_;  // ascending time; distinct hashes
+};
+
+}  // namespace ipin
+
+#endif  // IPIN_SKETCH_VERSIONED_BOTTOM_K_H_

@@ -1,0 +1,245 @@
+#include "ipin/sketch/vhll.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "ipin/common/check.h"
+#include "ipin/common/hash.h"
+#include "ipin/sketch/estimators.h"
+
+namespace ipin {
+
+VersionedHll::VersionedHll(int precision, uint64_t salt)
+    : precision_(precision), salt_(salt) {
+  IPIN_CHECK_GE(precision, 4);
+  IPIN_CHECK_LE(precision, 18);
+  cells_.resize(static_cast<size_t>(1) << precision);
+}
+
+bool VersionedHll::Add(uint64_t item, Timestamp t) {
+  return AddHash(Hash64(item, salt_), t);
+}
+
+bool VersionedHll::AddHash(uint64_t hash, Timestamp t) {
+  const size_t cell = static_cast<size_t>(hash & (cells_.size() - 1));
+  const uint64_t rest = hash >> precision_;
+  const int r = std::min(RhoLsb(rest), 64 - precision_ + 1);
+  return AddEntry(cell, static_cast<uint8_t>(r), t);
+}
+
+bool VersionedHll::AddEntry(size_t cell_index, uint8_t rank, Timestamp t) {
+  IPIN_DCHECK(cell_index < cells_.size());
+  IPIN_DCHECK(rank > 0);
+  ++insert_attempts_;
+  std::vector<Entry>& list = cells_[cell_index];
+
+  // Lists are ascending in both time and rank. Locate the first entry with
+  // time > t; every entry before it has time <= t, and the largest rank in
+  // that prefix sits immediately before the insertion point.
+  size_t pos = list.size();
+  while (pos > 0 && list[pos - 1].time > t) --pos;
+
+  if (pos > 0 && list[pos - 1].rank >= rank) {
+    return false;  // dominated by an earlier (or simultaneous) >=-rank entry
+  }
+
+  // Entries sharing timestamp t all have rank < `rank` at this point (the
+  // prefix max did), so the new pair dominates them too; pull them into the
+  // removal run.
+  while (pos > 0 && list[pos - 1].time == t) --pos;
+
+  // The new pair dominates every later entry with rank <= `rank`; since
+  // ranks ascend, those form a contiguous run starting at pos.
+  size_t end = pos;
+  while (end < list.size() && list[end].rank <= rank) ++end;
+
+  if (end == pos) {
+    list.insert(list.begin() + static_cast<ptrdiff_t>(pos),
+                Entry{rank, t});
+  } else {
+    list[pos] = Entry{rank, t};
+    if (end > pos + 1) {
+      list.erase(list.begin() + static_cast<ptrdiff_t>(pos) + 1,
+                 list.begin() + static_cast<ptrdiff_t>(end));
+    }
+  }
+  return true;
+}
+
+void VersionedHll::MergeWindow(const VersionedHll& other, Timestamp merge_time,
+                               Duration window) {
+  IPIN_CHECK_EQ(precision_, other.precision_);
+  IPIN_CHECK_EQ(salt_, other.salt_);
+  const Timestamp bound = merge_time + window;  // keep entries with t < bound
+  for (size_t c = 0; c < cells_.size(); ++c) {
+    for (const Entry& e : other.cells_[c]) {
+      if (e.time >= bound) break;  // ascending time: rest is out of window
+      AddEntry(c, e.rank, e.time);
+    }
+  }
+}
+
+void VersionedHll::MergeAll(const VersionedHll& other) {
+  IPIN_CHECK_EQ(precision_, other.precision_);
+  IPIN_CHECK_EQ(salt_, other.salt_);
+  for (size_t c = 0; c < cells_.size(); ++c) {
+    for (const Entry& e : other.cells_[c]) {
+      AddEntry(c, e.rank, e.time);
+    }
+  }
+}
+
+bool VersionedHll::MergeWithFloor(const VersionedHll& other, Timestamp floor,
+                                  Timestamp bound) {
+  IPIN_CHECK_EQ(precision_, other.precision_);
+  IPIN_CHECK_EQ(salt_, other.salt_);
+  bool changed = false;
+  for (size_t c = 0; c < cells_.size(); ++c) {
+    for (const Entry& e : other.cells_[c]) {
+      if (e.time >= bound) break;  // ascending time: rest is out of window
+      changed |= AddEntry(c, e.rank, std::max(e.time, floor));
+    }
+  }
+  return changed;
+}
+
+double VersionedHll::Estimate() const {
+  std::vector<uint8_t> ranks(cells_.size(), 0);
+  for (size_t c = 0; c < cells_.size(); ++c) {
+    // Max rank is the last entry (ascending rank order).
+    if (!cells_[c].empty()) ranks[c] = cells_[c].back().rank;
+  }
+  return EstimateFromRanks(ranks);
+}
+
+double VersionedHll::EstimateBefore(Timestamp bound) const {
+  std::vector<uint8_t> ranks(cells_.size(), 0);
+  MaxRanks(bound, &ranks);
+  return EstimateFromRanks(ranks);
+}
+
+void VersionedHll::MaxRanks(Timestamp bound,
+                            std::vector<uint8_t>* ranks) const {
+  IPIN_CHECK_EQ(ranks->size(), cells_.size());
+  for (size_t c = 0; c < cells_.size(); ++c) {
+    const std::vector<Entry>& list = cells_[c];
+    uint8_t best = (*ranks)[c];
+    for (const Entry& e : list) {
+      if (e.time >= bound) break;
+      best = std::max(best, e.rank);
+    }
+    (*ranks)[c] = best;
+  }
+}
+
+void VersionedHll::CompactExpired(Timestamp frontier, Duration window) {
+  const Timestamp bound = frontier + window;
+  for (std::vector<Entry>& list : cells_) {
+    while (!list.empty() && list.back().time >= bound) list.pop_back();
+  }
+}
+
+void VersionedHll::Clear() {
+  for (std::vector<Entry>& list : cells_) list.clear();
+}
+
+size_t VersionedHll::NumEntries() const {
+  size_t total = 0;
+  for (const std::vector<Entry>& list : cells_) total += list.size();
+  return total;
+}
+
+bool VersionedHll::CheckInvariants() const {
+  for (const std::vector<Entry>& list : cells_) {
+    for (size_t i = 1; i < list.size(); ++i) {
+      // Strictly ascending rank; non-descending time; no domination either
+      // way (equal times with equal ranks would have been collapsed).
+      if (list[i].rank <= list[i - 1].rank) return false;
+      if (list[i].time < list[i - 1].time) return false;
+    }
+    for (const Entry& e : list) {
+      if (e.rank == 0) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Serialization layout (little-endian):
+//   u8  format version (1)
+//   u8  precision
+//   u64 salt
+//   per cell (2^precision of them): u32 count, then count x (u8 rank,
+//   i64 time).
+constexpr uint8_t kVhllFormatVersion = 1;
+
+template <typename T>
+void AppendRaw(std::string* out, T value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadRaw(std::string_view data, size_t* offset, T* value) {
+  if (data.size() - *offset < sizeof(T)) return false;
+  std::memcpy(value, data.data() + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+void VersionedHll::Serialize(std::string* out) const {
+  AppendRaw<uint8_t>(out, kVhllFormatVersion);
+  AppendRaw<uint8_t>(out, static_cast<uint8_t>(precision_));
+  AppendRaw<uint64_t>(out, salt_);
+  for (const std::vector<Entry>& list : cells_) {
+    AppendRaw<uint32_t>(out, static_cast<uint32_t>(list.size()));
+    for (const Entry& e : list) {
+      AppendRaw<uint8_t>(out, e.rank);
+      AppendRaw<int64_t>(out, e.time);
+    }
+  }
+}
+
+std::optional<VersionedHll> VersionedHll::Deserialize(std::string_view data,
+                                                      size_t* offset) {
+  uint8_t version = 0;
+  uint8_t precision = 0;
+  uint64_t salt = 0;
+  if (!ReadRaw(data, offset, &version) || version != kVhllFormatVersion) {
+    return std::nullopt;
+  }
+  if (!ReadRaw(data, offset, &precision) || precision < 4 || precision > 18) {
+    return std::nullopt;
+  }
+  if (!ReadRaw(data, offset, &salt)) return std::nullopt;
+
+  VersionedHll sketch(precision, salt);
+  for (size_t c = 0; c < sketch.cells_.size(); ++c) {
+    uint32_t count = 0;
+    if (!ReadRaw(data, offset, &count)) return std::nullopt;
+    // A cell holds at most 64 undominated ranks; anything larger is corrupt.
+    if (count > 64) return std::nullopt;
+    sketch.cells_[c].reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      Entry e;
+      if (!ReadRaw(data, offset, &e.rank) || !ReadRaw(data, offset, &e.time)) {
+        return std::nullopt;
+      }
+      sketch.cells_[c].push_back(e);
+    }
+  }
+  if (!sketch.CheckInvariants()) return std::nullopt;
+  return sketch;
+}
+
+size_t VersionedHll::MemoryUsageBytes() const {
+  size_t bytes = cells_.capacity() * sizeof(std::vector<Entry>);
+  for (const std::vector<Entry>& list : cells_) {
+    bytes += list.capacity() * sizeof(Entry);
+  }
+  return bytes;
+}
+
+}  // namespace ipin

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the ipin_cli binary: every subcommand in a
+# realistic generate -> index -> query pipeline. Invoked by ctest with the
+# binary path as $1.
+set -euo pipefail
+
+CLI="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "${WORK}"' EXIT
+
+"${CLI}" generate --dataset=slashdot --scale=0.01 --out="${WORK}/net.txt" \
+  | grep -q "wrote"
+"${CLI}" stats "${WORK}/net.txt" | grep -q "interactions"
+"${CLI}" build-index --in="${WORK}/net.txt" --window-pct=10 \
+  --out="${WORK}/index.bin" | grep -q "built index"
+"${CLI}" topk --index="${WORK}/index.bin" --k=5 | grep -q "combined reach"
+"${CLI}" query --index="${WORK}/index.bin" --seeds=0,1,2 \
+  | grep -q "estimated influence"
+"${CLI}" simulate --in="${WORK}/net.txt" --seeds=0,1,2 --p=0.5 --runs=5 \
+  | grep -q "TCIC spread"
+"${CLI}" convert --in="${WORK}/net.txt" --dimacs="${WORK}/net.gr"
+head -1 "${WORK}/net.gr" | grep -q "^p sp"
+
+# Failure paths must fail loudly.
+if "${CLI}" topk --index="${WORK}/does-not-exist.bin" 2>/dev/null; then
+  echo "expected failure on missing index" >&2
+  exit 1
+fi
+if "${CLI}" frobnicate 2>/dev/null; then
+  echo "expected failure on unknown command" >&2
+  exit 1
+fi
+
+echo "cli smoke test OK"

@@ -1,0 +1,74 @@
+#include "ipin/sketch/bottom_k.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ipin {
+namespace {
+
+TEST(BottomKTest, ExactWhileBelowK) {
+  BottomK sketch(10);
+  for (uint64_t i = 0; i < 7; ++i) sketch.Add(i);
+  EXPECT_DOUBLE_EQ(sketch.Estimate(), 7.0);
+  EXPECT_FALSE(sketch.IsFull());
+}
+
+TEST(BottomKTest, DuplicatesIgnored) {
+  BottomK sketch(10);
+  for (int i = 0; i < 50; ++i) sketch.Add(3);
+  EXPECT_DOUBLE_EQ(sketch.Estimate(), 1.0);
+}
+
+TEST(BottomKTest, HashesStaySortedAndBounded) {
+  BottomK sketch(5);
+  for (uint64_t i = 0; i < 100; ++i) sketch.Add(i);
+  ASSERT_EQ(sketch.hashes().size(), 5u);
+  for (size_t i = 1; i < 5; ++i) {
+    EXPECT_LT(sketch.hashes()[i - 1], sketch.hashes()[i]);
+  }
+  EXPECT_TRUE(sketch.IsFull());
+}
+
+TEST(BottomKTest, EstimateAccuracy) {
+  const double n = 100000.0;
+  BottomK sketch(256);
+  for (uint64_t i = 0; i < static_cast<uint64_t>(n); ++i) sketch.Add(i);
+  // Relative error ~ 1/sqrt(k-2); allow 4 sigma.
+  EXPECT_NEAR(sketch.Estimate(), n, 4.0 * n / std::sqrt(254.0));
+}
+
+TEST(BottomKTest, MergeEqualsUnion) {
+  BottomK a(64);
+  BottomK b(64);
+  BottomK combined(64);
+  for (uint64_t i = 0; i < 500; ++i) {
+    a.Add(i);
+    combined.Add(i);
+  }
+  for (uint64_t i = 300; i < 900; ++i) {
+    b.Add(i);
+    combined.Add(i);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.hashes(), combined.hashes());
+}
+
+TEST(BottomKTest, SaltChangesContents) {
+  BottomK a(16, 1);
+  BottomK b(16, 2);
+  for (uint64_t i = 0; i < 100; ++i) {
+    a.Add(i);
+    b.Add(i);
+  }
+  EXPECT_NE(a.hashes(), b.hashes());
+}
+
+TEST(BottomKTest, MemoryBounded) {
+  BottomK sketch(32);
+  for (uint64_t i = 0; i < 10000; ++i) sketch.Add(i);
+  EXPECT_LE(sketch.MemoryUsageBytes(), 64 * sizeof(uint64_t));
+}
+
+}  // namespace
+}  // namespace ipin

@@ -1,0 +1,124 @@
+#include "ipin/baselines/continest.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "ipin/datasets/synthetic.h"
+
+namespace ipin {
+namespace {
+
+ContinestOptions Options(double horizon, size_t samples = 16) {
+  ContinestOptions options;
+  options.time_horizon = horizon;
+  options.num_samples = samples;
+  return options;
+}
+
+TEST(BuildContinestGraphTest, WeightsAreTimeSinceFirstSend) {
+  InteractionGraph g(3);
+  g.AddInteraction(0, 1, 10);  // first send of 0 at 10 -> weight 0
+  g.AddInteraction(0, 2, 25);  // weight 15
+  g.AddInteraction(1, 2, 30);  // first send of 1 at 30 -> weight 0
+  const WeightedStaticGraph wg = BuildContinestGraph(g);
+  EXPECT_EQ(wg.num_edges(), 3u);
+  for (const auto& e : wg.Neighbors(0)) {
+    if (e.target == 1) {
+      EXPECT_DOUBLE_EQ(e.weight, 0.0);
+    }
+    if (e.target == 2) {
+      EXPECT_DOUBLE_EQ(e.weight, 15.0);
+    }
+  }
+  ASSERT_EQ(wg.Neighbors(1).size(), 1u);
+  EXPECT_DOUBLE_EQ(wg.Neighbors(1)[0].weight, 0.0);
+}
+
+TEST(BuildContinestGraphTest, RepeatedEdgeKeepsSmallestWeight) {
+  InteractionGraph g(2);
+  g.AddInteraction(0, 1, 5);   // weight 0
+  g.AddInteraction(0, 1, 50);  // weight 45, dropped
+  const WeightedStaticGraph wg = BuildContinestGraph(g);
+  ASSERT_EQ(wg.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(wg.Neighbors(0)[0].weight, 0.0);
+}
+
+TEST(ContinestTest, StarCenterSelectedFirst) {
+  // Node 0 points to many leaves; with a generous horizon its ball is the
+  // largest, so it must be the first seed.
+  std::vector<std::tuple<NodeId, NodeId, double>> edges;
+  for (NodeId v = 1; v <= 10; ++v) edges.emplace_back(0, v, 1.0);
+  edges.emplace_back(11, 0, 1.0);
+  const WeightedStaticGraph g = WeightedStaticGraph::FromEdges(12, edges);
+  const ContinestResult result = SelectSeedsContinest(g, 1, Options(50.0, 32));
+  ASSERT_EQ(result.seeds.size(), 1u);
+  EXPECT_TRUE(result.seeds[0] == 0u || result.seeds[0] == 11u);
+}
+
+TEST(ContinestTest, InfluenceEstimateGrowsWithPicks) {
+  std::vector<std::tuple<NodeId, NodeId, double>> edges;
+  for (NodeId u = 0; u < 30; ++u) {
+    edges.emplace_back(u, (u * 7 + 1) % 30, 1.0);
+    edges.emplace_back(u, (u * 11 + 3) % 30, 2.0);
+  }
+  const WeightedStaticGraph g = WeightedStaticGraph::FromEdges(30, edges);
+  const ContinestResult result = SelectSeedsContinest(g, 6, Options(5.0));
+  ASSERT_EQ(result.seeds.size(), 6u);
+  for (size_t i = 1; i < result.influence_after_pick.size(); ++i) {
+    EXPECT_GE(result.influence_after_pick[i],
+              result.influence_after_pick[i - 1] - 1e-9);
+  }
+}
+
+TEST(ContinestTest, DeterministicGivenSeed) {
+  std::vector<std::tuple<NodeId, NodeId, double>> edges;
+  for (NodeId u = 0; u < 25; ++u) edges.emplace_back(u, (u * 3 + 1) % 25, 1.0);
+  const WeightedStaticGraph g = WeightedStaticGraph::FromEdges(25, edges);
+  const ContinestResult a = SelectSeedsContinest(g, 4, Options(3.0));
+  const ContinestResult b = SelectSeedsContinest(g, 4, Options(3.0));
+  EXPECT_EQ(a.seeds, b.seeds);
+}
+
+TEST(ContinestTest, SeedsAreDistinct) {
+  std::vector<std::tuple<NodeId, NodeId, double>> edges;
+  for (NodeId u = 0; u < 40; ++u) {
+    edges.emplace_back(u, (u * 13 + 2) % 40, 1.0);
+    edges.emplace_back(u, (u * 17 + 5) % 40, 3.0);
+  }
+  const WeightedStaticGraph g = WeightedStaticGraph::FromEdges(40, edges);
+  const ContinestResult result = SelectSeedsContinest(g, 8, Options(4.0));
+  const std::set<NodeId> distinct(result.seeds.begin(), result.seeds.end());
+  EXPECT_EQ(distinct.size(), result.seeds.size());
+}
+
+TEST(ContinestTest, LargerHorizonGivesLargerInfluence) {
+  // Longer diffusion time -> bigger balls -> higher top-1 influence.
+  std::vector<std::tuple<NodeId, NodeId, double>> edges;
+  for (NodeId u = 0; u + 1 < 50; ++u) edges.emplace_back(u, u + 1, 1.0);
+  const WeightedStaticGraph g = WeightedStaticGraph::FromEdges(50, edges);
+  const ContinestResult narrow = SelectSeedsContinest(g, 1, Options(1.0, 32));
+  const ContinestResult wide = SelectSeedsContinest(g, 1, Options(30.0, 32));
+  ASSERT_FALSE(narrow.influence_after_pick.empty());
+  ASSERT_FALSE(wide.influence_after_pick.empty());
+  EXPECT_GT(wide.influence_after_pick[0], narrow.influence_after_pick[0]);
+}
+
+TEST(ContinestTest, EmptyGraphAndZeroK) {
+  EXPECT_TRUE(SelectSeedsContinest(WeightedStaticGraph(), 3, Options(5.0))
+                  .seeds.empty());
+  const WeightedStaticGraph g =
+      WeightedStaticGraph::FromEdges(2, {{0, 1, 1.0}});
+  EXPECT_TRUE(SelectSeedsContinest(g, 0, Options(5.0)).seeds.empty());
+}
+
+TEST(ContinestTest, InteractionOverloadRuns) {
+  const InteractionGraph g = GenerateUniformRandomNetwork(30, 200, 500, 15);
+  const ContinestResult result =
+      SelectSeedsContinest(g, 5, Options(5.0, 8));
+  EXPECT_EQ(result.seeds.size(), 5u);
+}
+
+}  // namespace
+}  // namespace ipin

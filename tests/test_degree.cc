@@ -1,0 +1,91 @@
+#include "ipin/baselines/degree.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace ipin {
+namespace {
+
+TEST(HighDegreeTest, PicksHighestOutDegree) {
+  const StaticGraph g = StaticGraph::FromEdges(
+      5, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}});
+  const auto seeds = SelectSeedsHighDegree(g, 2);
+  ASSERT_EQ(seeds.size(), 2u);
+  EXPECT_EQ(seeds[0], 0u);  // degree 3
+  EXPECT_EQ(seeds[1], 1u);  // degree 2
+}
+
+TEST(HighDegreeTest, TieBreaksBySmallerId) {
+  const StaticGraph g =
+      StaticGraph::FromEdges(4, {{2, 0}, {2, 1}, {3, 0}, {3, 1}});
+  const auto seeds = SelectSeedsHighDegree(g, 1);
+  EXPECT_EQ(seeds[0], 2u);
+}
+
+TEST(HighDegreeTest, InteractionOverloadFlattensRepeats) {
+  InteractionGraph g(3);
+  // Node 0 interacts 10 times with one partner; node 1 with two partners.
+  for (int i = 0; i < 10; ++i) g.AddInteraction(0, 2, i);
+  g.AddInteraction(1, 0, 20);
+  g.AddInteraction(1, 2, 21);
+  const auto seeds = SelectSeedsHighDegree(g, 1);
+  EXPECT_EQ(seeds[0], 1u);  // 2 distinct neighbours beats 1
+}
+
+TEST(SmartHighDegreeTest, AvoidsOverlappingNeighborhoods) {
+  // 0 and 1 cover the same 3 targets; 2 covers 2 fresh ones.
+  const StaticGraph g = StaticGraph::FromEdges(
+      8, {{0, 3}, {0, 4}, {0, 5}, {1, 3}, {1, 4}, {1, 5}, {2, 6}, {2, 7}});
+  const auto shd = SelectSeedsSmartHighDegree(g, 2);
+  ASSERT_EQ(shd.size(), 2u);
+  EXPECT_EQ(shd[0], 0u);
+  EXPECT_EQ(shd[1], 2u);  // HD would pick 1 here
+
+  const auto hd = SelectSeedsHighDegree(g, 2);
+  EXPECT_EQ(hd[1], 1u);
+}
+
+TEST(SmartHighDegreeTest, CoversAtLeastAsMuchAsHighDegree) {
+  // Greedy coverage never covers fewer distinct targets than top-k degree.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u < 30; ++u) {
+    for (NodeId j = 0; j < (u % 5) + 1; ++j) {
+      edges.emplace_back(u, 30 + ((u * 3 + j * 7) % 20));
+    }
+  }
+  const StaticGraph g = StaticGraph::FromEdges(50, edges);
+
+  const auto coverage_of = [&g](const std::vector<NodeId>& seeds) {
+    std::set<NodeId> covered;
+    for (const NodeId s : seeds) {
+      const auto nbrs = g.Neighbors(s);
+      covered.insert(nbrs.begin(), nbrs.end());
+    }
+    return covered.size();
+  };
+  for (const size_t k : {1u, 3u, 5u, 8u}) {
+    EXPECT_GE(coverage_of(SelectSeedsSmartHighDegree(g, k)),
+              coverage_of(SelectSeedsHighDegree(g, k)))
+        << "k=" << k;
+  }
+}
+
+TEST(SmartHighDegreeTest, KBounds) {
+  const StaticGraph g = StaticGraph::FromEdges(3, {{0, 1}});
+  EXPECT_EQ(SelectSeedsSmartHighDegree(g, 0).size(), 0u);
+  EXPECT_EQ(SelectSeedsSmartHighDegree(g, 99).size(), 3u);
+}
+
+TEST(SmartHighDegreeTest, SeedsAreDistinct) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u < 20; ++u) edges.emplace_back(u, (u + 1) % 20);
+  const StaticGraph g = StaticGraph::FromEdges(20, edges);
+  const auto seeds = SelectSeedsSmartHighDegree(g, 10);
+  std::vector<NodeId> sorted = seeds;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+}  // namespace
+}  // namespace ipin

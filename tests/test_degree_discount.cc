@@ -1,0 +1,91 @@
+#include "ipin/baselines/degree_discount.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "ipin/baselines/degree.h"
+
+namespace ipin {
+namespace {
+
+TEST(DegreeDiscountTest, FirstPickIsMaxDegree) {
+  const StaticGraph g = StaticGraph::FromEdges(
+      5, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {2, 3}});
+  const auto seeds = SelectSeedsDegreeDiscount(g, 1, 0.1);
+  ASSERT_EQ(seeds.size(), 1u);
+  EXPECT_EQ(seeds[0], 0u);
+}
+
+TEST(DegreeDiscountTest, DiscountsNeighborsOfSelectedSeeds) {
+  // 0 -> {2,3,4}; 1 -> {5,6}; 2 -> {3,4}. After picking 0, node 2 is
+  // discounted (two of its targets already "hit" and it is 0's neighbour),
+  // so 1 wins the second slot even though 2's raw degree equals 1's.
+  const StaticGraph g = StaticGraph::FromEdges(
+      7, {{0, 2}, {0, 3}, {0, 4}, {1, 5}, {1, 6}, {2, 3}, {2, 4}});
+  const auto seeds = SelectSeedsDegreeDiscount(g, 2, 0.5);
+  ASSERT_EQ(seeds.size(), 2u);
+  EXPECT_EQ(seeds[0], 0u);
+  EXPECT_EQ(seeds[1], 1u);
+}
+
+TEST(DegreeDiscountTest, ZeroProbabilityStillDiscountsSelectedNeighbors) {
+  // With p = 0 the score is d - 2t: picking a hub pushes its targets down.
+  const StaticGraph g = StaticGraph::FromEdges(
+      6, {{0, 1}, {0, 2}, {0, 3}, {1, 4}, {1, 5}, {1, 2}});
+  const auto seeds = SelectSeedsDegreeDiscount(g, 2, 0.0);
+  ASSERT_EQ(seeds.size(), 2u);
+  // 0 and 1 have degree 3; 0 wins by id, then 1 is discounted (target of 0)
+  // to 3 - 2 = 1... still the best remaining (others have degree <= 1)?
+  // Nodes 2..5 have degree 0. So 1 is still second.
+  EXPECT_EQ(seeds[0], 0u);
+  EXPECT_EQ(seeds[1], 1u);
+}
+
+TEST(DegreeDiscountTest, SeedsDistinctAndBounded) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u < 40; ++u) {
+    edges.emplace_back(u, (u * 7 + 1) % 40);
+    edges.emplace_back(u, (u * 11 + 3) % 40);
+  }
+  const StaticGraph g = StaticGraph::FromEdges(40, edges);
+  const auto seeds = SelectSeedsDegreeDiscount(g, 15, 0.3);
+  ASSERT_EQ(seeds.size(), 15u);
+  const std::set<NodeId> distinct(seeds.begin(), seeds.end());
+  EXPECT_EQ(distinct.size(), 15u);
+}
+
+TEST(DegreeDiscountTest, KBounds) {
+  const StaticGraph g = StaticGraph::FromEdges(3, {{0, 1}});
+  EXPECT_TRUE(SelectSeedsDegreeDiscount(g, 0, 0.5).empty());
+  EXPECT_EQ(SelectSeedsDegreeDiscount(g, 99, 0.5).size(), 3u);
+}
+
+TEST(DegreeDiscountTest, DeterministicAndMatchesHighDegreeOnDisjointGraph) {
+  // With disjoint neighbourhoods no discounting ever applies, so the result
+  // equals plain top-k out-degree.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  // Node 3i has edges to 3i+1, 3i+2 (hubs of disjoint triangles).
+  for (NodeId i = 0; i < 10; ++i) {
+    edges.emplace_back(3 * i, 3 * i + 1);
+    edges.emplace_back(3 * i, 3 * i + 2);
+  }
+  const StaticGraph g = StaticGraph::FromEdges(30, edges);
+  const auto dd = SelectSeedsDegreeDiscount(g, 5, 0.4);
+  const auto hd = SelectSeedsHighDegree(g, 5);
+  EXPECT_EQ(dd, hd);
+}
+
+TEST(DegreeDiscountTest, InteractionOverloadWorks) {
+  InteractionGraph g(4);
+  g.AddInteraction(0, 1, 1);
+  g.AddInteraction(0, 2, 2);
+  g.AddInteraction(3, 1, 3);
+  const auto seeds = SelectSeedsDegreeDiscount(g, 1, 0.5);
+  ASSERT_EQ(seeds.size(), 1u);
+  EXPECT_EQ(seeds[0], 0u);
+}
+
+}  // namespace
+}  // namespace ipin

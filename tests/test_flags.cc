@@ -1,0 +1,75 @@
+#include "ipin/common/flags.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ipin {
+namespace {
+
+FlagMap ParseArgs(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return FlagMap::Parse(static_cast<int>(args.size()),
+                        const_cast<char**>(args.data()));
+}
+
+TEST(FlagMapTest, ParsesKeyValue) {
+  const FlagMap flags = ParseArgs({"--name=foo", "--count=5"});
+  EXPECT_EQ(flags.GetString("name"), "foo");
+  EXPECT_EQ(flags.GetInt("count", 0), 5);
+}
+
+TEST(FlagMapTest, BareFlagIsTrue) {
+  const FlagMap flags = ParseArgs({"--verbose"});
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_TRUE(flags.Has("verbose"));
+}
+
+TEST(FlagMapTest, DefaultsApplyWhenAbsent) {
+  const FlagMap flags = ParseArgs({});
+  EXPECT_EQ(flags.GetString("missing", "d"), "d");
+  EXPECT_EQ(flags.GetInt("missing", 9), 9);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("missing", 1.5), 1.5);
+  EXPECT_FALSE(flags.GetBool("missing", false));
+  EXPECT_FALSE(flags.Has("missing"));
+}
+
+TEST(FlagMapTest, ParsesDoubles) {
+  const FlagMap flags = ParseArgs({"--scale=0.25"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("scale", 1.0), 0.25);
+}
+
+TEST(FlagMapTest, BoolSpellings) {
+  const FlagMap flags =
+      ParseArgs({"--a=true", "--b=0", "--c=yes", "--d=false", "--e=weird"});
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_FALSE(flags.GetBool("b", true));
+  EXPECT_TRUE(flags.GetBool("c", false));
+  EXPECT_FALSE(flags.GetBool("d", true));
+  EXPECT_TRUE(flags.GetBool("e", true));  // unparsable -> default
+}
+
+TEST(FlagMapTest, UnparsableIntFallsBackToDefault) {
+  const FlagMap flags = ParseArgs({"--n=abc"});
+  EXPECT_EQ(flags.GetInt("n", 7), 7);
+}
+
+TEST(FlagMapTest, PositionalArguments) {
+  const FlagMap flags = ParseArgs({"input.txt", "--k=3", "out.txt"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.txt");
+  EXPECT_EQ(flags.positional()[1], "out.txt");
+}
+
+TEST(FlagMapTest, LastValueWins) {
+  const FlagMap flags = ParseArgs({"--k=1", "--k=2"});
+  EXPECT_EQ(flags.GetInt("k", 0), 2);
+}
+
+TEST(FlagMapTest, EmptyValue) {
+  const FlagMap flags = ParseArgs({"--name="});
+  EXPECT_EQ(flags.GetString("name", "d"), "");
+}
+
+}  // namespace
+}  // namespace ipin

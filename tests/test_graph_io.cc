@@ -1,0 +1,146 @@
+#include "ipin/graph/graph_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ipin/common/logging.h"
+
+namespace ipin {
+namespace {
+
+class GraphIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/ipin_io_test_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".txt";
+    SetLogLevel(LogLevel::kError);
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void WriteFile(const std::string& content) {
+    std::ofstream out(path_);
+    out << content;
+  }
+
+  std::string path_;
+};
+
+TEST_F(GraphIoTest, LoadsBasicEdgeList) {
+  WriteFile("# comment\n10 20 5\n20 30 7\n\n% another comment\n10 30 9\n");
+  const auto graph = LoadInteractionsFromFile(path_);
+  ASSERT_TRUE(graph.has_value());
+  EXPECT_EQ(graph->num_nodes(), 3u);  // remapped to dense ids
+  EXPECT_EQ(graph->num_interactions(), 3u);
+  EXPECT_TRUE(graph->is_sorted());
+}
+
+TEST_F(GraphIoTest, RemapsInOrderOfFirstAppearance) {
+  WriteFile("100 7 1\n7 100 2\n");
+  const auto graph = LoadInteractionsFromFile(path_);
+  ASSERT_TRUE(graph.has_value());
+  // 100 -> 0, 7 -> 1.
+  EXPECT_EQ(graph->interaction(0).src, 0u);
+  EXPECT_EQ(graph->interaction(0).dst, 1u);
+  EXPECT_EQ(graph->interaction(1).src, 1u);
+  EXPECT_EQ(graph->interaction(1).dst, 0u);
+}
+
+TEST_F(GraphIoTest, SortsUnorderedInput) {
+  WriteFile("0 1 9\n1 2 3\n");
+  const auto graph = LoadInteractionsFromFile(path_);
+  ASSERT_TRUE(graph.has_value());
+  EXPECT_EQ(graph->interaction(0).time, 3);
+  EXPECT_EQ(graph->interaction(1).time, 9);
+}
+
+TEST_F(GraphIoTest, AcceptsCommaSeparated) {
+  WriteFile("0,1,5\n1,2,6\n");
+  const auto graph = LoadInteractionsFromFile(path_);
+  ASSERT_TRUE(graph.has_value());
+  EXPECT_EQ(graph->num_interactions(), 2u);
+}
+
+TEST_F(GraphIoTest, KonectFormatIgnoresWeight) {
+  WriteFile("1 2 1 100\n2 3 -1 200\n");
+  const auto graph =
+      LoadInteractionsFromFile(path_, EdgeListFormat::kKonect);
+  ASSERT_TRUE(graph.has_value());
+  EXPECT_EQ(graph->num_interactions(), 2u);
+  EXPECT_EQ(graph->interaction(0).time, 100);
+  EXPECT_EQ(graph->interaction(1).time, 200);
+}
+
+TEST_F(GraphIoTest, RejectsMalformedLines) {
+  WriteFile("0 1 5\nnot numbers here\n");
+  EXPECT_FALSE(LoadInteractionsFromFile(path_).has_value());
+}
+
+TEST_F(GraphIoTest, RejectsTooFewFields) {
+  WriteFile("0 1\n");
+  EXPECT_FALSE(LoadInteractionsFromFile(path_).has_value());
+}
+
+TEST_F(GraphIoTest, RejectsNegativeNodeIds) {
+  WriteFile("-1 2 5\n");
+  EXPECT_FALSE(LoadInteractionsFromFile(path_).has_value());
+}
+
+TEST_F(GraphIoTest, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(
+      LoadInteractionsFromFile("/nonexistent/definitely/missing.txt")
+          .has_value());
+}
+
+TEST_F(GraphIoTest, SaveLoadRoundtrip) {
+  InteractionGraph g;
+  g.AddInteraction(0, 1, 10);
+  g.AddInteraction(1, 2, 20);
+  g.AddInteraction(2, 0, 30);
+  ASSERT_TRUE(SaveInteractionsToFile(g, path_));
+  const auto loaded = LoadInteractionsFromFile(path_);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->num_interactions(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(loaded->interaction(i).time, g.interaction(i).time);
+  }
+}
+
+TEST_F(GraphIoTest, DimacsRoundtrip) {
+  const StaticGraph g =
+      StaticGraph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  ASSERT_TRUE(SaveDimacs(g, path_));
+  const auto loaded = LoadDimacs(path_);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_nodes(), 4u);
+  EXPECT_EQ(loaded->num_edges(), 4u);
+  EXPECT_TRUE(loaded->HasEdge(0, 1));
+  EXPECT_TRUE(loaded->HasEdge(3, 0));
+}
+
+TEST_F(GraphIoTest, DimacsRejectsArcBeforeHeader) {
+  WriteFile("a 1 2 1\np sp 3 1\n");
+  EXPECT_FALSE(LoadDimacs(path_).has_value());
+}
+
+TEST_F(GraphIoTest, DimacsRejectsOutOfRangeArc) {
+  WriteFile("p sp 2 1\na 1 5 1\n");
+  EXPECT_FALSE(LoadDimacs(path_).has_value());
+}
+
+TEST_F(GraphIoTest, DimacsIgnoresComments) {
+  WriteFile("c hello\np sp 2 1\nc mid\na 1 2 1\n");
+  const auto loaded = LoadDimacs(path_);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_edges(), 1u);
+}
+
+TEST_F(GraphIoTest, DimacsRejectsMissingHeader) {
+  WriteFile("c only comments\n");
+  EXPECT_FALSE(LoadDimacs(path_).has_value());
+}
+
+}  // namespace
+}  // namespace ipin

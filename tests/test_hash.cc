@@ -1,0 +1,97 @@
+#include "ipin/common/hash.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ipin {
+namespace {
+
+TEST(Mix64Test, IsDeterministic) {
+  EXPECT_EQ(Mix64(42), Mix64(42));
+  EXPECT_EQ(Mix64(0), Mix64(0));
+}
+
+TEST(Mix64Test, DistinctInputsGiveDistinctOutputs) {
+  // splitmix64's finalizer is a bijection; sample a range and check no
+  // collisions.
+  std::set<uint64_t> outputs;
+  for (uint64_t i = 0; i < 10000; ++i) outputs.insert(Mix64(i));
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+TEST(Mix64Test, AvalanchesLowBits) {
+  // Consecutive inputs must not give consecutive outputs: count distinct
+  // low bytes across a small range.
+  std::set<uint8_t> low_bytes;
+  for (uint64_t i = 0; i < 256; ++i) {
+    low_bytes.insert(static_cast<uint8_t>(Mix64(i) & 0xff));
+  }
+  EXPECT_GT(low_bytes.size(), 150u);  // ~256*(1-1/e) expected for random
+}
+
+TEST(Hash64Test, SeedChangesOutput) {
+  EXPECT_NE(Hash64(123, 0), Hash64(123, 1));
+  EXPECT_EQ(Hash64(123, 7), Hash64(123, 7));
+}
+
+TEST(Hash64Test, OutputsLookUniform) {
+  // Mean of normalized hashes should be near 1/2.
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(Hash64(static_cast<uint64_t>(i))) /
+           18446744073709551616.0;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(HashBytesTest, MatchesOnIdenticalInput) {
+  const std::string a = "hello world";
+  EXPECT_EQ(HashBytes(a.data(), a.size()), HashBytes(a.data(), a.size()));
+}
+
+TEST(HashBytesTest, DiffersOnDifferentInput) {
+  EXPECT_NE(HashString("hello"), HashString("hellp"));
+  EXPECT_NE(HashString("hello"), HashString("hello "));
+  EXPECT_NE(HashString("", 0), HashString("", 1));
+}
+
+TEST(HashBytesTest, HandlesAllTailLengths) {
+  // Exercise every length mod 8 and ensure prefixes do not collide.
+  const std::string base = "abcdefghijklmnop";
+  std::set<uint64_t> hashes;
+  for (size_t len = 0; len <= base.size(); ++len) {
+    hashes.insert(HashBytes(base.data(), len));
+  }
+  EXPECT_EQ(hashes.size(), base.size() + 1);
+}
+
+TEST(HashCombineTest, OrderMatters) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+TEST(RhoLsbTest, MatchesDefinition) {
+  EXPECT_EQ(RhoLsb(1), 1);    // ...0001
+  EXPECT_EQ(RhoLsb(2), 2);    // ...0010
+  EXPECT_EQ(RhoLsb(4), 3);    // ...0100
+  EXPECT_EQ(RhoLsb(12), 3);   // ...1100
+  EXPECT_EQ(RhoLsb(0x8000000000000000ULL), 64);
+  EXPECT_EQ(RhoLsb(0), 64);   // all-zero convention
+}
+
+TEST(RhoLsbTest, GeometricDistribution) {
+  // P(rho >= l) = 2^-(l-1) for random input: roughly half of hashes have
+  // rho == 1.
+  int ones = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (RhoLsb(Hash64(static_cast<uint64_t>(i))) == 1) ++ones;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.5, 0.03);
+}
+
+}  // namespace
+}  // namespace ipin

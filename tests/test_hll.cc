@@ -1,0 +1,143 @@
+#include "ipin/sketch/hll.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ipin/sketch/estimators.h"
+
+namespace ipin {
+namespace {
+
+TEST(HllTest, EmptySketchEstimatesZero) {
+  const HyperLogLog hll(8);
+  EXPECT_DOUBLE_EQ(hll.Estimate(), 0.0);
+}
+
+TEST(HllTest, DuplicatesDoNotChangeEstimate) {
+  HyperLogLog hll(8);
+  for (int i = 0; i < 100; ++i) hll.Add(42);
+  const double single = hll.Estimate();
+  hll.Add(42);
+  EXPECT_DOUBLE_EQ(hll.Estimate(), single);
+  EXPECT_NEAR(single, 1.0, 0.5);
+}
+
+TEST(HllTest, SmallCardinalitiesUseLinearCounting) {
+  HyperLogLog hll(10);
+  for (uint64_t i = 0; i < 50; ++i) hll.Add(i);
+  EXPECT_NEAR(hll.Estimate(), 50.0, 5.0);
+}
+
+class HllAccuracyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HllAccuracyTest, ErrorWithinFourStandardErrors) {
+  const int precision = GetParam();
+  HyperLogLog hll(precision);
+  const double n = 100000.0;
+  for (uint64_t i = 0; i < static_cast<uint64_t>(n); ++i) hll.Add(i);
+  const double err = std::abs(hll.Estimate() - n) / n;
+  EXPECT_LT(err, 4.0 * HllStandardError(hll.num_cells()))
+      << "precision=" << precision << " estimate=" << hll.Estimate();
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, HllAccuracyTest,
+                         ::testing::Values(4, 5, 6, 7, 8, 9, 10, 12, 14));
+
+TEST(HllTest, AccuracyImprovesWithPrecision) {
+  // Average error over several salts must shrink as beta grows.
+  const double n = 50000.0;
+  double err_small = 0.0;
+  double err_large = 0.0;
+  for (uint64_t salt = 0; salt < 5; ++salt) {
+    HyperLogLog small(4, salt);
+    HyperLogLog large(12, salt);
+    for (uint64_t i = 0; i < static_cast<uint64_t>(n); ++i) {
+      small.Add(i);
+      large.Add(i);
+    }
+    err_small += std::abs(small.Estimate() - n) / n;
+    err_large += std::abs(large.Estimate() - n) / n;
+  }
+  EXPECT_LT(err_large, err_small);
+}
+
+TEST(HllTest, MergeEqualsUnion) {
+  HyperLogLog a(9);
+  HyperLogLog b(9);
+  HyperLogLog combined(9);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    a.Add(i);
+    combined.Add(i);
+  }
+  for (uint64_t i = 500; i < 1500; ++i) {
+    b.Add(i);
+    combined.Add(i);
+  }
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Estimate(), combined.Estimate());
+  EXPECT_EQ(a.cells(), combined.cells());
+}
+
+TEST(HllTest, MergeWithEmptyIsNoop) {
+  HyperLogLog a(8);
+  for (uint64_t i = 0; i < 100; ++i) a.Add(i);
+  const double before = a.Estimate();
+  const HyperLogLog empty(8);
+  a.Merge(empty);
+  EXPECT_DOUBLE_EQ(a.Estimate(), before);
+}
+
+TEST(HllTest, ClearResets) {
+  HyperLogLog hll(8);
+  for (uint64_t i = 0; i < 1000; ++i) hll.Add(i);
+  hll.Clear();
+  EXPECT_DOUBLE_EQ(hll.Estimate(), 0.0);
+}
+
+TEST(HllTest, SaltsGiveIndependentEstimators) {
+  HyperLogLog a(6, 1);
+  HyperLogLog b(6, 2);
+  for (uint64_t i = 0; i < 10000; ++i) {
+    a.Add(i);
+    b.Add(i);
+  }
+  EXPECT_NE(a.cells(), b.cells());
+}
+
+TEST(HllTest, HashToCellIsConsistentWithAdd) {
+  HyperLogLog hll(8);
+  const uint64_t h = 0xdeadbeefcafef00dULL;
+  size_t cell;
+  uint8_t rank;
+  hll.HashToCell(h, &cell, &rank);
+  hll.AddHash(h);
+  EXPECT_EQ(hll.cells()[cell], rank);
+  EXPECT_LT(cell, hll.num_cells());
+  EXPECT_GE(rank, 1);
+}
+
+TEST(HllTest, MemoryIsBetaBytes) {
+  const HyperLogLog hll(10);
+  EXPECT_EQ(hll.MemoryUsageBytes(), 1024u);
+}
+
+TEST(EstimatorsTest, AlphaMatchesPublishedConstants) {
+  EXPECT_DOUBLE_EQ(HllAlpha(16), 0.673);
+  EXPECT_DOUBLE_EQ(HllAlpha(32), 0.697);
+  EXPECT_DOUBLE_EQ(HllAlpha(64), 0.709);
+  EXPECT_NEAR(HllAlpha(512), 0.7213 / (1.0 + 1.079 / 512.0), 1e-12);
+}
+
+TEST(EstimatorsTest, StandardErrorFormula) {
+  EXPECT_NEAR(HllStandardError(1024), 1.04 / 32.0, 1e-12);
+}
+
+TEST(EstimatorsTest, AllZeroRanksEstimateZero) {
+  const std::vector<uint8_t> ranks(64, 0);
+  EXPECT_DOUBLE_EQ(EstimateFromRanks(ranks), 0.0);
+}
+
+}  // namespace
+}  // namespace ipin

@@ -1,0 +1,176 @@
+#include "ipin/core/influence_maximization.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "ipin/core/influence_oracle.h"
+#include "ipin/core/irs_exact.h"
+#include "ipin/datasets/synthetic.h"
+#include "test_util.h"
+
+namespace ipin {
+namespace {
+
+// Reference greedy without the early-exit optimization: full scan per round,
+// same tie-break preference as Algorithm 4 (gain, then individual influence,
+// then smaller id).
+SeedSelection NaiveGreedy(const InfluenceOracle& oracle, size_t k) {
+  SeedSelection result;
+  const size_t n = oracle.num_nodes();
+  auto coverage = oracle.NewCoverage();
+  std::vector<char> selected(n, 0);
+  while (result.seeds.size() < std::min(k, n)) {
+    double best_gain = -1.0;
+    NodeId best = kInvalidNode;
+    for (NodeId u = 0; u < n; ++u) {
+      if (selected[u]) continue;
+      const double gain = coverage->GainOf(u);
+      ++result.gain_evaluations;
+      const bool better =
+          gain > best_gain ||
+          (gain == best_gain && best != kInvalidNode &&
+           oracle.InfluenceOf(u) > oracle.InfluenceOf(best));
+      if (better) {
+        best_gain = gain;
+        best = u;
+      }
+    }
+    if (best == kInvalidNode) break;
+    selected[best] = 1;
+    coverage->Commit(best);
+    result.seeds.push_back(best);
+    result.gains.push_back(best_gain);
+  }
+  result.total_coverage = coverage->Covered();
+  return result;
+}
+
+TEST(GreedyTest, PicksObviousWinnerFirst) {
+  SetCoverageOracle oracle({{1, 2, 3, 4, 5}, {1, 2}, {6}, {}});
+  const SeedSelection result = SelectSeedsGreedy(oracle, 2);
+  ASSERT_EQ(result.seeds.size(), 2u);
+  EXPECT_EQ(result.seeds[0], 0u);  // covers 5
+  EXPECT_EQ(result.seeds[1], 2u);  // covers 1 new (node 6)
+  EXPECT_DOUBLE_EQ(result.total_coverage, 6.0);
+}
+
+TEST(GreedyTest, AccountsForOverlap) {
+  // Node 0 covers {1..5}; node 1 covers {1..4, 6}; node 2 covers {7, 8}.
+  // Plain top-2-by-size picks 0 and 1 (coverage 7); greedy picks 0 and 2
+  // only if |{7,8} new| > |{6} new| -> yes.
+  SetCoverageOracle oracle({{1, 2, 3, 4, 5}, {1, 2, 3, 4, 6}, {7, 8}});
+  const SeedSelection result = SelectSeedsGreedy(oracle, 2);
+  ASSERT_EQ(result.seeds.size(), 2u);
+  EXPECT_EQ(result.seeds[0], 0u);
+  EXPECT_EQ(result.seeds[1], 2u);
+  EXPECT_DOUBLE_EQ(result.total_coverage, 7.0);
+}
+
+TEST(GreedyTest, MatchesNaiveGreedyOnRandomInstances) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    const InteractionGraph g =
+        GenerateUniformRandomNetwork(25, 180, 500, seed);
+    const IrsExact irs = IrsExact::Compute(g, 100);
+    const ExactInfluenceOracle oracle(&irs);
+    const SeedSelection fast = SelectSeedsGreedy(oracle, 6);
+    const SeedSelection naive = NaiveGreedy(oracle, 6);
+    EXPECT_EQ(fast.seeds, naive.seeds) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(fast.total_coverage, naive.total_coverage);
+    EXPECT_LE(fast.gain_evaluations, naive.gain_evaluations);
+  }
+}
+
+TEST(CelfTest, MatchesSimpleGreedy) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    const InteractionGraph g =
+        GenerateUniformRandomNetwork(25, 180, 500, seed + 10);
+    const IrsExact irs = IrsExact::Compute(g, 100);
+    const ExactInfluenceOracle oracle(&irs);
+    const SeedSelection greedy = SelectSeedsGreedy(oracle, 6);
+    const SeedSelection celf = SelectSeedsCelf(oracle, 6);
+    EXPECT_EQ(greedy.seeds, celf.seeds) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(greedy.total_coverage, celf.total_coverage);
+  }
+}
+
+TEST(CelfTest, UsesFewerEvaluationsThanNaive) {
+  const InteractionGraph g = GenerateUniformRandomNetwork(60, 500, 1500, 3);
+  const IrsExact irs = IrsExact::Compute(g, 300);
+  const ExactInfluenceOracle oracle(&irs);
+  const SeedSelection celf = SelectSeedsCelf(oracle, 8);
+  const SeedSelection naive = NaiveGreedy(oracle, 8);
+  EXPECT_EQ(celf.seeds, naive.seeds);
+  EXPECT_LT(celf.gain_evaluations, naive.gain_evaluations);
+}
+
+TEST(GreedyTest, NearOptimalOnTinyInstances) {
+  // Greedy >= (1 - 1/e) * OPT for monotone submodular coverage.
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    const InteractionGraph g = GenerateUniformRandomNetwork(12, 60, 200, seed);
+    const IrsExact irs = IrsExact::Compute(g, 50);
+    const ExactInfluenceOracle oracle(&irs);
+    const SeedSelection greedy = SelectSeedsGreedy(oracle, 3);
+    const SeedSelection optimal = SelectSeedsExhaustive(oracle, 3);
+    EXPECT_GE(greedy.total_coverage + 1e-9,
+              (1.0 - 1.0 / 2.718281828) * optimal.total_coverage)
+        << "seed " << seed;
+  }
+}
+
+TEST(GreedyTest, GainsAreNonIncreasing) {
+  const InteractionGraph g = GenerateUniformRandomNetwork(40, 300, 900, 7);
+  const IrsExact irs = IrsExact::Compute(g, 200);
+  const ExactInfluenceOracle oracle(&irs);
+  const SeedSelection result = SelectSeedsGreedy(oracle, 10);
+  for (size_t i = 1; i < result.gains.size(); ++i) {
+    EXPECT_LE(result.gains[i], result.gains[i - 1] + 1e-9);
+  }
+}
+
+TEST(GreedyTest, KLargerThanNSelectsAllNodes) {
+  SetCoverageOracle oracle({{1}, {2}, {0}});
+  const SeedSelection result = SelectSeedsGreedy(oracle, 10);
+  EXPECT_EQ(result.seeds.size(), 3u);
+}
+
+TEST(GreedyTest, KZeroSelectsNothing) {
+  SetCoverageOracle oracle({{1}, {2}});
+  EXPECT_TRUE(SelectSeedsGreedy(oracle, 0).seeds.empty());
+  EXPECT_TRUE(SelectSeedsCelf(oracle, 0).seeds.empty());
+}
+
+TEST(GreedyTest, EmptyOracle) {
+  SetCoverageOracle oracle({});
+  EXPECT_TRUE(SelectSeedsGreedy(oracle, 3).seeds.empty());
+  EXPECT_TRUE(SelectSeedsCelf(oracle, 3).seeds.empty());
+}
+
+TEST(GreedyTest, AllEmptySetsStillSelectsDeterministically) {
+  SetCoverageOracle oracle({{}, {}, {}});
+  const SeedSelection result = SelectSeedsGreedy(oracle, 2);
+  EXPECT_EQ(result.seeds.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.total_coverage, 0.0);
+}
+
+TEST(ExhaustiveTest, FindsTrueOptimum) {
+  // Node sets engineered so the best pair is {1, 2} (disjoint, 3 + 3),
+  // beating {0, anything} despite node 0 having the largest set.
+  SetCoverageOracle oracle(
+      {{1, 2, 3, 4}, {5, 6, 7}, {8, 9, 10}, {1, 2}, {}});
+  const SeedSelection best = SelectSeedsExhaustive(oracle, 2);
+  EXPECT_DOUBLE_EQ(best.total_coverage, 7.0);  // {0} u {1} or {0} u {2}
+}
+
+TEST(GreedyTest, SeedsAreDistinct) {
+  const InteractionGraph g = GenerateUniformRandomNetwork(30, 200, 600, 9);
+  const IrsExact irs = IrsExact::Compute(g, 150);
+  const ExactInfluenceOracle oracle(&irs);
+  const SeedSelection result = SelectSeedsGreedy(oracle, 10);
+  std::vector<NodeId> sorted = result.seeds;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+}  // namespace
+}  // namespace ipin

@@ -1,0 +1,146 @@
+#include "ipin/core/information_channel.h"
+
+#include <gtest/gtest.h>
+
+#include "ipin/datasets/synthetic.h"
+#include "test_util.h"
+
+namespace ipin {
+namespace {
+
+TEST(BruteForceIrsTest, FigureOneMatchesPaperExample) {
+  const InteractionGraph g = FigureOneGraph();
+  const auto expected = FigureOneSummariesW3();
+  for (NodeId u = 0; u < 6; ++u) {
+    const IrsSummary summary = BruteForceIrsSummary(g, u, 3);
+    EXPECT_EQ(summary.size(), expected[u].size()) << "node " << u;
+    for (const auto& [v, t] : expected[u]) {
+      const auto it = summary.find(v);
+      ASSERT_NE(it, summary.end()) << "node " << u << " missing " << v;
+      EXPECT_EQ(it->second, t) << "lambda(" << u << "," << v << ")";
+    }
+  }
+}
+
+TEST(BruteForceIrsTest, IntroductionChannelClaims) {
+  // Section 1: "there is an information channel from a to e, but not from
+  // a to f" (any duration).
+  const InteractionGraph g = FigureOneGraph();
+  EXPECT_TRUE(HasInformationChannel(g, kA, kE, 100));
+  EXPECT_FALSE(HasInformationChannel(g, kA, kF, 100));
+}
+
+TEST(BruteForceIrsTest, WindowOneGivesDirectTargetsOnly) {
+  const InteractionGraph g = FigureOneGraph();
+  const IrsSummary a = BruteForceIrsSummary(g, kA, 1);
+  EXPECT_EQ(a.size(), 2u);  // d (t=1) and b (t=5)
+  EXPECT_EQ(a.at(kD), 1);
+  EXPECT_EQ(a.at(kB), 5);
+}
+
+TEST(BruteForceIrsTest, IrsGrowsWithWindow) {
+  const InteractionGraph g = FigureOneGraph();
+  for (NodeId u = 0; u < 6; ++u) {
+    size_t prev = 0;
+    for (const Duration w : {1, 2, 3, 5, 8, 100}) {
+      const size_t size = BruteForceIrsSummary(g, u, w).size();
+      EXPECT_GE(size, prev) << "node " << u << " window " << w;
+      prev = size;
+    }
+  }
+}
+
+TEST(BruteForceIrsTest, LambdaNeverIncreasesWithWindow) {
+  const InteractionGraph g = FigureOneGraph();
+  const IrsSummary narrow = BruteForceIrsSummary(g, kA, 3);
+  const IrsSummary wide = BruteForceIrsSummary(g, kA, 8);
+  for (const auto& [v, t] : narrow) {
+    ASSERT_TRUE(wide.count(v));
+    EXPECT_LE(wide.at(v), t);  // more channels available, earliest end <=
+  }
+}
+
+TEST(FindEarliestChannelTest, ReconstructsPaperPath) {
+  const InteractionGraph g = FigureOneGraph();
+  // lambda(a, c) = 7 at window 3, via a->b(5), b->e(6), e->c(7).
+  const auto path = FindEarliestChannel(g, kA, kC, 3);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0].src, kA);
+  EXPECT_EQ(path[0].time, 5);
+  EXPECT_EQ(path[1].time, 6);
+  EXPECT_EQ(path[2].dst, kC);
+  EXPECT_EQ(path[2].time, 7);
+}
+
+TEST(FindEarliestChannelTest, SingleEdgeChannel) {
+  const InteractionGraph g = FigureOneGraph();
+  const auto path = FindEarliestChannel(g, kA, kD, 3);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0].time, 1);
+}
+
+TEST(FindEarliestChannelTest, NoChannelGivesEmpty) {
+  const InteractionGraph g = FigureOneGraph();
+  EXPECT_TRUE(FindEarliestChannel(g, kA, kF, 100).empty());
+  EXPECT_TRUE(FindEarliestChannel(g, kC, kA, 100).empty());
+}
+
+TEST(FindEarliestChannelTest, PathIsTimeIncreasingAndWindowed) {
+  const InteractionGraph g =
+      GenerateUniformRandomNetwork(20, 150, 1000, 1234);
+  const Duration window = 200;
+  for (NodeId u = 0; u < 5; ++u) {
+    for (NodeId v = 0; v < 20; ++v) {
+      const auto path = FindEarliestChannel(g, u, v, window);
+      if (path.empty()) continue;
+      EXPECT_EQ(path.front().src, u);
+      EXPECT_EQ(path.back().dst, v);
+      for (size_t i = 1; i < path.size(); ++i) {
+        EXPECT_LT(path[i - 1].time, path[i].time);
+        EXPECT_EQ(path[i - 1].dst, path[i].src);
+      }
+      EXPECT_LE(path.back().time - path.front().time + 1, window);
+    }
+  }
+}
+
+TEST(BruteForceIrsTest, SelfLoopDoesNotPutNodeInOwnIrs) {
+  // A node is never a member of its own IRS (paper Example 2 drops the
+  // e -> b -> e cycle entry).
+  InteractionGraph g(2);
+  g.AddInteraction(0, 0, 1);
+  EXPECT_TRUE(BruteForceIrsSummary(g, 0, 5).empty());
+}
+
+TEST(BruteForceIrsTest, TemporalCycleExcludesSelfButAllowsTransit) {
+  InteractionGraph g(3);
+  g.AddInteraction(0, 1, 1);
+  g.AddInteraction(1, 0, 2);
+  g.AddInteraction(0, 2, 3);
+  const IrsSummary s = BruteForceIrsSummary(g, 0, 5);
+  EXPECT_FALSE(s.count(0));  // 0 -> 1 -> 0 exists but self is filtered
+  EXPECT_TRUE(s.count(1));
+  EXPECT_TRUE(s.count(2));
+  // Node 1 reaches 2 only by transiting through 0: 1->0(2), 0->2(3).
+  const IrsSummary s1 = BruteForceIrsSummary(g, 1, 5);
+  EXPECT_TRUE(s1.count(2));
+}
+
+TEST(BruteForceIrsTest, EmptyGraphHasEmptySummaries) {
+  InteractionGraph g(3);
+  const auto all = BruteForceAllIrsSummaries(g, 10);
+  for (const auto& s : all) EXPECT_TRUE(s.empty());
+}
+
+TEST(BruteForceIrsTest, TimeOrderMattersNotInsertionOrder) {
+  // Path must respect time even when interactions interleave: y->z happens
+  // BEFORE x->y, so x cannot reach z.
+  InteractionGraph g(3);
+  g.AddInteraction(1, 2, 1);  // y->z at 1
+  g.AddInteraction(0, 1, 2);  // x->y at 2
+  EXPECT_FALSE(HasInformationChannel(g, 0, 2, 100));
+  EXPECT_TRUE(HasInformationChannel(g, 0, 1, 100));
+}
+
+}  // namespace
+}  // namespace ipin

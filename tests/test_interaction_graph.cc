@@ -1,0 +1,124 @@
+#include "ipin/graph/interaction_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace ipin {
+namespace {
+
+TEST(InteractionGraphTest, EmptyGraph) {
+  InteractionGraph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_interactions(), 0u);
+  EXPECT_TRUE(g.empty());
+  EXPECT_TRUE(g.is_sorted());
+  const auto stats = g.ComputeStats();
+  EXPECT_EQ(stats.time_span, 0);
+  EXPECT_EQ(g.WindowFromPercent(10.0), 1);
+}
+
+TEST(InteractionGraphTest, AddGrowsNodeCount) {
+  InteractionGraph g;
+  g.AddInteraction(0, 5, 1);
+  EXPECT_EQ(g.num_nodes(), 6u);
+  g.AddInteraction(9, 2, 2);
+  EXPECT_EQ(g.num_nodes(), 10u);
+  EXPECT_EQ(g.num_interactions(), 2u);
+}
+
+TEST(InteractionGraphTest, SortednessTracking) {
+  InteractionGraph g;
+  g.AddInteraction(0, 1, 5);
+  EXPECT_TRUE(g.is_sorted());
+  g.AddInteraction(1, 2, 3);  // out of order
+  EXPECT_FALSE(g.is_sorted());
+  g.SortByTime();
+  EXPECT_TRUE(g.is_sorted());
+  EXPECT_EQ(g.interaction(0).time, 3);
+  EXPECT_EQ(g.interaction(1).time, 5);
+}
+
+TEST(InteractionGraphTest, ConstructorFromVectorDetectsOrder) {
+  std::vector<Interaction> sorted = {{0, 1, 1}, {1, 2, 2}};
+  EXPECT_TRUE(InteractionGraph(0, sorted).is_sorted());
+  std::vector<Interaction> unsorted = {{0, 1, 2}, {1, 2, 1}};
+  EXPECT_FALSE(InteractionGraph(0, unsorted).is_sorted());
+}
+
+TEST(InteractionGraphTest, ConstructorGrowsNodeCountToCoverEndpoints) {
+  const InteractionGraph g(2, {{0, 7, 1}});
+  EXPECT_EQ(g.num_nodes(), 8u);
+}
+
+TEST(InteractionGraphTest, StatsComputation) {
+  InteractionGraph g;
+  g.AddInteraction(0, 1, 10);
+  g.AddInteraction(0, 1, 20);  // repeated static edge
+  g.AddInteraction(1, 2, 30);
+  const auto stats = g.ComputeStats();
+  EXPECT_EQ(stats.num_nodes, 3u);
+  EXPECT_EQ(stats.num_interactions, 3u);
+  EXPECT_EQ(stats.min_time, 10);
+  EXPECT_EQ(stats.max_time, 30);
+  EXPECT_EQ(stats.time_span, 21);
+  EXPECT_EQ(stats.num_static_edges, 2u);
+}
+
+TEST(InteractionGraphTest, WindowFromPercent) {
+  InteractionGraph g;
+  g.AddInteraction(0, 1, 0);
+  g.AddInteraction(1, 2, 999);  // span 1000
+  EXPECT_EQ(g.WindowFromPercent(10.0), 100);
+  EXPECT_EQ(g.WindowFromPercent(100.0), 1000);
+  EXPECT_EQ(g.WindowFromPercent(0.0), 1);  // clamped to >= 1
+}
+
+TEST(InteractionGraphTest, DistinctTimestampDetection) {
+  InteractionGraph g;
+  g.AddInteraction(0, 1, 1);
+  g.AddInteraction(1, 2, 1);
+  g.SortByTime();
+  EXPECT_FALSE(g.HasDistinctTimestamps());
+  g.RankTimestamps();
+  EXPECT_TRUE(g.HasDistinctTimestamps());
+  EXPECT_EQ(g.interaction(0).time, 0);
+  EXPECT_EQ(g.interaction(1).time, 1);
+}
+
+TEST(InteractionGraphTest, RankTimestampsPreservesOrder) {
+  InteractionGraph g;
+  g.AddInteraction(0, 1, 100);
+  g.AddInteraction(1, 2, 250);
+  g.AddInteraction(2, 3, 900);
+  g.SortByTime();
+  g.RankTimestamps();
+  EXPECT_EQ(g.interaction(0).time, 0);
+  EXPECT_EQ(g.interaction(1).time, 1);
+  EXPECT_EQ(g.interaction(2).time, 2);
+  EXPECT_EQ(g.interaction(0).src, 0u);  // edge payload untouched
+}
+
+TEST(InteractionGraphTest, DebugStringMentionsSizes) {
+  InteractionGraph g;
+  g.AddInteraction(0, 1, 1);
+  const std::string s = g.DebugString();
+  EXPECT_NE(s.find("n=2"), std::string::npos);
+  EXPECT_NE(s.find("m=1"), std::string::npos);
+}
+
+TEST(InteractionGraphTest, MemoryUsageGrowsWithEdges) {
+  InteractionGraph g;
+  const size_t empty_bytes = g.MemoryUsageBytes();
+  for (int i = 0; i < 1000; ++i) g.AddInteraction(0, 1, i);
+  EXPECT_GT(g.MemoryUsageBytes(), empty_bytes);
+}
+
+TEST(InteractionOrderingTest, OperatorLessOrdersByTimeFirst) {
+  const Interaction a{5, 5, 1};
+  const Interaction b{0, 0, 2};
+  EXPECT_LT(a, b);
+  const Interaction c{1, 9, 2};
+  EXPECT_LT(b, c);  // same time, smaller src
+}
+
+}  // namespace
+}  // namespace ipin

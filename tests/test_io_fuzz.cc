@@ -1,0 +1,114 @@
+// Robustness fuzzing of the text/binary parsers: random byte soup must
+// never crash the loaders — they either parse or cleanly return nullopt.
+
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ipin/common/logging.h"
+#include "ipin/common/random.h"
+#include "ipin/core/oracle_io.h"
+#include "ipin/graph/graph_io.h"
+#include "ipin/sketch/vhll.h"
+
+namespace ipin {
+namespace {
+
+class IoFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/ipin_fuzz_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this));
+    SetLogLevel(LogLevel::kError);
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void WriteBytes(const std::string& bytes) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::string path_;
+};
+
+std::string RandomBytes(Rng* rng, size_t length, bool printable) {
+  std::string s;
+  s.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    if (printable) {
+      // Digits, whitespace, minus signs, newlines — parser-adjacent soup.
+      static const char kAlphabet[] = "0123456789 -\t\n#%abcxyz.";
+      s.push_back(kAlphabet[rng->NextBounded(sizeof(kAlphabet) - 1)]);
+    } else {
+      s.push_back(static_cast<char>(rng->NextUint64() & 0xff));
+    }
+  }
+  return s;
+}
+
+TEST_F(IoFuzzTest, EdgeListLoaderSurvivesTextSoup) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    WriteBytes(RandomBytes(&rng, 1 + rng.NextBounded(2000), true));
+    const auto result = LoadInteractionsFromFile(path_);
+    if (result.has_value()) {
+      EXPECT_TRUE(result->is_sorted());  // contract holds when it parses
+    }
+  }
+}
+
+TEST_F(IoFuzzTest, EdgeListLoaderSurvivesBinarySoup) {
+  Rng rng(2);
+  for (int trial = 0; trial < 30; ++trial) {
+    WriteBytes(RandomBytes(&rng, 1 + rng.NextBounded(4000), false));
+    (void)LoadInteractionsFromFile(path_);  // must not crash
+  }
+}
+
+TEST_F(IoFuzzTest, DimacsLoaderSurvivesSoup) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string soup = "p sp 5 3\n";  // sometimes give it a valid header
+    if (trial % 2 == 0) soup.clear();
+    soup += RandomBytes(&rng, 1 + rng.NextBounded(1000), true);
+    WriteBytes(soup);
+    (void)LoadDimacs(path_);  // must not crash
+  }
+}
+
+TEST_F(IoFuzzTest, IndexLoaderSurvivesBinarySoup) {
+  Rng rng(4);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string soup;
+    if (trial % 3 == 0) soup += "IPINIDX1";  // valid magic, garbage body
+    soup += RandomBytes(&rng, 1 + rng.NextBounded(3000), false);
+    WriteBytes(soup);
+    EXPECT_FALSE(LoadInfluenceIndex(path_).has_value());
+  }
+}
+
+TEST(VhllFuzzTest, DeserializeSurvivesBitFlips) {
+  // A valid blob with one flipped byte must either fail cleanly or yield a
+  // sketch that still satisfies its invariants.
+  VersionedHll sketch(5, 3);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    sketch.Add(rng.NextUint64(), static_cast<Timestamp>(rng.NextBounded(50)));
+  }
+  std::string blob;
+  sketch.Serialize(&blob);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string corrupted = blob;
+    const size_t pos = rng.NextBounded(corrupted.size());
+    corrupted[pos] = static_cast<char>(rng.NextUint64() & 0xff);
+    size_t offset = 0;
+    const auto result = VersionedHll::Deserialize(corrupted, &offset);
+    if (result.has_value()) {
+      EXPECT_TRUE(result->CheckInvariants());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ipin

@@ -1,0 +1,129 @@
+#include "ipin/core/irs_approx_bottom_k.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ipin/core/irs_exact.h"
+#include "ipin/datasets/synthetic.h"
+#include "test_util.h"
+
+namespace ipin {
+namespace {
+
+IrsBottomKOptions Options(size_t k, uint64_t salt = 0) {
+  IrsBottomKOptions options;
+  options.k = k;
+  options.salt = salt;
+  return options;
+}
+
+TEST(IrsBottomKTest, ExactBelowKOnFigureOne) {
+  // All IRS sets in Figure 1a are smaller than k, so bottom-k estimates
+  // are EXACT (modulo the self-cycle the sketch cannot filter).
+  const InteractionGraph g = FigureOneGraph();
+  const IrsExact exact = IrsExact::Compute(g, 3);
+  const IrsApproxBottomK approx =
+      IrsApproxBottomK::Compute(g, 3, Options(16));
+  for (NodeId u = 0; u < 6; ++u) {
+    const double est = approx.EstimateIrsSize(u);
+    const double truth = static_cast<double>(exact.IrsSize(u));
+    EXPECT_GE(est, truth) << "node " << u;
+    EXPECT_LE(est, truth + 1.0) << "node " << u;  // self-cycle slack
+  }
+}
+
+TEST(IrsBottomKTest, TracksExactOnSyntheticNetwork) {
+  SyntheticConfig config;
+  config.num_nodes = 300;
+  config.num_interactions = 5000;
+  config.time_span = 10000;
+  config.seed = 77;
+  const InteractionGraph g = GenerateInteractionNetwork(config);
+  const Duration window = 2000;
+  const IrsExact exact = IrsExact::Compute(g, window);
+  const IrsApproxBottomK approx =
+      IrsApproxBottomK::Compute(g, window, Options(128));
+
+  double err = 0.0;
+  int count = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (exact.IrsSize(u) < 10) continue;
+    const double truth = static_cast<double>(exact.IrsSize(u));
+    err += std::abs(approx.EstimateIrsSize(u) - truth) / truth;
+    ++count;
+  }
+  ASSERT_GT(count, 20);
+  EXPECT_LT(err / count, 0.12);  // ~1/sqrt(126) + slack
+}
+
+TEST(IrsBottomKTest, SmallSetsAreExact) {
+  // Sets below k have exact cardinality (a bottom-k advantage over HLL).
+  const InteractionGraph g = GenerateUniformRandomNetwork(50, 200, 1000, 5);
+  const Duration window = 50;
+  const IrsExact exact = IrsExact::Compute(g, window);
+  const IrsApproxBottomK approx =
+      IrsApproxBottomK::Compute(g, window, Options(64));
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const size_t truth = exact.IrsSize(u);
+    if (truth >= 64) continue;
+    // Allow +1 for temporal self-cycles (unfilterable in any sketch).
+    EXPECT_GE(approx.EstimateIrsSize(u), static_cast<double>(truth));
+    EXPECT_LE(approx.EstimateIrsSize(u), static_cast<double>(truth) + 1.0)
+        << "node " << u;
+  }
+}
+
+TEST(IrsBottomKTest, UnionEstimateTracksExact) {
+  SyntheticConfig config;
+  config.num_nodes = 250;
+  config.num_interactions = 4000;
+  config.time_span = 8000;
+  config.seed = 13;
+  const InteractionGraph g = GenerateInteractionNetwork(config);
+  const Duration window = 1500;
+  const IrsExact exact = IrsExact::Compute(g, window);
+  const IrsApproxBottomK approx =
+      IrsApproxBottomK::Compute(g, window, Options(128));
+  const std::vector<NodeId> seeds = {2, 31, 77, 120, 200};
+  const double truth = static_cast<double>(exact.UnionSize(seeds));
+  if (truth > 30.0) {
+    EXPECT_NEAR(approx.EstimateUnionSize(seeds) / truth, 1.0, 0.25);
+  }
+}
+
+TEST(IrsBottomKTest, LazyAllocationAndEmptyGraph) {
+  InteractionGraph g(4);
+  g.AddInteraction(0, 1, 1);
+  const IrsApproxBottomK approx =
+      IrsApproxBottomK::Compute(g, 5, Options(8));
+  EXPECT_EQ(approx.NumAllocatedSketches(), 1u);
+  EXPECT_DOUBLE_EQ(approx.EstimateIrsSize(2), 0.0);
+  EXPECT_GT(approx.MemoryUsageBytes(), 0u);
+
+  const InteractionGraph empty(3);
+  const IrsApproxBottomK none =
+      IrsApproxBottomK::Compute(empty, 5, Options(8));
+  EXPECT_EQ(none.NumAllocatedSketches(), 0u);
+}
+
+TEST(IrsBottomKDeathTest, RejectsOutOfOrderInteractions) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  IrsApproxBottomK irs(3, 5, Options(8));
+  irs.ProcessInteraction({0, 1, 10});
+  EXPECT_DEATH(irs.ProcessInteraction({1, 2, 20}), "CHECK failed");
+}
+
+TEST(IrsBottomKTest, SketchInvariantsHoldAfterScan) {
+  const InteractionGraph g = GenerateUniformRandomNetwork(60, 800, 2000, 21);
+  const IrsApproxBottomK approx =
+      IrsApproxBottomK::Compute(g, 500, Options(16));
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (approx.Sketch(u) != nullptr) {
+      EXPECT_TRUE(approx.Sketch(u)->CheckInvariants()) << "node " << u;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ipin

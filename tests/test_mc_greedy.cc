@@ -1,0 +1,118 @@
+#include "ipin/baselines/mc_greedy.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "ipin/core/influence_maximization.h"
+#include "ipin/core/influence_oracle.h"
+#include "ipin/core/irs_exact.h"
+#include "ipin/datasets/synthetic.h"
+#include "test_util.h"
+
+namespace ipin {
+namespace {
+
+McGreedyOptions Options(Duration window, double p, size_t runs = 30) {
+  McGreedyOptions options;
+  options.tcic.window = window;
+  options.tcic.probability = p;
+  options.num_runs = runs;
+  return options;
+}
+
+TEST(McGreedyTest, DeterministicCascadePicksBestSpreader) {
+  // p = 1 makes spreads deterministic; on Figure 1a with window 3, seed a
+  // activates {a,b,d,e} (4 nodes) — the best single seed.
+  const InteractionGraph g = FigureOneGraph();
+  const McGreedyResult result =
+      SelectSeedsMcGreedy(g, 1, Options(3, 1.0, 1));
+  ASSERT_EQ(result.seeds.size(), 1u);
+  EXPECT_EQ(result.seeds[0], kA);
+  EXPECT_DOUBLE_EQ(result.spread_after_pick[0], 4.0);
+}
+
+TEST(McGreedyTest, SpreadAfterPickIsNonDecreasing) {
+  const InteractionGraph g = GenerateUniformRandomNetwork(40, 400, 1000, 3);
+  const McGreedyResult result =
+      SelectSeedsMcGreedy(g, 6, Options(200, 0.5, 20));
+  ASSERT_EQ(result.seeds.size(), 6u);
+  for (size_t i = 1; i < result.spread_after_pick.size(); ++i) {
+    EXPECT_GE(result.spread_after_pick[i],
+              result.spread_after_pick[i - 1] - 1e-9);
+  }
+}
+
+TEST(McGreedyTest, SeedsAreDistinct) {
+  const InteractionGraph g = GenerateUniformRandomNetwork(30, 300, 800, 5);
+  const McGreedyResult result =
+      SelectSeedsMcGreedy(g, 8, Options(300, 0.5, 10));
+  const std::set<NodeId> distinct(result.seeds.begin(), result.seeds.end());
+  EXPECT_EQ(distinct.size(), result.seeds.size());
+}
+
+TEST(McGreedyTest, DeterministicGivenSeed) {
+  const InteractionGraph g = GenerateUniformRandomNetwork(25, 250, 600, 7);
+  const McGreedyResult a = SelectSeedsMcGreedy(g, 4, Options(150, 0.5, 15));
+  const McGreedyResult b = SelectSeedsMcGreedy(g, 4, Options(150, 0.5, 15));
+  EXPECT_EQ(a.seeds, b.seeds);
+}
+
+TEST(McGreedyTest, CandidatePoolRestrictsSelection) {
+  const InteractionGraph g = GenerateUniformRandomNetwork(50, 400, 1000, 9);
+  McGreedyOptions options = Options(300, 0.5, 10);
+  options.candidate_pool = 5;
+  const McGreedyResult result = SelectSeedsMcGreedy(g, 3, options);
+  // Fewer simulations than the full-candidate run.
+  const McGreedyResult full = SelectSeedsMcGreedy(g, 3, Options(300, 0.5, 10));
+  EXPECT_LT(result.simulations_used, full.simulations_used);
+}
+
+TEST(McGreedyTest, SimulationBudgetRespected) {
+  const InteractionGraph g = GenerateUniformRandomNetwork(60, 500, 1200, 11);
+  McGreedyOptions options = Options(400, 0.5, 50);
+  options.max_simulations = 200;
+  const McGreedyResult result = SelectSeedsMcGreedy(g, 10, options);
+  // The budget may stop selection early, but must bound the work.
+  EXPECT_LE(result.simulations_used, 200u + options.num_runs);
+}
+
+TEST(McGreedyTest, AgreesWithIrsGreedyOnSpreadQuality) {
+  // On a deterministic cascade (p=1), the MC greedy directly optimizes the
+  // simulation objective; IRS greedy optimizes channel coverage. Their seed
+  // sets' spreads should be in the same ballpark (IRS within 70% of MC).
+  SyntheticConfig config;
+  config.num_nodes = 120;
+  config.num_interactions = 1500;
+  config.time_span = 4000;
+  config.seed = 13;
+  const InteractionGraph g = GenerateInteractionNetwork(config);
+  const Duration window = 800;
+
+  const McGreedyResult mc = SelectSeedsMcGreedy(g, 5, Options(window, 1.0, 1));
+  const IrsExact irs = IrsExact::Compute(g, window);
+  const ExactInfluenceOracle oracle(&irs);
+  const SeedSelection irs_seeds = SelectSeedsCelf(oracle, 5);
+
+  TcicOptions tcic;
+  tcic.window = window;
+  tcic.probability = 1.0;
+  const double mc_spread = AverageTcicSpread(g, mc.seeds, tcic, 1, 42);
+  const double irs_spread = AverageTcicSpread(g, irs_seeds.seeds, tcic, 1, 42);
+  EXPECT_GE(irs_spread, 0.7 * mc_spread);
+}
+
+TEST(McGreedyTest, EmptyAndZeroK) {
+  // A graph with no interactions: seeds are selected (zero gain each, like
+  // the other greedy selectors) but spread stays zero.
+  const InteractionGraph g(3);
+  const McGreedyResult empty = SelectSeedsMcGreedy(g, 3, Options(10, 0.5, 2));
+  EXPECT_EQ(empty.seeds.size(), 3u);
+  for (const double s : empty.spread_after_pick) EXPECT_DOUBLE_EQ(s, 0.0);
+  const InteractionGraph g2 = FigureOneGraph();
+  EXPECT_TRUE(SelectSeedsMcGreedy(g2, 0, Options(3, 0.5, 2)).seeds.empty());
+}
+
+}  // namespace
+}  // namespace ipin

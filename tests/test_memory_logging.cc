@@ -1,0 +1,49 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ipin/common/logging.h"
+#include "ipin/common/memory.h"
+
+namespace ipin {
+namespace {
+
+TEST(FormatBytesTest, PicksHumanUnits) {
+  EXPECT_EQ(FormatBytes(0), "0.0 B");
+  EXPECT_EQ(FormatBytes(512), "512.0 B");
+  EXPECT_EQ(FormatBytes(2048), "2.0 KB");
+  EXPECT_EQ(FormatBytes(3 * 1024 * 1024), "3.0 MB");
+  EXPECT_EQ(FormatBytes(static_cast<size_t>(5) << 30), "5.0 GB");
+}
+
+TEST(VectorBytesTest, UsesCapacity) {
+  std::vector<int> v;
+  v.reserve(100);
+  EXPECT_EQ(VectorBytes(v), 100 * sizeof(int));
+  v.push_back(1);
+  EXPECT_EQ(VectorBytes(v), 100 * sizeof(int));
+}
+
+TEST(HashMapBytesTest, GrowsWithElementsAndBuckets) {
+  const size_t small = HashMapBytes(10, 16, 12);
+  const size_t more_elems = HashMapBytes(100, 16, 12);
+  const size_t more_buckets = HashMapBytes(10, 256, 12);
+  EXPECT_GT(more_elems, small);
+  EXPECT_GT(more_buckets, small);
+  EXPECT_EQ(HashMapBytes(0, 0, 12), 0u);
+}
+
+TEST(LoggingTest, LevelFiltering) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // These must not crash; output is suppressed below the threshold.
+  LogDebug("suppressed");
+  LogInfo("suppressed");
+  LogWarning("suppressed");
+  LogError("visible (expected in test output)");
+  SetLogLevel(original);
+}
+
+}  // namespace
+}  // namespace ipin

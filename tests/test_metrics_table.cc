@@ -1,0 +1,92 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ipin/eval/metrics.h"
+#include "ipin/eval/table.h"
+
+namespace ipin {
+namespace {
+
+TEST(MeanRelativeErrorTest, ExactMatchIsZero) {
+  const std::vector<double> x = {10, 20, 30};
+  EXPECT_DOUBLE_EQ(MeanRelativeError(x, x), 0.0);
+}
+
+TEST(MeanRelativeErrorTest, ComputesMean) {
+  const std::vector<double> exact = {10, 100};
+  const std::vector<double> est = {11, 90};  // errors 0.1 and 0.1
+  EXPECT_NEAR(MeanRelativeError(exact, est), 0.1, 1e-12);
+}
+
+TEST(MeanRelativeErrorTest, SkipsZeroTruth) {
+  const std::vector<double> exact = {0, 10};
+  const std::vector<double> est = {5, 12};
+  EXPECT_NEAR(MeanRelativeError(exact, est), 0.2, 1e-12);
+}
+
+TEST(MeanRelativeErrorTest, AllZeroTruthGivesZero) {
+  const std::vector<double> exact = {0, 0};
+  const std::vector<double> est = {5, 7};
+  EXPECT_DOUBLE_EQ(MeanRelativeError(exact, est), 0.0);
+}
+
+TEST(SeedOverlapTest, CountsCommonElements) {
+  const std::vector<NodeId> a = {1, 2, 3, 4};
+  const std::vector<NodeId> b = {3, 4, 5, 6};
+  EXPECT_EQ(SeedOverlap(a, b), 2u);
+}
+
+TEST(SeedOverlapTest, HandlesDuplicatesAndEmpties) {
+  const std::vector<NodeId> a = {1, 1, 2};
+  const std::vector<NodeId> b = {1, 1, 1};
+  EXPECT_EQ(SeedOverlap(a, b), 1u);
+  EXPECT_EQ(SeedOverlap({}, b), 0u);
+  EXPECT_EQ(SeedOverlap(a, {}), 0u);
+}
+
+TEST(SeedJaccardTest, Basics) {
+  const std::vector<NodeId> a = {1, 2};
+  const std::vector<NodeId> b = {2, 3};
+  EXPECT_NEAR(SeedJaccard(a, b), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(SeedJaccard(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(SeedJaccard({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(SeedJaccard(a, {}), 0.0);
+}
+
+TEST(TablePrinterTest, RendersAlignedTable) {
+  TablePrinter table("Demo");
+  table.SetHeader({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer", "22"});
+  const std::string s = table.ToString();
+  EXPECT_NE(s.find("== Demo =="), std::string::npos);
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  // Rows align: every line (after title) has the same length.
+  size_t first_len = 0;
+  size_t pos = s.find('\n') + 1;  // skip title line
+  while (pos < s.size()) {
+    const size_t end = s.find('\n', pos);
+    const size_t len = end - pos;
+    if (first_len == 0) first_len = len;
+    EXPECT_EQ(len, first_len);
+    pos = end + 1;
+  }
+}
+
+TEST(TablePrinterTest, CellFormatters) {
+  EXPECT_EQ(TablePrinter::Cell(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Cell(static_cast<size_t>(42)), "42");
+  EXPECT_EQ(TablePrinter::Cell(static_cast<int64_t>(-7)), "-7");
+}
+
+TEST(TablePrinterTest, NoTitleOmitsBanner) {
+  TablePrinter table;
+  table.SetHeader({"a"});
+  table.AddRow({"1"});
+  EXPECT_EQ(table.ToString().find("=="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ipin

@@ -1,0 +1,196 @@
+#include "ipin/core/neighborhood_profile.h"
+
+#include <queue>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "ipin/datasets/synthetic.h"
+
+namespace ipin {
+namespace {
+
+ProfileOptions Options(int max_distance, Duration window) {
+  ProfileOptions options;
+  options.max_distance = max_distance;
+  options.window = window;
+  return options;
+}
+
+// Reference: rebuild the snapshot graph (interactions with time in
+// (now - window, now]) and BFS from `u` up to `distance` hops.
+size_t BruteForceNeighborhood(const InteractionGraph& graph, size_t prefix,
+                              NodeId u, int distance, Duration window) {
+  if (prefix == 0) return 0;
+  const Timestamp now = graph.interaction(prefix - 1).time;
+  std::vector<std::vector<NodeId>> adj(graph.num_nodes());
+  for (size_t i = 0; i < prefix; ++i) {
+    const Interaction& e = graph.interaction(i);
+    if (e.time > now - window && e.src != e.dst) adj[e.src].push_back(e.dst);
+  }
+  std::vector<int> depth(graph.num_nodes(), -1);
+  std::queue<NodeId> queue;
+  depth[u] = 0;
+  queue.push(u);
+  size_t count = 0;
+  while (!queue.empty()) {
+    const NodeId x = queue.front();
+    queue.pop();
+    if (depth[x] >= distance) continue;
+    for (const NodeId y : adj[x]) {
+      if (depth[y] < 0) {
+        depth[y] = depth[x] + 1;
+        queue.push(y);
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+TEST(WindowedProfileExactTest, SimpleChainWithinWindow) {
+  WindowedProfileExact profiles(4, Options(3, 10));
+  profiles.ProcessInteraction({0, 1, 1});
+  profiles.ProcessInteraction({1, 2, 2});
+  profiles.ProcessInteraction({2, 3, 3});
+  // Snapshot at now=3 contains all edges; 0 reaches 1,2,3 within 3 hops.
+  EXPECT_EQ(profiles.NeighborhoodSize(0, 1), 1u);
+  EXPECT_EQ(profiles.NeighborhoodSize(0, 2), 2u);
+  EXPECT_EQ(profiles.NeighborhoodSize(0, 3), 3u);
+}
+
+TEST(WindowedProfileExactTest, LateEdgeExtendsEarlierNodesProfiles) {
+  // Back-propagation: edge (1,2) arriving AFTER (0,1) must still put 2 in
+  // 0's 2-hop profile (snapshot graphs ignore temporal order).
+  WindowedProfileExact profiles(3, Options(2, 100));
+  profiles.ProcessInteraction({1, 2, 1});
+  profiles.ProcessInteraction({0, 1, 2});
+  EXPECT_EQ(profiles.NeighborhoodSize(0, 2), 2u);
+  WindowedProfileExact reversed(3, Options(2, 100));
+  reversed.ProcessInteraction({0, 1, 1});
+  reversed.ProcessInteraction({1, 2, 2});
+  EXPECT_EQ(reversed.NeighborhoodSize(0, 2), 2u);
+}
+
+TEST(WindowedProfileExactTest, PathsExpireWithTheirOldestEdge) {
+  WindowedProfileExact profiles(3, Options(2, 5));
+  profiles.ProcessInteraction({0, 1, 1});
+  profiles.ProcessInteraction({1, 2, 2});
+  EXPECT_EQ(profiles.NeighborhoodSize(0, 2), 2u);
+  // Advance time: the (0,1) edge at t=1 leaves the window at now=7.
+  profiles.ProcessInteraction({2, 0, 7});
+  EXPECT_EQ(profiles.NeighborhoodSize(0, 2), 0u);
+  EXPECT_EQ(profiles.NeighborhoodSize(2, 1), 1u);  // fresh edge 2->0
+}
+
+TEST(WindowedProfileExactTest, FreshnessIsMinEdgeAndMaxOverPaths) {
+  // Two paths 0 -> 2: old direct edge (t=1) and fresh 2-hop (t=8,9).
+  // At now=9 with window 5 the direct edge is stale but the 2-hop path
+  // keeps 2 in the 2-hop profile.
+  WindowedProfileExact profiles(3, Options(2, 5));
+  profiles.ProcessInteraction({0, 2, 1});
+  profiles.ProcessInteraction({0, 1, 8});
+  profiles.ProcessInteraction({1, 2, 9});
+  EXPECT_EQ(profiles.NeighborhoodSize(0, 1), 1u);  // only node 1 fresh
+  EXPECT_EQ(profiles.NeighborhoodSize(0, 2), 2u);  // 2 via the fresh path
+}
+
+TEST(WindowedProfileExactTest, MatchesBruteForceOnRandomStreams) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    const InteractionGraph g = GenerateUniformRandomNetwork(15, 120, 200, seed);
+    const Duration window = 60;
+    const int max_d = 3;
+    WindowedProfileExact profiles(g.num_nodes(), Options(max_d, window));
+    for (size_t i = 0; i < g.num_interactions(); ++i) {
+      profiles.ProcessInteraction(g.interaction(i));
+      if ((i + 1) % 30 != 0) continue;  // check at periodic checkpoints
+      for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        for (int d = 1; d <= max_d; ++d) {
+          EXPECT_EQ(profiles.NeighborhoodSize(u, d),
+                    BruteForceNeighborhood(g, i + 1, u, d, window))
+              << "seed=" << seed << " i=" << i << " u=" << u << " d=" << d;
+        }
+      }
+    }
+  }
+}
+
+TEST(WindowedProfileApproxTest, TracksExactOnSmallGraphs) {
+  // High precision keeps the sketch in the near-exact linear-counting
+  // regime for these cardinalities.
+  const InteractionGraph g = GenerateUniformRandomNetwork(20, 150, 300, 5);
+  const Duration window = 100;
+  const int max_d = 3;
+  IrsApproxOptions sketch_options;
+  sketch_options.precision = 10;
+  WindowedProfileExact exact(g.num_nodes(), Options(max_d, window));
+  WindowedProfileApprox approx(g.num_nodes(), Options(max_d, window),
+                               sketch_options);
+  for (size_t i = 0; i < g.num_interactions(); ++i) {
+    exact.ProcessInteraction(g.interaction(i));
+    approx.ProcessInteraction(g.interaction(i));
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (int d = 1; d <= max_d; ++d) {
+      const double truth = static_cast<double>(exact.NeighborhoodSize(u, d));
+      EXPECT_NEAR(approx.EstimateNeighborhoodSize(u, d), truth,
+                  std::max(1.5, truth * 0.15))
+          << "u=" << u << " d=" << d;
+    }
+  }
+}
+
+TEST(WindowedProfileApproxTest, StatisticalAccuracyOnLargerStream) {
+  SyntheticConfig config;
+  config.num_nodes = 300;
+  config.num_interactions = 4000;
+  config.time_span = 8000;
+  config.seed = 9;
+  const InteractionGraph g = GenerateInteractionNetwork(config);
+  const Duration window = 2000;
+  IrsApproxOptions sketch_options;
+  sketch_options.precision = 9;
+  WindowedProfileExact exact(g.num_nodes(), Options(2, window));
+  WindowedProfileApprox approx(g.num_nodes(), Options(2, window),
+                               sketch_options);
+  for (size_t i = 0; i < g.num_interactions(); ++i) {
+    exact.ProcessInteraction(g.interaction(i));
+    approx.ProcessInteraction(g.interaction(i));
+  }
+  double err = 0.0;
+  int count = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const size_t truth = exact.NeighborhoodSize(u, 2);
+    if (truth < 10) continue;
+    err += std::abs(approx.EstimateNeighborhoodSize(u, 2) -
+                    static_cast<double>(truth)) /
+           static_cast<double>(truth);
+    ++count;
+  }
+  ASSERT_GT(count, 10);
+  EXPECT_LT(err / count, 0.15);
+}
+
+TEST(WindowedProfileTest, EmptyAndSelfLoops) {
+  WindowedProfileExact exact(3, Options(2, 10));
+  EXPECT_EQ(exact.NeighborhoodSize(0, 1), 0u);
+  exact.ProcessInteraction({1, 1, 5});  // self-loop: ignored
+  EXPECT_EQ(exact.NeighborhoodSize(1, 2), 0u);
+
+  IrsApproxOptions sketch_options;
+  sketch_options.precision = 6;
+  WindowedProfileApprox approx(3, Options(2, 10), sketch_options);
+  EXPECT_DOUBLE_EQ(approx.EstimateNeighborhoodSize(0, 1), 0.0);
+  approx.ProcessInteraction({1, 1, 5});
+  EXPECT_DOUBLE_EQ(approx.EstimateNeighborhoodSize(1, 2), 0.0);
+}
+
+TEST(WindowedProfileExactDeathTest, RejectsOutOfOrder) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  WindowedProfileExact profiles(3, Options(2, 10));
+  profiles.ProcessInteraction({0, 1, 10});
+  EXPECT_DEATH(profiles.ProcessInteraction({1, 2, 5}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace ipin

@@ -1,0 +1,168 @@
+#include "ipin/core/oracle_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ipin/common/logging.h"
+#include "ipin/common/random.h"
+#include "ipin/datasets/synthetic.h"
+#include "ipin/sketch/vhll.h"
+
+namespace ipin {
+namespace {
+
+class OracleIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/ipin_index_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".bin";
+    SetLogLevel(LogLevel::kError);
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST(VhllSerializeTest, RoundtripPreservesEverything) {
+  VersionedHll original(7, 42);
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    original.Add(rng.NextUint64(),
+                 static_cast<Timestamp>(rng.NextBounded(1000)));
+  }
+  std::string blob;
+  original.Serialize(&blob);
+  size_t offset = 0;
+  const auto restored = VersionedHll::Deserialize(blob, &offset);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(offset, blob.size());
+  EXPECT_EQ(restored->precision(), 7);
+  EXPECT_EQ(restored->salt(), 42u);
+  EXPECT_EQ(restored->NumEntries(), original.NumEntries());
+  EXPECT_DOUBLE_EQ(restored->Estimate(), original.Estimate());
+  for (size_t c = 0; c < original.num_cells(); ++c) {
+    const auto& a = original.cell(c);
+    const auto& b = restored->cell(c);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].rank, b[i].rank);
+      EXPECT_EQ(a[i].time, b[i].time);
+    }
+  }
+}
+
+TEST(VhllSerializeTest, TruncatedBlobRejected) {
+  VersionedHll sketch(5);
+  sketch.Add(1, 10);
+  sketch.Add(2, 20);
+  std::string blob;
+  sketch.Serialize(&blob);
+  for (const size_t cut : {size_t{0}, size_t{1}, blob.size() / 2,
+                           blob.size() - 1}) {
+    size_t offset = 0;
+    EXPECT_FALSE(
+        VersionedHll::Deserialize(std::string_view(blob.data(), cut), &offset)
+            .has_value())
+        << "cut " << cut;
+  }
+}
+
+TEST(VhllSerializeTest, CorruptVersionRejected) {
+  VersionedHll sketch(5);
+  sketch.Add(1, 10);
+  std::string blob;
+  sketch.Serialize(&blob);
+  blob[0] = 99;  // bogus format version
+  size_t offset = 0;
+  EXPECT_FALSE(VersionedHll::Deserialize(blob, &offset).has_value());
+}
+
+TEST(VhllSerializeTest, MultipleSketchesInOneBuffer) {
+  VersionedHll a(4, 1);
+  VersionedHll b(6, 2);
+  a.Add(10, 1);
+  b.Add(20, 2);
+  std::string blob;
+  a.Serialize(&blob);
+  b.Serialize(&blob);
+  size_t offset = 0;
+  const auto ra = VersionedHll::Deserialize(blob, &offset);
+  const auto rb = VersionedHll::Deserialize(blob, &offset);
+  ASSERT_TRUE(ra.has_value());
+  ASSERT_TRUE(rb.has_value());
+  EXPECT_EQ(offset, blob.size());
+  EXPECT_EQ(ra->precision(), 4);
+  EXPECT_EQ(rb->precision(), 6);
+  EXPECT_EQ(rb->salt(), 2u);
+}
+
+TEST_F(OracleIoTest, IndexRoundtripPreservesEstimates) {
+  const InteractionGraph g = GenerateUniformRandomNetwork(120, 1500, 4000, 9);
+  IrsApproxOptions options;
+  options.precision = 8;
+  options.salt = 7;
+  const IrsApprox index = IrsApprox::Compute(g, 800, options);
+
+  ASSERT_TRUE(SaveInfluenceIndex(index, path_));
+  const auto loaded = LoadInfluenceIndex(path_);
+  ASSERT_TRUE(loaded.has_value());
+
+  EXPECT_EQ(loaded->num_nodes(), index.num_nodes());
+  EXPECT_EQ(loaded->window(), index.window());
+  EXPECT_EQ(loaded->options().precision, 8);
+  EXPECT_EQ(loaded->options().salt, 7u);
+  EXPECT_EQ(loaded->TotalSketchEntries(), index.TotalSketchEntries());
+  EXPECT_EQ(loaded->NumAllocatedSketches(), index.NumAllocatedSketches());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_DOUBLE_EQ(loaded->EstimateIrsSize(u), index.EstimateIrsSize(u));
+  }
+  const std::vector<NodeId> seeds = {0, 10, 20, 30};
+  EXPECT_DOUBLE_EQ(loaded->EstimateUnionSize(seeds),
+                   index.EstimateUnionSize(seeds));
+}
+
+TEST_F(OracleIoTest, MissingFileFails) {
+  EXPECT_FALSE(LoadInfluenceIndex("/nonexistent/nothing.bin").has_value());
+}
+
+TEST_F(OracleIoTest, GarbageFileFails) {
+  std::ofstream out(path_, std::ios::binary);
+  out << "this is definitely not an influence index";
+  out.close();
+  EXPECT_FALSE(LoadInfluenceIndex(path_).has_value());
+}
+
+TEST_F(OracleIoTest, TruncatedIndexFails) {
+  const InteractionGraph g = GenerateUniformRandomNetwork(30, 300, 800, 3);
+  IrsApproxOptions options;
+  options.precision = 6;
+  const IrsApprox index = IrsApprox::Compute(g, 200, options);
+  ASSERT_TRUE(SaveInfluenceIndex(index, path_));
+
+  std::ifstream in(path_, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  contents.resize(contents.size() / 2);
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out << contents;
+  out.close();
+
+  EXPECT_FALSE(LoadInfluenceIndex(path_).has_value());
+}
+
+TEST_F(OracleIoTest, EmptyIndexRoundtrips) {
+  IrsApproxOptions options;
+  options.precision = 6;
+  const IrsApprox index(5, 10, options);  // no interactions processed
+  ASSERT_TRUE(SaveInfluenceIndex(index, path_));
+  const auto loaded = LoadInfluenceIndex(path_);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_nodes(), 5u);
+  EXPECT_EQ(loaded->NumAllocatedSketches(), 0u);
+}
+
+}  // namespace
+}  // namespace ipin

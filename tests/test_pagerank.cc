@@ -1,0 +1,89 @@
+#include "ipin/baselines/pagerank.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace ipin {
+namespace {
+
+TEST(PageRankTest, ScoresSumToOne) {
+  const StaticGraph g =
+      StaticGraph::FromEdges(5, {{0, 1}, {1, 2}, {2, 0}, {3, 0}, {4, 2}});
+  const auto scores = ComputePageRank(g);
+  const double sum = std::accumulate(scores.begin(), scores.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(PageRankTest, SymmetricCycleIsUniform) {
+  const StaticGraph g =
+      StaticGraph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  const auto scores = ComputePageRank(g);
+  for (const double s : scores) EXPECT_NEAR(s, 0.25, 1e-6);
+}
+
+TEST(PageRankTest, StarCenterDominates) {
+  // All leaves point to node 0.
+  const StaticGraph g =
+      StaticGraph::FromEdges(5, {{1, 0}, {2, 0}, {3, 0}, {4, 0}});
+  const auto scores = ComputePageRank(g);
+  for (NodeId u = 1; u < 5; ++u) EXPECT_GT(scores[0], scores[u]);
+}
+
+TEST(PageRankTest, DanglingNodesHandled) {
+  // Node 1 has no out-edges; ranks must still sum to 1.
+  const StaticGraph g = StaticGraph::FromEdges(3, {{0, 1}, {2, 1}});
+  const auto scores = ComputePageRank(g);
+  const double sum = std::accumulate(scores.begin(), scores.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  EXPECT_GT(scores[1], scores[0]);
+}
+
+TEST(PageRankTest, EmptyGraph) {
+  EXPECT_TRUE(ComputePageRank(StaticGraph()).empty());
+}
+
+TEST(TopKByScoreTest, OrdersDescendingWithIdTieBreak) {
+  const std::vector<double> scores = {0.1, 0.5, 0.5, 0.9};
+  const auto top = TopKByScore(scores, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 3u);
+  EXPECT_EQ(top[1], 1u);  // tie with 2, smaller id first
+  EXPECT_EQ(top[2], 2u);
+}
+
+TEST(TopKByScoreTest, KLargerThanN) {
+  const std::vector<double> scores = {0.2, 0.8};
+  EXPECT_EQ(TopKByScore(scores, 10).size(), 2u);
+}
+
+TEST(SelectSeedsPageRankTest, ReversesEdgesForOutgoingInfluence) {
+  // In the interaction graph, node 0 sends to everyone (influencer);
+  // standard PageRank would rank receivers highest, the seed selector must
+  // rank node 0 highest.
+  InteractionGraph g(5);
+  g.AddInteraction(0, 1, 1);
+  g.AddInteraction(0, 2, 2);
+  g.AddInteraction(0, 3, 3);
+  g.AddInteraction(0, 4, 4);
+  const auto seeds = SelectSeedsPageRank(g, 1);
+  ASSERT_EQ(seeds.size(), 1u);
+  EXPECT_EQ(seeds[0], 0u);
+}
+
+TEST(PageRankTest, ConvergesOnLargerRandomGraph) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u < 200; ++u) {
+    edges.emplace_back(u, (u * 7 + 1) % 200);
+    edges.emplace_back(u, (u * 13 + 5) % 200);
+  }
+  const StaticGraph g = StaticGraph::FromEdges(200, edges);
+  const auto scores = ComputePageRank(g);
+  const double sum = std::accumulate(scores.begin(), scores.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-4);
+  for (const double s : scores) EXPECT_GT(s, 0.0);
+}
+
+}  // namespace
+}  // namespace ipin

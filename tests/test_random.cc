@@ -1,0 +1,169 @@
+#include "ipin/common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ipin {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+    EXPECT_EQ(rng.NextBounded(1), 0u);
+  }
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform) {
+  Rng rng(11);
+  const uint64_t buckets = 10;
+  std::vector<int> counts(buckets, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[rng.NextBounded(buckets)]++;
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 10.0, n / 10.0 * 0.1);
+  }
+}
+
+TEST(RngTest, NextDoubleInHalfOpenUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+    EXPECT_FALSE(rng.NextBernoulli(-0.5));
+    EXPECT_TRUE(rng.NextBernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(9);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);  // mean = 1/rate
+}
+
+TEST(RngTest, ExponentialIsPositive) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(rng.NextExponential(1.0), 0.0);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(19);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, ZipfStaysInRange) {
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextZipf(100, 1.2), 100u);
+    EXPECT_EQ(rng.NextZipf(1, 1.5), 0u);
+  }
+}
+
+TEST(RngTest, ZipfFavorsSmallRanks) {
+  Rng rng(29);
+  std::vector<int> counts(100, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[rng.NextZipf(100, 1.2)]++;
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[50]);
+  EXPECT_GT(counts[0], n / 10);  // rank 0 takes a large share
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(31);
+  std::vector<int> values(50);
+  for (int i = 0; i < 50; ++i) values[i] = i;
+  rng.Shuffle(&values);
+  std::vector<int> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(RngTest, ShuffleActuallyShuffles) {
+  Rng rng(37);
+  std::vector<int> values(100);
+  for (int i = 0; i < 100; ++i) values[i] = i;
+  rng.Shuffle(&values);
+  int fixed_points = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (values[i] == i) ++fixed_points;
+  }
+  EXPECT_LT(fixed_points, 15);  // E[fixed points] = 1
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(41);
+  for (const uint64_t k : {1u, 5u, 30u, 90u}) {
+    const auto sample = rng.SampleWithoutReplacement(100, k);
+    EXPECT_EQ(sample.size(), k);
+    const std::set<uint64_t> distinct(sample.begin(), sample.end());
+    EXPECT_EQ(distinct.size(), k);
+    for (const uint64_t x : sample) EXPECT_LT(x, 100u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementKGreaterThanN) {
+  Rng rng(43);
+  const auto sample = rng.SampleWithoutReplacement(10, 50);
+  EXPECT_EQ(sample.size(), 10u);
+  const std::set<uint64_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 10u);
+}
+
+TEST(RngTest, SampleWithoutReplacementEmptyUniverse) {
+  Rng rng(47);
+  EXPECT_TRUE(rng.SampleWithoutReplacement(0, 5).empty());
+}
+
+}  // namespace
+}  // namespace ipin

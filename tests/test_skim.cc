@@ -1,0 +1,131 @@
+#include "ipin/baselines/skim.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace ipin {
+namespace {
+
+SkimOptions Options(double p, size_t instances = 8, size_t k = 32) {
+  SkimOptions options;
+  options.probability = p;
+  options.num_instances = instances;
+  options.sketch_k = k;
+  return options;
+}
+
+// Exact reachability size from u in a deterministic graph.
+size_t ReachableCount(const StaticGraph& g, NodeId u) {
+  std::set<NodeId> seen = {u};
+  std::vector<NodeId> stack = {u};
+  while (!stack.empty()) {
+    const NodeId x = stack.back();
+    stack.pop_back();
+    for (const NodeId v : g.Neighbors(x)) {
+      if (seen.insert(v).second) stack.push_back(v);
+    }
+  }
+  return seen.size();
+}
+
+TEST(SkimTest, DeterministicGraphPicksMaxReachabilityFirst) {
+  // With p=1 all instances equal the input graph, so the first seed must be
+  // the node with the largest reachability set.
+  const StaticGraph g = StaticGraph::FromEdges(
+      7, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {5, 6}});
+  const SkimResult result = SelectSeedsSkim(g, 1, Options(1.0, 4, 16));
+  ASSERT_EQ(result.seeds.size(), 1u);
+  EXPECT_EQ(result.seeds[0], 0u);  // reaches 5 nodes
+  size_t best = 0;
+  for (NodeId u = 0; u < 7; ++u) best = std::max(best, ReachableCount(g, u));
+  EXPECT_EQ(best, 5u);
+}
+
+TEST(SkimTest, SecondSeedCoversDisjointComponent) {
+  const StaticGraph g = StaticGraph::FromEdges(
+      7, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {5, 6}});
+  const SkimResult result = SelectSeedsSkim(g, 2, Options(1.0, 4, 16));
+  ASSERT_EQ(result.seeds.size(), 2u);
+  EXPECT_EQ(result.seeds[1], 5u);  // chain {5,6}, only uncovered component
+}
+
+TEST(SkimTest, GainsAreNonIncreasing) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u < 40; ++u) {
+    edges.emplace_back(u, (u * 3 + 1) % 40);
+    edges.emplace_back(u, (u * 7 + 2) % 40);
+  }
+  const StaticGraph g = StaticGraph::FromEdges(40, edges);
+  const SkimResult result = SelectSeedsSkim(g, 8, Options(0.5));
+  ASSERT_EQ(result.seeds.size(), 8u);
+  for (size_t i = 1; i < result.gains.size(); ++i) {
+    EXPECT_LE(result.gains[i], result.gains[i - 1] + 1e-9);
+  }
+}
+
+TEST(SkimTest, DeterministicGivenSeed) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u < 30; ++u) edges.emplace_back(u, (u * 11 + 3) % 30);
+  const StaticGraph g = StaticGraph::FromEdges(30, edges);
+  const SkimResult a = SelectSeedsSkim(g, 5, Options(0.5));
+  const SkimResult b = SelectSeedsSkim(g, 5, Options(0.5));
+  EXPECT_EQ(a.seeds, b.seeds);
+}
+
+TEST(SkimTest, EstimatedSpreadMatchesDeterministicCoverage) {
+  // p=1, single component of size 5: spread of seed 0 must be exactly 5.
+  const StaticGraph g =
+      StaticGraph::FromEdges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  const SkimResult result = SelectSeedsSkim(g, 1, Options(1.0, 4, 16));
+  EXPECT_DOUBLE_EQ(result.estimated_spread, 5.0);
+}
+
+TEST(SkimTest, SeedsAreDistinctAndInRange) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u < 50; ++u) {
+    edges.emplace_back(u, (u * 13 + 1) % 50);
+    edges.emplace_back(u, (u * 5 + 2) % 50);
+  }
+  const StaticGraph g = StaticGraph::FromEdges(50, edges);
+  const SkimResult result = SelectSeedsSkim(g, 10, Options(0.3));
+  ASSERT_EQ(result.seeds.size(), 10u);
+  const std::set<NodeId> distinct(result.seeds.begin(), result.seeds.end());
+  EXPECT_EQ(distinct.size(), 10u);
+  for (const NodeId s : result.seeds) EXPECT_LT(s, 50u);
+}
+
+TEST(SkimTest, EmptyGraphAndZeroK) {
+  EXPECT_TRUE(SelectSeedsSkim(StaticGraph(), 3, Options(0.5)).seeds.empty());
+  const StaticGraph g = StaticGraph::FromEdges(2, {{0, 1}});
+  EXPECT_TRUE(SelectSeedsSkim(g, 0, Options(0.5)).seeds.empty());
+}
+
+TEST(SkimTest, KLargerThanNReturnsAllNodes) {
+  const StaticGraph g = StaticGraph::FromEdges(3, {{0, 1}, {1, 2}});
+  const SkimResult result = SelectSeedsSkim(g, 10, Options(1.0, 2, 8));
+  EXPECT_EQ(result.seeds.size(), 3u);
+}
+
+TEST(SkimTest, InteractionOverloadWorks) {
+  InteractionGraph g(4);
+  g.AddInteraction(0, 1, 1);
+  g.AddInteraction(1, 2, 2);
+  g.AddInteraction(2, 3, 3);
+  const SkimResult result = SelectSeedsSkim(g, 1, Options(1.0, 2, 8));
+  ASSERT_EQ(result.seeds.size(), 1u);
+  EXPECT_EQ(result.seeds[0], 0u);
+}
+
+TEST(SkimTest, LowProbabilityShrinksSpread) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u + 1 < 60; ++u) edges.emplace_back(u, u + 1);
+  const StaticGraph g = StaticGraph::FromEdges(60, edges);
+  const SkimResult high = SelectSeedsSkim(g, 1, Options(1.0, 8, 16));
+  const SkimResult low = SelectSeedsSkim(g, 1, Options(0.2, 8, 16));
+  EXPECT_GT(high.estimated_spread, low.estimated_spread);
+}
+
+}  // namespace
+}  // namespace ipin

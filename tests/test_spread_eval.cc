@@ -1,0 +1,69 @@
+#include "ipin/eval/spread_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "ipin/datasets/synthetic.h"
+
+namespace ipin {
+namespace {
+
+TEST(SpreadEvalTest, CurveHasRequestedShape) {
+  const InteractionGraph g = GenerateUniformRandomNetwork(80, 800, 2000, 1);
+  std::vector<NodeId> ranked;
+  for (NodeId u = 0; u < 50; ++u) ranked.push_back(u);
+  const std::vector<size_t> ks = {5, 10, 20, 50};
+  TcicOptions options;
+  options.window = 500;
+  options.probability = 0.5;
+  const SpreadCurve curve =
+      EvaluateSpreadCurve(g, "test", ranked, ks, options, 10, 3);
+  EXPECT_EQ(curve.method, "test");
+  ASSERT_EQ(curve.top_k_values.size(), 4u);
+  ASSERT_EQ(curve.spreads.size(), 4u);
+  for (const double s : curve.spreads) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 80.0);
+  }
+}
+
+TEST(SpreadEvalTest, SpreadGrowsWithKOnAverage) {
+  const InteractionGraph g = GenerateUniformRandomNetwork(100, 1200, 3000, 5);
+  std::vector<NodeId> ranked;
+  for (NodeId u = 0; u < 60; ++u) ranked.push_back(u);
+  const std::vector<size_t> ks = {1, 10, 40};
+  TcicOptions options;
+  options.window = 1000;
+  options.probability = 1.0;
+  const SpreadCurve curve =
+      EvaluateSpreadCurve(g, "m", ranked, ks, options, 5, 9);
+  EXPECT_LE(curve.spreads[0], curve.spreads[1] + 1e-9);
+  EXPECT_LE(curve.spreads[1], curve.spreads[2] + 1e-9);
+}
+
+TEST(SpreadEvalTest, KBeyondRankedListUsesWholeList) {
+  const InteractionGraph g = GenerateUniformRandomNetwork(30, 200, 600, 7);
+  const std::vector<NodeId> ranked = {0, 1, 2};
+  const std::vector<size_t> ks = {2, 100};
+  TcicOptions options;
+  options.window = 100;
+  options.probability = 1.0;
+  const SpreadCurve curve =
+      EvaluateSpreadCurve(g, "m", ranked, ks, options, 3, 1);
+  EXPECT_EQ(curve.top_k_values[1], 100u);
+  EXPECT_GE(curve.spreads[1], curve.spreads[0] - 1e-9);
+}
+
+TEST(SpreadEvalTest, DeterministicGivenSeed) {
+  const InteractionGraph g = GenerateUniformRandomNetwork(40, 300, 800, 2);
+  const std::vector<NodeId> ranked = {0, 1, 2, 3, 4};
+  const std::vector<size_t> ks = {3, 5};
+  TcicOptions options;
+  options.window = 200;
+  options.probability = 0.5;
+  const SpreadCurve a = EvaluateSpreadCurve(g, "m", ranked, ks, options, 8, 4);
+  const SpreadCurve b = EvaluateSpreadCurve(g, "m", ranked, ks, options, 8, 4);
+  EXPECT_EQ(a.spreads, b.spreads);
+}
+
+}  // namespace
+}  // namespace ipin

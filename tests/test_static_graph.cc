@@ -1,0 +1,115 @@
+#include "ipin/graph/static_graph.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace ipin {
+namespace {
+
+TEST(StaticGraphTest, EmptyGraph) {
+  const StaticGraph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(StaticGraphTest, FromEdgesDeduplicates) {
+  const StaticGraph g =
+      StaticGraph::FromEdges(3, {{0, 1}, {0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.OutDegree(1), 1u);
+  EXPECT_EQ(g.OutDegree(2), 0u);
+}
+
+TEST(StaticGraphTest, NeighborsAreSortedAscending) {
+  const StaticGraph g =
+      StaticGraph::FromEdges(5, {{0, 4}, {0, 1}, {0, 3}, {0, 2}});
+  const auto nbrs = g.Neighbors(0);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(nbrs.size(), 4u);
+}
+
+TEST(StaticGraphTest, HasEdge) {
+  const StaticGraph g = StaticGraph::FromEdges(4, {{0, 1}, {2, 3}});
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 3));
+}
+
+TEST(StaticGraphTest, TransposeReversesEdges) {
+  const StaticGraph g = StaticGraph::FromEdges(3, {{0, 1}, {0, 2}, {1, 2}});
+  const StaticGraph t = g.Transpose();
+  EXPECT_EQ(t.num_edges(), 3u);
+  EXPECT_TRUE(t.HasEdge(1, 0));
+  EXPECT_TRUE(t.HasEdge(2, 0));
+  EXPECT_TRUE(t.HasEdge(2, 1));
+  EXPECT_FALSE(t.HasEdge(0, 1));
+}
+
+TEST(StaticGraphTest, DoubleTransposeIsIdentity) {
+  const StaticGraph g =
+      StaticGraph::FromEdges(6, {{0, 1}, {1, 2}, {2, 0}, {3, 5}, {4, 4}});
+  const StaticGraph tt = g.Transpose().Transpose();
+  EXPECT_EQ(tt.num_edges(), g.num_edges());
+  for (NodeId u = 0; u < 6; ++u) {
+    const auto a = g.Neighbors(u);
+    const auto b = tt.Neighbors(u);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  }
+}
+
+TEST(StaticGraphTest, FromInteractionsFlattens) {
+  InteractionGraph ig;
+  ig.AddInteraction(0, 1, 1);
+  ig.AddInteraction(0, 1, 2);  // repeat collapses
+  ig.AddInteraction(1, 2, 3);
+  const StaticGraph g = StaticGraph::FromInteractions(ig);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+}
+
+TEST(StaticGraphTest, FromInteractionsReversed) {
+  InteractionGraph ig;
+  ig.AddInteraction(0, 1, 1);
+  const StaticGraph g =
+      StaticGraph::FromInteractions(ig, /*reversed=*/true);
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 1));
+}
+
+TEST(StaticGraphTest, SelfLoopsKept) {
+  const StaticGraph g = StaticGraph::FromEdges(2, {{0, 0}, {0, 1}});
+  EXPECT_TRUE(g.HasEdge(0, 0));
+  EXPECT_EQ(g.OutDegree(0), 2u);
+}
+
+TEST(WeightedStaticGraphTest, KeepsSmallestWeightPerEdge) {
+  const WeightedStaticGraph g = WeightedStaticGraph::FromEdges(
+      3, {{0, 1, 5.0}, {0, 1, 2.0}, {0, 1, 9.0}, {1, 2, 1.0}});
+  EXPECT_EQ(g.num_edges(), 2u);
+  const auto nbrs = g.Neighbors(0);
+  ASSERT_EQ(nbrs.size(), 1u);
+  EXPECT_EQ(nbrs[0].target, 1u);
+  EXPECT_DOUBLE_EQ(nbrs[0].weight, 2.0);
+}
+
+TEST(WeightedStaticGraphTest, DegreeAndSizes) {
+  const WeightedStaticGraph g = WeightedStaticGraph::FromEdges(
+      4, {{0, 1, 1.0}, {0, 2, 1.0}, {3, 0, 4.0}});
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.OutDegree(3), 1u);
+  EXPECT_EQ(g.OutDegree(1), 0u);
+}
+
+TEST(StaticGraphTest, MemoryUsageNonZero) {
+  const StaticGraph g = StaticGraph::FromEdges(3, {{0, 1}});
+  EXPECT_GT(g.MemoryUsageBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace ipin

@@ -1,0 +1,146 @@
+#include "ipin/core/tcic.h"
+
+#include <gtest/gtest.h>
+
+#include "ipin/datasets/synthetic.h"
+#include "test_util.h"
+
+namespace ipin {
+namespace {
+
+TcicOptions Options(Duration window, double p) {
+  TcicOptions options;
+  options.window = window;
+  options.probability = p;
+  return options;
+}
+
+TEST(TcicTest, NoSeedsNoSpread) {
+  const InteractionGraph g = FigureOneGraph();
+  Rng rng(1);
+  EXPECT_EQ(SimulateTcic(g, {}, Options(3, 1.0), &rng), 0u);
+}
+
+TEST(TcicTest, SeedWithoutOutgoingInteractionNeverActivates) {
+  // Node f never appears as a source in Figure 1a.
+  const InteractionGraph g = FigureOneGraph();
+  Rng rng(1);
+  const std::vector<NodeId> seeds = {kF};
+  EXPECT_EQ(SimulateTcic(g, seeds, Options(3, 1.0), &rng), 0u);
+}
+
+TEST(TcicTest, ProbabilityZeroActivatesOnlySeeds) {
+  const InteractionGraph g = FigureOneGraph();
+  Rng rng(1);
+  const std::vector<NodeId> seeds = {kA, kE};
+  // Both a and e appear as sources, so both activate; nothing spreads.
+  EXPECT_EQ(SimulateTcic(g, seeds, Options(3, 0.0), &rng), 2u);
+}
+
+TEST(TcicTest, FullProbabilityDeterministicCascade) {
+  // Seed a in Figure 1a, window 3, p=1. a activates at t=1 (a->d).
+  // Chain budget: interactions up to t = 1 + 3 = 4.
+  //   (a,d,1): d infected (inherits 1).
+  //   (d,e,3): 3-1 <= 3 -> e infected (inherits 1).
+  //   (e,b,4): 4-1 <= 3 -> b infected (inherits 1).
+  //   (a,b,5): 5-1 > 3 -> no; (b,e,6), (e,c,7), (b,c,8): > budget.
+  // Active: {a, d, e, b} = 4.
+  const InteractionGraph g = FigureOneGraph();
+  Rng rng(7);
+  const std::vector<NodeId> seeds = {kA};
+  const TcicTrace trace = SimulateTcicTrace(g, seeds, Options(3, 1.0), &rng);
+  EXPECT_EQ(trace.num_active, 4u);
+  EXPECT_TRUE(trace.active[kA]);
+  EXPECT_TRUE(trace.active[kB]);
+  EXPECT_TRUE(trace.active[kD]);
+  EXPECT_TRUE(trace.active[kE]);
+  EXPECT_FALSE(trace.active[kC]);
+  EXPECT_FALSE(trace.active[kF]);
+  EXPECT_EQ(trace.activate_time[kA], 1);
+  EXPECT_EQ(trace.activate_time[kE], 1);  // inherited chain start
+}
+
+TEST(TcicTest, WiderWindowSpreadsFurther) {
+  const InteractionGraph g = FigureOneGraph();
+  Rng rng(7);
+  const std::vector<NodeId> seeds = {kA};
+  // Window 7: budget through t=8; e->c(7) and b->c(8) now fire.
+  const size_t spread = SimulateTcic(g, seeds, Options(7, 1.0), &rng);
+  EXPECT_EQ(spread, 5u);  // a,b,c,d,e (f needs e active before t=2)
+}
+
+TEST(TcicTest, WindowZeroOnlyInfectsAtActivationInstant) {
+  InteractionGraph g(3);
+  g.AddInteraction(0, 1, 5);
+  g.AddInteraction(0, 2, 6);
+  Rng rng(3);
+  const std::vector<NodeId> seeds = {0};
+  // Seed activates at t=5 and infects 1 (t - at == 0); t=6 is out of budget.
+  EXPECT_EQ(SimulateTcic(g, seeds, Options(0, 1.0), &rng), 2u);
+}
+
+TEST(TcicTest, LaterSeedActivationRefreshesChain) {
+  // Algorithm 1: a child inherits max(parent, own) activation time, so a
+  // second seed with a later activation extends reach.
+  InteractionGraph g(4);
+  g.AddInteraction(0, 2, 1);   // seed 0 activates at 1, infects 2
+  g.AddInteraction(1, 2, 10);  // seed 1 activates at 10, re-infects 2
+  g.AddInteraction(2, 3, 12);  // within window of chain started at 10
+  Rng rng(5);
+  const std::vector<NodeId> both = {0, 1};
+  EXPECT_EQ(SimulateTcic(g, both, Options(3, 1.0), &rng), 4u);
+  const std::vector<NodeId> only_first = {0};
+  // Chain from t=1 expires before t=12.
+  EXPECT_EQ(SimulateTcic(g, only_first, Options(3, 1.0), &rng), 2u);
+}
+
+TEST(TcicTest, ProbabilityHalfSpreadBetweenExtremes) {
+  SyntheticConfig config;
+  config.num_nodes = 200;
+  config.num_interactions = 3000;
+  config.time_span = 5000;
+  config.seed = 11;
+  const InteractionGraph g = GenerateInteractionNetwork(config);
+  const std::vector<NodeId> seeds = {0, 1, 2, 3, 4};
+  const Duration w = 1000;
+  const double p0 = AverageTcicSpread(g, seeds, Options(w, 0.0), 10, 1);
+  const double p50 = AverageTcicSpread(g, seeds, Options(w, 0.5), 10, 1);
+  const double p100 = AverageTcicSpread(g, seeds, Options(w, 1.0), 10, 1);
+  EXPECT_LE(p0, p50);
+  EXPECT_LE(p50, p100);
+}
+
+TEST(TcicTest, AverageSpreadIsDeterministicGivenSeed) {
+  const InteractionGraph g = GenerateUniformRandomNetwork(50, 400, 1000, 2);
+  const std::vector<NodeId> seeds = {0, 1};
+  const double a = AverageTcicSpread(g, seeds, Options(200, 0.5), 20, 99);
+  const double b = AverageTcicSpread(g, seeds, Options(200, 0.5), 20, 99);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(TcicTest, SpreadMonotoneInSeedSetOnAverage) {
+  const InteractionGraph g = GenerateUniformRandomNetwork(100, 1000, 2000, 4);
+  const std::vector<NodeId> small = {0, 1, 2};
+  const std::vector<NodeId> large = {0, 1, 2, 3, 4, 5, 6, 7};
+  const double s = AverageTcicSpread(g, small, Options(400, 0.5), 30, 7);
+  const double l = AverageTcicSpread(g, large, Options(400, 0.5), 30, 7);
+  EXPECT_LE(s, l + 1.0);  // allow tiny Monte-Carlo noise
+}
+
+TEST(TcicTest, TraceCountsMatchActiveFlags) {
+  const InteractionGraph g = GenerateUniformRandomNetwork(40, 300, 800, 6);
+  Rng rng(8);
+  const std::vector<NodeId> seeds = {0, 5, 9};
+  const TcicTrace trace = SimulateTcicTrace(g, seeds, Options(100, 0.7), &rng);
+  size_t count = 0;
+  for (size_t u = 0; u < trace.active.size(); ++u) {
+    if (trace.active[u]) {
+      ++count;
+      EXPECT_NE(trace.activate_time[u], kNoTimestamp);
+    }
+  }
+  EXPECT_EQ(count, trace.num_active);
+}
+
+}  // namespace
+}  // namespace ipin

@@ -1,0 +1,117 @@
+#include "ipin/core/tclt.h"
+
+#include <gtest/gtest.h>
+
+#include "ipin/core/tcic.h"
+#include "ipin/datasets/synthetic.h"
+#include "test_util.h"
+
+namespace ipin {
+namespace {
+
+TcltOptions Options(Duration window, double scale = 1.0) {
+  TcltOptions options;
+  options.window = window;
+  options.weight_scale = scale;
+  return options;
+}
+
+TEST(TcltTest, NoSeedsNoSpread) {
+  const InteractionGraph g = FigureOneGraph();
+  Rng rng(1);
+  EXPECT_EQ(SimulateTclt(g, {}, Options(3), &rng), 0u);
+}
+
+TEST(TcltTest, HugeWeightScaleEqualsDeterministicTcic) {
+  // With weights clamped to 1 every contact activates, which is exactly
+  // TCIC at p = 1.
+  const InteractionGraph g = FigureOneGraph();
+  for (const Duration w : {0, 3, 7, 100}) {
+    Rng rng_lt(5);
+    const size_t lt = SimulateTclt(g, std::vector<NodeId>{kA},
+                                   Options(w, 1e9), &rng_lt);
+    TcicOptions tcic;
+    tcic.window = w;
+    tcic.probability = 1.0;
+    Rng rng_ic(5);
+    const size_t ic =
+        SimulateTcic(g, std::vector<NodeId>{kA}, tcic, &rng_ic);
+    EXPECT_EQ(lt, ic) << "window " << w;
+  }
+}
+
+TEST(TcltTest, ZeroWeightActivatesOnlySeeds) {
+  const InteractionGraph g = FigureOneGraph();
+  Rng rng(3);
+  const std::vector<NodeId> seeds = {kA, kE};
+  EXPECT_EQ(SimulateTclt(g, seeds, Options(100, 0.0), &rng), 2u);
+}
+
+TEST(TcltTest, SeedWithoutOutgoingInteractionStaysInactive) {
+  const InteractionGraph g = FigureOneGraph();
+  Rng rng(3);
+  const std::vector<NodeId> seeds = {kF};
+  EXPECT_EQ(SimulateTclt(g, seeds, Options(100, 1e9), &rng), 0u);
+}
+
+TEST(TcltTest, RepeatedInteractionsContributeOnce) {
+  // Node 2 has two in-neighbours (weights 1/2). A single active neighbour
+  // spamming cannot push the accumulated weight past 1/2.
+  InteractionGraph g(3);
+  for (int i = 0; i < 20; ++i) g.AddInteraction(0, 2, i + 1);
+  g.AddInteraction(1, 2, 100);
+  Rng rng(9);
+  // With threshold forced above 1/2 via many trials: count activations of
+  // node 2 when only seed 0 is active within window; should be ~50% (the
+  // probability threshold <= 1/2), never ~100%.
+  size_t active_count = 0;
+  const size_t trials = 400;
+  for (size_t t = 0; t < trials; ++t) {
+    Rng trial_rng(t);
+    const size_t spread =
+        SimulateTclt(g, std::vector<NodeId>{0}, Options(1000), &trial_rng);
+    if (spread == 2) ++active_count;
+  }
+  const double rate = static_cast<double>(active_count) / trials;
+  EXPECT_GT(rate, 0.35);
+  EXPECT_LT(rate, 0.65);
+}
+
+TEST(TcltTest, SpreadMonotoneInWeightScale) {
+  SyntheticConfig config;
+  config.num_nodes = 200;
+  config.num_interactions = 3000;
+  config.time_span = 5000;
+  config.seed = 17;
+  const InteractionGraph g = GenerateInteractionNetwork(config);
+  const std::vector<NodeId> seeds = {0, 1, 2, 3, 4};
+  const double low = AverageTcltSpread(g, seeds, Options(1000, 0.5), 20, 3);
+  const double mid = AverageTcltSpread(g, seeds, Options(1000, 1.0), 20, 3);
+  const double high = AverageTcltSpread(g, seeds, Options(1000, 4.0), 20, 3);
+  EXPECT_LE(low, mid + 1.0);
+  EXPECT_LE(mid, high + 1.0);
+}
+
+TEST(TcltTest, WiderWindowSpreadsAtLeastAsFar) {
+  SyntheticConfig config;
+  config.num_nodes = 150;
+  config.num_interactions = 2500;
+  config.time_span = 4000;
+  config.seed = 29;
+  const InteractionGraph g = GenerateInteractionNetwork(config);
+  const std::vector<NodeId> seeds = {0, 1, 2};
+  const double narrow = AverageTcltSpread(g, seeds, Options(100), 20, 5);
+  const double wide = AverageTcltSpread(g, seeds, Options(4000), 20, 5);
+  EXPECT_LE(narrow, wide + 1.0);
+}
+
+TEST(TcltTest, DeterministicGivenSeed) {
+  const InteractionGraph g = GenerateUniformRandomNetwork(50, 400, 1000, 2);
+  const std::vector<NodeId> seeds = {0, 1};
+  const double a = AverageTcltSpread(g, seeds, Options(200), 10, 42);
+  const double b = AverageTcltSpread(g, seeds, Options(200), 10, 42);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace ipin

@@ -1,0 +1,96 @@
+#include "ipin/baselines/temporal_pagerank.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "ipin/datasets/synthetic.h"
+#include "test_util.h"
+
+namespace ipin {
+namespace {
+
+TEST(TemporalPageRankTest, ScoresNormalized) {
+  const InteractionGraph g = GenerateUniformRandomNetwork(50, 500, 2000, 1);
+  const auto scores = ComputeTemporalPageRank(g);
+  const double sum = std::accumulate(scores.begin(), scores.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  for (const double s : scores) EXPECT_GE(s, 0.0);
+}
+
+TEST(TemporalPageRankTest, EmptyGraphAllZero) {
+  const InteractionGraph g(4);
+  const auto scores = ComputeTemporalPageRank(g);
+  for (const double s : scores) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(TemporalPageRankTest, PopularReceiverScoresHighest) {
+  InteractionGraph g(5);
+  for (int i = 0; i < 10; ++i) {
+    g.AddInteraction(static_cast<NodeId>(i % 4 == 3 ? 1 : i % 4), 4,
+                     i + 1);  // everyone sends to node 4
+  }
+  const auto scores = ComputeTemporalPageRank(g);
+  for (NodeId u = 0; u < 4; ++u) EXPECT_GT(scores[4], scores[u]);
+}
+
+TEST(TemporalPageRankTest, TimeOrderMatters) {
+  // Chain 0->1->2 in time order passes mass to 2; in anti-time order the
+  // relayed mass cannot flow, so 2 scores strictly less.
+  InteractionGraph ordered(3);
+  ordered.AddInteraction(0, 1, 1);
+  ordered.AddInteraction(1, 2, 2);
+  InteractionGraph reversed_order(3);
+  reversed_order.AddInteraction(1, 2, 1);
+  reversed_order.AddInteraction(0, 1, 2);
+  TemporalPageRankOptions options;
+  options.tau = 100.0;
+  const auto a = ComputeTemporalPageRank(ordered, options);
+  const auto b = ComputeTemporalPageRank(reversed_order, options);
+  EXPECT_GT(a[2], b[2]);
+}
+
+TEST(TemporalPageRankTest, DecayReducesStaleRelays) {
+  // Same chain, but with a huge gap before the relay: with a small tau the
+  // relayed share of 2's score shrinks towards the fresh-walk-only value.
+  InteractionGraph g(3);
+  g.AddInteraction(0, 1, 1);
+  g.AddInteraction(1, 2, 1000000);
+  TemporalPageRankOptions slow_decay;
+  slow_decay.tau = 1e9;
+  TemporalPageRankOptions fast_decay;
+  fast_decay.tau = 10.0;
+  const auto slow = ComputeTemporalPageRank(g, slow_decay);
+  const auto fast = ComputeTemporalPageRank(g, fast_decay);
+  // Node 2's share of the total is lower under fast decay.
+  EXPECT_LT(fast[2], slow[2]);
+}
+
+TEST(TemporalPageRankTest, SeedSelectionPicksTemporalSource) {
+  // Node 0 seeds a long time-respecting relay chain; static out-degree of
+  // every node is 1, but temporally node 0's mass reaches everyone.
+  InteractionGraph g(6);
+  for (NodeId u = 0; u + 1 < 6; ++u) {
+    g.AddInteraction(u, u + 1, u + 1);
+  }
+  const auto seeds = SelectSeedsTemporalPageRank(g, 1);
+  ASSERT_EQ(seeds.size(), 1u);
+  EXPECT_EQ(seeds[0], 0u);
+}
+
+TEST(TemporalPageRankTest, SeedsAreValidAndDistinct) {
+  const InteractionGraph g = GenerateUniformRandomNetwork(40, 400, 1000, 3);
+  const auto seeds = SelectSeedsTemporalPageRank(g, 10);
+  ASSERT_EQ(seeds.size(), 10u);
+  std::set<NodeId> distinct(seeds.begin(), seeds.end());
+  EXPECT_EQ(distinct.size(), 10u);
+  for (const NodeId s : seeds) EXPECT_LT(s, 40u);
+}
+
+TEST(TemporalPageRankTest, DeterministicResult) {
+  const InteractionGraph g = GenerateUniformRandomNetwork(30, 300, 900, 5);
+  EXPECT_EQ(ComputeTemporalPageRank(g), ComputeTemporalPageRank(g));
+}
+
+}  // namespace
+}  // namespace ipin

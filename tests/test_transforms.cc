@@ -1,0 +1,123 @@
+#include "ipin/graph/transforms.h"
+
+#include <gtest/gtest.h>
+
+#include "ipin/core/irs_exact.h"
+#include "ipin/core/source_sets.h"
+#include "ipin/datasets/synthetic.h"
+#include "test_util.h"
+
+namespace ipin {
+namespace {
+
+TEST(TimeSliceTest, KeepsOnlyRange) {
+  const InteractionGraph g = FigureOneGraph();
+  const InteractionGraph sliced = TimeSlice(g, 3, 6);
+  EXPECT_EQ(sliced.num_interactions(), 4u);  // times 3,4,5,6
+  for (const Interaction& e : sliced.interactions()) {
+    EXPECT_GE(e.time, 3);
+    EXPECT_LE(e.time, 6);
+  }
+  EXPECT_EQ(sliced.num_nodes(), g.num_nodes());
+}
+
+TEST(TimeSliceTest, EmptyRange) {
+  const InteractionGraph g = FigureOneGraph();
+  EXPECT_TRUE(TimeSlice(g, 100, 200).empty());
+}
+
+TEST(SampleInteractionsTest, ExtremesAndExpectation) {
+  const InteractionGraph g = GenerateUniformRandomNetwork(30, 2000, 5000, 1);
+  Rng rng(2);
+  EXPECT_EQ(SampleInteractions(g, 1.0, &rng).num_interactions(), 2000u);
+  EXPECT_EQ(SampleInteractions(g, 0.0, &rng).num_interactions(), 0u);
+  const size_t half = SampleInteractions(g, 0.5, &rng).num_interactions();
+  EXPECT_NEAR(static_cast<double>(half), 1000.0, 100.0);
+}
+
+TEST(InducedSubgraphTest, KeepsInternalEdgesOnly) {
+  const InteractionGraph g = FigureOneGraph();
+  // Keep {a, b, d, e}: drops e->f(2), e->c(7), b->c(8).
+  const InteractionGraph sub = InducedSubgraph(g, {kA, kB, kD, kE});
+  EXPECT_EQ(sub.num_interactions(), 5u);
+  for (const Interaction& e : sub.interactions()) {
+    EXPECT_NE(e.src, kC);
+    EXPECT_NE(e.dst, kC);
+    EXPECT_NE(e.dst, kF);
+  }
+}
+
+TEST(RelabelDenseTest, CompactsIdSpace) {
+  InteractionGraph g(100);
+  g.AddInteraction(90, 10, 1);
+  g.AddInteraction(10, 50, 2);
+  std::vector<NodeId> old_to_new;
+  const InteractionGraph dense = RelabelDense(g, &old_to_new);
+  EXPECT_EQ(dense.num_nodes(), 3u);
+  EXPECT_EQ(old_to_new[90], 0u);
+  EXPECT_EQ(old_to_new[10], 1u);
+  EXPECT_EQ(old_to_new[50], 2u);
+  EXPECT_EQ(old_to_new[5], kInvalidNode);
+  EXPECT_EQ(dense.interaction(0).src, 0u);
+  EXPECT_EQ(dense.interaction(1).dst, 2u);
+}
+
+TEST(MergeNetworksTest, ConcatenatesAndResorts) {
+  InteractionGraph a(3);
+  a.AddInteraction(0, 1, 5);
+  InteractionGraph b(5);
+  b.AddInteraction(3, 4, 2);
+  const InteractionGraph merged = MergeNetworks(a, b);
+  EXPECT_EQ(merged.num_nodes(), 5u);
+  EXPECT_EQ(merged.num_interactions(), 2u);
+  EXPECT_EQ(merged.interaction(0).time, 2);
+  EXPECT_TRUE(merged.is_sorted());
+}
+
+TEST(ReverseDirectionsTest, FlipsEndpoints) {
+  const InteractionGraph g = FigureOneGraph();
+  const InteractionGraph rev = ReverseDirections(g);
+  EXPECT_EQ(rev.interaction(0).src, kD);
+  EXPECT_EQ(rev.interaction(0).dst, kA);
+  EXPECT_EQ(rev.interaction(0).time, 1);
+}
+
+TEST(TemporalTransposeTest, SigmaOfTransposeEqualsTauOfOriginal) {
+  // The defining identity: reachability sets of the temporal transpose are
+  // the source sets of the original, for every window.
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    const InteractionGraph g =
+        GenerateUniformRandomNetwork(20, 150, 400, seed);
+    const InteractionGraph t = TemporalTranspose(g);
+    for (const Duration w : {1, 10, 60, 400}) {
+      const SourceSetExact sources = SourceSetExact::Compute(g, w);
+      const IrsExact irs = IrsExact::Compute(t, w);
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        EXPECT_EQ(irs.IrsSize(v), sources.SourceSetSize(v))
+            << "v=" << v << " w=" << w << " seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(TemporalTransposeTest, IsAnInvolution) {
+  const InteractionGraph g = FigureOneGraph();
+  const InteractionGraph twice = TemporalTranspose(TemporalTranspose(g));
+  ASSERT_EQ(twice.num_interactions(), g.num_interactions());
+  for (size_t i = 0; i < g.num_interactions(); ++i) {
+    EXPECT_EQ(twice.interaction(i), g.interaction(i));
+  }
+}
+
+TEST(TransformsTest, EmptyGraphsSurvive) {
+  const InteractionGraph g(4);
+  Rng rng(1);
+  EXPECT_TRUE(TimeSlice(g, 0, 10).empty());
+  EXPECT_TRUE(SampleInteractions(g, 0.5, &rng).empty());
+  EXPECT_TRUE(InducedSubgraph(g, {0, 1}).empty());
+  EXPECT_TRUE(TemporalTranspose(g).empty());
+  EXPECT_EQ(RelabelDense(g, nullptr).num_nodes(), 0u);
+}
+
+}  // namespace
+}  // namespace ipin

@@ -1,0 +1,52 @@
+#ifndef IPIN_TESTS_TEST_UTIL_H_
+#define IPIN_TESTS_TEST_UTIL_H_
+
+#include <map>
+#include <vector>
+
+#include "ipin/graph/interaction_graph.h"
+#include "ipin/graph/types.h"
+
+// Shared fixtures for the core-algorithm tests: the paper's running
+// examples, with nodes a..f mapped to ids 0..5.
+
+namespace ipin {
+
+inline constexpr NodeId kA = 0;
+inline constexpr NodeId kB = 1;
+inline constexpr NodeId kC = 2;
+inline constexpr NodeId kD = 3;
+inline constexpr NodeId kE = 4;
+inline constexpr NodeId kF = 5;
+
+/// The interaction network of the paper's Figure 1a:
+/// (a,d,1) (e,f,2) (d,e,3) (e,b,4) (a,b,5) (b,e,6) (e,c,7) (b,c,8).
+inline InteractionGraph FigureOneGraph() {
+  InteractionGraph g(6);
+  g.AddInteraction(kA, kD, 1);
+  g.AddInteraction(kE, kF, 2);
+  g.AddInteraction(kD, kE, 3);
+  g.AddInteraction(kE, kB, 4);
+  g.AddInteraction(kA, kB, 5);
+  g.AddInteraction(kB, kE, 6);
+  g.AddInteraction(kE, kC, 7);
+  g.AddInteraction(kB, kC, 8);
+  return g;
+}
+
+/// The expected IRS summaries of Figure 1a at window 3, from the paper's
+/// Example 2 (final table state).
+inline std::vector<std::map<NodeId, Timestamp>> FigureOneSummariesW3() {
+  return {
+      /*a=*/{{kB, 5}, {kC, 7}, {kE, 3}, {kD, 1}},
+      /*b=*/{{kC, 7}, {kE, 6}},
+      /*c=*/{},
+      /*d=*/{{kE, 3}, {kB, 4}},
+      /*e=*/{{kC, 7}, {kB, 4}, {kF, 2}},
+      /*f=*/{},
+  };
+}
+
+}  // namespace ipin
+
+#endif  // IPIN_TESTS_TEST_UTIL_H_

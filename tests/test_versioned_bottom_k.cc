@@ -1,0 +1,151 @@
+#include "ipin/sketch/versioned_bottom_k.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ipin/common/random.h"
+
+namespace ipin {
+namespace {
+
+// Reference model: all (hash, time) pairs ever inserted (earliest time per
+// hash); answers windowed k-smallest queries exactly.
+class BottomKModel {
+ public:
+  void Add(uint64_t hash, Timestamp t) {
+    auto [it, inserted] = earliest_.emplace(hash, t);
+    if (!inserted && it->second > t) it->second = t;
+  }
+
+  // The k smallest hashes among entries with time < bound.
+  std::vector<uint64_t> SmallestBefore(Timestamp bound, size_t k) const {
+    std::vector<uint64_t> alive;
+    for (const auto& [h, t] : earliest_) {
+      if (t < bound) alive.push_back(h);
+    }
+    std::sort(alive.begin(), alive.end());
+    if (alive.size() > k) alive.resize(k);
+    return alive;
+  }
+
+ private:
+  std::map<uint64_t, Timestamp> earliest_;
+};
+
+TEST(VersionedBottomKTest, ExactBelowK) {
+  VersionedBottomK sketch(16);
+  for (uint64_t i = 0; i < 10; ++i) sketch.Add(i, static_cast<Timestamp>(i));
+  EXPECT_DOUBLE_EQ(sketch.Estimate(), 10.0);
+}
+
+TEST(VersionedBottomKTest, DuplicateItemsKeepEarliestTime) {
+  VersionedBottomK sketch(8);
+  sketch.Add(5, 100);
+  sketch.Add(5, 50);
+  sketch.Add(5, 200);
+  ASSERT_EQ(sketch.NumEntries(), 1u);
+  EXPECT_EQ(sketch.entries()[0].time, 50);
+  EXPECT_DOUBLE_EQ(sketch.Estimate(), 1.0);
+}
+
+TEST(VersionedBottomKTest, PreservesKSmallestForEveryBound) {
+  // The defining property: after arbitrary insertions, the retained
+  // entries must reproduce the exact k smallest alive hashes for every
+  // time bound.
+  Rng rng(42);
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t k = 4 + trial;
+    VersionedBottomK sketch(k);
+    BottomKModel model;
+    for (int op = 0; op < 400; ++op) {
+      const uint64_t hash = rng.NextUint64();
+      const Timestamp t = static_cast<Timestamp>(rng.NextBounded(100));
+      sketch.AddHash(hash, t);
+      model.Add(hash, t);
+    }
+    ASSERT_TRUE(sketch.CheckInvariants());
+    for (const Timestamp bound : {0, 1, 10, 25, 50, 75, 100, 1000}) {
+      const auto expected = model.SmallestBefore(bound, k);
+      std::vector<uint64_t> got;
+      for (const auto& e : sketch.entries()) {
+        if (e.time < bound) got.push_back(e.hash);
+      }
+      std::sort(got.begin(), got.end());
+      if (got.size() > k) got.resize(k);
+      EXPECT_EQ(got, expected) << "trial " << trial << " bound " << bound;
+    }
+  }
+}
+
+TEST(VersionedBottomKTest, EstimateAccuracy) {
+  const double n = 50000.0;
+  VersionedBottomK sketch(256);
+  Rng rng(3);
+  for (uint64_t i = 0; i < static_cast<uint64_t>(n); ++i) {
+    sketch.Add(i, static_cast<Timestamp>(rng.NextBounded(1000)));
+  }
+  EXPECT_NEAR(sketch.Estimate(), n, 4.0 * n / std::sqrt(254.0));
+  EXPECT_TRUE(sketch.CheckInvariants());
+}
+
+TEST(VersionedBottomKTest, EstimateBeforeCountsWindow) {
+  VersionedBottomK sketch(128);
+  for (uint64_t i = 0; i < 2000; ++i) sketch.Add(i, 10);
+  for (uint64_t i = 10000; i < 12000; ++i) sketch.Add(i, 500);
+  const double early = sketch.EstimateBefore(100);
+  EXPECT_NEAR(early, 2000.0, 800.0);
+  EXPECT_NEAR(sketch.Estimate(), 4000.0, 1500.0);
+  EXPECT_GT(sketch.Estimate(), early);
+}
+
+TEST(VersionedBottomKTest, MergeWindowFilters) {
+  VersionedBottomK source(64);
+  for (uint64_t i = 0; i < 500; ++i) source.Add(i, 100);
+  for (uint64_t i = 1000; i < 1500; ++i) source.Add(i, 900);
+  VersionedBottomK target(64);
+  target.MergeWindow(source, 50, 100);  // keep time < 150
+  EXPECT_NEAR(target.Estimate(), 500.0, 300.0);
+  EXPECT_TRUE(target.CheckInvariants());
+}
+
+TEST(VersionedBottomKTest, SizeStaysNearKLogN) {
+  VersionedBottomK sketch(16);
+  Rng rng(7);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sketch.Add(rng.NextUint64(), static_cast<Timestamp>(n - i));
+  }
+  // Expected O(k * ln(n/k)) ~ 16 * ln(1250) ~ 114; allow headroom.
+  EXPECT_LE(sketch.NumEntries(), 400u);
+  EXPECT_TRUE(sketch.CheckInvariants());
+}
+
+TEST(VersionedBottomKTest, MergeAllEqualsUnionEstimates) {
+  VersionedBottomK a(64, 5);
+  VersionedBottomK b(64, 5);
+  VersionedBottomK combined(64, 5);
+  Rng rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t item = rng.NextBounded(3000);
+    const Timestamp t = static_cast<Timestamp>(rng.NextBounded(100));
+    if (i % 2 == 0) {
+      a.Add(item, t);
+    } else {
+      b.Add(item, t);
+    }
+    combined.Add(item, t);
+  }
+  a.MergeAll(b);
+  ASSERT_TRUE(a.CheckInvariants());
+  // Same retained k-smallest-for-every-bound as the direct build.
+  for (const Timestamp bound : {10, 50, 100}) {
+    EXPECT_DOUBLE_EQ(a.EstimateBefore(bound), combined.EstimateBefore(bound));
+  }
+}
+
+}  // namespace
+}  // namespace ipin
