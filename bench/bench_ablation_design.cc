@@ -161,6 +161,7 @@ int Run(int argc, char** argv) {
       "\nE: bottom-k is exact below k and unbiased, but costs more per "
       "entry and per merge;\nvHLL's fixed-size cells win once sets exceed "
       "k — the paper's choice.\n");
+  EmitRunReport(flags);
   return 0;
 }
 

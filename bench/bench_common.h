@@ -10,9 +10,11 @@
 #include "ipin/common/string_util.h"
 #include "ipin/datasets/registry.h"
 #include "ipin/graph/interaction_graph.h"
+#include "ipin/obs/export.h"
 
 // Shared plumbing for the table/figure harnesses: flag handling, dataset
-// loading at a bench-appropriate scale, and small formatting helpers.
+// loading at a bench-appropriate scale, small formatting helpers, and the
+// machine-readable run report every harness emits on exit.
 
 namespace ipin {
 
@@ -51,6 +53,23 @@ inline void PrintBanner(const char* experiment, const FlagMap& flags,
       "# NOTE: datasets are synthetic stand-ins for the paper's corpora "
       "(see DESIGN.md);\n#       compare shapes, not absolute values.\n\n");
   (void)flags;
+}
+
+/// Emits the harness's machine-readable run report (metrics registry +
+/// span tree, JSON schema ipin.metrics.v1). With --metrics_out=FILE the
+/// report is written there; otherwise it is appended to stdout so every
+/// bench run carries its counters alongside the printed timings. Call once,
+/// at the end of main.
+inline void EmitRunReport(const FlagMap& flags) {
+  const std::string path = flags.GetString("metrics_out", "");
+  if (!path.empty()) {
+    if (obs::WriteMetricsReportFile(path)) {
+      std::printf("\n# metrics report -> %s\n", path.c_str());
+    }
+    return;
+  }
+  std::printf("\n# run report (pass --metrics_out=FILE to write to a file):\n");
+  std::printf("%s\n", obs::GlobalMetricsReportJson().c_str());
 }
 
 }  // namespace ipin

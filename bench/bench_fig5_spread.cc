@@ -137,6 +137,7 @@ int Run(int argc, char** argv) {
       "Paper shape: IRS(Exact) leads or ties every configuration; "
       "IRS(Approx) is close;\nstatic methods catch up as the window "
       "grows.\n");
+  EmitRunReport(flags);
   return 0;
 }
 

@@ -55,6 +55,7 @@ int Run(int argc, char** argv) {
   }
   std::printf("\n");
   fingerprint.Print();
+  EmitRunReport(flags);
   return 0;
 }
 

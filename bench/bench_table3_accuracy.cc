@@ -70,6 +70,7 @@ int Run(int argc, char** argv) {
   std::printf(
       "\nPaper shape: error decreases with beta (~1.04/sqrt(beta)) and grows "
       "mildly with window length.\n");
+  EmitRunReport(flags);
   return 0;
 }
 

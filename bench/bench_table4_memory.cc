@@ -44,6 +44,7 @@ int Run(int argc, char** argv) {
   std::printf(
       "\nPaper shape: memory tracks the number of (sending) nodes, not the "
       "interaction count,\nand grows mildly with the window length.\n");
+  EmitRunReport(flags);
   return 0;
 }
 

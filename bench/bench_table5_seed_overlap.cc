@@ -45,6 +45,7 @@ int Run(int argc, char** argv) {
       "\nPaper shape: little overlap between 1%% and the larger windows; "
       "10%% and 20%% agree much more\n(the window length genuinely changes "
       "who the top influencers are).\n");
+  EmitRunReport(flags);
   return 0;
 }
 

@@ -92,6 +92,7 @@ int Run(int argc, char** argv) {
       "Paper shape: HD fastest, SKIM fast after preprocessing, IRS "
       "competitive and linear in m,\nConTinEst slowest (did not finish "
       "us2016 in the paper).\n");
+  EmitRunReport(flags);
   return 0;
 }
 

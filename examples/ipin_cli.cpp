@@ -10,23 +10,34 @@
 //   ipin_cli query     --index=index.bin --seeds=1,2,3
 //   ipin_cli simulate  --in=net.txt --seeds=1,2,3 --window-pct=10 --p=0.5
 //   ipin_cli convert   --in=net.txt --dimacs=net.gr
+//   ipin_cli report    --in=net.txt --window-pct=10 --metrics_out=m.json
+//
+// Global flags (any command): --metrics_out=FILE writes the metrics
+// registry + span tree as a JSON run report on exit; --log_level=LEVEL
+// (debug|info|warning|error) sets the logger threshold (overriding the
+// IPIN_LOG_LEVEL environment variable).
 
+#include <cmath>
 #include <cstdio>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "ipin/common/flags.h"
+#include "ipin/common/logging.h"
+#include "ipin/common/random.h"
 #include "ipin/common/string_util.h"
 #include "ipin/common/timer.h"
 #include "ipin/core/influence_maximization.h"
 #include "ipin/core/influence_oracle.h"
 #include "ipin/core/irs_approx.h"
+#include "ipin/core/irs_exact.h"
 #include "ipin/core/oracle_io.h"
 #include "ipin/core/tcic.h"
 #include "ipin/datasets/registry.h"
 #include "ipin/graph/graph_io.h"
 #include "ipin/graph/static_graph.h"
+#include "ipin/obs/export.h"
 
 namespace ipin {
 namespace {
@@ -43,7 +54,10 @@ int Usage() {
       "  query       --index=<index> --seeds=a,b,c\n"
       "  simulate    --in=<file> --seeds=a,b,c [--window-pct=10] [--p=0.5] "
       "[--runs=50]\n"
-      "  convert     --in=<file> --dimacs=<out>\n");
+      "  convert     --in=<file> --dimacs=<out>\n"
+      "  report      --in=<file> [--window-pct=10] [--precision=9] "
+      "[--queries=32]\n"
+      "global flags: --metrics_out=<json> --log_level=<level>\n");
   return 2;
 }
 
@@ -186,10 +200,64 @@ int CmdConvert(const FlagMap& flags) {
   return 0;
 }
 
-int Run(int argc, char** argv) {
-  const FlagMap flags = FlagMap::Parse(argc, argv);
-  if (flags.positional().empty()) return Usage();
-  const std::string& command = flags.positional()[0];
+// Builds both the exact and sketch IRS over one network, cross-checks them
+// with random oracle queries, and prints a pipeline health summary. Pair
+// with --metrics_out to capture the full instrumentation in JSON.
+int CmdReport(const FlagMap& flags) {
+  const auto graph = LoadOrComplain(flags.GetString("in"));
+  if (!graph.has_value()) return 1;
+  const double window_pct = flags.GetDouble("window-pct", 10.0);
+  const Duration window = graph->WindowFromPercent(window_pct);
+  IrsApproxOptions options;
+  options.precision = static_cast<int>(flags.GetInt("precision", 9));
+  const size_t num_queries =
+      static_cast<size_t>(flags.GetInt("queries", 32));
+
+  WallTimer exact_timer;
+  const IrsExact exact = IrsExact::Compute(*graph, window);
+  const double exact_seconds = exact_timer.ElapsedSeconds();
+  WallTimer approx_timer;
+  const IrsApprox approx = IrsApprox::Compute(*graph, window, options);
+  const double approx_seconds = approx_timer.ElapsedSeconds();
+
+  const ExactInfluenceOracle exact_oracle(&exact);
+  const SketchInfluenceOracle sketch_oracle(&approx);
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 7)));
+  double error_sum = 0.0;
+  size_t error_count = 0;
+  for (size_t q = 0; q < num_queries; ++q) {
+    std::vector<NodeId> seeds;
+    for (size_t i = 0; i < 8; ++i) {
+      seeds.push_back(static_cast<NodeId>(rng.NextBounded(graph->num_nodes())));
+    }
+    const double truth = exact_oracle.InfluenceOfSet(seeds);
+    const double estimate = sketch_oracle.InfluenceOfSet(seeds);
+    if (truth > 0) {
+      error_sum += std::fabs(estimate - truth) / truth;
+      ++error_count;
+    }
+  }
+
+  std::printf("# pipeline report\n");
+  std::printf("nodes / interactions   %zu / %zu\n", graph->num_nodes(),
+              graph->num_interactions());
+  std::printf("window                 %lld (%.3g%% of time span)\n",
+              static_cast<long long>(window), window_pct);
+  std::printf("exact IRS build        %.3fs (%zu entries, %.1f MB)\n",
+              exact_seconds, exact.TotalSummaryEntries(),
+              exact.MemoryUsageBytes() / (1024.0 * 1024.0));
+  std::printf("sketch IRS build       %.3fs (beta %zu, %zu entries, %.1f MB)\n",
+              approx_seconds, static_cast<size_t>(1) << options.precision,
+              approx.TotalSketchEntries(),
+              approx.MemoryUsageBytes() / (1024.0 * 1024.0));
+  std::printf("oracle cross-check     %zu queries, mean relative error %.3f\n",
+              num_queries,
+              error_count > 0 ? error_sum / static_cast<double>(error_count)
+                              : 0.0);
+  return 0;
+}
+
+int Dispatch(const std::string& command, const FlagMap& flags) {
   if (command == "generate") return CmdGenerate(flags);
   if (command == "stats") return CmdStats(flags);
   if (command == "build-index") return CmdBuildIndex(flags);
@@ -197,8 +265,36 @@ int Run(int argc, char** argv) {
   if (command == "query") return CmdQuery(flags);
   if (command == "simulate") return CmdSimulate(flags);
   if (command == "convert") return CmdConvert(flags);
+  if (command == "report") return CmdReport(flags);
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return Usage();
+}
+
+int Run(int argc, char** argv) {
+  const FlagMap flags = FlagMap::Parse(argc, argv);
+  if (flags.positional().empty()) return Usage();
+
+  const std::string log_level = flags.GetString("log_level", "");
+  if (!log_level.empty()) {
+    LogLevel level = GetLogLevel();
+    if (!ParseLogLevel(log_level, &level)) {
+      std::fprintf(stderr, "bad --log_level '%s'\n", log_level.c_str());
+      return Usage();
+    }
+    SetLogLevel(level);
+  }
+
+  int rc = Dispatch(flags.positional()[0], flags);
+
+  const std::string metrics_out = flags.GetString("metrics_out", "");
+  if (!metrics_out.empty()) {
+    if (obs::WriteMetricsReportFile(metrics_out)) {
+      LogInfo("wrote metrics report to " + metrics_out);
+    } else if (rc == 0) {
+      rc = 1;
+    }
+  }
+  return rc;
 }
 
 }  // namespace

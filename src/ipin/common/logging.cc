@@ -1,11 +1,16 @@
 #include "ipin/common/logging.h"
 
+#include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
 
 namespace ipin {
 namespace {
 
-LogLevel g_min_level = LogLevel::kInfo;
+std::mutex g_log_mu;  // guards the sink and serializes writes
+LogSink g_sink;       // empty -> write to stderr
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -21,15 +26,74 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+int LevelFromEnv() {
+  LogLevel level = LogLevel::kInfo;
+  const char* env = std::getenv("IPIN_LOG_LEVEL");
+  if (env != nullptr) ParseLogLevel(env, &level);
+  return static_cast<int>(level);
+}
+
+// Lazily initialized on first use so IPIN_LOG_LEVEL is honored no matter
+// which translation unit logs first.
+std::atomic<int>& MinLevel() {
+  static std::atomic<int> level{LevelFromEnv()};
+  return level;
+}
+
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_min_level = level; }
+void SetLogLevel(LogLevel level) {
+  MinLevel().store(static_cast<int>(level), std::memory_order_relaxed);
+}
 
-LogLevel GetLogLevel() { return g_min_level; }
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(MinLevel().load(std::memory_order_relaxed));
+}
+
+bool ParseLogLevel(const std::string& text, LogLevel* level) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (const char c : text) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug" || lower == "0") {
+    *level = LogLevel::kDebug;
+  } else if (lower == "info" || lower == "1") {
+    *level = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn" || lower == "2") {
+    *level = LogLevel::kWarning;
+  } else if (lower == "error" || lower == "3") {
+    *level = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_log_mu);
+  g_sink = std::move(sink);
+}
 
 void LogMessage(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_min_level)) return;
-  std::fprintf(stderr, "[ipin][%s] %s\n", LevelName(level), message.c_str());
+  if (static_cast<int>(level) < MinLevel().load(std::memory_order_relaxed)) {
+    return;
+  }
+  // Assemble the full line first so concurrent writers cannot interleave
+  // within a record, then emit it in one call under the mutex.
+  std::string line;
+  line.reserve(message.size() + 16);
+  line.append("[ipin][").append(LevelName(level)).append("] ");
+  line.append(message);
+  line.push_back('\n');
+
+  std::lock_guard<std::mutex> lock(g_log_mu);
+  if (g_sink) {
+    g_sink(level, message);
+    return;
+  }
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 void LogDebug(const std::string& message) {

@@ -1,6 +1,7 @@
 #ifndef IPIN_COMMON_LOGGING_H_
 #define IPIN_COMMON_LOGGING_H_
 
+#include <functional>
 #include <string>
 
 namespace ipin {
@@ -13,14 +14,30 @@ enum class LogLevel : int {
   kError = 3,
 };
 
-/// Sets the minimum severity that is emitted; defaults to kInfo.
+/// Sets the minimum severity that is emitted. The initial value comes from
+/// the IPIN_LOG_LEVEL environment variable (any spelling ParseLogLevel
+/// accepts), defaulting to kInfo when unset or unparsable.
 void SetLogLevel(LogLevel level);
 
 /// Returns the current minimum severity.
 LogLevel GetLogLevel();
 
-/// Writes one line to stderr as "[ipin][LEVEL] message" if `level` is at or
-/// above the configured minimum. Thread-compatible (callers serialize).
+/// Parses "debug" / "info" / "warning" ("warn") / "error" or a numeric
+/// level 0..3 (case-insensitive) into *level. Returns false (leaving
+/// *level untouched) on anything else.
+bool ParseLogLevel(const std::string& text, LogLevel* level);
+
+/// Receives every emitted record instead of stderr; see SetLogSink.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Redirects log output to `sink` (e.g. a test capture buffer); pass an
+/// empty function to restore the default stderr writer. The sink is invoked
+/// with the logger's mutex held, so it must not log re-entrantly.
+void SetLogSink(LogSink sink);
+
+/// Emits "[ipin][LEVEL] message" if `level` is at or above the configured
+/// minimum. Thread-safe: the line is assembled off-lock and handed to
+/// stderr (or the sink) as a single write under one process-wide mutex.
 void LogMessage(LogLevel level, const std::string& message);
 
 /// Convenience wrappers.

@@ -5,7 +5,10 @@
 
 namespace ipin {
 
-/// Simple monotonic wall-clock timer for experiment harnesses.
+/// Simple monotonic wall-clock timer for experiment harnesses. For timing
+/// that should land in the metrics registry, use ipin::obs::ScopedTimer
+/// (obs/metrics.h), which wraps a WallTimer and reports into a histogram
+/// on destruction.
 class WallTimer {
  public:
   WallTimer() : start_(Clock::now()) {}
@@ -23,6 +26,9 @@ class WallTimer {
 
   /// Elapsed time in microseconds.
   double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+  /// Elapsed time in nanoseconds.
+  double ElapsedNanos() const { return ElapsedSeconds() * 1e9; }
 
  private:
   using Clock = std::chrono::steady_clock;

@@ -4,6 +4,8 @@
 #include <queue>
 
 #include "ipin/common/check.h"
+#include "ipin/obs/metrics.h"
+#include "ipin/obs/trace.h"
 
 namespace ipin {
 namespace {
@@ -28,6 +30,7 @@ std::vector<NodeId> NodesByInfluence(const InfluenceOracle& oracle) {
 }  // namespace
 
 SeedSelection SelectSeedsGreedy(const InfluenceOracle& oracle, size_t k) {
+  IPIN_TRACE_SPAN("im.greedy.select");
   SeedSelection result;
   const size_t n = oracle.num_nodes();
   if (n == 0 || k == 0) return result;
@@ -36,6 +39,7 @@ SeedSelection SelectSeedsGreedy(const InfluenceOracle& oracle, size_t k) {
   std::vector<char> selected(n, 0);
   auto coverage = oracle.NewCoverage();
 
+  size_t early_exits = 0;
   while (result.seeds.size() < k) {
     double best_gain = 0.0;
     NodeId best_node = kInvalidNode;
@@ -45,6 +49,7 @@ SeedSelection SelectSeedsGreedy(const InfluenceOracle& oracle, size_t k) {
       // descending in influence, so once the best gain found beats the
       // current candidate's individual influence no later candidate can win.
       if (best_node != kInvalidNode && best_gain >= oracle.InfluenceOf(u)) {
+        ++early_exits;
         break;
       }
       const double gain = coverage->GainOf(u);
@@ -61,10 +66,14 @@ SeedSelection SelectSeedsGreedy(const InfluenceOracle& oracle, size_t k) {
     result.gains.push_back(best_gain);
   }
   result.total_coverage = coverage->Covered();
+  IPIN_COUNTER_ADD("im.greedy.gain_evaluations", result.gain_evaluations);
+  IPIN_COUNTER_ADD("im.greedy.early_exits", early_exits);
+  IPIN_COUNTER_ADD("im.greedy.seeds_selected", result.seeds.size());
   return result;
 }
 
 SeedSelection SelectSeedsCelf(const InfluenceOracle& oracle, size_t k) {
+  IPIN_TRACE_SPAN("im.celf.select");
   SeedSelection result;
   const size_t n = oracle.num_nodes();
   if (n == 0 || k == 0) return result;
@@ -101,6 +110,7 @@ SeedSelection SelectSeedsCelf(const InfluenceOracle& oracle, size_t k) {
   }
 
   size_t round = 1;
+  size_t reinserts = 0;
   while (result.seeds.size() < k && !heap.empty()) {
     HeapEntry top = heap.top();
     heap.pop();
@@ -108,6 +118,7 @@ SeedSelection SelectSeedsCelf(const InfluenceOracle& oracle, size_t k) {
       // Stale: re-evaluate against the current cover and re-insert.
       top.gain = coverage->GainOf(top.node);
       ++result.gain_evaluations;
+      ++reinserts;
       top.round = round;
       heap.push(top);
       continue;
@@ -118,6 +129,9 @@ SeedSelection SelectSeedsCelf(const InfluenceOracle& oracle, size_t k) {
     ++round;
   }
   result.total_coverage = coverage->Covered();
+  IPIN_COUNTER_ADD("im.celf.gain_evaluations", result.gain_evaluations);
+  IPIN_COUNTER_ADD("im.celf.heap_reinserts", reinserts);
+  IPIN_COUNTER_ADD("im.celf.seeds_selected", result.seeds.size());
   return result;
 }
 

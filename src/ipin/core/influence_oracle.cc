@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ipin/common/check.h"
+#include "ipin/obs/metrics.h"
 #include "ipin/sketch/estimators.h"
 
 namespace ipin {
@@ -131,6 +132,7 @@ double ExactInfluenceOracle::InfluenceOf(NodeId u) const {
 
 double ExactInfluenceOracle::InfluenceOfSet(
     std::span<const NodeId> seeds) const {
+  IPIN_LATENCY_SCOPE("oracle.exact.query_us");
   return static_cast<double>(irs_->UnionSize(seeds));
 }
 
@@ -151,6 +153,7 @@ double SketchInfluenceOracle::InfluenceOf(NodeId u) const {
 
 double SketchInfluenceOracle::InfluenceOfSet(
     std::span<const NodeId> seeds) const {
+  IPIN_LATENCY_SCOPE("oracle.sketch.query_us");
   return irs_->EstimateUnionSize(seeds);
 }
 

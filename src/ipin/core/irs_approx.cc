@@ -2,6 +2,8 @@
 
 #include "ipin/common/check.h"
 #include "ipin/common/hash.h"
+#include "ipin/obs/metrics.h"
+#include "ipin/obs/trace.h"
 #include "ipin/sketch/estimators.h"
 
 namespace ipin {
@@ -26,12 +28,24 @@ IrsApprox::IrsApprox(Duration window, const IrsApproxOptions& options,
 
 IrsApprox IrsApprox::Compute(const InteractionGraph& graph, Duration window,
                              const IrsApproxOptions& options) {
+  IPIN_TRACE_SPAN("irs.approx.compute");
   IPIN_CHECK(graph.is_sorted());
   IrsApprox irs(graph.num_nodes(), window, options);
   const auto& edges = graph.interactions();
   for (size_t i = edges.size(); i > 0; --i) {
     irs.ProcessInteraction(edges[i - 1]);
   }
+  // Scan and per-sketch tallies (plain members, free to maintain) roll up
+  // into the registry once per build, keeping the per-edge path atomics-free.
+  IPIN_COUNTER_ADD("irs.approx.edges_scanned", irs.edges_scanned_);
+  IPIN_COUNTER_ADD("sketch.vhll.merges", irs.merge_calls_);
+  IPIN_COUNTER_ADD("sketch.vhll.merge_entries_scanned",
+                   irs.TotalMergeEntriesScanned());
+  IPIN_COUNTER_ADD("sketch.vhll.cell_updates", irs.TotalCellUpdates());
+  IPIN_COUNTER_ADD("sketch.vhll.insert_attempts", irs.TotalInsertAttempts());
+  IPIN_COUNTER_ADD("sketch.vhll.dominance_evictions", irs.TotalEvictions());
+  IPIN_GAUGE_SET("sketch.vhll.total_entries", irs.TotalSketchEntries());
+  IPIN_GAUGE_SET("irs.approx.allocated_sketches", irs.NumAllocatedSketches());
   return irs;
 }
 
@@ -53,6 +67,7 @@ void IrsApprox::ProcessInteraction(const Interaction& interaction) {
   last_time_ = t;
   saw_interaction_ = true;
 
+  ++edges_scanned_;
   VersionedHll* sketch_u = MutableSketch(u);
   // ApproxAdd: v joins sigma(u) with channel end time t. Self-loops are
   // filtered like in IrsExact (a node is not in its own IRS); a merge can
@@ -64,6 +79,7 @@ void IrsApprox::ProcessInteraction(const Interaction& interaction) {
   if (u == v) return;
   const VersionedHll* sketch_v = sketches_[v].get();
   if (sketch_v != nullptr) {
+    ++merge_calls_;
     sketch_u->MergeWindow(*sketch_v, t, window_);
   }
 }
@@ -114,6 +130,30 @@ size_t IrsApprox::TotalInsertAttempts() const {
   size_t total = 0;
   for (const auto& s : sketches_) {
     if (s != nullptr) total += s->NumInsertAttempts();
+  }
+  return total;
+}
+
+size_t IrsApprox::TotalEvictions() const {
+  size_t total = 0;
+  for (const auto& s : sketches_) {
+    if (s != nullptr) total += s->NumEvictions();
+  }
+  return total;
+}
+
+size_t IrsApprox::TotalMergeEntriesScanned() const {
+  size_t total = 0;
+  for (const auto& s : sketches_) {
+    if (s != nullptr) total += s->NumMergeEntriesScanned();
+  }
+  return total;
+}
+
+size_t IrsApprox::TotalCellUpdates() const {
+  size_t total = 0;
+  for (const auto& s : sketches_) {
+    if (s != nullptr) total += s->NumCellUpdates();
   }
   return total;
 }

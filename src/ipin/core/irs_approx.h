@@ -73,6 +73,14 @@ class IrsApprox {
   /// Total AddEntry attempts across all sketches (pre-pruning volume).
   size_t TotalInsertAttempts() const;
 
+  /// Total dominance-pair evictions across all sketches.
+  size_t TotalEvictions() const;
+
+  /// Total entries examined by MergeWindow across all sketches, and the
+  /// subset that survived domination filtering and updated a cell.
+  size_t TotalMergeEntriesScanned() const;
+  size_t TotalCellUpdates() const;
+
   /// Approximate heap footprint in bytes (the paper's Table 4 quantity).
   size_t MemoryUsageBytes() const;
 
@@ -83,6 +91,10 @@ class IrsApprox {
   IrsApproxOptions options_;
   Timestamp last_time_ = 0;
   bool saw_interaction_ = false;
+  // Scan tallies: plain members so the per-edge path stays atomics-free;
+  // Compute() rolls them up into the metrics registry once per build.
+  size_t edges_scanned_ = 0;
+  size_t merge_calls_ = 0;
   // Sketches are allocated lazily: a node that never sends has an empty IRS
   // and needs no sketch. This mirrors phi(v) = {} in the exact algorithm and
   // keeps memory proportional to the number of *active* sources.

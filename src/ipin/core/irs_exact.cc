@@ -4,6 +4,8 @@
 
 #include "ipin/common/check.h"
 #include "ipin/common/memory.h"
+#include "ipin/obs/metrics.h"
+#include "ipin/obs/trace.h"
 
 namespace ipin {
 
@@ -13,22 +15,35 @@ IrsExact::IrsExact(size_t num_nodes, Duration window)
 }
 
 IrsExact IrsExact::Compute(const InteractionGraph& graph, Duration window) {
+  IPIN_TRACE_SPAN("irs.exact.compute");
   IPIN_CHECK(graph.is_sorted());
   IrsExact irs(graph.num_nodes(), window);
   const auto& edges = graph.interactions();
   for (size_t i = edges.size(); i > 0; --i) {
     irs.ProcessInteraction(edges[i - 1]);
   }
+  // Scan tallies (plain members, free to maintain) roll up into the
+  // registry once per build, keeping the per-edge path atomics-free.
+  IPIN_COUNTER_ADD("irs.exact.edges_scanned", irs.edges_scanned_);
+  IPIN_COUNTER_ADD("irs.exact.summary_inserts", irs.summary_inserts_);
+  IPIN_COUNTER_ADD("irs.exact.summary_updates", irs.summary_updates_);
+  IPIN_COUNTER_ADD("irs.exact.window_prunes", irs.window_prunes_);
+  IPIN_GAUGE_SET("irs.exact.summary_entries", irs.TotalSummaryEntries());
   return irs;
 }
 
-void IrsExact::Add(NodeId u, NodeId v, Timestamp t) {
+IrsExact::AddResult IrsExact::Add(NodeId u, NodeId v, Timestamp t) {
   // A node is not part of its own IRS: the paper's Example 2 drops the
   // temporal cycle e -> b -> e from phi(e), so Add filters self-entries
   // (they can arise from self-loop interactions or temporal cycles).
-  if (u == v) return;
+  if (u == v) return AddResult::kUnchanged;
   auto [it, inserted] = summaries_[u].emplace(v, t);
-  if (!inserted && it->second > t) it->second = t;
+  if (inserted) return AddResult::kInserted;
+  if (it->second > t) {
+    it->second = t;
+    return AddResult::kImproved;
+  }
+  return AddResult::kUnchanged;
 }
 
 void IrsExact::ProcessInteraction(const Interaction& interaction) {
@@ -41,17 +56,28 @@ void IrsExact::ProcessInteraction(const Interaction& interaction) {
   last_time_ = t;
   saw_interaction_ = true;
 
+  ++edges_scanned_;
+  const auto tally = [this](AddResult result) {
+    summary_inserts_ += result == AddResult::kInserted;
+    summary_updates_ += result == AddResult::kImproved;
+  };
+
   // Add: the single-interaction channel u -> v ends at t.
-  Add(u, v, t);
+  tally(Add(u, v, t));
 
   // Merge: channels that start with (u, v, t) and continue along a channel
   // from v reaching x at time t_x are valid iff t_x - t < window
   // (duration t_x - t + 1 <= window). A self-loop would merge phi(u) into
   // itself — semantically a no-op (Add never worsens an entry), so skip it
   // rather than iterate a container being modified.
-  if (u == v) return;
-  for (const auto& [x, tx] : summaries_[v]) {
-    if (tx - t < window_) Add(u, x, tx);  // Add drops x == u (self-cycles)
+  if (u != v) {
+    for (const auto& [x, tx] : summaries_[v]) {
+      if (tx - t < window_) {
+        tally(Add(u, x, tx));  // Add drops x == u (self-cycles)
+      } else {
+        ++window_prunes_;  // window prune: channel too old to extend
+      }
+    }
   }
 }
 

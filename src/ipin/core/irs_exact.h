@@ -62,12 +62,21 @@ class IrsExact {
   size_t MemoryUsageBytes() const;
 
  private:
+  // What Algorithm 2's Add did to phi(u); reported to the metrics registry.
+  enum class AddResult { kUnchanged, kInserted, kImproved };
+
   // Algorithm 2's Add: keep the smaller lambda for an existing target.
-  void Add(NodeId u, NodeId v, Timestamp t);
+  AddResult Add(NodeId u, NodeId v, Timestamp t);
 
   Duration window_;
   Timestamp last_time_;
   bool saw_interaction_ = false;
+  // Scan tallies: plain members so the per-edge path stays atomics-free;
+  // Compute() rolls them up into the metrics registry once per build.
+  size_t edges_scanned_ = 0;
+  size_t summary_inserts_ = 0;
+  size_t summary_updates_ = 0;
+  size_t window_prunes_ = 0;
   std::vector<std::unordered_map<NodeId, Timestamp>> summaries_;
 };
 

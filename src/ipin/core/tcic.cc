@@ -1,6 +1,8 @@
 #include "ipin/core/tcic.h"
 
 #include "ipin/common/check.h"
+#include "ipin/obs/metrics.h"
+#include "ipin/obs/trace.h"
 
 namespace ipin {
 
@@ -44,6 +46,10 @@ TcicTrace SimulateTcicTrace(const InteractionGraph& graph,
   for (const char a : trace.active) {
     if (a) ++trace.num_active;
   }
+  IPIN_COUNTER_ADD("tcic.sim.runs", 1);
+  IPIN_COUNTER_ADD("tcic.sim.activations", trace.num_active);
+  IPIN_COUNTER_ADD("tcic.sim.interactions_scanned",
+                   graph.num_interactions());
   return trace;
 }
 
@@ -57,6 +63,7 @@ double AverageTcicSpread(const InteractionGraph& graph,
                          std::span<const NodeId> seeds,
                          const TcicOptions& options, size_t num_runs,
                          uint64_t seed) {
+  IPIN_TRACE_SPAN("tcic.average_spread");
   IPIN_CHECK_GE(num_runs, 1u);
   double total = 0.0;
   for (size_t run = 0; run < num_runs; ++run) {

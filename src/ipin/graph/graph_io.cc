@@ -6,6 +6,8 @@
 
 #include "ipin/common/logging.h"
 #include "ipin/common/string_util.h"
+#include "ipin/obs/metrics.h"
+#include "ipin/obs/trace.h"
 
 namespace ipin {
 namespace {
@@ -19,6 +21,7 @@ bool IsCommentOrBlank(std::string_view line) {
 
 std::optional<InteractionGraph> LoadInteractionsFromFile(
     const std::string& path, EdgeListFormat format) {
+  IPIN_TRACE_SPAN("graph.load");
   std::ifstream in(path);
   if (!in) {
     LogError("cannot open interaction file: " + path);
@@ -60,6 +63,7 @@ std::optional<InteractionGraph> LoadInteractionsFromFile(
     graph.AddInteraction(src_id, dst_id, *time);
   }
   graph.SortByTime();
+  IPIN_COUNTER_ADD("graph.io.interactions_loaded", graph.num_interactions());
   return graph;
 }
 

@@ -1,0 +1,205 @@
+#include "ipin/obs/export.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "ipin/common/logging.h"
+#include "ipin/common/string_util.h"
+
+namespace ipin::obs {
+namespace {
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out->append(StrFormat("\\u%04x", c));
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(double value, std::string* out) {
+  // %.17g round-trips but is noisy; %.10g is plenty for metric values.
+  std::string text = StrFormat("%.10g", value);
+  // JSON has no inf/nan literals; clamp to null.
+  if (text.find("inf") != std::string::npos ||
+      text.find("nan") != std::string::npos) {
+    text = "null";
+  }
+  out->append(text);
+}
+
+void AppendHistogramJson(const HistogramSnapshot& h, std::string* out) {
+  out->append(StrFormat("{\"count\":%llu,\"sum\":%llu,\"min\":%llu,"
+                        "\"max\":%llu,\"mean\":",
+                        static_cast<unsigned long long>(h.count),
+                        static_cast<unsigned long long>(h.sum),
+                        static_cast<unsigned long long>(h.min),
+                        static_cast<unsigned long long>(h.max)));
+  AppendDouble(h.Mean(), out);
+  out->append(",\"buckets\":[");
+  bool first = true;
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    if (h.buckets[i] == 0) continue;
+    if (!first) out->push_back(',');
+    first = false;
+    out->append(StrFormat(
+        "{\"le\":%llu,\"count\":%llu}",
+        static_cast<unsigned long long>(Histogram::BucketUpperBound(i)),
+        static_cast<unsigned long long>(h.buckets[i])));
+  }
+  out->append("]}");
+}
+
+// "a.b.c" -> "a_b_c" (Prometheus metric names reject dots).
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '.' || c == '/' || c == '-') c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+void WriteMetricsText(const MetricsSnapshot& snapshot, std::FILE* out) {
+  for (const auto& [name, value] : snapshot.counters) {
+    std::fprintf(out, "%-48s %llu\n", name.c_str(),
+                 static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::fprintf(out, "%-48s %.6g\n", name.c_str(), value);
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    std::fprintf(out, "%-48s count=%llu mean=%.1f min=%llu max=%llu\n",
+                 h.name.c_str(), static_cast<unsigned long long>(h.count),
+                 h.Mean(), static_cast<unsigned long long>(h.min),
+                 static_cast<unsigned long long>(h.max));
+  }
+}
+
+std::string MetricsReportJson(const MetricsSnapshot& snapshot,
+                              const std::vector<SpanStats>& spans) {
+  std::string out;
+  out.append("{\"schema\":\"ipin.metrics.v1\",\"counters\":{");
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(name, &out);
+    out.append(StrFormat(":%llu", static_cast<unsigned long long>(value)));
+  }
+  out.append("},\"gauges\":{");
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(name, &out);
+    out.push_back(':');
+    AppendDouble(value, &out);
+  }
+  out.append("},\"histograms\":{");
+  first = true;
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(h.name, &out);
+    out.push_back(':');
+    AppendHistogramJson(h, &out);
+  }
+  out.append("},\"spans\":[");
+  first = true;
+  for (const SpanStats& span : spans) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"path\":");
+    AppendJsonString(span.path, &out);
+    out.append(StrFormat(",\"depth\":%d,\"calls\":%llu,\"total_us\":",
+                         span.depth,
+                         static_cast<unsigned long long>(span.calls)));
+    AppendDouble(static_cast<double>(span.total_ns) * 1e-3, &out);
+    out.push_back('}');
+  }
+  out.append("]}");
+  return out;
+}
+
+std::string MetricsPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = PrometheusName(name);
+    out.append(StrFormat("# TYPE %s counter\n%s %llu\n", prom.c_str(),
+                         prom.c_str(),
+                         static_cast<unsigned long long>(value)));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = PrometheusName(name);
+    out.append(StrFormat("# TYPE %s gauge\n%s %.10g\n", prom.c_str(),
+                         prom.c_str(), value));
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    const std::string prom = PrometheusName(h.name);
+    out.append(StrFormat("# TYPE %s histogram\n", prom.c_str()));
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (h.buckets[i] == 0) continue;
+      cumulative += h.buckets[i];
+      out.append(StrFormat(
+          "%s_bucket{le=\"%llu\"} %llu\n", prom.c_str(),
+          static_cast<unsigned long long>(Histogram::BucketUpperBound(i)),
+          static_cast<unsigned long long>(cumulative)));
+    }
+    out.append(StrFormat("%s_bucket{le=\"+Inf\"} %llu\n", prom.c_str(),
+                         static_cast<unsigned long long>(h.count)));
+    out.append(StrFormat("%s_sum %llu\n%s_count %llu\n", prom.c_str(),
+                         static_cast<unsigned long long>(h.sum), prom.c_str(),
+                         static_cast<unsigned long long>(h.count)));
+  }
+  return out;
+}
+
+std::string GlobalMetricsReportJson() {
+  return MetricsReportJson(MetricsRegistry::Global().Snapshot(),
+                           SpanTreeSnapshot());
+}
+
+bool WriteMetricsReportFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    LogError("cannot open metrics report file: " + path + ": " +
+             std::strerror(errno));
+    return false;
+  }
+  const std::string json = GlobalMetricsReportJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool newline_ok = std::fputc('\n', f) != EOF;
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != json.size() || !newline_ok || !close_ok) {
+    LogError("short write on metrics report file: " + path);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ipin::obs

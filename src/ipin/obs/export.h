@@ -1,0 +1,52 @@
+#ifndef IPIN_OBS_EXPORT_H_
+#define IPIN_OBS_EXPORT_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ipin/obs/metrics.h"
+#include "ipin/obs/trace.h"
+
+// Serialization of metric snapshots and span trees: pretty text for humans,
+// JSON for machine-readable run reports, and Prometheus exposition text for
+// scrapers. The JSON schema ("ipin.metrics.v1"):
+//
+//   {
+//     "schema": "ipin.metrics.v1",
+//     "counters":   {"irs.exact.edges_scanned": 123, ...},
+//     "gauges":     {"sketch.vhll.total_entries": 4096.0, ...},
+//     "histograms": {"oracle.sketch.query_us": {
+//         "count": 5, "sum": 117, "min": 12, "max": 40, "mean": 23.4,
+//         "buckets": [{"le": 15, "count": 3}, {"le": 63, "count": 2}]}},
+//     "spans": [{"path": "irs.approx.compute", "depth": 0, "calls": 1,
+//                "total_us": 1523.8}, ...]
+//   }
+//
+// Histogram buckets are power-of-two ranges; only non-empty buckets are
+// emitted, each with its inclusive upper bound `le`.
+
+namespace ipin::obs {
+
+/// Pretty-prints a snapshot (counters, gauges, histogram summaries) to
+/// `out`, one metric per line, sorted by name.
+void WriteMetricsText(const MetricsSnapshot& snapshot, std::FILE* out);
+
+/// Renders the snapshot + span tree as a self-contained JSON document.
+std::string MetricsReportJson(const MetricsSnapshot& snapshot,
+                              const std::vector<SpanStats>& spans);
+
+/// Prometheus text exposition format ('.' in names becomes '_'; histograms
+/// export cumulative "_bucket" series plus "_sum" and "_count").
+std::string MetricsPrometheusText(const MetricsSnapshot& snapshot);
+
+/// Snapshots the global registry and span tree and renders them as JSON.
+std::string GlobalMetricsReportJson();
+
+/// Writes GlobalMetricsReportJson() to `path` (overwriting). Returns false
+/// and logs on I/O failure.
+bool WriteMetricsReportFile(const std::string& path);
+
+}  // namespace ipin::obs
+
+#endif  // IPIN_OBS_EXPORT_H_

@@ -1,0 +1,270 @@
+#ifndef IPIN_OBS_METRICS_H_
+#define IPIN_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ipin/common/timer.h"
+
+// Process-wide metrics registry (counters, gauges, fixed-bucket histograms)
+// for the IRS/oracle/IM pipeline. Hot paths use the IPIN_COUNTER_ADD /
+// IPIN_LATENCY_SCOPE macros below, which cache the metric pointer in a
+// function-local static so the registry lookup happens once per call site.
+// Compiling with -DIPIN_OBS_DISABLED turns every macro into a no-op while
+// keeping the registry classes available for explicit (cold-path) use.
+//
+// Metric-name conventions: dot-separated "<subsystem>.<component>.<what>",
+// lowercase, with a unit suffix for time-valued histograms ("_us"), e.g.
+// "irs.exact.edges_scanned", "sketch.vhll.merges", "oracle.sketch.query_us".
+
+namespace ipin::obs {
+
+/// Monotonically increasing event count. Lock-free; increments use relaxed
+/// atomics (per-metric totals are exact, cross-metric ordering is not).
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written point-in-time value (memory bytes, entry totals, ...).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram over non-negative integer samples (latencies in
+/// microseconds by convention). Buckets are powers of two: bucket 0 holds
+/// the value 0 and bucket i (i >= 1) holds values in [2^(i-1), 2^i).
+/// Lock-free: count/sum/min/max/buckets are all relaxed atomics.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 65;  // bit_width(uint64) + 1
+
+  void Record(uint64_t value) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    AtomicMin(&min_, value);
+    AtomicMax(&max_, value);
+  }
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Smallest recorded sample; 0 when empty.
+  uint64_t Min() const {
+    const uint64_t m = min_.load(std::memory_order_relaxed);
+    return m == UINT64_MAX ? 0 : m;
+  }
+  uint64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// The bucket a sample lands in: 0 for 0, else bit_width(value).
+  static size_t BucketIndex(uint64_t value) { return std::bit_width(value); }
+  /// Inclusive upper bound of bucket i (2^i - 1; UINT64_MAX for the last).
+  static uint64_t BucketUpperBound(size_t i) {
+    return i >= 64 ? UINT64_MAX : (uint64_t{1} << i) - 1;
+  }
+
+  void Reset() {
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(UINT64_MAX, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static void AtomicMin(std::atomic<uint64_t>* slot, uint64_t value) {
+    uint64_t current = slot->load(std::memory_order_relaxed);
+    while (value < current &&
+           !slot->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+  static void AtomicMax(std::atomic<uint64_t>* slot, uint64_t value) {
+    uint64_t current = slot->load(std::memory_order_relaxed);
+    while (value > current &&
+           !slot->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+};
+
+/// Point-in-time copy of one histogram.
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  std::array<uint64_t, Histogram::kNumBuckets> buckets{};
+
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+/// Point-in-time copy of the whole registry; safe to read and serialize
+/// while the live metrics keep moving.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;  // sorted by name
+  std::vector<std::pair<std::string, double>> gauges;      // sorted by name
+  std::vector<HistogramSnapshot> histograms;               // sorted by name
+};
+
+/// Registry of named metrics. Registration (Get*) takes a mutex; the
+/// returned pointers are stable for the process lifetime, so hot paths
+/// resolve a metric once and then touch only lock-free atomics.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry used by the IPIN_* macros.
+  static MetricsRegistry& Global();
+
+  /// Finds or creates the metric. Pointers remain valid forever; calling
+  /// with the same name always returns the same pointer.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Copies every registered metric into a snapshot struct (sorted by name).
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered metric without invalidating pointers cached by
+  /// call sites. Intended for tests and between-run resets.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// RAII timer that records its elapsed time (in microseconds) into a
+/// histogram when destroyed — the MetricsRegistry-reporting extension of
+/// WallTimer. Stop() reports early and returns the elapsed seconds, which
+/// lets bench harnesses keep the measured value for their tables while the
+/// same sample lands in the run report.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram) : histogram_(histogram) {}
+  ~ScopedTimer() {
+    if (!stopped_) Report();
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Records the sample now (idempotent) and returns elapsed seconds.
+  double Stop() {
+    const double seconds = timer_.ElapsedSeconds();
+    if (!stopped_) Report();
+    return seconds;
+  }
+
+  double ElapsedSeconds() const { return timer_.ElapsedSeconds(); }
+
+ private:
+  void Report() {
+    stopped_ = true;
+    if (histogram_ != nullptr) {
+      histogram_->Record(static_cast<uint64_t>(timer_.ElapsedMicros()));
+    }
+  }
+
+  WallTimer timer_;
+  Histogram* histogram_;
+  bool stopped_ = false;
+};
+
+}  // namespace ipin::obs
+
+#define IPIN_OBS_CONCAT_INNER(a, b) a##b
+#define IPIN_OBS_CONCAT(a, b) IPIN_OBS_CONCAT_INNER(a, b)
+
+#ifdef IPIN_OBS_DISABLED
+
+#define IPIN_COUNTER_ADD(name, delta) \
+  do {                                \
+  } while (0)
+#define IPIN_GAUGE_SET(name, value) \
+  do {                              \
+  } while (0)
+#define IPIN_HISTOGRAM_RECORD(name, value) \
+  do {                                     \
+  } while (0)
+#define IPIN_LATENCY_SCOPE(name)
+
+#else  // !IPIN_OBS_DISABLED
+
+/// Adds `delta` to the named global counter; the lookup is amortized away
+/// via a function-local static pointer.
+#define IPIN_COUNTER_ADD(name, delta)                            \
+  do {                                                           \
+    static ::ipin::obs::Counter* const ipin_obs_counter =        \
+        ::ipin::obs::MetricsRegistry::Global().GetCounter(name); \
+    ipin_obs_counter->Add(static_cast<uint64_t>(delta));         \
+  } while (0)
+
+/// Sets the named global gauge to `value`.
+#define IPIN_GAUGE_SET(name, value)                            \
+  do {                                                         \
+    static ::ipin::obs::Gauge* const ipin_obs_gauge =          \
+        ::ipin::obs::MetricsRegistry::Global().GetGauge(name); \
+    ipin_obs_gauge->Set(static_cast<double>(value));           \
+  } while (0)
+
+/// Records one sample into the named global histogram.
+#define IPIN_HISTOGRAM_RECORD(name, value)                         \
+  do {                                                             \
+    static ::ipin::obs::Histogram* const ipin_obs_hist =           \
+        ::ipin::obs::MetricsRegistry::Global().GetHistogram(name); \
+    ipin_obs_hist->Record(static_cast<uint64_t>(value));           \
+  } while (0)
+
+/// Times the enclosing scope and records the latency (microseconds) into
+/// the named global histogram.
+#define IPIN_LATENCY_SCOPE(name)                                          \
+  static ::ipin::obs::Histogram* const IPIN_OBS_CONCAT(ipin_obs_hist_,    \
+                                                       __LINE__) =        \
+      ::ipin::obs::MetricsRegistry::Global().GetHistogram(name);          \
+  ::ipin::obs::ScopedTimer IPIN_OBS_CONCAT(ipin_obs_latency_, __LINE__)(  \
+      IPIN_OBS_CONCAT(ipin_obs_hist_, __LINE__))
+
+#endif  // IPIN_OBS_DISABLED
+
+#endif  // IPIN_OBS_METRICS_H_

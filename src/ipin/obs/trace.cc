@@ -1,0 +1,113 @@
+#include "ipin/obs/trace.h"
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace ipin::obs {
+
+struct SpanNode {
+  std::string name;
+  std::string path;
+  SpanNode* parent = nullptr;
+  int depth = -1;  // the root sentinel sits at depth -1
+  std::atomic<uint64_t> calls{0};
+  std::atomic<uint64_t> total_ns{0};
+  Counter* calls_counter = nullptr;
+  Histogram* latency_us = nullptr;
+  std::map<std::string, std::unique_ptr<SpanNode>> children;  // by g_tree_mu
+};
+
+namespace {
+
+std::mutex g_tree_mu;  // guards every SpanNode::children map
+
+SpanNode* Root() {
+  static SpanNode* const root = new SpanNode();  // leaked, like the registry
+  return root;
+}
+
+// The innermost open span on this thread; nullptr when none.
+thread_local SpanNode* t_current = nullptr;
+
+SpanNode* FindOrCreateChild(SpanNode* parent, const char* name) {
+  std::lock_guard<std::mutex> lock(g_tree_mu);
+  auto it = parent->children.find(name);
+  if (it != parent->children.end()) return it->second.get();
+
+  auto node = std::make_unique<SpanNode>();
+  node->name = name;
+  node->path = parent == Root() ? name : parent->path + "/" + name;
+  node->parent = parent;
+  node->depth = parent->depth + 1;
+  node->calls_counter =
+      MetricsRegistry::Global().GetCounter("trace." + node->path + ".calls");
+  node->latency_us =
+      MetricsRegistry::Global().GetHistogram("trace." + node->path + ".us");
+  SpanNode* raw = node.get();
+  parent->children.emplace(node->name, std::move(node));
+  return raw;
+}
+
+void CollectDepthFirst(const SpanNode& node, std::vector<SpanStats>* out) {
+  for (const auto& [name, child] : node.children) {
+    SpanStats stats;
+    stats.path = child->path;
+    stats.depth = child->depth;
+    stats.calls = child->calls.load(std::memory_order_relaxed);
+    stats.total_ns = child->total_ns.load(std::memory_order_relaxed);
+    out->push_back(std::move(stats));
+    CollectDepthFirst(*child, out);
+  }
+}
+
+}  // namespace
+
+TraceSpan::TraceSpan(const char* name) : prev_(t_current) {
+  SpanNode* parent = prev_ != nullptr ? prev_ : Root();
+  node_ = FindOrCreateChild(parent, name);
+  t_current = node_;
+  timer_.Restart();  // exclude the tree lookup from the measured time
+}
+
+TraceSpan::~TraceSpan() {
+  const uint64_t ns = static_cast<uint64_t>(timer_.ElapsedSeconds() * 1e9);
+  node_->calls.fetch_add(1, std::memory_order_relaxed);
+  node_->total_ns.fetch_add(ns, std::memory_order_relaxed);
+  node_->calls_counter->Add(1);
+  node_->latency_us->Record(ns / 1000);
+  t_current = prev_;
+}
+
+std::vector<SpanStats> SpanTreeSnapshot() {
+  std::lock_guard<std::mutex> lock(g_tree_mu);
+  std::vector<SpanStats> out;
+  CollectDepthFirst(*Root(), &out);
+  return out;
+}
+
+void DumpSpanTree(std::FILE* out) {
+  const std::vector<SpanStats> spans = SpanTreeSnapshot();
+  if (spans.empty()) {
+    std::fprintf(out, "(no spans recorded)\n");
+    return;
+  }
+  for (const SpanStats& span : spans) {
+    // Indent by depth; show the leaf name only (the path encodes the rest).
+    const size_t slash = span.path.rfind('/');
+    const std::string leaf =
+        slash == std::string::npos ? span.path : span.path.substr(slash + 1);
+    std::fprintf(out, "%*s%-40s calls=%llu total=%.3fms\n", span.depth * 2, "",
+                 leaf.c_str(), static_cast<unsigned long long>(span.calls),
+                 static_cast<double>(span.total_ns) * 1e-6);
+  }
+}
+
+void ResetSpanTreeForTest() {
+  std::lock_guard<std::mutex> lock(g_tree_mu);
+  Root()->children.clear();
+  t_current = nullptr;
+}
+
+}  // namespace ipin::obs

@@ -1,0 +1,75 @@
+#ifndef IPIN_OBS_TRACE_H_
+#define IPIN_OBS_TRACE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ipin/common/timer.h"
+#include "ipin/obs/metrics.h"
+
+// Scoped tracing spans. IPIN_TRACE_SPAN("irs.scan") times the enclosing
+// scope; spans nest (a span opened while another is active on the same
+// thread becomes its child), and every (parent-path, name) pair aggregates
+// call count and total wall time into one node of a process-wide span tree.
+// Each span end also feeds the metrics registry: the counter
+// "trace.<path>.calls" and the latency histogram "trace.<path>.us".
+//
+// Nesting is tracked per thread (thread-local parent pointer); the tree
+// itself is shared, with node creation mutex-guarded and per-node totals
+// accumulated via relaxed atomics.
+
+namespace ipin::obs {
+
+struct SpanNode;  // internal; defined in trace.cc
+
+/// Aggregated statistics of one span-tree node, flattened depth-first.
+/// `path` joins the nesting chain with '/' (span names themselves are
+/// dotted, e.g. "irs.approx.compute/sketch.merge").
+struct SpanStats {
+  std::string path;
+  int depth = 0;
+  uint64_t calls = 0;
+  uint64_t total_ns = 0;
+
+  double TotalSeconds() const { return static_cast<double>(total_ns) * 1e-9; }
+};
+
+/// RAII span. Construct on the stack (normally via IPIN_TRACE_SPAN); the
+/// destructor records the elapsed time. `name` must outlive the span
+/// (string literals in practice).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  WallTimer timer_;
+  SpanNode* node_;
+  SpanNode* prev_;  // the span active on this thread before this one
+};
+
+/// Flattened copy of the span tree, depth-first, children sorted by name.
+std::vector<SpanStats> SpanTreeSnapshot();
+
+/// Pretty-prints the span tree (indented by depth) to `out`.
+void DumpSpanTree(std::FILE* out);
+
+/// Clears the span tree. Test-only: callers must guarantee no span is
+/// currently open on any thread.
+void ResetSpanTreeForTest();
+
+}  // namespace ipin::obs
+
+#ifdef IPIN_OBS_DISABLED
+#define IPIN_TRACE_SPAN(name)
+#else
+/// Opens a TraceSpan covering the rest of the enclosing scope.
+#define IPIN_TRACE_SPAN(name) \
+  ::ipin::obs::TraceSpan IPIN_OBS_CONCAT(ipin_obs_span_, __LINE__)(name)
+#endif
+
+#endif  // IPIN_OBS_TRACE_H_

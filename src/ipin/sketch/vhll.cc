@@ -57,6 +57,7 @@ bool VersionedHll::AddEntry(size_t cell_index, uint8_t rank, Timestamp t) {
     list.insert(list.begin() + static_cast<ptrdiff_t>(pos),
                 Entry{rank, t});
   } else {
+    evictions_ += end - pos;  // dominated pairs dropped for the new one
     list[pos] = Entry{rank, t};
     if (end > pos + 1) {
       list.erase(list.begin() + static_cast<ptrdiff_t>(pos) + 1,
@@ -71,12 +72,17 @@ void VersionedHll::MergeWindow(const VersionedHll& other, Timestamp merge_time,
   IPIN_CHECK_EQ(precision_, other.precision_);
   IPIN_CHECK_EQ(salt_, other.salt_);
   const Timestamp bound = merge_time + window;  // keep entries with t < bound
+  size_t scanned = 0;
+  size_t kept = 0;
   for (size_t c = 0; c < cells_.size(); ++c) {
     for (const Entry& e : other.cells_[c]) {
       if (e.time >= bound) break;  // ascending time: rest is out of window
-      AddEntry(c, e.rank, e.time);
+      ++scanned;
+      kept += AddEntry(c, e.rank, e.time);
     }
   }
+  merge_entries_scanned_ += scanned;
+  cell_updates_ += kept;
 }
 
 void VersionedHll::MergeAll(const VersionedHll& other) {

@@ -101,6 +101,17 @@ class VersionedHll {
   /// ratio NumEntries()/NumInsertAttempts() measures what pruning saves.
   size_t NumInsertAttempts() const { return insert_attempts_; }
 
+  /// Lifetime count of stored pairs evicted because a newly inserted pair
+  /// dominated them (the flip side of NumInsertAttempts' rejected inserts).
+  size_t NumEvictions() const { return evictions_; }
+
+  /// Lifetime count of entries examined by MergeWindow (window-eligible
+  /// pairs read from the other sketch) and of those that survived
+  /// domination filtering and updated a cell. Plain tallies: the merge
+  /// loop stays atomics-free and callers roll them up into the registry.
+  size_t NumMergeEntriesScanned() const { return merge_entries_scanned_; }
+  size_t NumCellUpdates() const { return cell_updates_; }
+
   /// The raw list of cell `i` (ascending time, strictly ascending rank).
   const std::vector<Entry>& cell(size_t i) const { return cells_[i]; }
 
@@ -130,6 +141,9 @@ class VersionedHll {
   int precision_;
   uint64_t salt_;
   size_t insert_attempts_ = 0;
+  size_t evictions_ = 0;
+  size_t merge_entries_scanned_ = 0;
+  size_t cell_updates_ = 0;
   std::vector<std::vector<Entry>> cells_;
 };
 

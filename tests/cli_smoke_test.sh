@@ -21,6 +21,24 @@ trap 'rm -rf "${WORK}"' EXIT
 "${CLI}" convert --in="${WORK}/net.txt" --dimacs="${WORK}/net.gr"
 head -1 "${WORK}/net.gr" | grep -q "^p sp"
 
+# The report command must emit a pipeline summary and, with --metrics_out,
+# a valid JSON run report containing the headline instrumentation.
+"${CLI}" report --in="${WORK}/net.txt" --window-pct=10 \
+  --metrics_out="${WORK}/m.json" | grep -q "pipeline report"
+test -s "${WORK}/m.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool "${WORK}/m.json" > /dev/null
+else
+  echo "python3 unavailable; skipping JSON syntax validation" >&2
+fi
+grep -q '"irs.exact.edges_scanned"' "${WORK}/m.json"
+grep -q '"sketch.vhll' "${WORK}/m.json"
+grep -q '"oracle.sketch.query_us"' "${WORK}/m.json"
+# build-index also honors the global flag.
+"${CLI}" build-index --in="${WORK}/net.txt" --out="${WORK}/index2.bin" \
+  --metrics_out="${WORK}/m2.json" > /dev/null
+grep -q '"irs.approx.edges_scanned"' "${WORK}/m2.json"
+
 # Failure paths must fail loudly.
 if "${CLI}" topk --index="${WORK}/does-not-exist.bin" 2>/dev/null; then
   echo "expected failure on missing index" >&2

@@ -1,3 +1,6 @@
+#include <mutex>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -43,6 +46,57 @@ TEST(LoggingTest, LevelFiltering) {
   LogWarning("suppressed");
   LogError("visible (expected in test output)");
   SetLogLevel(original);
+}
+
+TEST(LoggingTest, ParseLogLevelAcceptsNamesAndNumbers) {
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("WARN", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("3", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_FALSE(ParseLogLevel("loudest", &level));
+  EXPECT_EQ(level, LogLevel::kError);  // untouched on failure
+}
+
+TEST(LoggingTest, SinkCapturesRecordsAndRestores) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  std::vector<std::string> captured;
+  SetLogSink([&captured](LogLevel level, const std::string& message) {
+    (void)level;
+    captured.push_back(message);
+  });
+  LogInfo("captured line");
+  LogDebug("below threshold");  // filtered before it reaches the sink
+  SetLogSink(nullptr);
+  SetLogLevel(original);
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0], "captured line");
+}
+
+TEST(LoggingTest, ConcurrentLoggingDropsNoRecords) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  std::mutex mu;
+  size_t count = 0;
+  SetLogSink([&mu, &count](LogLevel, const std::string&) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++count;
+  });
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) LogInfo("concurrent record");
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  SetLogSink(nullptr);
+  SetLogLevel(original);
+  EXPECT_EQ(count, static_cast<size_t>(kThreads) * kPerThread);
 }
 
 }  // namespace

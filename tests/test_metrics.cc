@@ -1,0 +1,186 @@
+#include "ipin/obs/metrics.h"
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ipin/obs/export.h"
+
+namespace ipin::obs {
+namespace {
+
+// Every test uses metric names under a test-unique prefix: the registry is
+// process-global and pointers live forever, so names must not collide
+// across tests.
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.Value(), 0.0);
+  gauge.Set(2.5);
+  EXPECT_EQ(gauge.Value(), 2.5);
+  gauge.Add(-1.0);
+  EXPECT_EQ(gauge.Value(), 1.5);
+}
+
+TEST(HistogramTest, CountSumMinMax) {
+  Histogram hist;
+  EXPECT_EQ(hist.Count(), 0u);
+  EXPECT_EQ(hist.Min(), 0u);  // empty reports 0, not UINT64_MAX
+  hist.Record(0);
+  hist.Record(1);
+  hist.Record(3);
+  hist.Record(100);
+  EXPECT_EQ(hist.Count(), 4u);
+  EXPECT_EQ(hist.Sum(), 104u);
+  EXPECT_EQ(hist.Min(), 0u);
+  EXPECT_EQ(hist.Max(), 100u);
+}
+
+TEST(HistogramTest, PowerOfTwoBucketPlacement) {
+  Histogram hist;
+  hist.Record(0);    // bucket 0: exactly zero
+  hist.Record(1);    // bucket 1: [1, 1]
+  hist.Record(3);    // bucket 2: [2, 3]
+  hist.Record(4);    // bucket 3: [4, 7]
+  hist.Record(100);  // bucket 7: [64, 127]
+  EXPECT_EQ(hist.BucketCount(0), 1u);
+  EXPECT_EQ(hist.BucketCount(1), 1u);
+  EXPECT_EQ(hist.BucketCount(2), 1u);
+  EXPECT_EQ(hist.BucketCount(3), 1u);
+  EXPECT_EQ(hist.BucketCount(7), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(3), 7u);
+  EXPECT_EQ(Histogram::BucketUpperBound(64), UINT64_MAX);
+}
+
+TEST(RegistryTest, SameNameReturnsSamePointer) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* a = registry.GetCounter("test_metrics.registry.same");
+  Counter* b = registry.GetCounter("test_metrics.registry.same");
+  EXPECT_EQ(a, b);
+  // Different metric kinds share a namespace-free name pool.
+  EXPECT_NE(static_cast<void*>(registry.GetGauge("test_metrics.registry.same")),
+            static_cast<void*>(a));
+}
+
+TEST(RegistryTest, SnapshotIsIsolatedFromLaterUpdates) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* counter = registry.GetCounter("test_metrics.snapshot.counter");
+  counter->Add(5);
+  const MetricsSnapshot before = registry.Snapshot();
+  counter->Add(100);
+
+  uint64_t seen = 0;
+  for (const auto& [name, value] : before.counters) {
+    if (name == "test_metrics.snapshot.counter") seen = value;
+  }
+  EXPECT_EQ(seen, 5u);  // the snapshot did not move with the live counter
+}
+
+TEST(RegistryTest, SnapshotSortedByName) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("test_metrics.sorted.b");
+  registry.GetCounter("test_metrics.sorted.a");
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  for (size_t i = 1; i < snapshot.counters.size(); ++i) {
+    EXPECT_LT(snapshot.counters[i - 1].first, snapshot.counters[i].first);
+  }
+}
+
+TEST(RegistryTest, ConcurrentIncrementsAreExact) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* counter = registry.GetCounter("test_metrics.concurrent.counter");
+  Histogram* hist = registry.GetHistogram("test_metrics.concurrent.hist");
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 50000;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter, hist] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        counter->Add(1);
+        hist->Record(i & 0xff);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(counter->Value(), kThreads * kPerThread);
+  EXPECT_EQ(hist->Count(), kThreads * kPerThread);
+  uint64_t bucket_total = 0;
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    bucket_total += hist->BucketCount(i);
+  }
+  EXPECT_EQ(bucket_total, kThreads * kPerThread);
+}
+
+TEST(RegistryTest, ResetAllZeroesWithoutInvalidatingPointers) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* counter = registry.GetCounter("test_metrics.reset.counter");
+  counter->Add(7);
+  registry.ResetAll();
+  EXPECT_EQ(counter->Value(), 0u);
+  EXPECT_EQ(registry.GetCounter("test_metrics.reset.counter"), counter);
+}
+
+TEST(ScopedTimerTest, RecordsOnDestruction) {
+  Histogram hist;
+  { ScopedTimer timer(&hist); }
+  EXPECT_EQ(hist.Count(), 1u);
+}
+
+TEST(ScopedTimerTest, StopIsIdempotentAndReturnsSeconds) {
+  Histogram hist;
+  ScopedTimer timer(&hist);
+  const double seconds = timer.Stop();
+  EXPECT_GE(seconds, 0.0);
+  EXPECT_LT(seconds, 60.0);
+  EXPECT_EQ(hist.Count(), 1u);
+  timer.Stop();  // second Stop must not double-record
+  EXPECT_EQ(hist.Count(), 1u);
+}  // destructor must not record either
+}  // namespace
+
+namespace macro_test {
+namespace {
+
+TEST(MacroTest, CounterMacroCachesAndAccumulates) {
+  Counter* counter =
+      MetricsRegistry::Global().GetCounter("test_metrics.macro.counter");
+  const uint64_t before = counter->Value();
+  for (int i = 0; i < 3; ++i) {
+    IPIN_COUNTER_ADD("test_metrics.macro.counter", 2);
+  }
+#ifdef IPIN_OBS_DISABLED
+  EXPECT_EQ(counter->Value(), before);
+#else
+  EXPECT_EQ(counter->Value(), before + 6);
+#endif
+}
+
+TEST(MacroTest, LatencyScopeRecordsOneSample) {
+  Histogram* hist =
+      MetricsRegistry::Global().GetHistogram("test_metrics.macro.latency_us");
+  const uint64_t before = hist->Count();
+  { IPIN_LATENCY_SCOPE("test_metrics.macro.latency_us"); }
+#ifdef IPIN_OBS_DISABLED
+  EXPECT_EQ(hist->Count(), before);
+#else
+  EXPECT_EQ(hist->Count(), before + 1);
+#endif
+}
+
+}  // namespace
+}  // namespace macro_test
+}  // namespace ipin::obs

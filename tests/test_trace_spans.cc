@@ -1,0 +1,256 @@
+#include "ipin/obs/trace.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ipin/obs/export.h"
+#include "ipin/obs/metrics.h"
+
+namespace ipin::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON syntax checker, used to prove the exporter
+// emits well-formed JSON without pulling in a JSON library.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    pos_ = 0;
+    if (!ParseValue()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseString() {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;  // skip the escaped character wholesale
+        if (pos_ >= text_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool ParseNumber() {
+    SkipWs();
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool ParseLiteral(const char* word) {
+    SkipWs();
+    const size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  bool ParseObject() {
+    if (!Consume('{')) return false;
+    if (Consume('}')) return true;
+    do {
+      if (!ParseString()) return false;
+      if (!Consume(':')) return false;
+      if (!ParseValue()) return false;
+    } while (Consume(','));
+    return Consume('}');
+  }
+
+  bool ParseArray() {
+    if (!Consume('[')) return false;
+    if (Consume(']')) return true;
+    do {
+      if (!ParseValue()) return false;
+    } while (Consume(','));
+    return Consume(']');
+  }
+
+  bool ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return ParseString();
+      case 't':
+        return ParseLiteral("true");
+      case 'f':
+        return ParseLiteral("false");
+      case 'n':
+        return ParseLiteral("null");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+const SpanStats* FindSpan(const std::vector<SpanStats>& spans,
+                          const std::string& path) {
+  for (const SpanStats& span : spans) {
+    if (span.path == path) return &span;
+  }
+  return nullptr;
+}
+
+TEST(TraceSpanTest, SequentialSpansAreSiblings) {
+  ResetSpanTreeForTest();
+  { TraceSpan a("alpha"); }
+  { TraceSpan b("beta"); }
+  const std::vector<SpanStats> spans = SpanTreeSnapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  const SpanStats* alpha = FindSpan(spans, "alpha");
+  const SpanStats* beta = FindSpan(spans, "beta");
+  ASSERT_NE(alpha, nullptr);
+  ASSERT_NE(beta, nullptr);
+  EXPECT_EQ(alpha->depth, 0);
+  EXPECT_EQ(beta->depth, 0);
+  EXPECT_EQ(alpha->calls, 1u);
+}
+
+TEST(TraceSpanTest, NestedSpansAggregateUnderParentPath) {
+  ResetSpanTreeForTest();
+  {
+    TraceSpan outer("outer");
+    { TraceSpan inner("inner"); }
+    { TraceSpan inner("inner"); }
+  }
+  const std::vector<SpanStats> spans = SpanTreeSnapshot();
+  const SpanStats* outer = FindSpan(spans, "outer");
+  const SpanStats* inner = FindSpan(spans, "outer/inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->calls, 1u);
+  EXPECT_EQ(outer->depth, 0);
+  EXPECT_EQ(inner->calls, 2u);
+  EXPECT_EQ(inner->depth, 1);
+  // The parent span was open the whole time its children ran.
+  EXPECT_GE(outer->total_ns, inner->total_ns);
+  // There is no top-level "inner": nesting keyed it under the parent.
+  EXPECT_EQ(FindSpan(spans, "inner"), nullptr);
+}
+
+TEST(TraceSpanTest, ReusedNameOnNewParentGetsOwnNode) {
+  ResetSpanTreeForTest();
+  {
+    TraceSpan a("first");
+    { TraceSpan shared("shared"); }
+  }
+  {
+    TraceSpan b("second");
+    { TraceSpan shared("shared"); }
+  }
+  const std::vector<SpanStats> spans = SpanTreeSnapshot();
+  ASSERT_NE(FindSpan(spans, "first/shared"), nullptr);
+  ASSERT_NE(FindSpan(spans, "second/shared"), nullptr);
+  EXPECT_EQ(FindSpan(spans, "first/shared")->calls, 1u);
+}
+
+TEST(TraceSpanTest, SpansFeedTheMetricsRegistry) {
+  ResetSpanTreeForTest();
+  { TraceSpan span("registry.fed"); }
+  { TraceSpan span("registry.fed"); }
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  // The counter survives tree resets; it accumulates >= the 2 calls above.
+  EXPECT_GE(registry.GetCounter("trace.registry.fed.calls")->Value(), 2u);
+  EXPECT_GE(registry.GetHistogram("trace.registry.fed.us")->Count(), 2u);
+}
+
+TEST(TraceSpanTest, MacroCompilesInAnyBuild) {
+  ResetSpanTreeForTest();
+  {
+    IPIN_TRACE_SPAN("macro.span");
+  }
+  const std::vector<SpanStats> spans = SpanTreeSnapshot();
+#ifdef IPIN_OBS_DISABLED
+  EXPECT_EQ(FindSpan(spans, "macro.span"), nullptr);
+#else
+  ASSERT_NE(FindSpan(spans, "macro.span"), nullptr);
+  EXPECT_EQ(FindSpan(spans, "macro.span")->calls, 1u);
+#endif
+}
+
+TEST(JsonExportTest, ReportRoundTripsThroughChecker) {
+  ResetSpanTreeForTest();
+  {
+    TraceSpan outer("json.outer");
+    TraceSpan inner("json.inner");
+  }
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("test_spans.json.counter")->Add(3);
+  registry.GetGauge("test_spans.json.gauge")->Set(1.25);
+  registry.GetHistogram("test_spans.json.hist")->Record(17);
+
+  const std::string json = GlobalMetricsReportJson();
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.Valid()) << json;
+
+  // Spot-check content made it through.
+  EXPECT_NE(json.find("\"test_spans.json.counter\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"test_spans.json.gauge\":1.25"), std::string::npos);
+  EXPECT_NE(json.find("\"json.outer/json.inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"ipin.metrics.v1\""), std::string::npos);
+}
+
+TEST(JsonExportTest, EscapesAwkwardMetricNames) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("test_spans.weird\"name\\with\tescapes")->Add(1);
+  const std::string json = GlobalMetricsReportJson();
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.Valid()) << json;
+}
+
+TEST(PrometheusExportTest, EmitsSanitizedSeries) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("test_spans.prom.counter")->Add(9);
+  registry.GetHistogram("test_spans.prom.hist")->Record(5);
+  const std::string text = MetricsPrometheusText(registry.Snapshot());
+  EXPECT_NE(text.find("test_spans_prom_counter 9"), std::string::npos);
+  EXPECT_NE(text.find("test_spans_prom_hist_count 1"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ipin::obs
