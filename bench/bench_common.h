@@ -11,6 +11,8 @@
 #include "ipin/datasets/registry.h"
 #include "ipin/graph/interaction_graph.h"
 #include "ipin/obs/export.h"
+#include "ipin/obs/memtally.h"
+#include "ipin/obs/trace_events.h"
 
 // Shared plumbing for the table/figure harnesses: flag handling, dataset
 // loading at a bench-appropriate scale, small formatting helpers, and the
@@ -55,12 +57,33 @@ inline void PrintBanner(const char* experiment, const FlagMap& flags,
   (void)flags;
 }
 
+/// Starts opt-in trace-event recording when --trace_out=FILE was passed.
+/// Call once, right after parsing flags; EmitRunReport stops the session
+/// and writes the Chrome trace file. No-op without the flag.
+inline void SetupBenchObservability(const FlagMap& flags) {
+  if (!flags.GetString("trace_out", "").empty()) {
+    obs::StartTraceRecording();
+  }
+}
+
 /// Emits the harness's machine-readable run report (metrics registry +
 /// span tree, JSON schema ipin.metrics.v1). With --metrics_out=FILE the
 /// report is written there; otherwise it is appended to stdout so every
-/// bench run carries its counters alongside the printed timings. Call once,
-/// at the end of main.
+/// bench run carries its counters alongside the printed timings. When
+/// --trace_out=FILE is set (and SetupBenchObservability started recording),
+/// stops the session and writes the Chrome trace there. Call once, at the
+/// end of main.
 inline void EmitRunReport(const FlagMap& flags) {
+  const std::string trace_path = flags.GetString("trace_out", "");
+  if (!trace_path.empty()) {
+    obs::StopTraceRecording();
+    if (obs::WriteChromeTrace(trace_path)) {
+      std::printf("\n# chrome trace -> %s\n", trace_path.c_str());
+    }
+  }
+  // Mirror measured byte tallies into mem.* gauges so the report (and any
+  // trace counter tracks already sampled) carries them.
+  obs::PublishMemoryGauges();
   const std::string path = flags.GetString("metrics_out", "");
   if (!path.empty()) {
     if (obs::WriteMetricsReportFile(path)) {

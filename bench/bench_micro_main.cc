@@ -1,0 +1,65 @@
+// Shared main for the google-benchmark micro-benches. Replaces
+// benchmark::benchmark_main so the observability flags the harnesses take
+// work here too:
+//
+//   --trace_out=FILE    record trace events, write a Chrome trace on exit
+//   --metrics_out=FILE  write the ipin.metrics.v1 run report on exit
+//
+// Both flags are stripped from argv before benchmark::Initialize (which
+// rejects flags it does not know). Everything else behaves like the stock
+// benchmark main, including --benchmark_format=json etc.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ipin/obs/export.h"
+#include "ipin/obs/memtally.h"
+#include "ipin/obs/trace_events.h"
+
+namespace {
+
+// Extracts "--<name>=value" from argv (removing it) and returns the value,
+// or "" when absent.
+std::string TakeFlag(int* argc, char** argv, const char* name) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) != 0) continue;
+    std::string value = argv[i] + prefix.size();
+    for (int j = i; j + 1 < *argc; ++j) argv[j] = argv[j + 1];
+    --*argc;
+    return value;
+  }
+  return "";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string trace_out = TakeFlag(&argc, argv, "trace_out");
+  const std::string metrics_out = TakeFlag(&argc, argv, "metrics_out");
+
+  if (!trace_out.empty()) ipin::obs::StartTraceRecording();
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!trace_out.empty()) {
+    ipin::obs::StopTraceRecording();
+    if (ipin::obs::WriteChromeTrace(trace_out)) {
+      std::fprintf(stderr, "# chrome trace -> %s\n", trace_out.c_str());
+    }
+  }
+  if (!metrics_out.empty()) {
+    ipin::obs::PublishMemoryGauges();
+    if (ipin::obs::WriteMetricsReportFile(metrics_out)) {
+      std::fprintf(stderr, "# metrics report -> %s\n", metrics_out.c_str());
+    }
+  }
+  return 0;
+}

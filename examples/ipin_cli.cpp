@@ -10,12 +10,14 @@
 //   ipin_cli query     --index=index.bin --seeds=1,2,3
 //   ipin_cli simulate  --in=net.txt --seeds=1,2,3 --window-pct=10 --p=0.5
 //   ipin_cli convert   --in=net.txt --dimacs=net.gr
-//   ipin_cli report    --in=net.txt --window-pct=10 --metrics_out=m.json
+//   ipin_cli report    --in=net.txt --window-pct=10 --format=prom
 //
 // Global flags (any command): --metrics_out=FILE writes the metrics
-// registry + span tree as a JSON run report on exit; --log_level=LEVEL
-// (debug|info|warning|error) sets the logger threshold (overriding the
-// IPIN_LOG_LEVEL environment variable).
+// registry + span tree as a JSON run report on exit; --trace_out=FILE
+// records trace events during the command and writes a Chrome/Perfetto
+// trace_event JSON file on exit (open with https://ui.perfetto.dev);
+// --log_level=LEVEL (debug|info|warning|error) sets the logger threshold
+// (overriding the IPIN_LOG_LEVEL environment variable).
 
 #include <cmath>
 #include <cstdio>
@@ -38,6 +40,10 @@
 #include "ipin/graph/graph_io.h"
 #include "ipin/graph/static_graph.h"
 #include "ipin/obs/export.h"
+#include "ipin/obs/memtally.h"
+#include "ipin/obs/metrics.h"
+#include "ipin/obs/trace.h"
+#include "ipin/obs/trace_events.h"
 
 namespace ipin {
 namespace {
@@ -56,8 +62,9 @@ int Usage() {
       "[--runs=50]\n"
       "  convert     --in=<file> --dimacs=<out>\n"
       "  report      --in=<file> [--window-pct=10] [--precision=9] "
-      "[--queries=32]\n"
-      "global flags: --metrics_out=<json> --log_level=<level>\n");
+      "[--queries=32] [--format=text|json|prom]\n"
+      "global flags: --metrics_out=<json> --trace_out=<json> "
+      "--log_level=<level>\n");
   return 2;
 }
 
@@ -254,6 +261,28 @@ int CmdReport(const FlagMap& flags) {
               num_queries,
               error_count > 0 ? error_sum / static_cast<double>(error_count)
                               : 0.0);
+
+  // --format selects how the collected instrumentation is appended:
+  // text (default, pretty one-per-line), json (ipin.metrics.v1 document),
+  // prom (Prometheus exposition text, ready to push to a textfile
+  // collector).
+  const std::string format = flags.GetString("format", "text");
+  obs::PublishMemoryGauges();
+  const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  if (format == "json") {
+    std::printf("%s\n",
+                obs::MetricsReportJson(snapshot, obs::SpanTreeSnapshot())
+                    .c_str());
+  } else if (format == "prom") {
+    std::printf("%s", obs::MetricsPrometheusText(snapshot).c_str());
+  } else if (format == "text") {
+    std::printf("\n# metrics\n");
+    obs::WriteMetricsText(snapshot, stdout);
+  } else {
+    std::fprintf(stderr, "bad --format '%s' (text|json|prom)\n",
+                 format.c_str());
+    return Usage();
+  }
   return 0;
 }
 
@@ -284,10 +313,23 @@ int Run(int argc, char** argv) {
     SetLogLevel(level);
   }
 
+  const std::string trace_out = flags.GetString("trace_out", "");
+  if (!trace_out.empty()) obs::StartTraceRecording();
+
   int rc = Dispatch(flags.positional()[0], flags);
+
+  if (!trace_out.empty()) {
+    obs::StopTraceRecording();
+    if (obs::WriteChromeTrace(trace_out)) {
+      LogInfo("wrote chrome trace to " + trace_out);
+    } else if (rc == 0) {
+      rc = 1;
+    }
+  }
 
   const std::string metrics_out = flags.GetString("metrics_out", "");
   if (!metrics_out.empty()) {
+    obs::PublishMemoryGauges();
     if (obs::WriteMetricsReportFile(metrics_out)) {
       LogInfo("wrote metrics report to " + metrics_out);
     } else if (rc == 0) {

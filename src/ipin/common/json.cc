@@ -1,0 +1,316 @@
+#include "ipin/common/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "ipin/common/check.h"
+
+namespace ipin {
+
+/// Recursive-descent parser over a string_view; depth-limited so corrupt
+/// deeply-nested input cannot blow the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> ParseDocument() {
+    JsonValue value;
+    if (!ParseValue(&value, 0)) return std::nullopt;
+    SkipWhitespace();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return false;
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->type_ = JsonValue::Type::kString;
+        return ParseString(&out->string_);
+      case 't':
+        out->type_ = JsonValue::Type::kBool;
+        out->bool_ = true;
+        return ConsumeLiteral("true");
+      case 'f':
+        out->type_ = JsonValue::Type::kBool;
+        out->bool_ = false;
+        return ConsumeLiteral("false");
+      case 'n':
+        out->type_ = JsonValue::Type::kNull;
+        return ConsumeLiteral("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out, int depth) {
+    out->type_ = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    SkipWhitespace();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      if (Peek() != '"' || !ParseString(&key)) return false;
+      SkipWhitespace();
+      if (Peek() != ':') return false;
+      ++pos_;
+      JsonValue value;
+      if (!ParseValue(&value, depth + 1)) return false;
+      out->object_.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseArray(JsonValue* out, int depth) {
+    out->type_ = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    SkipWhitespace();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue value;
+      if (!ParseValue(&value, depth + 1)) return false;
+      out->array_.push_back(std::move(value));
+      SkipWhitespace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) return false;
+        const char esc = text_[pos_ + 1];
+        pos_ += 2;
+        switch (esc) {
+          case '"':
+            out->push_back('"');
+            break;
+          case '\\':
+            out->push_back('\\');
+            break;
+          case '/':
+            out->push_back('/');
+            break;
+          case 'b':
+            out->push_back('\b');
+            break;
+          case 'f':
+            out->push_back('\f');
+            break;
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 'r':
+            out->push_back('\r');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case 'u': {
+            unsigned code = 0;
+            if (!ParseHex4(&code)) return false;
+            AppendUtf8(code, out);
+            break;
+          }
+          default:
+            return false;
+        }
+        continue;
+      }
+      // Raw control characters are invalid inside JSON strings.
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      out->push_back(c);
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseHex4(unsigned* code) {
+    if (pos_ + 4 > text_.size()) return false;
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<size_t>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+    }
+    pos_ += 4;
+    *code = value;
+    return true;
+  }
+
+  // Encodes a BMP code point (surrogate pairs are kept as-is: the exporters
+  // never emit them, so we do not reassemble them here).
+  static void AppendUtf8(unsigned code, std::string* out) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    // JSON forbids leading zeros: after the sign, either a lone '0' or a
+    // nonzero-led digit run (strtod below is laxer, so check here).
+    if (Peek() == '0' && pos_ + 1 < text_.size() &&
+        std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+      return false;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return false;
+    out->type_ = JsonValue::Type::kNumber;
+    out->number_ = value;
+    return true;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  // One-character lookahead; '\0' at end of input.
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+std::optional<JsonValue> JsonValue::Parse(std::string_view text) {
+  return JsonParser(text).ParseDocument();
+}
+
+std::optional<JsonValue> JsonValue::ParseFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::string content;
+  char buffer[1 << 16];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    content.append(buffer, n);
+  }
+  const bool read_ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!read_ok) return std::nullopt;
+  return Parse(content);
+}
+
+bool JsonValue::bool_value() const {
+  IPIN_CHECK(is_bool());
+  return bool_;
+}
+
+double JsonValue::number_value() const {
+  IPIN_CHECK(is_number());
+  return number_;
+}
+
+const std::string& JsonValue::string_value() const {
+  IPIN_CHECK(is_string());
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::array_items() const {
+  IPIN_CHECK(is_array());
+  return array_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::object_items()
+    const {
+  IPIN_CHECK(is_object());
+  return object_;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [name, value] : object_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+double JsonValue::FindNumber(std::string_view key, double fallback) const {
+  const JsonValue* value = Find(key);
+  return value != nullptr && value->is_number() ? value->number_value()
+                                                : fallback;
+}
+
+std::string JsonValue::FindString(std::string_view key,
+                                  const std::string& fallback) const {
+  const JsonValue* value = Find(key);
+  return value != nullptr && value->is_string() ? value->string_value()
+                                                : fallback;
+}
+
+}  // namespace ipin

@@ -1,0 +1,71 @@
+#ifndef IPIN_COMMON_JSON_H_
+#define IPIN_COMMON_JSON_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+// Minimal JSON reader for the observability tooling: bench-history
+// aggregation (tools/bench_history), the regression gate
+// (tools/bench_compare), and tests that validate the JSON our exporters
+// emit (ipin.metrics.v1 run reports, Chrome trace_event files). Parses the
+// full JSON grammar into a value tree; it is a reader only — serialization
+// stays with the hand-rolled emitters in obs/export.cc, which control
+// their output format exactly.
+
+namespace ipin {
+
+/// One parsed JSON value. Object members keep document order; lookups are
+/// linear (documents handled here are small).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses a complete JSON document (surrounding whitespace allowed).
+  /// Returns nullopt on any syntax error or trailing garbage.
+  static std::optional<JsonValue> Parse(std::string_view text);
+
+  /// Reads and parses `path`; nullopt on I/O or syntax error.
+  static std::optional<JsonValue> ParseFile(const std::string& path);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; the value must hold the matching type (checked).
+  bool bool_value() const;
+  double number_value() const;
+  const std::string& string_value() const;
+  const std::vector<JsonValue>& array_items() const;
+  const std::vector<std::pair<std::string, JsonValue>>& object_items() const;
+
+  /// Object member by key, or nullptr if absent (or not an object).
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Convenience: Find(key) if it holds the expected type, else fallback.
+  double FindNumber(std::string_view key, double fallback) const;
+  std::string FindString(std::string_view key,
+                         const std::string& fallback) const;
+
+  static JsonValue MakeNull() { return JsonValue(); }
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+}  // namespace ipin
+
+#endif  // IPIN_COMMON_JSON_H_

@@ -11,9 +11,10 @@
 
 namespace ipin {
 
-/// Bytes held by a vector's allocation (capacity, not size).
-template <typename T>
-size_t VectorBytes(const std::vector<T>& v) {
+/// Bytes held by a vector's allocation (capacity, not size). Accepts any
+/// allocator so tally-accounted vectors (obs::TallyAllocator) work too.
+template <typename T, typename Alloc>
+size_t VectorBytes(const std::vector<T, Alloc>& v) {
   return v.capacity() * sizeof(T);
 }
 

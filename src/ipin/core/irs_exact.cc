@@ -9,6 +9,11 @@
 
 namespace ipin {
 
+obs::MemoryTally& IrsExactMemTally() {
+  static obs::MemoryTally& tally = obs::GetMemoryTally("irs_exact");
+  return tally;
+}
+
 IrsExact::IrsExact(size_t num_nodes, Duration window)
     : window_(window), last_time_(0), summaries_(num_nodes) {
   IPIN_CHECK_GE(window, 1);
@@ -111,8 +116,7 @@ size_t IrsExact::TotalSummaryEntries() const {
 }
 
 size_t IrsExact::MemoryUsageBytes() const {
-  size_t bytes = summaries_.capacity() *
-                 sizeof(std::unordered_map<NodeId, Timestamp>);
+  size_t bytes = summaries_.capacity() * sizeof(IrsSummaryMap);
   for (const auto& summary : summaries_) {
     bytes += HashMapBytes(summary.size(), summary.bucket_count(),
                           sizeof(NodeId) + sizeof(Timestamp));

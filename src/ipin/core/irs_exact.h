@@ -2,14 +2,28 @@
 #define IPIN_CORE_IRS_EXACT_H_
 
 #include <cstddef>
+#include <functional>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "ipin/graph/interaction_graph.h"
 #include "ipin/graph/types.h"
+#include "ipin/obs/memtally.h"
 
 namespace ipin {
+
+/// Byte tally charged for every exact-IRS summary-map allocation (component
+/// "irs_exact"); published as the mem.irs_exact.* gauges.
+obs::MemoryTally& IrsExactMemTally();
+
+/// phi(u) map type: reachable node -> earliest channel end time. Nodes and
+/// buckets charge the "irs_exact" MemoryTally, so mem.irs_exact.bytes is a
+/// measured (allocator-counted) footprint.
+using IrsSummaryMap = std::unordered_map<
+    NodeId, Timestamp, std::hash<NodeId>, std::equal_to<NodeId>,
+    obs::TallyAllocator<std::pair<const NodeId, Timestamp>,
+                        &IrsExactMemTally>>;
 
 /// Exact influence-reachability-set computation (the paper's Algorithm 2).
 ///
@@ -38,9 +52,7 @@ class IrsExact {
   void ProcessInteraction(const Interaction& interaction);
 
   /// phi(u): reachable node -> earliest channel end time.
-  const std::unordered_map<NodeId, Timestamp>& Summary(NodeId u) const {
-    return summaries_[u];
-  }
+  const IrsSummaryMap& Summary(NodeId u) const { return summaries_[u]; }
 
   /// |sigma_omega(u)|.
   size_t IrsSize(NodeId u) const { return summaries_[u].size(); }
@@ -77,7 +89,7 @@ class IrsExact {
   size_t summary_inserts_ = 0;
   size_t summary_updates_ = 0;
   size_t window_prunes_ = 0;
-  std::vector<std::unordered_map<NodeId, Timestamp>> summaries_;
+  std::vector<IrsSummaryMap> summaries_;
 };
 
 }  // namespace ipin

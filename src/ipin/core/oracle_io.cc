@@ -5,9 +5,17 @@
 #include <sstream>
 
 #include "ipin/common/logging.h"
+#include "ipin/obs/memtally.h"
 
 namespace ipin {
 namespace {
+
+// Serialization buffers charge the "oracle_io" tally so index save/load
+// peaks show up in the mem.oracle_io.* gauges.
+obs::MemoryTally& OracleIoMemTally() {
+  static obs::MemoryTally& tally = obs::GetMemoryTally("oracle_io");
+  return tally;
+}
 
 // File layout (little-endian):
 //   8 bytes magic "IPINIDX1"
@@ -37,10 +45,12 @@ bool SaveInfluenceIndex(const IrsApprox& index, const std::string& path) {
   AppendRaw<uint8_t>(&buffer, static_cast<uint8_t>(index.options().precision));
   AppendRaw<uint64_t>(&buffer, index.options().salt);
   AppendRaw<uint64_t>(&buffer, index.num_nodes());
+  obs::ScopedMemoryCharge charge(OracleIoMemTally(), buffer.capacity());
   for (NodeId u = 0; u < index.num_nodes(); ++u) {
     const VersionedHll* sketch = index.Sketch(u);
     AppendRaw<uint8_t>(&buffer, sketch != nullptr ? 1 : 0);
     if (sketch != nullptr) sketch->Serialize(&buffer);
+    charge.Resize(buffer.capacity());
   }
 
   std::ofstream out(path, std::ios::binary);
@@ -61,6 +71,7 @@ std::optional<IrsApprox> LoadInfluenceIndex(const std::string& path) {
   std::ostringstream contents;
   contents << in.rdbuf();
   const std::string buffer = contents.str();
+  const obs::ScopedMemoryCharge charge(OracleIoMemTally(), buffer.capacity());
 
   size_t offset = 0;
   if (buffer.size() < sizeof(kMagic) ||

@@ -80,8 +80,7 @@ size_t SourceSetExact::TotalSummaryEntries() const {
 }
 
 size_t SourceSetExact::MemoryUsageBytes() const {
-  size_t bytes = summaries_.capacity() *
-                 sizeof(std::unordered_map<NodeId, Timestamp>);
+  size_t bytes = summaries_.capacity() * sizeof(IrsSummaryMap);
   for (const auto& summary : summaries_) {
     bytes += HashMapBytes(summary.size(), summary.bucket_count(),
                           sizeof(NodeId) + sizeof(Timestamp));

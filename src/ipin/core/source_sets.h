@@ -9,6 +9,7 @@
 
 #include "ipin/core/influence_oracle.h"
 #include "ipin/core/irs_approx.h"
+#include "ipin/core/irs_exact.h"
 #include "ipin/graph/interaction_graph.h"
 #include "ipin/graph/types.h"
 #include "ipin/sketch/vhll.h"
@@ -47,9 +48,9 @@ class SourceSetExact {
   void ProcessInteraction(const Interaction& interaction);
 
   /// psi(v): influencing source -> latest start time of a channel into v.
-  const std::unordered_map<NodeId, Timestamp>& Summary(NodeId v) const {
-    return summaries_[v];
-  }
+  /// Same accounted map type as the exact IRS: source-set summaries charge
+  /// the "irs_exact" tally too (they are the same structure, transposed).
+  const IrsSummaryMap& Summary(NodeId v) const { return summaries_[v]; }
 
   /// |tau_omega(v)|.
   size_t SourceSetSize(NodeId v) const { return summaries_[v].size(); }
@@ -76,7 +77,7 @@ class SourceSetExact {
   Duration window_;
   Timestamp last_time_;
   bool saw_interaction_ = false;
-  std::vector<std::unordered_map<NodeId, Timestamp>> summaries_;
+  std::vector<IrsSummaryMap> summaries_;
 };
 
 /// Sketch-based streaming source sets. Internally reuses VersionedHll with

@@ -58,6 +58,12 @@ void AppendHistogramJson(const HistogramSnapshot& h, std::string* out) {
                         static_cast<unsigned long long>(h.min),
                         static_cast<unsigned long long>(h.max)));
   AppendDouble(h.Mean(), out);
+  out->append(",\"p50\":");
+  AppendDouble(h.P50(), out);
+  out->append(",\"p95\":");
+  AppendDouble(h.P95(), out);
+  out->append(",\"p99\":");
+  AppendDouble(h.P99(), out);
   out->append(",\"buckets\":[");
   bool first = true;
   for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
@@ -92,9 +98,12 @@ void WriteMetricsText(const MetricsSnapshot& snapshot, std::FILE* out) {
     std::fprintf(out, "%-48s %.6g\n", name.c_str(), value);
   }
   for (const HistogramSnapshot& h : snapshot.histograms) {
-    std::fprintf(out, "%-48s count=%llu mean=%.1f min=%llu max=%llu\n",
+    std::fprintf(out,
+                 "%-48s count=%llu mean=%.1f p50=%.1f p95=%.1f p99=%.1f "
+                 "min=%llu max=%llu\n",
                  h.name.c_str(), static_cast<unsigned long long>(h.count),
-                 h.Mean(), static_cast<unsigned long long>(h.min),
+                 h.Mean(), h.P50(), h.P95(), h.P99(),
+                 static_cast<unsigned long long>(h.min),
                  static_cast<unsigned long long>(h.max));
   }
 }
@@ -175,6 +184,15 @@ std::string MetricsPrometheusText(const MetricsSnapshot& snapshot) {
     out.append(StrFormat("%s_sum %llu\n%s_count %llu\n", prom.c_str(),
                          static_cast<unsigned long long>(h.sum), prom.c_str(),
                          static_cast<unsigned long long>(h.count)));
+    // Pre-computed quantiles as companion gauges (a histogram TYPE cannot
+    // carry quantile series; scrapers that want exact ones can still derive
+    // them from the _bucket series).
+    out.append(StrFormat("# TYPE %s_p50 gauge\n%s_p50 %.10g\n", prom.c_str(),
+                         prom.c_str(), h.P50()));
+    out.append(StrFormat("# TYPE %s_p95 gauge\n%s_p95 %.10g\n", prom.c_str(),
+                         prom.c_str(), h.P95()));
+    out.append(StrFormat("# TYPE %s_p99 gauge\n%s_p99 %.10g\n", prom.c_str(),
+                         prom.c_str(), h.P99()));
   }
   return out;
 }

@@ -1,0 +1,82 @@
+#include "ipin/obs/memtally.h"
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+#include "ipin/obs/metrics.h"
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+namespace ipin::obs {
+namespace {
+
+std::mutex g_tallies_mu;
+
+std::map<std::string, std::unique_ptr<MemoryTally>>& Tallies() {
+  // Leaked, like the metrics registry: tallies must stay usable while
+  // static-storage containers deallocate during teardown.
+  static auto* const tallies =
+      new std::map<std::string, std::unique_ptr<MemoryTally>>();
+  return *tallies;
+}
+
+}  // namespace
+
+MemoryTally& GetMemoryTally(const std::string& component) {
+  std::lock_guard<std::mutex> lock(g_tallies_mu);
+  auto& tallies = Tallies();
+  auto it = tallies.find(component);
+  if (it == tallies.end()) {
+    it = tallies.emplace(component, std::make_unique<MemoryTally>(component))
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<MemoryTally*> AllMemoryTallies() {
+  std::lock_guard<std::mutex> lock(g_tallies_mu);
+  std::vector<MemoryTally*> out;
+  out.reserve(Tallies().size());
+  for (const auto& [name, tally] : Tallies()) {
+    out.push_back(tally.get());
+  }
+  return out;
+}
+
+void PublishMemoryGauges() {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  for (MemoryTally* tally : AllMemoryTallies()) {
+    registry.GetGauge("mem." + tally->name() + ".bytes")
+        ->Set(static_cast<double>(tally->CurrentBytes()));
+    registry.GetGauge("mem." + tally->name() + ".peak_bytes")
+        ->Set(static_cast<double>(tally->PeakBytes()));
+  }
+  const size_t rss = CurrentRssBytes();
+  if (rss > 0) {
+    registry.GetGauge("mem.process.rss_bytes")
+        ->Set(static_cast<double>(rss));
+  }
+}
+
+size_t CurrentRssBytes() {
+#ifdef __unix__
+  // statm: size resident shared text lib data dt — pages.
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long size_pages = 0;
+  unsigned long long resident_pages = 0;
+  const int fields = std::fscanf(f, "%llu %llu", &size_pages, &resident_pages);
+  std::fclose(f);
+  if (fields != 2) return 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  if (page <= 0) return 0;
+  return static_cast<size_t>(resident_pages) * static_cast<size_t>(page);
+#else
+  return 0;
+#endif
+}
+
+}  // namespace ipin::obs

@@ -1,5 +1,7 @@
 #include "ipin/obs/metrics.h"
 
+#include <algorithm>
+
 namespace ipin::obs {
 namespace {
 
@@ -14,6 +16,36 @@ T* FindOrCreate(std::map<std::string, std::unique_ptr<T>>* metrics,
 }
 
 }  // namespace
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample, 1-based: q = 0 -> first, q = 1 -> last.
+  const double target = q * (static_cast<double>(count) - 1.0) + 1.0;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    // Interpolate within [lower, upper]: the target is sample number
+    // (target - before) of this bucket's buckets[i] samples, assumed
+    // uniformly spread across the bucket's value range.
+    const double lower =
+        i == 0 ? 0.0
+               : static_cast<double>(Histogram::BucketUpperBound(i - 1)) + 1.0;
+    const double upper = static_cast<double>(Histogram::BucketUpperBound(i));
+    const double fraction =
+        buckets[i] <= 1
+            ? 0.0
+            : (target - before - 1.0) / static_cast<double>(buckets[i] - 1);
+    const double value = lower + fraction * (upper - lower);
+    // The recorded extremes are exact; never report beyond them.
+    return std::clamp(value, static_cast<double>(min),
+                      static_cast<double>(max));
+  }
+  return static_cast<double>(max);
+}
 
 MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* const registry = new MetricsRegistry();

@@ -137,6 +137,16 @@ struct HistogramSnapshot {
     return count == 0 ? 0.0
                       : static_cast<double>(sum) / static_cast<double>(count);
   }
+
+  /// Estimated q-quantile (q in [0, 1]), linearly interpolated inside the
+  /// power-of-two bucket the target rank falls in and clamped to the
+  /// recorded [min, max]. Exact when samples concentrate per bucket; off by
+  /// at most the bucket width otherwise. 0 when empty.
+  double Percentile(double q) const;
+
+  double P50() const { return Percentile(0.50); }
+  double P95() const { return Percentile(0.95); }
+  double P99() const { return Percentile(0.99); }
 };
 
 /// Point-in-time copy of the whole registry; safe to read and serialize

@@ -5,6 +5,8 @@
 #include <memory>
 #include <mutex>
 
+#include "ipin/obs/trace_events.h"
+
 namespace ipin::obs {
 
 struct SpanNode {
@@ -64,15 +66,19 @@ void CollectDepthFirst(const SpanNode& node, std::vector<SpanStats>* out) {
 
 }  // namespace
 
-TraceSpan::TraceSpan(const char* name) : prev_(t_current) {
+TraceSpan::TraceSpan(const char* name) : name_(name), prev_(t_current) {
   SpanNode* parent = prev_ != nullptr ? prev_ : Root();
   node_ = FindOrCreateChild(parent, name);
   t_current = node_;
+  // Feed the opt-in event recorder (one relaxed load when off). The begin
+  // event sits outside the measured interval, like the tree lookup.
+  if (IsTraceRecording()) RecordBeginEvent(name_);
   timer_.Restart();  // exclude the tree lookup from the measured time
 }
 
 TraceSpan::~TraceSpan() {
   const uint64_t ns = static_cast<uint64_t>(timer_.ElapsedSeconds() * 1e9);
+  if (IsTraceRecording()) RecordEndEvent(name_);
   node_->calls.fetch_add(1, std::memory_order_relaxed);
   node_->total_ns.fetch_add(ns, std::memory_order_relaxed);
   node_->calls_counter->Add(1);

@@ -48,6 +48,7 @@ class TraceSpan {
 
  private:
   WallTimer timer_;
+  const char* name_;  // kept for the event recorder (node_ may outlive resets)
   SpanNode* node_;
   SpanNode* prev_;  // the span active on this thread before this one
 };

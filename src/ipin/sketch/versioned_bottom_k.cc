@@ -8,6 +8,11 @@
 
 namespace ipin {
 
+obs::MemoryTally& BottomKMemTally() {
+  static obs::MemoryTally& tally = obs::GetMemoryTally("bottom_k");
+  return tally;
+}
+
 VersionedBottomK::VersionedBottomK(size_t k, uint64_t salt)
     : k_(k), salt_(salt) {
   IPIN_CHECK_GE(k, 2u);

@@ -6,8 +6,13 @@
 #include <vector>
 
 #include "ipin/graph/types.h"
+#include "ipin/obs/memtally.h"
 
 namespace ipin {
+
+/// Byte tally charged for versioned bottom-k entry-list allocations
+/// (component "bottom_k"); published as the mem.bottom_k.* gauges.
+obs::MemoryTally& BottomKMemTally();
 
 /// Versioned bottom-k sketch: the bottom-k analogue of the paper's
 /// versioned HyperLogLog, provided as a design-alternative backend for the
@@ -29,6 +34,11 @@ class VersionedBottomK {
     uint64_t hash = 0;
     Timestamp time = 0;
   };
+
+  /// Entry storage charges the "bottom_k" MemoryTally, so mem.bottom_k.bytes
+  /// reports measured (allocator-counted) footprint.
+  using EntryList =
+      std::vector<Entry, obs::TallyAllocator<Entry, &BottomKMemTally>>;
 
   /// `k` >= 2 (the estimator divides by the k-th minimum).
   explicit VersionedBottomK(size_t k, uint64_t salt = 0);
@@ -56,7 +66,7 @@ class VersionedBottomK {
   size_t k() const { return k_; }
   uint64_t salt() const { return salt_; }
   size_t NumEntries() const { return entries_.size(); }
-  const std::vector<Entry>& entries() const { return entries_; }
+  const EntryList& entries() const { return entries_; }
 
   /// Verifies the domination invariant (test helper, O(len^2)).
   bool CheckInvariants() const;
@@ -71,7 +81,7 @@ class VersionedBottomK {
 
   size_t k_;
   uint64_t salt_;
-  std::vector<Entry> entries_;  // ascending time; distinct hashes
+  EntryList entries_;  // ascending time; distinct hashes
 };
 
 }  // namespace ipin

@@ -9,6 +9,11 @@
 
 namespace ipin {
 
+obs::MemoryTally& VhllMemTally() {
+  static obs::MemoryTally& tally = obs::GetMemoryTally("vhll");
+  return tally;
+}
+
 VersionedHll::VersionedHll(int precision, uint64_t salt)
     : precision_(precision), salt_(salt) {
   IPIN_CHECK_GE(precision, 4);
@@ -31,7 +36,7 @@ bool VersionedHll::AddEntry(size_t cell_index, uint8_t rank, Timestamp t) {
   IPIN_DCHECK(cell_index < cells_.size());
   IPIN_DCHECK(rank > 0);
   ++insert_attempts_;
-  std::vector<Entry>& list = cells_[cell_index];
+  CellList& list = cells_[cell_index];
 
   // Lists are ascending in both time and rank. Locate the first entry with
   // time > t; every entry before it has time <= t, and the largest rank in
@@ -128,7 +133,7 @@ void VersionedHll::MaxRanks(Timestamp bound,
                             std::vector<uint8_t>* ranks) const {
   IPIN_CHECK_EQ(ranks->size(), cells_.size());
   for (size_t c = 0; c < cells_.size(); ++c) {
-    const std::vector<Entry>& list = cells_[c];
+    const CellList& list = cells_[c];
     uint8_t best = (*ranks)[c];
     for (const Entry& e : list) {
       if (e.time >= bound) break;
@@ -140,23 +145,23 @@ void VersionedHll::MaxRanks(Timestamp bound,
 
 void VersionedHll::CompactExpired(Timestamp frontier, Duration window) {
   const Timestamp bound = frontier + window;
-  for (std::vector<Entry>& list : cells_) {
+  for (CellList& list : cells_) {
     while (!list.empty() && list.back().time >= bound) list.pop_back();
   }
 }
 
 void VersionedHll::Clear() {
-  for (std::vector<Entry>& list : cells_) list.clear();
+  for (CellList& list : cells_) list.clear();
 }
 
 size_t VersionedHll::NumEntries() const {
   size_t total = 0;
-  for (const std::vector<Entry>& list : cells_) total += list.size();
+  for (const CellList& list : cells_) total += list.size();
   return total;
 }
 
 bool VersionedHll::CheckInvariants() const {
-  for (const std::vector<Entry>& list : cells_) {
+  for (const CellList& list : cells_) {
     for (size_t i = 1; i < list.size(); ++i) {
       // Strictly ascending rank; non-descending time; no domination either
       // way (equal times with equal ranks would have been collapsed).
@@ -199,7 +204,7 @@ void VersionedHll::Serialize(std::string* out) const {
   AppendRaw<uint8_t>(out, kVhllFormatVersion);
   AppendRaw<uint8_t>(out, static_cast<uint8_t>(precision_));
   AppendRaw<uint64_t>(out, salt_);
-  for (const std::vector<Entry>& list : cells_) {
+  for (const CellList& list : cells_) {
     AppendRaw<uint32_t>(out, static_cast<uint32_t>(list.size()));
     for (const Entry& e : list) {
       AppendRaw<uint8_t>(out, e.rank);
@@ -241,8 +246,8 @@ std::optional<VersionedHll> VersionedHll::Deserialize(std::string_view data,
 }
 
 size_t VersionedHll::MemoryUsageBytes() const {
-  size_t bytes = cells_.capacity() * sizeof(std::vector<Entry>);
-  for (const std::vector<Entry>& list : cells_) {
+  size_t bytes = cells_.capacity() * sizeof(CellList);
+  for (const CellList& list : cells_) {
     bytes += list.capacity() * sizeof(Entry);
   }
   return bytes;

@@ -9,8 +9,13 @@
 #include <vector>
 
 #include "ipin/graph/types.h"
+#include "ipin/obs/memtally.h"
 
 namespace ipin {
+
+/// Byte tally charged for every vHLL cell-list allocation (component
+/// "vhll"); published as the mem.vhll.* gauges.
+obs::MemoryTally& VhllMemTally();
 
 /// Versioned HyperLogLog sketch (Section 3.2.2 of the paper).
 ///
@@ -41,6 +46,11 @@ class VersionedHll {
     uint8_t rank = 0;
     Timestamp time = 0;
   };
+
+  /// Cell lists charge the "vhll" MemoryTally for their allocations, so
+  /// mem.vhll.bytes reports measured (allocator-counted) footprint.
+  using CellList =
+      std::vector<Entry, obs::TallyAllocator<Entry, &VhllMemTally>>;
 
   /// `precision` must be in [4, 18]; all sketches that will ever be merged
   /// must share `precision` and `salt`.
@@ -113,7 +123,7 @@ class VersionedHll {
   size_t NumCellUpdates() const { return cell_updates_; }
 
   /// The raw list of cell `i` (ascending time, strictly ascending rank).
-  const std::vector<Entry>& cell(size_t i) const { return cells_[i]; }
+  const CellList& cell(size_t i) const { return cells_[i]; }
 
   /// Fills `ranks` (size num_cells) with the per-cell max rank, optionally
   /// bounded: only entries with time < bound count. Used by the oracle's
@@ -144,7 +154,7 @@ class VersionedHll {
   size_t evictions_ = 0;
   size_t merge_entries_scanned_ = 0;
   size_t cell_updates_ = 0;
-  std::vector<std::vector<Entry>> cells_;
+  std::vector<CellList, obs::TallyAllocator<CellList, &VhllMemTally>> cells_;
 };
 
 }  // namespace ipin

@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # End-to-end smoke test of the ipin_cli binary: every subcommand in a
 # realistic generate -> index -> query pipeline. Invoked by ctest with the
-# binary path as $1.
+# binary path as $1 and the build mode ("obs-enabled" or "obs-disabled")
+# as $2. Under -DIPIN_OBS_DISABLED the IPIN_* instrumentation macros
+# compile out, so assertions on recorded metric/span content only hold in
+# obs-enabled builds; the plumbing (valid JSON, schema tags) holds in both.
 set -euo pipefail
 
 CLI="$1"
+OBS_MODE="${2:-obs-enabled}"
 WORK="$(mktemp -d)"
 trap 'rm -rf "${WORK}"' EXIT
 
@@ -31,13 +35,45 @@ if command -v python3 >/dev/null 2>&1; then
 else
   echo "python3 unavailable; skipping JSON syntax validation" >&2
 fi
-grep -q '"irs.exact.edges_scanned"' "${WORK}/m.json"
-grep -q '"sketch.vhll' "${WORK}/m.json"
-grep -q '"oracle.sketch.query_us"' "${WORK}/m.json"
+grep -q '"ipin.metrics.v1"' "${WORK}/m.json"
 # build-index also honors the global flag.
 "${CLI}" build-index --in="${WORK}/net.txt" --out="${WORK}/index2.bin" \
   --metrics_out="${WORK}/m2.json" > /dev/null
-grep -q '"irs.approx.edges_scanned"' "${WORK}/m2.json"
+if [ "${OBS_MODE}" = "obs-enabled" ]; then
+  grep -q '"irs.exact.edges_scanned"' "${WORK}/m.json"
+  grep -q '"sketch.vhll' "${WORK}/m.json"
+  grep -q '"oracle.sketch.query_us"' "${WORK}/m.json"
+  # Histogram snapshots carry interpolated percentiles.
+  grep -q '"p95"' "${WORK}/m.json"
+  grep -q '"irs.approx.edges_scanned"' "${WORK}/m2.json"
+fi
+
+# --trace_out writes a Chrome trace_event JSON file with span events.
+"${CLI}" build-index --in="${WORK}/net.txt" --out="${WORK}/index3.bin" \
+  --trace_out="${WORK}/trace.json" > /dev/null
+test -s "${WORK}/trace.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool "${WORK}/trace.json" > /dev/null
+fi
+grep -q '"traceEvents"' "${WORK}/trace.json"
+if [ "${OBS_MODE}" = "obs-enabled" ]; then
+  grep -q '"ph":"B"' "${WORK}/trace.json"
+  grep -q 'irs.approx.compute' "${WORK}/trace.json"
+fi
+
+# report --format selects the exporter: prom and json must both work.
+# (Capture to files: grep -q on a pipe would SIGPIPE the CLI mid-write.)
+"${CLI}" report --in="${WORK}/net.txt" --format=prom > "${WORK}/report.prom"
+if [ "${OBS_MODE}" = "obs-enabled" ]; then
+  grep -q '^# TYPE irs_exact_edges_scanned counter' "${WORK}/report.prom"
+  grep -q '_p95 ' "${WORK}/report.prom"
+fi
+"${CLI}" report --in="${WORK}/net.txt" --format=json > "${WORK}/report.json"
+grep -q '"ipin.metrics.v1"' "${WORK}/report.json"
+if "${CLI}" report --in="${WORK}/net.txt" --format=nonsense 2>/dev/null; then
+  echo "expected failure on bad --format" >&2
+  exit 1
+fi
 
 # Failure paths must fail loudly.
 if "${CLI}" topk --index="${WORK}/does-not-exist.bin" 2>/dev/null; then

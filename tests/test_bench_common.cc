@@ -1,0 +1,148 @@
+#include "../bench/bench_common.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ipin/common/json.h"
+#include "ipin/obs/metrics.h"
+#include "ipin/obs/trace.h"
+
+namespace ipin {
+namespace {
+
+// Builds a FlagMap from a literal argv (argv[0] is the program name).
+FlagMap MakeFlags(std::vector<std::string> args) {
+  args.insert(args.begin(), "bench_test");
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (std::string& a : args) argv.push_back(a.data());
+  return FlagMap::Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(BenchFlagsTest, ParsesTypedFlagsAndPositionals) {
+  const FlagMap flags = MakeFlags({"--scale=0.25", "--datasets=enron,higgs",
+                                   "--quick", "input.txt"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("scale", 1.0), 0.25);
+  EXPECT_EQ(flags.GetString("datasets", ""), "enron,higgs");
+  EXPECT_TRUE(flags.GetBool("quick", false));
+  EXPECT_FALSE(flags.Has("absent"));
+  EXPECT_EQ(flags.GetInt("absent", 7), 7);
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "input.txt");
+}
+
+TEST(BenchFlagsTest, DatasetsFromFlagsSplitsList) {
+  const std::vector<std::string> names =
+      DatasetsFromFlags(MakeFlags({"--datasets=enron,higgs,slashdot"}));
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "enron");
+  EXPECT_EQ(names[1], "higgs");
+  EXPECT_EQ(names[2], "slashdot");
+}
+
+TEST(BenchFlagsTest, DatasetsFromFlagsDefaultsToAll) {
+  const std::vector<std::string> names = DatasetsFromFlags(MakeFlags({}));
+  EXPECT_EQ(names, ListDatasetNames());
+}
+
+TEST(BenchCommonTest, LoadBenchDatasetIsSortedAndNonEmpty) {
+  const InteractionGraph graph = LoadBenchDataset("slashdot", 0.002);
+  EXPECT_TRUE(graph.is_sorted());
+  EXPECT_GT(graph.num_interactions(), 0u);
+}
+
+TEST(BenchCommonTest, EmitRunReportWritesMetricsV1Document) {
+  // Put something distinctive into the registry, then capture the report
+  // via --metrics_out and validate structure against the schema the
+  // exporters promise. Direct registry calls (not the IPIN_* macros) so
+  // the values exist under -DIPIN_OBS_DISABLED too.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("bench_common_test.distinctive_counter")->Add(11);
+  registry.GetGauge("bench_common_test.distinctive_gauge")->Set(2.5);
+  registry.GetHistogram("bench_common_test.distinctive_hist")->Record(42);
+
+  const std::string path = ::testing::TempDir() + "/bench_report.json";
+  EmitRunReport(MakeFlags({"--metrics_out=" + path}));
+
+  const auto doc = JsonValue::ParseFile(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(doc.has_value()) << "report is not valid JSON";
+  EXPECT_EQ(doc->FindString("schema", ""), "ipin.metrics.v1");
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    const JsonValue* obj = doc->Find(section);
+    ASSERT_NE(obj, nullptr) << section;
+    EXPECT_TRUE(obj->is_object()) << section;
+  }
+  ASSERT_NE(doc->Find("spans"), nullptr);
+  EXPECT_TRUE(doc->Find("spans")->is_array());
+
+  EXPECT_DOUBLE_EQ(doc->Find("counters")->FindNumber(
+                       "bench_common_test.distinctive_counter", -1.0),
+                   11.0);
+  EXPECT_DOUBLE_EQ(doc->Find("gauges")->FindNumber(
+                       "bench_common_test.distinctive_gauge", -1.0),
+                   2.5);
+  const JsonValue* hist = doc->Find("histograms")
+                              ->Find("bench_common_test.distinctive_hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->FindNumber("count", 0.0), 1.0);
+  // Percentile satellite: histogram objects carry interpolated p50/p95/p99.
+  for (const char* pct : {"p50", "p95", "p99"}) {
+    ASSERT_NE(hist->Find(pct), nullptr) << pct;
+    const double v = hist->FindNumber(pct, -1.0);
+    EXPECT_GE(v, 32.0) << pct;  // bucket [32, 63] around the one sample
+    EXPECT_LE(v, 63.0) << pct;
+  }
+}
+
+TEST(BenchCommonTest, EmitRunReportPublishesMemoryGauges) {
+  obs::GetMemoryTally("bench_common_test_component").Add(777);
+  const std::string path = ::testing::TempDir() + "/bench_report_mem.json";
+  EmitRunReport(MakeFlags({"--metrics_out=" + path}));
+  const auto doc = JsonValue::ParseFile(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_DOUBLE_EQ(
+      doc->Find("gauges")->FindNumber("mem.bench_common_test_component.bytes",
+                                      -1.0),
+      777.0);
+  obs::GetMemoryTally("bench_common_test_component").Sub(777);
+}
+
+TEST(BenchCommonTest, SetupAndReportRoundTripWritesChromeTrace) {
+  const std::string trace_path = ::testing::TempDir() + "/bench_trace.json";
+  const std::string metrics_path =
+      ::testing::TempDir() + "/bench_trace_metrics.json";
+  const FlagMap flags = MakeFlags(
+      {"--trace_out=" + trace_path, "--metrics_out=" + metrics_path});
+
+  SetupBenchObservability(flags);
+  ASSERT_TRUE(obs::IsTraceRecording());
+  {
+    obs::TraceSpan span("bench_common_test.work");
+  }
+  EmitRunReport(flags);
+  EXPECT_FALSE(obs::IsTraceRecording());
+
+  const auto trace = JsonValue::ParseFile(trace_path);
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+  ASSERT_TRUE(trace.has_value()) << "trace is not valid JSON";
+  const JsonValue* events = trace->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool saw_span = false;
+  for (const JsonValue& e : events->array_items()) {
+    saw_span =
+        saw_span || e.FindString("name", "") == "bench_common_test.work";
+  }
+  EXPECT_TRUE(saw_span);
+  obs::ResetTraceEventsForTest();
+}
+
+}  // namespace
+}  // namespace ipin

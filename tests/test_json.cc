@@ -1,0 +1,104 @@
+#include "ipin/common/json.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace ipin {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(JsonValue::Parse("null")->is_null());
+  EXPECT_EQ(JsonValue::Parse("true")->bool_value(), true);
+  EXPECT_EQ(JsonValue::Parse("false")->bool_value(), false);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("42")->number_value(), 42.0);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("-3.5e2")->number_value(), -350.0);
+  EXPECT_EQ(JsonValue::Parse("\"hi\"")->string_value(), "hi");
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  const auto v = JsonValue::Parse(R"("a\"b\\c\nd\teA")");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->string_value(), "a\"b\\c\nd\teA");
+}
+
+TEST(JsonParseTest, UnicodeEscapeBeyondAscii) {
+  // U+00E9 (e-acute) -> two-byte UTF-8; U+20AC (euro) -> three bytes.
+  const auto v = JsonValue::Parse(R"("é€")");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->string_value(), "\xc3\xa9\xe2\x82\xac");
+}
+
+TEST(JsonParseTest, ArraysAndObjects) {
+  const auto v = JsonValue::Parse(R"({"a": [1, 2, 3], "b": {"c": true}})");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(v->is_object());
+  const JsonValue* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array_items().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array_items()[1].number_value(), 2.0);
+  const JsonValue* b = v->Find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->Find("c")->bool_value(), true);
+  EXPECT_EQ(v->Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, ObjectKeepsMemberOrder) {
+  const auto v = JsonValue::Parse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_TRUE(v.has_value());
+  const auto& items = v->object_items();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].first, "z");
+  EXPECT_EQ(items[1].first, "a");
+  EXPECT_EQ(items[2].first, "m");
+}
+
+TEST(JsonParseTest, FindTypedFallbacks) {
+  const auto v = JsonValue::Parse(R"({"n": 7, "s": "x"})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ(v->FindNumber("n", -1.0), 7.0);
+  EXPECT_DOUBLE_EQ(v->FindNumber("s", -1.0), -1.0);  // wrong type
+  EXPECT_DOUBLE_EQ(v->FindNumber("gone", -1.0), -1.0);
+  EXPECT_EQ(v->FindString("s", "d"), "x");
+  EXPECT_EQ(v->FindString("n", "d"), "d");  // wrong type
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(JsonValue::Parse("").has_value());
+  EXPECT_FALSE(JsonValue::Parse("{").has_value());
+  EXPECT_FALSE(JsonValue::Parse("[1,]").has_value());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\" 1}").has_value());
+  EXPECT_FALSE(JsonValue::Parse("nul").has_value());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").has_value());
+  EXPECT_FALSE(JsonValue::Parse("1 2").has_value());  // trailing garbage
+  EXPECT_FALSE(JsonValue::Parse("01").has_value());
+}
+
+TEST(JsonParseTest, RejectsExcessiveNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  for (int i = 0; i < 100; ++i) deep += "]";
+  EXPECT_FALSE(JsonValue::Parse(deep).has_value());
+  // But moderate nesting is fine.
+  EXPECT_TRUE(JsonValue::Parse("[[[[[[[[[[1]]]]]]]]]]").has_value());
+}
+
+TEST(JsonParseTest, ParseFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/json_test.json";
+  {
+    std::ofstream out(path);
+    out << R"({"schema": "ipin.bench.v1", "reps": 3})";
+  }
+  const auto v = JsonValue::ParseFile(path);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->FindString("schema", ""), "ipin.bench.v1");
+  EXPECT_DOUBLE_EQ(v->FindNumber("reps", 0.0), 3.0);
+  std::remove(path.c_str());
+  EXPECT_FALSE(JsonValue::ParseFile(path).has_value());
+}
+
+}  // namespace
+}  // namespace ipin

@@ -1,0 +1,191 @@
+// bench_history: aggregates the per-repetition JSON files of one benchmark
+// into a single bench-history document (schema ipin.bench.v1) suitable for
+// archiving and for tools/bench_compare.
+//
+// Usage:
+//   bench_history --bench=micro_irs --out=BENCH_micro_irs.json
+//       [--git_sha=...] [--compiler=...] [--dataset=...] [--omega=...]
+//       rep1.json rep2.json ...
+//
+// Each positional input is one repetition, in either of the two formats the
+// repo produces:
+//   * google-benchmark --benchmark_format=json output: every entry of
+//     "benchmarks" contributes the metric <name> = real_time (in its
+//     time_unit) and <name>/cpu = cpu_time;
+//   * an ipin.metrics.v1 run report (EmitRunReport / --metrics_out): every
+//     counter and gauge contributes a metric; histograms contribute their
+//     mean as <name> plus <name>/p95.
+//
+// Output (schema ipin.bench.v1):
+//   {
+//     "schema": "ipin.bench.v1",
+//     "bench": "micro_irs",
+//     "git_sha": "...", "compiler": "...", "dataset": "...", "omega": "...",
+//     "reps": 3,
+//     "metrics": {"BM_x/64": {"min": ..., "mean": ..., "median": ...,
+//                             "max": ...}, ...}
+//   }
+//
+// Metric statistics are computed over the repetitions that carried the
+// metric; a metric present in only some reps is still aggregated (reps can
+// legitimately differ, e.g. a gauge only set on the first run).
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ipin/common/flags.h"
+#include "ipin/common/json.h"
+
+namespace ipin {
+namespace {
+
+using MetricSamples = std::map<std::string, std::vector<double>>;
+
+// Collects metrics from a google-benchmark JSON document.
+void CollectGoogleBenchmark(const JsonValue& doc, MetricSamples* samples) {
+  const JsonValue* benches = doc.Find("benchmarks");
+  if (benches == nullptr || !benches->is_array()) return;
+  for (const JsonValue& b : benches->array_items()) {
+    const std::string name = b.FindString("name", "");
+    if (name.empty()) continue;
+    // Skip google-benchmark's own aggregate rows; we aggregate ourselves.
+    if (b.Find("aggregate_name") != nullptr) continue;
+    (*samples)[name].push_back(b.FindNumber("real_time", 0.0));
+    (*samples)[name + "/cpu"].push_back(b.FindNumber("cpu_time", 0.0));
+  }
+}
+
+// Collects metrics from an ipin.metrics.v1 run report.
+void CollectMetricsReport(const JsonValue& doc, MetricSamples* samples) {
+  for (const char* section : {"counters", "gauges"}) {
+    const JsonValue* obj = doc.Find(section);
+    if (obj == nullptr || !obj->is_object()) continue;
+    for (const auto& [name, value] : obj->object_items()) {
+      if (value.is_number()) (*samples)[name].push_back(value.number_value());
+    }
+  }
+  const JsonValue* hists = doc.Find("histograms");
+  if (hists != nullptr && hists->is_object()) {
+    for (const auto& [name, h] : hists->object_items()) {
+      (*samples)[name].push_back(h.FindNumber("mean", 0.0));
+      if (h.Find("p95") != nullptr) {
+        (*samples)[name + "/p95"].push_back(h.FindNumber("p95", 0.0));
+      }
+    }
+  }
+}
+
+std::string JsonNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// Escapes a string for embedding in JSON output.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+int Run(int argc, char** argv) {
+  const FlagMap flags = FlagMap::Parse(argc, argv);
+  const std::string bench = flags.GetString("bench", "");
+  const std::string out_path = flags.GetString("out", "");
+  if (bench.empty() || out_path.empty() || flags.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_history --bench=NAME --out=FILE [--git_sha=..] "
+                 "[--compiler=..] [--dataset=..] [--omega=..] rep.json...\n");
+    return 2;
+  }
+
+  MetricSamples samples;
+  size_t reps = 0;
+  for (const std::string& path : flags.positional()) {
+    const auto doc = JsonValue::ParseFile(path);
+    if (!doc.has_value()) {
+      std::fprintf(stderr, "bench_history: cannot parse %s\n", path.c_str());
+      return 1;
+    }
+    if (doc->Find("benchmarks") != nullptr) {
+      CollectGoogleBenchmark(*doc, &samples);
+    } else if (doc->FindString("schema", "") == "ipin.metrics.v1") {
+      CollectMetricsReport(*doc, &samples);
+    } else {
+      std::fprintf(stderr,
+                   "bench_history: %s is neither google-benchmark JSON nor "
+                   "an ipin.metrics.v1 report\n",
+                   path.c_str());
+      return 1;
+    }
+    ++reps;
+  }
+  if (samples.empty()) {
+    std::fprintf(stderr, "bench_history: no metrics found in inputs\n");
+    return 1;
+  }
+
+  std::string out = "{\n  \"schema\": \"ipin.bench.v1\",\n";
+  out += "  \"bench\": \"" + JsonEscape(bench) + "\",\n";
+  for (const char* key : {"git_sha", "compiler", "dataset", "omega"}) {
+    out += std::string("  \"") + key + "\": \"" +
+           JsonEscape(flags.GetString(key, "unknown")) + "\",\n";
+  }
+  out += "  \"reps\": " + std::to_string(reps) + ",\n";
+  out += "  \"metrics\": {\n";
+  bool first = true;
+  for (auto& [name, values] : samples) {
+    std::sort(values.begin(), values.end());
+    double sum = 0.0;
+    for (const double v : values) sum += v;
+    const size_t n = values.size();
+    const double median = n % 2 == 1
+                              ? values[n / 2]
+                              : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+    if (!first) out += ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(name) + "\": {\"min\": " +
+           JsonNumber(values.front()) +
+           ", \"mean\": " + JsonNumber(sum / static_cast<double>(n)) +
+           ", \"median\": " + JsonNumber(median) +
+           ", \"max\": " + JsonNumber(values.back()) +
+           ", \"samples\": " + std::to_string(n) + "}";
+  }
+  out += "\n  }\n}\n";
+
+  std::ofstream file(out_path);
+  if (!file) {
+    std::fprintf(stderr, "bench_history: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  file << out;
+  std::printf("bench_history: %zu reps, %zu metrics -> %s\n", reps,
+              samples.size(), out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace ipin
+
+int main(int argc, char** argv) { return ipin::Run(argc, argv); }
