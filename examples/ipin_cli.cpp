@@ -6,6 +6,7 @@
 //   ipin_cli generate  --dataset=enron --scale=0.01 --out=net.txt
 //   ipin_cli stats     net.txt
 //   ipin_cli build-index --in=net.txt --window-pct=10 --out=index.bin
+//       [--checkpoint_dir=ckpt --checkpoint_every=100000]
 //   ipin_cli topk      --index=index.bin --k=10
 //   ipin_cli query     --index=index.bin --seeds=1,2,3
 //   ipin_cli simulate  --in=net.txt --seeds=1,2,3 --window-pct=10 --p=0.5
@@ -19,10 +20,13 @@
 // --log_level=LEVEL (debug|info|warning|error) sets the logger threshold
 // (overriding the IPIN_LOG_LEVEL environment variable).
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ipin/common/flags.h"
@@ -30,6 +34,7 @@
 #include "ipin/common/random.h"
 #include "ipin/common/string_util.h"
 #include "ipin/common/timer.h"
+#include "ipin/core/checkpoint.h"
 #include "ipin/core/influence_maximization.h"
 #include "ipin/core/influence_oracle.h"
 #include "ipin/core/irs_approx.h"
@@ -55,7 +60,7 @@ int Usage() {
       "  generate    --dataset=<name> [--scale=0.01] --out=<file>\n"
       "  stats       <file>\n"
       "  build-index --in=<file> [--window-pct=10] [--precision=9] "
-      "--out=<index>\n"
+      "[--checkpoint_dir=<dir> --checkpoint_every=<edges>] --out=<index>\n"
       "  topk        --index=<index> [--k=10]\n"
       "  query       --index=<index> --seeds=a,b,c\n"
       "  simulate    --in=<file> --seeds=a,b,c [--window-pct=10] [--p=0.5] "
@@ -64,8 +69,19 @@ int Usage() {
       "  report      --in=<file> [--window-pct=10] [--precision=9] "
       "[--queries=32] [--format=text|json|prom]\n"
       "global flags: --metrics_out=<json> --trace_out=<json> "
-      "--log_level=<level>\n");
+      "--log_level=<level> --lenient (salvage damaged edge lists)\n");
   return 2;
+}
+
+// Exit code 2 marks an input problem the user can fix (missing or unreadable
+// file, bad usage); exit 1 is reserved for operations that failed downstream.
+constexpr int kExitBadInput = 2;
+
+bool FileReadable(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
 }
 
 std::vector<NodeId> ParseSeeds(const std::string& arg, size_t num_nodes) {
@@ -103,18 +119,74 @@ int CmdGenerate(const FlagMap& flags) {
   return 0;
 }
 
-std::optional<InteractionGraph> LoadOrComplain(const std::string& path) {
+// Loads the dataset argument, setting *rc on failure: missing/unreadable
+// paths are a clear one-line stderr error with exit 2, parse failures
+// (already logged with line and reason) exit 1.
+std::optional<InteractionGraph> LoadGraphArg(const FlagMap& flags,
+                                             const std::string& path,
+                                             int* rc) {
   if (path.empty()) {
-    Usage();
+    *rc = Usage();
     return std::nullopt;
   }
-  return LoadInteractionsFromFile(path);
+  if (!FileReadable(path)) {
+    std::fprintf(stderr, "ipin_cli: cannot open dataset '%s': %s\n",
+                 path.c_str(), std::strerror(errno));
+    *rc = kExitBadInput;
+    return std::nullopt;
+  }
+  const ParseMode mode = flags.GetBool("lenient", false) ? ParseMode::kLenient
+                                                         : ParseMode::kStrict;
+  auto graph = LoadInteractionsFromFile(path, EdgeListFormat::kSrcDstTime, mode);
+  if (!graph.has_value()) *rc = 1;
+  return graph;
+}
+
+// Loads the index argument with the same exit-code contract; a degraded
+// (partially corrupt) index is served with a stderr warning.
+std::optional<IrsApprox> LoadIndexArg(const std::string& path, int* rc) {
+  if (path.empty()) {
+    *rc = Usage();
+    return std::nullopt;
+  }
+  // Pre-check readability so a missing path yields exactly one stderr line
+  // (the loader would log its own error first).
+  if (!FileReadable(path)) {
+    std::fprintf(stderr, "ipin_cli: cannot open index '%s': %s\n",
+                 path.c_str(), std::strerror(errno));
+    *rc = kExitBadInput;
+    return std::nullopt;
+  }
+  IndexLoadResult result = LoadInfluenceIndexDetailed(path);
+  if (result.status == IndexLoadStatus::kMissing) {
+    std::fprintf(stderr, "ipin_cli: cannot open index '%s'\n", path.c_str());
+    *rc = kExitBadInput;
+    return std::nullopt;
+  }
+  if (!result.usable()) {
+    std::fprintf(stderr,
+                 "ipin_cli: index '%s' is %s and cannot be loaded\n",
+                 path.c_str(),
+                 result.status == IndexLoadStatus::kTruncated ? "truncated"
+                                                              : "corrupt");
+    *rc = 1;
+    return std::nullopt;
+  }
+  if (result.status == IndexLoadStatus::kDegraded) {
+    std::fprintf(stderr,
+                 "ipin_cli: warning: index '%s' is degraded (%zu of %zu "
+                 "sections dropped); estimates may be low\n",
+                 path.c_str(), result.sections_dropped,
+                 result.sections_total);
+  }
+  return std::move(result.index);
 }
 
 int CmdStats(const FlagMap& flags) {
   if (flags.positional().size() < 2) return Usage();
-  const auto graph = LoadOrComplain(flags.positional()[1]);
-  if (!graph.has_value()) return 1;
+  int rc = 1;
+  const auto graph = LoadGraphArg(flags, flags.positional()[1], &rc);
+  if (!graph.has_value()) return rc;
   const auto stats = graph->ComputeStats();
   std::printf("nodes               %zu\n", stats.num_nodes);
   std::printf("interactions        %zu\n", stats.num_interactions);
@@ -128,18 +200,40 @@ int CmdStats(const FlagMap& flags) {
 }
 
 int CmdBuildIndex(const FlagMap& flags) {
-  const auto graph = LoadOrComplain(flags.GetString("in"));
-  if (!graph.has_value()) return 1;
+  int rc = 1;
+  const auto graph = LoadGraphArg(flags, flags.GetString("in"), &rc);
+  if (!graph.has_value()) return rc;
   const std::string out = flags.GetString("out");
   if (out.empty()) return Usage();
   const double window_pct = flags.GetDouble("window-pct", 10.0);
   IrsApproxOptions options;
   options.precision = static_cast<int>(flags.GetInt("precision", 9));
 
+  // Optional crash-safe checkpointing: with both flags set, the scan saves
+  // its state every N edges and a rerun after a crash resumes from the
+  // newest valid checkpoint instead of starting over.
+  CheckpointOptions ckpt;
+  ckpt.dir = flags.GetString("checkpoint_dir", "");
+  ckpt.every_edges =
+      static_cast<size_t>(flags.GetInt("checkpoint_every", 0));
+  CheckpointStats ckpt_stats;
+
   WallTimer timer;
+  const Duration window = graph->WindowFromPercent(window_pct);
   const IrsApprox index =
-      IrsApprox::Compute(*graph, graph->WindowFromPercent(window_pct), options);
+      ckpt.enabled()
+          ? ComputeIrsApproxCheckpointed(*graph, window, options, ckpt,
+                                         &ckpt_stats)
+          : IrsApprox::Compute(*graph, window, options);
   const double build_seconds = timer.ElapsedSeconds();
+  if (ckpt.enabled()) {
+    std::printf(
+        "checkpointing: resumed %zu edges, wrote %zu checkpoints "
+        "(%zu save failures, %zu invalid skipped)\n",
+        ckpt_stats.resumed_edges, ckpt_stats.checkpoints_written,
+        ckpt_stats.checkpoint_failures,
+        ckpt_stats.invalid_checkpoints_skipped);
+  }
   if (!SaveInfluenceIndex(index, out)) return 1;
   std::printf(
       "built index in %.2fs (window %lld, beta %zu, %.1f MB) -> %s\n",
@@ -150,8 +244,9 @@ int CmdBuildIndex(const FlagMap& flags) {
 }
 
 int CmdTopk(const FlagMap& flags) {
-  const auto index = LoadInfluenceIndex(flags.GetString("index"));
-  if (!index.has_value()) return 1;
+  int rc = 1;
+  const auto index = LoadIndexArg(flags.GetString("index"), &rc);
+  if (!index.has_value()) return rc;
   const size_t k = static_cast<size_t>(flags.GetInt("k", 10));
   const SketchInfluenceOracle oracle(&*index);
   WallTimer timer;
@@ -167,8 +262,9 @@ int CmdTopk(const FlagMap& flags) {
 }
 
 int CmdQuery(const FlagMap& flags) {
-  const auto index = LoadInfluenceIndex(flags.GetString("index"));
-  if (!index.has_value()) return 1;
+  int rc = 1;
+  const auto index = LoadIndexArg(flags.GetString("index"), &rc);
+  if (!index.has_value()) return rc;
   const auto seeds = ParseSeeds(flags.GetString("seeds"), index->num_nodes());
   if (seeds.empty()) return 1;
   WallTimer timer;
@@ -179,8 +275,9 @@ int CmdQuery(const FlagMap& flags) {
 }
 
 int CmdSimulate(const FlagMap& flags) {
-  const auto graph = LoadOrComplain(flags.GetString("in"));
-  if (!graph.has_value()) return 1;
+  int rc = 1;
+  const auto graph = LoadGraphArg(flags, flags.GetString("in"), &rc);
+  if (!graph.has_value()) return rc;
   const auto seeds = ParseSeeds(flags.GetString("seeds"), graph->num_nodes());
   if (seeds.empty()) return 1;
   TcicOptions options;
@@ -196,8 +293,9 @@ int CmdSimulate(const FlagMap& flags) {
 }
 
 int CmdConvert(const FlagMap& flags) {
-  const auto graph = LoadOrComplain(flags.GetString("in"));
-  if (!graph.has_value()) return 1;
+  int rc = 1;
+  const auto graph = LoadGraphArg(flags, flags.GetString("in"), &rc);
+  if (!graph.has_value()) return rc;
   const std::string dimacs = flags.GetString("dimacs");
   if (dimacs.empty()) return Usage();
   const StaticGraph flat = StaticGraph::FromInteractions(*graph);
@@ -211,8 +309,9 @@ int CmdConvert(const FlagMap& flags) {
 // with random oracle queries, and prints a pipeline health summary. Pair
 // with --metrics_out to capture the full instrumentation in JSON.
 int CmdReport(const FlagMap& flags) {
-  const auto graph = LoadOrComplain(flags.GetString("in"));
-  if (!graph.has_value()) return 1;
+  int rc = 1;
+  const auto graph = LoadGraphArg(flags, flags.GetString("in"), &rc);
+  if (!graph.has_value()) return rc;
   const double window_pct = flags.GetDouble("window-pct", 10.0);
   const Duration window = graph->WindowFromPercent(window_pct);
   IrsApproxOptions options;

@@ -1,0 +1,212 @@
+#include "ipin/common/failpoint.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "ipin/common/string_util.h"
+
+namespace ipin::failpoint {
+
+std::atomic<int> g_armed_count{0};
+
+namespace {
+
+enum class Mode { kError, kCrashAfterN, kShortWrite, kDelay };
+
+struct Config {
+  Mode mode = Mode::kError;
+  // error: first failing hit (1-based); crash_after_n: passes before the
+  // crash; short_write: byte cap; delay: milliseconds.
+  int64_t arg = 0;
+  size_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Config> points;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry;  // leaked: usable during shutdown
+  return *registry;
+}
+
+// Parses "mode" or "mode(arg)" into *config. Returns false on syntax error.
+bool ParseSpec(std::string_view spec, Config* config) {
+  spec = TrimString(spec);
+  std::string_view mode = spec;
+  std::optional<int64_t> arg;
+  const size_t paren = spec.find('(');
+  if (paren != std::string_view::npos) {
+    if (spec.back() != ')') return false;
+    mode = spec.substr(0, paren);
+    arg = ParseInt64(spec.substr(paren + 1, spec.size() - paren - 2));
+    if (!arg.has_value() || *arg < 0) return false;
+  }
+  if (mode == "error") {
+    config->mode = Mode::kError;
+    config->arg = arg.value_or(1);
+    return config->arg >= 1;
+  }
+  if (mode == "crash_after_n") {
+    config->mode = Mode::kCrashAfterN;
+    config->arg = arg.value_or(0);
+    return true;
+  }
+  if (mode == "short_write") {
+    if (!arg.has_value()) return false;
+    config->mode = Mode::kShortWrite;
+    config->arg = *arg;
+    return true;
+  }
+  if (mode == "delay") {
+    if (!arg.has_value()) return false;
+    config->mode = Mode::kDelay;
+    config->arg = *arg;
+    return true;
+  }
+  return false;
+}
+
+std::string SpecString(const Config& config) {
+  char buffer[64];
+  switch (config.mode) {
+    case Mode::kError:
+      std::snprintf(buffer, sizeof(buffer), "error(%lld)",
+                    static_cast<long long>(config.arg));
+      break;
+    case Mode::kCrashAfterN:
+      std::snprintf(buffer, sizeof(buffer), "crash_after_n(%lld)",
+                    static_cast<long long>(config.arg));
+      break;
+    case Mode::kShortWrite:
+      std::snprintf(buffer, sizeof(buffer), "short_write(%lld)",
+                    static_cast<long long>(config.arg));
+      break;
+    case Mode::kDelay:
+      std::snprintf(buffer, sizeof(buffer), "delay(%lld)",
+                    static_cast<long long>(config.arg));
+      break;
+  }
+  return buffer;
+}
+
+// Parse IPIN_FAILPOINTS exactly once, before any failpoint can fire in
+// main(). g_armed_count is constant-initialized, so the order of this
+// dynamic initializer relative to other translation units is immaterial.
+const bool g_env_loaded = []() {
+  LoadFromEnv();
+  return true;
+}();
+
+}  // namespace
+
+Result Evaluate(const char* name) {
+  Registry& registry = GetRegistry();
+  std::unique_lock<std::mutex> lock(registry.mu);
+  const auto it = registry.points.find(name);
+  if (it == registry.points.end()) return Result{};
+  Config& config = it->second;
+  const size_t hit = ++config.hits;
+
+  Result result;
+  switch (config.mode) {
+    case Mode::kError:
+      result.fail = hit >= static_cast<size_t>(config.arg);
+      break;
+    case Mode::kCrashAfterN:
+      if (hit > static_cast<size_t>(config.arg)) {
+        // Simulated kill: no stdio flush, no atexit, no destructors — the
+        // closest portable approximation of SIGKILL mid-operation.
+        std::fprintf(stderr, "[ipin] failpoint '%s' crashing process (hit %zu)\n",
+                     name, hit);
+        std::_Exit(134);
+      }
+      break;
+    case Mode::kShortWrite:
+      result.short_write = static_cast<size_t>(config.arg);
+      break;
+    case Mode::kDelay: {
+      const auto ms = std::chrono::milliseconds(config.arg);
+      lock.unlock();  // do not hold the registry over a sleep
+      std::this_thread::sleep_for(ms);
+      break;
+    }
+  }
+  return result;
+}
+
+bool Set(const std::string& name, const std::string& spec) {
+  const std::string_view trimmed = TrimString(spec);
+  Registry& registry = GetRegistry();
+  if (trimmed == "off") {
+    Clear(name);
+    return true;
+  }
+  Config config;
+  if (name.empty() || !ParseSpec(trimmed, &config)) return false;
+  std::lock_guard<std::mutex> lock(registry.mu);
+  const auto [it, inserted] = registry.points.insert_or_assign(name, config);
+  (void)it;
+  if (inserted) g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void Clear(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  if (registry.points.erase(name) > 0) {
+    g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void ClearAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  g_armed_count.fetch_sub(static_cast<int>(registry.points.size()),
+                          std::memory_order_relaxed);
+  registry.points.clear();
+}
+
+size_t HitCount(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  const auto it = registry.points.find(name);
+  return it == registry.points.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::string> List() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<std::string> out;
+  out.reserve(registry.points.size());
+  for (const auto& [name, config] : registry.points) {
+    out.push_back(name + "=" + SpecString(config));
+  }
+  return out;
+}
+
+void LoadFromEnv() {
+  const char* env = std::getenv("IPIN_FAILPOINTS");
+  if (env == nullptr || env[0] == '\0') return;
+  for (const auto piece : SplitString(env, ";,")) {
+    const size_t eq = piece.find('=');
+    if (eq == std::string_view::npos) {
+      std::fprintf(stderr, "[ipin] IPIN_FAILPOINTS: ignoring '%.*s' (no '=')\n",
+                   static_cast<int>(piece.size()), piece.data());
+      continue;
+    }
+    const std::string name(TrimString(piece.substr(0, eq)));
+    const std::string spec(piece.substr(eq + 1));
+    if (!Set(name, spec)) {
+      std::fprintf(stderr, "[ipin] IPIN_FAILPOINTS: bad spec '%.*s'\n",
+                   static_cast<int>(piece.size()), piece.data());
+    }
+  }
+}
+
+}  // namespace ipin::failpoint

@@ -1,0 +1,85 @@
+#ifndef IPIN_COMMON_FAILPOINT_H_
+#define IPIN_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+// Fault-injection registry for robustness testing. Call sites on I/O and
+// checkpoint paths declare named failpoints with IPIN_FAILPOINT("name");
+// tests (or the IPIN_FAILPOINTS environment variable) arm them with a mode:
+//
+//   off              disarmed (same as never configured)
+//   error            every hit reports an injected error
+//   error(n)         hits n, n+1, ... report an error (1-based)
+//   crash_after_n(n) the first n hits pass, then the process exits
+//                    immediately (std::_Exit, no cleanup — a simulated kill)
+//   short_write(b)   write sites truncate their payload to b bytes and
+//                    report success (a simulated torn write)
+//   delay(ms)        every hit sleeps ms milliseconds, then passes
+//
+// Environment syntax: IPIN_FAILPOINTS="name=mode;name2=mode(arg)".
+//
+// Cost when nothing is armed: one relaxed atomic load per site (the macro
+// short-circuits before any registry lookup), so production binaries can
+// keep failpoints compiled in.
+
+namespace ipin::failpoint {
+
+/// What an armed failpoint tells its call site to do. Crash and delay modes
+/// never reach the caller: Evaluate() handles them internally.
+struct Result {
+  static constexpr size_t kNoLimit = static_cast<size_t>(-1);
+  /// True if the site should fail (return its error path).
+  bool fail = false;
+  /// Byte cap for write sites (kNoLimit = write everything).
+  size_t short_write = kNoLimit;
+
+  bool active() const { return fail || short_write != kNoLimit; }
+};
+
+/// Number of currently armed failpoints; the macro's fast-path guard.
+extern std::atomic<int> g_armed_count;
+
+inline bool AnyArmed() {
+  return g_armed_count.load(std::memory_order_relaxed) != 0;
+}
+
+/// Looks up `name`, counts the hit, and applies its mode (crashing or
+/// sleeping in here when so configured). Returns the default Result when the
+/// name is not armed. Prefer the IPIN_FAILPOINT macro, which skips the
+/// lookup entirely while nothing is armed.
+Result Evaluate(const char* name);
+
+/// Arms (or re-arms) `name` with `spec` — any mode string from the table
+/// above. "off" disarms. Returns false on an unparsable spec (registry
+/// unchanged). Re-arming resets the hit count.
+bool Set(const std::string& name, const std::string& spec);
+
+/// Disarms `name` (no-op if not armed).
+void Clear(const std::string& name);
+
+/// Disarms everything (tests call this in TearDown).
+void ClearAll();
+
+/// Times `name` was evaluated since it was last armed; 0 if not armed.
+size_t HitCount(const std::string& name);
+
+/// "name=spec" for every armed failpoint, sorted by name.
+std::vector<std::string> List();
+
+/// Parses IPIN_FAILPOINTS from the environment into the registry. Called
+/// once automatically before main(); exposed for tests.
+void LoadFromEnv();
+
+}  // namespace ipin::failpoint
+
+/// Evaluates the named failpoint: near-zero cost (one relaxed load) while
+/// nothing is armed. Yields a failpoint::Result.
+#define IPIN_FAILPOINT(name)                        \
+  (::ipin::failpoint::AnyArmed()                    \
+       ? ::ipin::failpoint::Evaluate(name)          \
+       : ::ipin::failpoint::Result{})
+
+#endif  // IPIN_COMMON_FAILPOINT_H_

@@ -35,18 +35,22 @@ IrsApprox IrsApprox::Compute(const InteractionGraph& graph, Duration window,
   for (size_t i = edges.size(); i > 0; --i) {
     irs.ProcessInteraction(edges[i - 1]);
   }
+  irs.PublishBuildMetrics();
+  return irs;
+}
+
+void IrsApprox::PublishBuildMetrics() const {
   // Scan and per-sketch tallies (plain members, free to maintain) roll up
   // into the registry once per build, keeping the per-edge path atomics-free.
-  IPIN_COUNTER_ADD("irs.approx.edges_scanned", irs.edges_scanned_);
-  IPIN_COUNTER_ADD("sketch.vhll.merges", irs.merge_calls_);
+  IPIN_COUNTER_ADD("irs.approx.edges_scanned", edges_scanned_);
+  IPIN_COUNTER_ADD("sketch.vhll.merges", merge_calls_);
   IPIN_COUNTER_ADD("sketch.vhll.merge_entries_scanned",
-                   irs.TotalMergeEntriesScanned());
-  IPIN_COUNTER_ADD("sketch.vhll.cell_updates", irs.TotalCellUpdates());
-  IPIN_COUNTER_ADD("sketch.vhll.insert_attempts", irs.TotalInsertAttempts());
-  IPIN_COUNTER_ADD("sketch.vhll.dominance_evictions", irs.TotalEvictions());
-  IPIN_GAUGE_SET("sketch.vhll.total_entries", irs.TotalSketchEntries());
-  IPIN_GAUGE_SET("irs.approx.allocated_sketches", irs.NumAllocatedSketches());
-  return irs;
+                   TotalMergeEntriesScanned());
+  IPIN_COUNTER_ADD("sketch.vhll.cell_updates", TotalCellUpdates());
+  IPIN_COUNTER_ADD("sketch.vhll.insert_attempts", TotalInsertAttempts());
+  IPIN_COUNTER_ADD("sketch.vhll.dominance_evictions", TotalEvictions());
+  IPIN_GAUGE_SET("sketch.vhll.total_entries", TotalSketchEntries());
+  IPIN_GAUGE_SET("irs.approx.allocated_sketches", NumAllocatedSketches());
 }
 
 VersionedHll* IrsApprox::MutableSketch(NodeId u) {

@@ -85,7 +85,16 @@ class IrsApprox {
   size_t MemoryUsageBytes() const;
 
  private:
+  // Serialization/restore hooks for the crash-safe checkpoint layer
+  // (core/checkpoint.cc): reads and reinstates the private scan state so a
+  // resumed build is indistinguishable from an uninterrupted one.
+  friend class CheckpointAccess;
+
   VersionedHll* MutableSketch(NodeId u);
+
+  // Rolls the plain-member scan tallies up into the metrics registry; called
+  // once per completed build (by Compute and the checkpointed variant).
+  void PublishBuildMetrics() const;
 
   Duration window_;
   IrsApproxOptions options_;

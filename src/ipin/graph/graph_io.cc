@@ -4,6 +4,7 @@
 #include <fstream>
 #include <unordered_map>
 
+#include "ipin/common/failpoint.h"
 #include "ipin/common/logging.h"
 #include "ipin/common/string_util.h"
 #include "ipin/obs/metrics.h"
@@ -20,8 +21,12 @@ bool IsCommentOrBlank(std::string_view line) {
 }  // namespace
 
 std::optional<InteractionGraph> LoadInteractionsFromFile(
-    const std::string& path, EdgeListFormat format) {
+    const std::string& path, EdgeListFormat format, ParseMode mode) {
   IPIN_TRACE_SPAN("graph.load");
+  if (IPIN_FAILPOINT("graph_io.load").fail) {
+    LogError("graph_io: injected load failure for " + path);
+    return std::nullopt;
+  }
   std::ifstream in(path);
   if (!in) {
     LogError("cannot open interaction file: " + path);
@@ -32,12 +37,20 @@ std::optional<InteractionGraph> LoadInteractionsFromFile(
   InteractionGraph graph;
   std::string line;
   size_t line_no = 0;
+  size_t skipped_malformed = 0;
+  size_t skipped_out_of_order = 0;
+  Timestamp prev_time = 0;
+  bool saw_edge = false;
   while (std::getline(in, line)) {
     ++line_no;
     if (IsCommentOrBlank(line)) continue;
     const auto fields = SplitString(line, " \t,");
     const size_t expected = format == EdgeListFormat::kKonect ? 4 : 3;
     if (fields.size() < expected) {
+      if (mode == ParseMode::kLenient) {
+        ++skipped_malformed;
+        continue;
+      }
       LogError(StrFormat("%s:%zu: expected %zu fields, got %zu", path.c_str(),
                          line_no, expected, fields.size()));
       return std::nullopt;
@@ -47,9 +60,25 @@ std::optional<InteractionGraph> LoadInteractionsFromFile(
     const auto time =
         ParseInt64(fields[format == EdgeListFormat::kKonect ? 3 : 2]);
     if (!src || !dst || !time || *src < 0 || *dst < 0) {
-      LogError(StrFormat("%s:%zu: malformed edge line", path.c_str(), line_no));
+      if (mode == ParseMode::kLenient) {
+        ++skipped_malformed;
+        continue;
+      }
+      LogError(StrFormat("%s:%zu: malformed edge line (unparsable or "
+                         "negative field)",
+                         path.c_str(), line_no));
       return std::nullopt;
     }
+    // Lenient mode treats a timestamp running backwards as damage too: a
+    // corrupted log line often parses as integers but carries a garbage
+    // time. Strict mode keeps such lines (the post-load sort handles
+    // legitimately unsorted files).
+    if (mode == ParseMode::kLenient && saw_edge && *time < prev_time) {
+      ++skipped_out_of_order;
+      continue;
+    }
+    prev_time = *time;
+    saw_edge = true;
     const auto intern = [&remap](int64_t raw) {
       const auto [it, inserted] =
           remap.emplace(raw, static_cast<NodeId>(remap.size()));
@@ -63,12 +92,31 @@ std::optional<InteractionGraph> LoadInteractionsFromFile(
     graph.AddInteraction(src_id, dst_id, *time);
   }
   graph.SortByTime();
+  const size_t skipped = skipped_malformed + skipped_out_of_order;
+  // Lenient means "tolerate damage", not "accept anything": a file where
+  // every line was skipped is not an edge list.
+  if (skipped > 0 && graph.num_interactions() == 0) {
+    LogError(StrFormat("%s: no usable edge lines (%zu skipped)", path.c_str(),
+                       skipped));
+    return std::nullopt;
+  }
+  if (skipped > 0) {
+    IPIN_COUNTER_ADD("graph.io.skipped_lines", skipped);
+    LogWarning(StrFormat(
+        "%s: skipped %zu lines in lenient mode (%zu malformed, %zu "
+        "out of order)",
+        path.c_str(), skipped, skipped_malformed, skipped_out_of_order));
+  }
   IPIN_COUNTER_ADD("graph.io.interactions_loaded", graph.num_interactions());
   return graph;
 }
 
 bool SaveInteractionsToFile(const InteractionGraph& graph,
                             const std::string& path) {
+  if (IPIN_FAILPOINT("graph_io.save").fail) {
+    LogError("graph_io: injected save failure for " + path);
+    return false;
+  }
   std::ofstream out(path);
   if (!out) {
     LogError("cannot open file for writing: " + path);

@@ -1,6 +1,7 @@
 #include "ipin/sketch/versioned_bottom_k.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "ipin/common/check.h"
 #include "ipin/common/hash.h"
@@ -138,6 +139,66 @@ bool VersionedBottomK::CheckInvariants() const {
 
 size_t VersionedBottomK::MemoryUsageBytes() const {
   return VectorBytes(entries_);
+}
+
+namespace {
+
+constexpr uint8_t kBottomKFormatVersion = 1;
+// An honest sketch of k = 2^16 - 1 with the O(k log(n/k)) expected size
+// stays far below this; a larger count in a blob is corruption.
+constexpr uint32_t kMaxSerializedEntries = 1u << 24;
+
+template <typename T>
+void AppendRaw(std::string* out, T value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+bool ReadRaw(std::string_view data, size_t* offset, T* value) {
+  if (*offset > data.size() || data.size() - *offset < sizeof(T)) return false;
+  std::memcpy(value, data.data() + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+void VersionedBottomK::Serialize(std::string* out) const {
+  AppendRaw<uint8_t>(out, kBottomKFormatVersion);
+  AppendRaw<uint32_t>(out, static_cast<uint32_t>(k_));
+  AppendRaw<uint64_t>(out, salt_);
+  AppendRaw<uint32_t>(out, static_cast<uint32_t>(entries_.size()));
+  for (const Entry& e : entries_) {
+    AppendRaw<uint64_t>(out, e.hash);
+    AppendRaw<int64_t>(out, e.time);
+  }
+}
+
+std::optional<VersionedBottomK> VersionedBottomK::Deserialize(
+    std::string_view data, size_t* offset) {
+  uint8_t version = 0;
+  uint32_t k = 0;
+  uint64_t salt = 0;
+  uint32_t count = 0;
+  if (!ReadRaw(data, offset, &version) || version != kBottomKFormatVersion) {
+    return std::nullopt;
+  }
+  if (!ReadRaw(data, offset, &k) || k < 2) return std::nullopt;
+  if (!ReadRaw(data, offset, &salt)) return std::nullopt;
+  if (!ReadRaw(data, offset, &count) || count > kMaxSerializedEntries) {
+    return std::nullopt;
+  }
+  VersionedBottomK sketch(k, salt);
+  sketch.entries_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Entry e;
+    if (!ReadRaw(data, offset, &e.hash) || !ReadRaw(data, offset, &e.time)) {
+      return std::nullopt;
+    }
+    sketch.entries_.push_back(e);
+  }
+  if (!sketch.CheckInvariants()) return std::nullopt;
+  return sketch;
 }
 
 }  // namespace ipin

@@ -3,6 +3,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "ipin/graph/types.h"
@@ -70,6 +73,17 @@ class VersionedBottomK {
 
   /// Verifies the domination invariant (test helper, O(len^2)).
   bool CheckInvariants() const;
+
+  /// Appends a self-contained binary encoding (k, salt, entry list) to
+  /// *out. Little-endian, versioned; the persistence-layer counterpart of
+  /// VersionedHll::Serialize.
+  void Serialize(std::string* out) const;
+
+  /// Reads an encoding produced by Serialize from data starting at *offset,
+  /// advancing *offset past it. Returns nullopt on truncation or corruption
+  /// (including invariant violations).
+  static std::optional<VersionedBottomK> Deserialize(std::string_view data,
+                                                     size_t* offset);
 
   /// Approximate heap footprint in bytes.
   size_t MemoryUsageBytes() const;

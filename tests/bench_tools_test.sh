@@ -106,13 +106,20 @@ sed 's/"median": 102/"median": 51/' "$WORKDIR/BENCH_micro_test.json" \
   --current="$WORKDIR/BENCH_improved.json" \
   || fail "bench_compare flagged an improvement as regression"
 
-# Usage / parse errors exit 2.
+# Usage / parse errors exit 2 (distinct from the regression exit 1).
 set +e
 "$BENCH_COMPARE" 2>/dev/null
 [[ $? -eq 2 ]] || fail "missing-flags usage error should exit 2"
 "$BENCH_COMPARE" --baseline="$WORKDIR/garbage.json" \
-  --current="$WORKDIR/BENCH_micro_test.json" 2>/dev/null
+  --current="$WORKDIR/BENCH_micro_test.json" 2>"$WORKDIR/parse_err.txt"
 [[ $? -eq 2 ]] || fail "parse error should exit 2"
+grep -q 'cannot parse' "$WORKDIR/parse_err.txt" \
+  || fail "parse error should print a 'cannot parse' diagnostic"
+"$BENCH_COMPARE" --baseline="$WORKDIR/no_such_file.json" \
+  --current="$WORKDIR/BENCH_micro_test.json" 2>"$WORKDIR/missing_err.txt"
+[[ $? -eq 2 ]] || fail "missing baseline file should exit 2"
+grep -q 'cannot open' "$WORKDIR/missing_err.txt" \
+  || fail "missing file should print a 'cannot open' diagnostic"
 set -e
 
 echo "bench_tools_test: all checks passed"

@@ -75,14 +75,67 @@ if "${CLI}" report --in="${WORK}/net.txt" --format=nonsense 2>/dev/null; then
   exit 1
 fi
 
-# Failure paths must fail loudly.
-if "${CLI}" topk --index="${WORK}/does-not-exist.bin" 2>/dev/null; then
-  echo "expected failure on missing index" >&2
+# Failure paths must fail loudly — and missing/unreadable inputs are the
+# user's problem, reported with a one-line diagnostic and exit code 2.
+set +e
+"${CLI}" topk --index="${WORK}/does-not-exist.bin" 2>"${WORK}/err1.txt"
+[ $? -eq 2 ] || { echo "missing index should exit 2" >&2; exit 1; }
+grep -q "cannot open index" "${WORK}/err1.txt" \
+  || { echo "missing index should print a cannot-open line" >&2; exit 1; }
+[ "$(wc -l < "${WORK}/err1.txt")" -eq 1 ] \
+  || { echo "missing index should print exactly one stderr line" >&2; exit 1; }
+"${CLI}" stats "${WORK}/no-such-net.txt" 2>"${WORK}/err2.txt"
+[ $? -eq 2 ] || { echo "missing dataset should exit 2" >&2; exit 1; }
+grep -q "cannot open dataset" "${WORK}/err2.txt" \
+  || { echo "missing dataset should print a cannot-open line" >&2; exit 1; }
+"${CLI}" frobnicate 2>/dev/null
+[ $? -ne 0 ] || { echo "expected failure on unknown command" >&2; exit 1; }
+set -e
+
+# Lenient parsing: a damaged edge file loads with --lenient, fails without.
+printf '0 1 5\ngarbage line\n1 2 6\n' > "${WORK}/damaged.txt"
+if "${CLI}" stats "${WORK}/damaged.txt" 2>/dev/null; then
+  echo "strict parse should reject a damaged file" >&2
   exit 1
 fi
-if "${CLI}" frobnicate 2>/dev/null; then
-  echo "expected failure on unknown command" >&2
+"${CLI}" stats "${WORK}/damaged.txt" --lenient | grep -q "interactions"
+
+# Checkpointed builds: the flags produce checkpoint files, and a rerun
+# resumes from them instead of rescanning.
+"${CLI}" build-index --in="${WORK}/net.txt" --out="${WORK}/index4.bin" \
+  --checkpoint_dir="${WORK}/ckpt" --checkpoint_every=500 \
+  | grep -q "checkpointing:"
+ls "${WORK}/ckpt" | grep -q '\.ipinckpt$'
+"${CLI}" build-index --in="${WORK}/net.txt" --out="${WORK}/index5.bin" \
+  --checkpoint_dir="${WORK}/ckpt" --checkpoint_every=500 \
+  | grep -q "resumed [1-9]"
+cmp "${WORK}/index4.bin" "${WORK}/index5.bin" \
+  || { echo "resumed index differs from the uninterrupted one" >&2; exit 1; }
+
+# Failpoints are reachable from the environment: an injected load error
+# must fail the command...
+if IPIN_FAILPOINTS="graph_io.load=error" "${CLI}" stats "${WORK}/net.txt" \
+    2>/dev/null; then
+  echo "expected failure with graph_io.load failpoint armed" >&2
   exit 1
 fi
+# ...and a corrupted saved index must degrade, not crash: flip one byte in
+# a section payload and the query must still answer.
+cp "${WORK}/index.bin" "${WORK}/index_corrupt.bin"
+python3 - "$WORK/index_corrupt.bin" <<'EOF' 2>/dev/null || \
+  printf '\x41' | dd of="${WORK}/index_corrupt.bin" bs=1 seek=200 \
+    conv=notrunc status=none
+import sys
+path = sys.argv[1]
+with open(path, "r+b") as f:
+    f.seek(200)
+    byte = f.read(1)
+    f.seek(200)
+    f.write(bytes([byte[0] ^ 0x20]))
+EOF
+"${CLI}" query --index="${WORK}/index_corrupt.bin" --seeds=0,1,2 \
+  2>"${WORK}/err3.txt" | grep -q "estimated influence"
+grep -qi "degraded" "${WORK}/err3.txt" \
+  || { echo "degraded load should warn on stderr" >&2; exit 1; }
 
 echo "cli smoke test OK"

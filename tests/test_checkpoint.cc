@@ -1,0 +1,302 @@
+#include "ipin/core/checkpoint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ipin/common/failpoint.h"
+#include "ipin/common/logging.h"
+#include "ipin/datasets/synthetic.h"
+
+namespace ipin {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr Duration kWindow = 40;
+
+InteractionGraph TestGraph() {
+  return GenerateUniformRandomNetwork(/*num_nodes=*/40,
+                                      /*num_interactions=*/200,
+                                      /*time_span=*/500, /*seed=*/11);
+}
+
+// Bit-identical comparison of two exact builds: every node's summary map
+// must match entry for entry.
+void ExpectExactEqual(const IrsExact& got, const IrsExact& want) {
+  ASSERT_EQ(got.num_nodes(), want.num_nodes());
+  for (NodeId u = 0; u < want.num_nodes(); ++u) {
+    const auto& a = got.Summary(u);
+    const auto& b = want.Summary(u);
+    ASSERT_EQ(a.size(), b.size()) << "node " << u;
+    for (const auto& [v, t] : b) {
+      const auto it = a.find(v);
+      ASSERT_NE(it, a.end()) << "node " << u << " missing " << v;
+      EXPECT_EQ(it->second, t) << "lambda(" << u << "," << v << ")";
+    }
+  }
+}
+
+// Bit-identical comparison of two approx builds via the serialized sketch
+// bytes (covers cell contents, versions, and lazy-allocation pattern).
+void ExpectApproxEqual(const IrsApprox& got, const IrsApprox& want) {
+  ASSERT_EQ(got.num_nodes(), want.num_nodes());
+  for (NodeId u = 0; u < want.num_nodes(); ++u) {
+    const VersionedHll* a = got.Sketch(u);
+    const VersionedHll* b = want.Sketch(u);
+    ASSERT_EQ(a == nullptr, b == nullptr) << "node " << u;
+    if (b == nullptr) continue;
+    std::string a_bytes, b_bytes;
+    a->Serialize(&a_bytes);
+    b->Serialize(&b_bytes);
+    EXPECT_EQ(a_bytes, b_bytes) << "node " << u;
+    EXPECT_EQ(got.EstimateIrsSize(u), want.EstimateIrsSize(u))
+        << "node " << u;
+  }
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetLogLevel(LogLevel::kError);
+    dir_ = ::testing::TempDir() + "/ipin_ckpt_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override {
+    failpoint::ClearAll();
+    fs::remove_all(dir_);
+  }
+
+  std::vector<std::string> CheckpointFiles() const {
+    std::vector<std::string> names;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+      names.push_back(entry.path().filename().string());
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CheckpointTest, DisabledOptionsMatchPlainCompute) {
+  const InteractionGraph g = TestGraph();
+  CheckpointStats stats;
+  const IrsExact got =
+      ComputeIrsExactCheckpointed(g, kWindow, CheckpointOptions{}, &stats);
+  ExpectExactEqual(got, IrsExact::Compute(g, kWindow));
+  EXPECT_EQ(stats.checkpoints_written, 0u);
+  EXPECT_EQ(stats.resumed_edges, 0u);
+}
+
+TEST_F(CheckpointTest, ExactCheckpointedMatchesPlainCompute) {
+  const InteractionGraph g = TestGraph();
+  const CheckpointOptions options{dir_, /*every_edges=*/32};
+  CheckpointStats stats;
+  const IrsExact got = ComputeIrsExactCheckpointed(g, kWindow, options, &stats);
+  ExpectExactEqual(got, IrsExact::Compute(g, kWindow));
+  EXPECT_GT(stats.checkpoints_written, 0u);
+  EXPECT_EQ(stats.resumed_edges, 0u);
+  EXPECT_EQ(stats.checkpoint_failures, 0u);
+}
+
+TEST_F(CheckpointTest, ExactRerunResumesFromNewestCheckpoint) {
+  const InteractionGraph g = TestGraph();
+  const CheckpointOptions options{dir_, /*every_edges=*/32};
+  (void)ComputeIrsExactCheckpointed(g, kWindow, options);
+  // The rerun picks up the newest checkpoint and replays only the tail.
+  CheckpointStats stats;
+  const IrsExact got = ComputeIrsExactCheckpointed(g, kWindow, options, &stats);
+  EXPECT_EQ(stats.resumed_edges, 192u);  // newest multiple of 32 < 200
+  EXPECT_EQ(stats.invalid_checkpoints_skipped, 0u);
+  ExpectExactEqual(got, IrsExact::Compute(g, kWindow));
+}
+
+TEST_F(CheckpointTest, ApproxCheckpointedAndResumedMatchesPlainCompute) {
+  const InteractionGraph g = TestGraph();
+  const IrsApproxOptions irs_options{/*precision=*/5, /*salt=*/3};
+  const IrsApprox want = IrsApprox::Compute(g, kWindow, irs_options);
+
+  const CheckpointOptions options{dir_, /*every_edges=*/32};
+  CheckpointStats stats;
+  const IrsApprox first =
+      ComputeIrsApproxCheckpointed(g, kWindow, irs_options, options, &stats);
+  ExpectApproxEqual(first, want);
+  EXPECT_GT(stats.checkpoints_written, 0u);
+
+  CheckpointStats resumed;
+  const IrsApprox second =
+      ComputeIrsApproxCheckpointed(g, kWindow, irs_options, options, &resumed);
+  EXPECT_GT(resumed.resumed_edges, 0u);
+  ExpectApproxEqual(second, want);
+}
+
+// The tentpole proof: a failpoint kills the build mid-scan; the restarted
+// build resumes from the surviving checkpoint and the result is
+// bit-identical to an uninterrupted run.
+TEST_F(CheckpointTest, ExactKillMidScanThenResumeBitIdentical) {
+  const InteractionGraph g = TestGraph();
+  const CheckpointOptions options{dir_, /*every_edges=*/32};
+
+  // The child arms the crash inside the EXPECT_EXIT statement, so the
+  // parent's registry stays clean. crash_after_n(2): saves at edges 32 and
+  // 64 land, the third attempt (edge 96) kills the process.
+  EXPECT_EXIT(
+      {
+        failpoint::Set("checkpoint.save", "crash_after_n(2)");
+        (void)ComputeIrsExactCheckpointed(g, kWindow, options);
+      },
+      ::testing::ExitedWithCode(134), "failpoint");
+  ASSERT_FALSE(CheckpointFiles().empty()) << "crash left no checkpoint";
+
+  CheckpointStats stats;
+  const IrsExact got = ComputeIrsExactCheckpointed(g, kWindow, options, &stats);
+  EXPECT_EQ(stats.resumed_edges, 64u);
+  ExpectExactEqual(got, IrsExact::Compute(g, kWindow));
+}
+
+TEST_F(CheckpointTest, ApproxKillMidScanThenResumeBitIdentical) {
+  const InteractionGraph g = TestGraph();
+  const IrsApproxOptions irs_options{/*precision=*/5, /*salt=*/9};
+  const CheckpointOptions options{dir_, /*every_edges=*/32};
+
+  EXPECT_EXIT(
+      {
+        failpoint::Set("checkpoint.save", "crash_after_n(2)");
+        (void)ComputeIrsApproxCheckpointed(g, kWindow, irs_options, options);
+      },
+      ::testing::ExitedWithCode(134), "failpoint");
+  ASSERT_FALSE(CheckpointFiles().empty()) << "crash left no checkpoint";
+
+  CheckpointStats stats;
+  const IrsApprox got =
+      ComputeIrsApproxCheckpointed(g, kWindow, irs_options, options, &stats);
+  EXPECT_EQ(stats.resumed_edges, 64u);
+  ExpectApproxEqual(got, IrsApprox::Compute(g, kWindow, irs_options));
+}
+
+// A damaged newest checkpoint must not poison the build: it is skipped and
+// the next-older one is used.
+TEST_F(CheckpointTest, CorruptNewestFallsBackToOlder) {
+  const InteractionGraph g = TestGraph();
+  const CheckpointOptions options{dir_, /*every_edges=*/32, /*keep=*/3};
+  (void)ComputeIrsExactCheckpointed(g, kWindow, options);
+
+  const auto files = CheckpointFiles();
+  ASSERT_GE(files.size(), 2u);
+  // Zero-padded edge counts make lexicographic order == numeric order.
+  const std::string newest = dir_ + "/" + files.back();
+  {
+    std::fstream f(newest, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(100);  // inside a frame payload, past the file header
+    char byte = 0;
+    f.seekg(100);
+    f.read(&byte, 1);
+    byte ^= 0x20;
+    f.seekp(100);
+    f.write(&byte, 1);
+  }
+
+  CheckpointStats stats;
+  const IrsExact got = ComputeIrsExactCheckpointed(g, kWindow, options, &stats);
+  EXPECT_GE(stats.invalid_checkpoints_skipped, 1u);
+  EXPECT_EQ(stats.resumed_edges, 160u);  // the one below the corrupted 192
+  ExpectExactEqual(got, IrsExact::Compute(g, kWindow));
+}
+
+// A truncated newest checkpoint (torn write / crash during save) behaves
+// the same as a corrupt one: skip and fall back.
+TEST_F(CheckpointTest, TruncatedNewestFallsBackToOlder) {
+  const InteractionGraph g = TestGraph();
+  const CheckpointOptions options{dir_, /*every_edges=*/32, /*keep=*/3};
+  (void)ComputeIrsExactCheckpointed(g, kWindow, options);
+
+  const auto files = CheckpointFiles();
+  ASSERT_GE(files.size(), 2u);
+  const std::string newest = dir_ + "/" + files.back();
+  const auto size = fs::file_size(newest);
+  fs::resize_file(newest, size / 2);
+
+  CheckpointStats stats;
+  const IrsExact got = ComputeIrsExactCheckpointed(g, kWindow, options, &stats);
+  EXPECT_GE(stats.invalid_checkpoints_skipped, 1u);
+  EXPECT_EQ(stats.resumed_edges, 160u);
+  ExpectExactEqual(got, IrsExact::Compute(g, kWindow));
+}
+
+// Checkpoints taken against different inputs (here: another window) carry a
+// different fingerprint and must be ignored, not resumed into a wrong build.
+TEST_F(CheckpointTest, FingerprintMismatchIsIgnored) {
+  const InteractionGraph g = TestGraph();
+  const CheckpointOptions options{dir_, /*every_edges=*/32};
+  (void)ComputeIrsExactCheckpointed(g, /*window=*/kWindow, options);
+
+  CheckpointStats stats;
+  const IrsExact got =
+      ComputeIrsExactCheckpointed(g, /*window=*/kWindow * 2, options, &stats);
+  EXPECT_EQ(stats.resumed_edges, 0u);
+  EXPECT_GE(stats.invalid_checkpoints_skipped, 1u);
+  ExpectExactEqual(got, IrsExact::Compute(g, kWindow * 2));
+}
+
+// Exact checkpoints must never resume an approx build and vice versa: the
+// two algorithms use distinct file prefixes.
+TEST_F(CheckpointTest, AlgorithmsUseDistinctCheckpointFiles) {
+  const InteractionGraph g = TestGraph();
+  const CheckpointOptions options{dir_, /*every_edges=*/64};
+  (void)ComputeIrsExactCheckpointed(g, kWindow, options);
+
+  CheckpointStats stats;
+  const IrsApprox got =
+      ComputeIrsApproxCheckpointed(g, kWindow, {}, options, &stats);
+  EXPECT_EQ(stats.resumed_edges, 0u);
+  EXPECT_EQ(stats.invalid_checkpoints_skipped, 0u);
+  ExpectApproxEqual(got, IrsApprox::Compute(g, kWindow, {}));
+}
+
+TEST_F(CheckpointTest, PruneKeepsOnlyNewestCheckpoints) {
+  const InteractionGraph g = TestGraph();
+  const CheckpointOptions options{dir_, /*every_edges=*/16, /*keep=*/2};
+  CheckpointStats stats;
+  (void)ComputeIrsExactCheckpointed(g, kWindow, options, &stats);
+  EXPECT_GT(stats.checkpoints_written, 2u);
+  EXPECT_EQ(CheckpointFiles().size(), 2u);
+}
+
+// A failing checkpoint save is an inconvenience, not a build failure.
+TEST_F(CheckpointTest, SaveFailureDoesNotAbortBuild) {
+  const InteractionGraph g = TestGraph();
+  ASSERT_TRUE(failpoint::Set("checkpoint.save", "error"));
+  const CheckpointOptions options{dir_, /*every_edges=*/32};
+  CheckpointStats stats;
+  const IrsExact got = ComputeIrsExactCheckpointed(g, kWindow, options, &stats);
+  failpoint::ClearAll();
+  EXPECT_EQ(stats.checkpoints_written, 0u);
+  EXPECT_GT(stats.checkpoint_failures, 0u);
+  ExpectExactEqual(got, IrsExact::Compute(g, kWindow));
+}
+
+// checkpoint.load failures (e.g. injected read errors) degrade to a fresh
+// build rather than crashing or resuming garbage.
+TEST_F(CheckpointTest, LoadFailureFallsBackToFreshBuild) {
+  const InteractionGraph g = TestGraph();
+  const CheckpointOptions options{dir_, /*every_edges=*/32};
+  (void)ComputeIrsExactCheckpointed(g, kWindow, options);
+
+  ASSERT_TRUE(failpoint::Set("checkpoint.load", "error"));
+  CheckpointStats stats;
+  const IrsExact got = ComputeIrsExactCheckpointed(g, kWindow, options, &stats);
+  failpoint::ClearAll();
+  EXPECT_EQ(stats.resumed_edges, 0u);
+  EXPECT_GE(stats.invalid_checkpoints_skipped, 1u);
+  ExpectExactEqual(got, IrsExact::Compute(g, kWindow));
+}
+
+}  // namespace
+}  // namespace ipin

@@ -1,0 +1,112 @@
+#include "ipin/common/failpoint.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace ipin {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoint::ClearAll(); }
+};
+
+TEST_F(FailpointTest, UnarmedIsFree) {
+  EXPECT_FALSE(failpoint::AnyArmed());
+  const auto result = IPIN_FAILPOINT("never.armed");
+  EXPECT_FALSE(result.fail);
+  EXPECT_FALSE(result.active());
+  // Nothing armed => the macro short-circuits: no hit is recorded.
+  EXPECT_EQ(failpoint::HitCount("never.armed"), 0u);
+}
+
+TEST_F(FailpointTest, ErrorModeFailsEveryHit) {
+  ASSERT_TRUE(failpoint::Set("io.write", "error"));
+  EXPECT_TRUE(failpoint::AnyArmed());
+  EXPECT_TRUE(IPIN_FAILPOINT("io.write").fail);
+  EXPECT_TRUE(IPIN_FAILPOINT("io.write").fail);
+  EXPECT_EQ(failpoint::HitCount("io.write"), 2u);
+  // Other names stay unaffected.
+  EXPECT_FALSE(IPIN_FAILPOINT("io.read").fail);
+}
+
+TEST_F(FailpointTest, ErrorModeWithThresholdFailsFromNthHit) {
+  ASSERT_TRUE(failpoint::Set("io.write", "error(3)"));
+  EXPECT_FALSE(IPIN_FAILPOINT("io.write").fail);  // hit 1
+  EXPECT_FALSE(IPIN_FAILPOINT("io.write").fail);  // hit 2
+  EXPECT_TRUE(IPIN_FAILPOINT("io.write").fail);   // hit 3
+  EXPECT_TRUE(IPIN_FAILPOINT("io.write").fail);   // hit 4
+}
+
+TEST_F(FailpointTest, ShortWriteModeCapsBytes) {
+  ASSERT_TRUE(failpoint::Set("io.write", "short_write(16)"));
+  const auto result = IPIN_FAILPOINT("io.write");
+  EXPECT_FALSE(result.fail);
+  EXPECT_TRUE(result.active());
+  EXPECT_EQ(result.short_write, 16u);
+}
+
+TEST_F(FailpointTest, OffSpecAndClearDisarm) {
+  ASSERT_TRUE(failpoint::Set("a", "error"));
+  ASSERT_TRUE(failpoint::Set("b", "error"));
+  ASSERT_TRUE(failpoint::Set("a", "off"));
+  EXPECT_FALSE(IPIN_FAILPOINT("a").fail);
+  failpoint::Clear("b");
+  EXPECT_FALSE(IPIN_FAILPOINT("b").fail);
+  EXPECT_FALSE(failpoint::AnyArmed());
+}
+
+TEST_F(FailpointTest, BadSpecRejected) {
+  EXPECT_FALSE(failpoint::Set("x", "explode"));
+  EXPECT_FALSE(failpoint::Set("x", "error(nope)"));
+  EXPECT_FALSE(failpoint::Set("x", "short_write"));  // missing argument
+  EXPECT_FALSE(failpoint::Set("", "error"));         // empty name
+  EXPECT_FALSE(failpoint::AnyArmed());
+}
+
+TEST_F(FailpointTest, RearmingResetsHitCount) {
+  ASSERT_TRUE(failpoint::Set("x", "error"));
+  (void)IPIN_FAILPOINT("x");
+  (void)IPIN_FAILPOINT("x");
+  EXPECT_EQ(failpoint::HitCount("x"), 2u);
+  ASSERT_TRUE(failpoint::Set("x", "error"));
+  EXPECT_EQ(failpoint::HitCount("x"), 0u);
+}
+
+TEST_F(FailpointTest, ListShowsArmedSpecs) {
+  ASSERT_TRUE(failpoint::Set("b.point", "short_write(8)"));
+  ASSERT_TRUE(failpoint::Set("a.point", "error"));
+  const auto list = failpoint::List();
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0], "a.point=error(1)");
+  EXPECT_EQ(list[1], "b.point=short_write(8)");
+}
+
+TEST_F(FailpointTest, LoadFromEnvParsesMultipleSpecs) {
+  ::setenv("IPIN_FAILPOINTS", "env.a=error;env.b=short_write(4)", 1);
+  failpoint::LoadFromEnv();
+  ::unsetenv("IPIN_FAILPOINTS");
+  EXPECT_TRUE(IPIN_FAILPOINT("env.a").fail);
+  EXPECT_EQ(IPIN_FAILPOINT("env.b").short_write, 4u);
+}
+
+TEST_F(FailpointTest, DelayModePassesThrough) {
+  ASSERT_TRUE(failpoint::Set("slow", "delay(1)"));
+  const auto result = IPIN_FAILPOINT("slow");
+  EXPECT_FALSE(result.fail);
+  EXPECT_FALSE(result.active());
+}
+
+// crash_after_n terminates the process with exit code 134 (a simulated
+// kill) once the threshold is crossed.
+TEST_F(FailpointTest, CrashAfterNKillsProcess) {
+  ASSERT_TRUE(failpoint::Set("boom", "crash_after_n(2)"));
+  EXPECT_FALSE(IPIN_FAILPOINT("boom").fail);  // hit 1 passes
+  EXPECT_FALSE(IPIN_FAILPOINT("boom").fail);  // hit 2 passes
+  EXPECT_EXIT((void)IPIN_FAILPOINT("boom"),   // hit 3 crashes
+              ::testing::ExitedWithCode(134), "failpoint");
+}
+
+}  // namespace
+}  // namespace ipin

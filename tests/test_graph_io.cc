@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "ipin/common/logging.h"
+#include "ipin/obs/metrics.h"
 
 namespace ipin {
 namespace {
@@ -86,6 +87,50 @@ TEST_F(GraphIoTest, RejectsTooFewFields) {
 TEST_F(GraphIoTest, RejectsNegativeNodeIds) {
   WriteFile("-1 2 5\n");
   EXPECT_FALSE(LoadInteractionsFromFile(path_).has_value());
+}
+
+TEST_F(GraphIoTest, LenientModeSkipsMalformedLines) {
+  obs::Counter* skipped =
+      obs::MetricsRegistry::Global().GetCounter("graph.io.skipped_lines");
+  const uint64_t before = skipped->Value();
+  WriteFile("0 1 5\nnot numbers here\n1 2 6\n0 1\n-3 2 7\n2 0 8\n");
+  const auto graph = LoadInteractionsFromFile(
+      path_, EdgeListFormat::kSrcDstTime, ParseMode::kLenient);
+  ASSERT_TRUE(graph.has_value());
+  EXPECT_EQ(graph->num_interactions(), 3u);  // the three well-formed lines
+#ifdef IPIN_OBS_DISABLED
+  EXPECT_EQ(skipped->Value() - before, 0u);
+#else
+  EXPECT_EQ(skipped->Value() - before, 3u);
+#endif
+}
+
+TEST_F(GraphIoTest, LenientModeSkipsTimestampRegressions) {
+  // A timestamp far in the past mid-stream is treated as damage in lenient
+  // mode; strict mode keeps it (the post-load sort handles unsorted files).
+  WriteFile("0 1 100\n1 2 3\n2 0 200\n");
+  const auto lenient = LoadInteractionsFromFile(
+      path_, EdgeListFormat::kSrcDstTime, ParseMode::kLenient);
+  ASSERT_TRUE(lenient.has_value());
+  EXPECT_EQ(lenient->num_interactions(), 2u);
+  const auto strict = LoadInteractionsFromFile(path_);
+  ASSERT_TRUE(strict.has_value());
+  EXPECT_EQ(strict->num_interactions(), 3u);
+}
+
+TEST_F(GraphIoTest, StrictModeStaysTheDefaultAndFails) {
+  WriteFile("0 1 5\nnot numbers here\n");
+  EXPECT_FALSE(LoadInteractionsFromFile(path_).has_value());
+  EXPECT_FALSE(LoadInteractionsFromFile(path_, EdgeListFormat::kSrcDstTime,
+                                        ParseMode::kStrict)
+                   .has_value());
+}
+
+TEST_F(GraphIoTest, LenientModeRejectsFullyUnusableFile) {
+  WriteFile("total garbage\nmore garbage\n");
+  EXPECT_FALSE(LoadInteractionsFromFile(path_, EdgeListFormat::kSrcDstTime,
+                                        ParseMode::kLenient)
+                   .has_value());
 }
 
 TEST_F(GraphIoTest, MissingFileReturnsNullopt) {

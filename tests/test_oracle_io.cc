@@ -1,11 +1,13 @@
 #include "ipin/core/oracle_io.h"
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string>
 
 #include <gtest/gtest.h>
 
+#include "ipin/common/failpoint.h"
 #include "ipin/common/logging.h"
 #include "ipin/common/random.h"
 #include "ipin/datasets/synthetic.h"
@@ -21,7 +23,21 @@ class OracleIoTest : public ::testing::Test {
             std::to_string(reinterpret_cast<uintptr_t>(this)) + ".bin";
     SetLogLevel(LogLevel::kError);
   }
-  void TearDown() override { std::remove(path_.c_str()); }
+  void TearDown() override {
+    failpoint::ClearAll();
+    std::remove(path_.c_str());
+  }
+
+  std::string ReadFileBytes() const {
+    std::ifstream in(path_, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }
+  void WriteFileBytes(const std::string& contents) const {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << contents;
+  }
+
   std::string path_;
 };
 
@@ -124,33 +140,145 @@ TEST_F(OracleIoTest, IndexRoundtripPreservesEstimates) {
 }
 
 TEST_F(OracleIoTest, MissingFileFails) {
+  const IndexLoadResult result =
+      LoadInfluenceIndexDetailed("/nonexistent/nothing.bin");
+  EXPECT_EQ(result.status, IndexLoadStatus::kMissing);
+  EXPECT_FALSE(result.usable());
   EXPECT_FALSE(LoadInfluenceIndex("/nonexistent/nothing.bin").has_value());
 }
 
 TEST_F(OracleIoTest, GarbageFileFails) {
-  std::ofstream out(path_, std::ios::binary);
-  out << "this is definitely not an influence index";
-  out.close();
-  EXPECT_FALSE(LoadInfluenceIndex(path_).has_value());
+  WriteFileBytes("this is definitely not an influence index");
+  const IndexLoadResult result = LoadInfluenceIndexDetailed(path_);
+  EXPECT_EQ(result.status, IndexLoadStatus::kCorrupt);
+  EXPECT_FALSE(result.usable());
 }
 
-TEST_F(OracleIoTest, TruncatedIndexFails) {
+// Truncation in the new framed format is recoverable: the sections cut off
+// are reported dropped and the surviving ones are served (degraded), never
+// silently-wrong data.
+TEST_F(OracleIoTest, TruncatedIndexDegradesNotLies) {
   const InteractionGraph g = GenerateUniformRandomNetwork(30, 300, 800, 3);
   IrsApproxOptions options;
   options.precision = 6;
   const IrsApprox index = IrsApprox::Compute(g, 200, options);
   ASSERT_TRUE(SaveInfluenceIndex(index, path_));
 
-  std::ifstream in(path_, std::ios::binary);
-  std::string contents((std::istreambuf_iterator<char>(in)),
-                       std::istreambuf_iterator<char>());
-  in.close();
+  std::string contents = ReadFileBytes();
   contents.resize(contents.size() / 2);
-  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
-  out << contents;
-  out.close();
+  WriteFileBytes(contents);
 
-  EXPECT_FALSE(LoadInfluenceIndex(path_).has_value());
+  const IndexLoadResult result = LoadInfluenceIndexDetailed(path_);
+  EXPECT_EQ(result.status, IndexLoadStatus::kDegraded);
+  ASSERT_TRUE(result.usable());
+  EXPECT_GT(result.sections_dropped, 0u);
+  // Nodes whose section was cut off report an empty IRS, not garbage.
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const double estimate = result.index->EstimateIrsSize(u);
+    EXPECT_TRUE(estimate == 0.0 || estimate == index.EstimateIrsSize(u));
+  }
+}
+
+// A bit flip inside one section drops only that section: every node outside
+// it keeps a bit-identical sketch.
+TEST_F(OracleIoTest, CorruptSectionDropsOnlyItself) {
+  const InteractionGraph g = GenerateUniformRandomNetwork(600, 4000, 9000, 11);
+  IrsApproxOptions options;
+  options.precision = 6;
+  const IrsApprox index = IrsApprox::Compute(g, 2000, options);
+  ASSERT_TRUE(SaveInfluenceIndex(index, path_));
+
+  std::string contents = ReadFileBytes();
+  contents[contents.size() * 3 / 4] ^= 0x40;  // lands in a later chunk
+  WriteFileBytes(contents);
+
+  const IndexLoadResult result = LoadInfluenceIndexDetailed(path_);
+  EXPECT_EQ(result.status, IndexLoadStatus::kDegraded);
+  ASSERT_TRUE(result.usable());
+  EXPECT_GE(result.sections_total, 3u);
+  EXPECT_GT(result.sections_dropped, 0u);
+  EXPECT_LT(result.sections_dropped, result.sections_total);
+  // The first chunk (nodes 0..255) precedes the flipped byte and must be
+  // intact.
+  for (NodeId u = 0; u < 256; ++u) {
+    EXPECT_DOUBLE_EQ(result.index->EstimateIrsSize(u),
+                     index.EstimateIrsSize(u));
+  }
+}
+
+// A failed save must leave the previous index untouched (atomicity).
+TEST_F(OracleIoTest, FailedSaveLeavesOldIndexIntact) {
+  const InteractionGraph g = GenerateUniformRandomNetwork(50, 400, 900, 5);
+  IrsApproxOptions options;
+  options.precision = 6;
+  const IrsApprox index = IrsApprox::Compute(g, 300, options);
+  ASSERT_TRUE(SaveInfluenceIndex(index, path_));
+  const std::string before = ReadFileBytes();
+
+  ASSERT_TRUE(failpoint::Set("safe_io.commit", "error"));
+  const IrsApprox other = IrsApprox::Compute(g, 500, options);
+  EXPECT_FALSE(SaveInfluenceIndex(other, path_));
+  failpoint::ClearAll();
+
+  EXPECT_EQ(ReadFileBytes(), before);
+  const auto loaded = LoadInfluenceIndex(path_);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->window(), 300);
+}
+
+// The oracle_io.write.short failpoint produces CRC-valid but unparsable
+// sections — the "torn section" flavor of damage. Load degrades instead of
+// crashing or fabricating sketches.
+TEST_F(OracleIoTest, TornSectionsDegradeGracefully) {
+  const InteractionGraph g = GenerateUniformRandomNetwork(40, 300, 800, 7);
+  IrsApproxOptions options;
+  options.precision = 6;
+  const IrsApprox index = IrsApprox::Compute(g, 200, options);
+  ASSERT_TRUE(failpoint::Set("oracle_io.write.short", "short_write(12)"));
+  ASSERT_TRUE(SaveInfluenceIndex(index, path_));
+  failpoint::ClearAll();
+
+  const IndexLoadResult result = LoadInfluenceIndexDetailed(path_);
+  EXPECT_EQ(result.status, IndexLoadStatus::kDegraded);
+  ASSERT_TRUE(result.usable());
+  EXPECT_EQ(result.sections_dropped, result.sections_total);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_DOUBLE_EQ(result.index->EstimateIrsSize(u), 0.0);
+  }
+}
+
+// Files written by the pre-safe_io in-place format are still readable.
+TEST_F(OracleIoTest, LegacyFormatStillLoads) {
+  VersionedHll sketch(6, 3);
+  sketch.Add(42, 10);
+  sketch.Add(7, 20);
+
+  std::string legacy = "IPINIDX1";
+  const auto append = [&legacy](const void* p, size_t n) {
+    legacy.append(reinterpret_cast<const char*>(p), n);
+  };
+  const int64_t window = 123;
+  const uint8_t precision = 6;
+  const uint64_t salt = 3;
+  const uint64_t num_nodes = 3;
+  append(&window, sizeof(window));
+  append(&precision, sizeof(precision));
+  append(&salt, sizeof(salt));
+  append(&num_nodes, sizeof(num_nodes));
+  const uint8_t absent = 0, present = 1;
+  append(&absent, 1);
+  append(&present, 1);
+  sketch.Serialize(&legacy);
+  append(&absent, 1);
+  WriteFileBytes(legacy);
+
+  const IndexLoadResult result = LoadInfluenceIndexDetailed(path_);
+  EXPECT_EQ(result.status, IndexLoadStatus::kOk);
+  ASSERT_TRUE(result.usable());
+  EXPECT_EQ(result.index->num_nodes(), 3u);
+  EXPECT_EQ(result.index->window(), 123);
+  ASSERT_NE(result.index->Sketch(1), nullptr);
+  EXPECT_DOUBLE_EQ(result.index->EstimateIrsSize(1), sketch.Estimate());
 }
 
 TEST_F(OracleIoTest, EmptyIndexRoundtrips) {

@@ -147,5 +147,47 @@ TEST(VersionedBottomKTest, MergeAllEqualsUnionEstimates) {
   }
 }
 
+TEST(VersionedBottomKTest, SerializeRoundtripIsBitIdentical) {
+  VersionedBottomK sketch(16, 42);
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    sketch.Add(rng.NextBounded(1000),
+               static_cast<Timestamp>(rng.NextBounded(200)));
+  }
+  std::string blob;
+  sketch.Serialize(&blob);
+  size_t offset = 0;
+  const auto restored = VersionedBottomK::Deserialize(blob, &offset);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(offset, blob.size());
+  EXPECT_EQ(restored->k(), sketch.k());
+  EXPECT_EQ(restored->salt(), sketch.salt());
+  ASSERT_EQ(restored->NumEntries(), sketch.NumEntries());
+  std::string blob2;
+  restored->Serialize(&blob2);
+  EXPECT_EQ(blob, blob2);
+  for (const Timestamp bound : {10, 100, 200}) {
+    EXPECT_DOUBLE_EQ(restored->EstimateBefore(bound),
+                     sketch.EstimateBefore(bound));
+  }
+}
+
+TEST(VersionedBottomKTest, DeserializeRejectsTruncationAndGarbage) {
+  VersionedBottomK sketch(8, 1);
+  for (int i = 0; i < 100; ++i) sketch.Add(i, i % 20);
+  std::string blob;
+  sketch.Serialize(&blob);
+  // Every proper prefix is truncated input and must be rejected cleanly.
+  for (size_t len = 0; len < blob.size(); ++len) {
+    size_t offset = 0;
+    EXPECT_FALSE(VersionedBottomK::Deserialize(
+                     std::string_view(blob.data(), len), &offset)
+                     .has_value())
+        << "prefix length " << len;
+  }
+  size_t offset = 0;
+  EXPECT_FALSE(VersionedBottomK::Deserialize("garbage", &offset).has_value());
+}
+
 }  // namespace
 }  // namespace ipin

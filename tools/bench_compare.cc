@@ -56,10 +56,20 @@ int Run(int argc, char** argv) {
   const std::string stat = flags.GetString("stat", "median");
   const bool lower_is_better = flags.GetBool("lower_is_better", true);
 
+  // Distinguish a file that is absent from one that exists but does not
+  // parse — both are exit 2 (input error), never the regression exit 1.
+  for (const auto& path : {baseline_path, current_path}) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_compare: cannot open %s\n", path.c_str());
+      return 2;
+    }
+    std::fclose(f);
+  }
   const auto baseline_doc = JsonValue::ParseFile(baseline_path);
   const auto current_doc = JsonValue::ParseFile(current_path);
   if (!baseline_doc.has_value() || !current_doc.has_value()) {
-    std::fprintf(stderr, "bench_compare: cannot parse %s\n",
+    std::fprintf(stderr, "bench_compare: cannot parse %s (not valid JSON)\n",
                  !baseline_doc.has_value() ? baseline_path.c_str()
                                            : current_path.c_str());
     return 2;
