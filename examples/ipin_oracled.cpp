@@ -1,0 +1,157 @@
+// ipin_oracled: the influence-oracle daemon. Serves |sigma(S)| queries from
+// a persisted vHLL index (built with `ipin_cli build-index`) over the
+// newline-delimited JSON protocol of src/ipin/serve/protocol.h, with
+// per-request deadlines, admission control, graceful degradation, and hot
+// index reload (a background watcher and/or the "reload" request re-read the
+// index file and swap it in atomically; corrupt files roll back).
+//
+// Usage:
+//   ipin_oracled --index=index.bin --socket=/tmp/ipin.sock
+//   ipin_oracled --index=index.bin --port=0            # ephemeral TCP port
+//       [--graph=net.txt [--window-pct=10]]            # load exact map too
+//       [--workers=4] [--queue_capacity=64] [--max_connections=64]
+//       [--default_deadline_ms=1000] [--exact_budget_ms=50]
+//       [--retry_after_ms=50] [--drain_deadline_ms=2000]
+//       [--reload_check_ms=0]                          # >0: file watcher
+//       [--metrics_out=report.json] [--log_level=debug]
+//
+// On SIGTERM or SIGINT the daemon drains in-flight requests (bounded by
+// --drain_deadline_ms) and exits 0. Readiness: the line
+// "ipin_oracled: serving ..." on stdout means the socket is accepting.
+
+#include <csignal>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "ipin/common/flags.h"
+#include "ipin/common/logging.h"
+#include "ipin/core/irs_exact.h"
+#include "ipin/graph/graph_io.h"
+#include "ipin/obs/export.h"
+#include "ipin/obs/memtally.h"
+#include "ipin/serve/index_manager.h"
+#include "ipin/serve/server.h"
+
+namespace ipin {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: ipin_oracled --index=<file> (--socket=<path> | "
+               "--port=<n>)\n"
+               "  [--graph=<edges> [--window-pct=10]]  load exact summaries\n"
+               "  [--workers=4] [--queue_capacity=64] [--max_connections=64]\n"
+               "  [--default_deadline_ms=1000] [--exact_budget_ms=50]\n"
+               "  [--retry_after_ms=50] [--drain_deadline_ms=2000]\n"
+               "  [--reload_check_ms=0] [--metrics_out=<json>] "
+               "[--log_level=<level>]\n");
+  return 2;
+}
+
+// Signal-handler flag: the main thread sleeps in a loop on it, so the
+// handler itself only needs one async-signal-safe store.
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleStopSignal(int) { g_stop = 1; }
+
+int Run(int argc, char** argv) {
+  const FlagMap flags = FlagMap::Parse(argc, argv);
+
+  const std::string log_level = flags.GetString("log_level", "");
+  if (!log_level.empty()) {
+    LogLevel level = GetLogLevel();
+    if (!ParseLogLevel(log_level, &level)) {
+      std::fprintf(stderr, "bad --log_level '%s'\n", log_level.c_str());
+      return Usage();
+    }
+    SetLogLevel(level);
+  }
+
+  const std::string index_path = flags.GetString("index");
+  const std::string socket_path = flags.GetString("socket");
+  const bool have_port = flags.Has("port");
+  if (index_path.empty() || (socket_path.empty() == !have_port)) {
+    return Usage();
+  }
+
+  serve::IndexManager index(index_path);
+  if (index.Reload() != serve::ReloadStatus::kOk) {
+    std::fprintf(stderr, "ipin_oracled: cannot load index '%s'\n",
+                 index_path.c_str());
+    return 2;
+  }
+
+  // Optional exact-summary map, built from the interaction log. Costs build
+  // time and memory but lets "exact"/"auto" queries answer precisely while
+  // the latency budget allows.
+  const std::string graph_path = flags.GetString("graph");
+  if (!graph_path.empty()) {
+    const auto graph = LoadInteractionsFromFile(
+        graph_path, EdgeListFormat::kSrcDstTime, ParseMode::kStrict);
+    if (!graph.has_value()) return 2;
+    const Duration window =
+        graph->WindowFromPercent(flags.GetDouble("window-pct", 10.0));
+    index.SetExact(
+        std::make_shared<const IrsExact>(IrsExact::Compute(*graph, window)));
+    LogInfo("ipin_oracled: exact summaries loaded from " + graph_path);
+  }
+
+  serve::ServerOptions options;
+  options.unix_socket_path = socket_path;
+  options.tcp_port = have_port ? static_cast<int>(flags.GetInt("port", 0)) : -1;
+  options.num_workers = static_cast<int>(flags.GetInt("workers", 4));
+  options.queue_capacity =
+      static_cast<size_t>(flags.GetInt("queue_capacity", 64));
+  options.max_connections =
+      static_cast<size_t>(flags.GetInt("max_connections", 64));
+  options.default_deadline_ms = flags.GetInt("default_deadline_ms", 1000);
+  options.exact_budget_ms = flags.GetInt("exact_budget_ms", 50);
+  options.retry_after_ms = flags.GetInt("retry_after_ms", 50);
+  options.drain_deadline_ms = flags.GetInt("drain_deadline_ms", 2000);
+
+  serve::OracleServer server(&index, options);
+  if (!server.Start()) return 1;
+
+  const int64_t reload_check_ms = flags.GetInt("reload_check_ms", 0);
+  if (reload_check_ms > 0) index.StartWatcher(reload_check_ms);
+
+  std::signal(SIGTERM, HandleStopSignal);
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  if (socket_path.empty()) {
+    std::printf("ipin_oracled: serving on 127.0.0.1:%d (epoch %llu)\n",
+                server.bound_port(),
+                static_cast<unsigned long long>(index.Epoch()));
+  } else {
+    std::printf("ipin_oracled: serving on %s (epoch %llu)\n",
+                socket_path.c_str(),
+                static_cast<unsigned long long>(index.Epoch()));
+  }
+  std::fflush(stdout);
+
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  LogInfo("ipin_oracled: stop signal received, draining");
+  index.StopWatcher();
+  server.Shutdown();
+
+  const std::string metrics_out = flags.GetString("metrics_out", "");
+  if (!metrics_out.empty()) {
+    obs::PublishMemoryGauges();
+    if (obs::WriteMetricsReportFile(metrics_out)) {
+      LogInfo("wrote metrics report to " + metrics_out);
+    }
+  }
+  std::printf("ipin_oracled: drained, exiting\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ipin
+
+int main(int argc, char** argv) { return ipin::Run(argc, argv); }

@@ -99,7 +99,8 @@ done
 
 # --- harness benches (ipin.metrics.v1 reports) ----------------------------
 if [[ $QUICK == 0 ]]; then
-  HARNESSES=(fig3_processing_time fig4_oracle_query table4_memory)
+  HARNESSES=(fig3_processing_time fig4_oracle_query table4_memory
+             oracle_serving)
   for bench in "${HARNESSES[@]}"; do
     reps=()
     for ((r = 1; r <= REPS; ++r)); do

@@ -7,6 +7,8 @@
 #include <mutex>
 #include <thread>
 
+#include "ipin/common/hash.h"
+#include "ipin/common/random.h"
 #include "ipin/common/string_util.h"
 
 namespace ipin::failpoint {
@@ -15,15 +17,26 @@ std::atomic<int> g_armed_count{0};
 
 namespace {
 
-enum class Mode { kError, kCrashAfterN, kShortWrite, kDelay };
+enum class Mode { kError, kErrorProb, kCrashAfterN, kShortWrite, kDelay };
 
 struct Config {
   Mode mode = Mode::kError;
   // error: first failing hit (1-based); crash_after_n: passes before the
   // crash; short_write: byte cap; delay: milliseconds.
   int64_t arg = 0;
+  // error_prob: per-hit failure probability and its seeded PRNG.
+  double prob = 0.0;
+  Rng rng{0};
   size_t hits = 0;
 };
+
+// Base seed for error_prob PRNGs, from IPIN_FAILPOINT_SEED (0 when unset or
+// unparsable). Read at arm time so tests can setenv + re-arm.
+uint64_t ProbSeedFromEnv() {
+  const char* env = std::getenv("IPIN_FAILPOINT_SEED");
+  if (env == nullptr) return 0;
+  return static_cast<uint64_t>(ParseInt64(env).value_or(0));
+}
 
 struct Registry {
   std::mutex mu;
@@ -36,16 +49,29 @@ Registry& GetRegistry() {
 }
 
 // Parses "mode" or "mode(arg)" into *config. Returns false on syntax error.
-bool ParseSpec(std::string_view spec, Config* config) {
+// The name is only needed to seed error_prob's PRNG.
+bool ParseSpec(std::string_view name, std::string_view spec, Config* config) {
   spec = TrimString(spec);
   std::string_view mode = spec;
+  std::string_view arg_text;
   std::optional<int64_t> arg;
   const size_t paren = spec.find('(');
   if (paren != std::string_view::npos) {
     if (spec.back() != ')') return false;
     mode = spec.substr(0, paren);
-    arg = ParseInt64(spec.substr(paren + 1, spec.size() - paren - 2));
-    if (!arg.has_value() || *arg < 0) return false;
+    arg_text = spec.substr(paren + 1, spec.size() - paren - 2);
+    arg = ParseInt64(arg_text);
+    if (mode != "error_prob" && (!arg.has_value() || *arg < 0)) return false;
+  }
+  if (mode == "error_prob") {
+    const auto prob = ParseDouble(arg_text);
+    if (!prob.has_value() || *prob < 0.0 || *prob > 1.0) return false;
+    config->mode = Mode::kErrorProb;
+    config->prob = *prob;
+    // Seed differs per failpoint name so two armed points fail on
+    // uncorrelated schedules, yet the whole run replays from one seed.
+    config->rng = Rng(HashString(name, ProbSeedFromEnv()));
+    return true;
   }
   if (mode == "error") {
     config->mode = Mode::kError;
@@ -78,6 +104,9 @@ std::string SpecString(const Config& config) {
     case Mode::kError:
       std::snprintf(buffer, sizeof(buffer), "error(%lld)",
                     static_cast<long long>(config.arg));
+      break;
+    case Mode::kErrorProb:
+      std::snprintf(buffer, sizeof(buffer), "error_prob(%g)", config.prob);
       break;
     case Mode::kCrashAfterN:
       std::snprintf(buffer, sizeof(buffer), "crash_after_n(%lld)",
@@ -118,6 +147,11 @@ Result Evaluate(const char* name) {
     case Mode::kError:
       result.fail = hit >= static_cast<size_t>(config.arg);
       break;
+    case Mode::kErrorProb:
+      // Seeded per-point PRNG (advanced under the registry lock): the fault
+      // schedule is a pure function of (IPIN_FAILPOINT_SEED, name, hit#).
+      result.fail = config.rng.NextBernoulli(config.prob);
+      break;
     case Mode::kCrashAfterN:
       if (hit > static_cast<size_t>(config.arg)) {
         // Simulated kill: no stdio flush, no atexit, no destructors — the
@@ -148,7 +182,7 @@ bool Set(const std::string& name, const std::string& spec) {
     return true;
   }
   Config config;
-  if (name.empty() || !ParseSpec(trimmed, &config)) return false;
+  if (name.empty() || !ParseSpec(name, trimmed, &config)) return false;
   std::lock_guard<std::mutex> lock(registry.mu);
   const auto [it, inserted] = registry.points.insert_or_assign(name, config);
   (void)it;

@@ -13,6 +13,11 @@
 //   off              disarmed (same as never configured)
 //   error            every hit reports an injected error
 //   error(n)         hits n, n+1, ... report an error (1-based)
+//   error_prob(p)    each hit independently reports an error with
+//                    probability p (in [0, 1]). Deterministic: the
+//                    per-failpoint PRNG is seeded from IPIN_FAILPOINT_SEED
+//                    (default 0) and the failpoint name, so a soak run with
+//                    random faults replays bit-identically from its seed
 //   crash_after_n(n) the first n hits pass, then the process exits
 //                    immediately (std::_Exit, no cleanup — a simulated kill)
 //   short_write(b)   write sites truncate their payload to b bytes and

@@ -136,6 +136,32 @@ double ExactInfluenceOracle::InfluenceOfSet(
   return static_cast<double>(irs_->UnionSize(seeds));
 }
 
+BudgetedValue ExactInfluenceOracle::InfluenceOfSetBudgeted(
+    std::span<const NodeId> seeds, const QueryBudget& budget) const {
+  IPIN_LATENCY_SCOPE("oracle.exact.query_us");
+  std::unordered_set<NodeId> seen;
+  size_t until_check = budget.check_every;
+  for (const NodeId u : seeds) {
+    // At least one check per seed: a budget that was already burned before
+    // the call (e.g. by a slow-eval fault) is noticed even when every
+    // summary is far smaller than check_every.
+    if (budget.Expired()) {
+      return {static_cast<double>(seen.size()), true};
+    }
+    for (const auto& [v, t] : irs_->Summary(u)) {
+      (void)t;
+      seen.insert(v);
+      if (--until_check == 0) {
+        until_check = budget.check_every;
+        if (budget.Expired()) {
+          return {static_cast<double>(seen.size()), true};
+        }
+      }
+    }
+  }
+  return {static_cast<double>(seen.size()), false};
+}
+
 std::unique_ptr<CoverageState> ExactInfluenceOracle::NewCoverage() const {
   return std::make_unique<ExactCoverage>(irs_);
 }
@@ -155,6 +181,32 @@ double SketchInfluenceOracle::InfluenceOfSet(
     std::span<const NodeId> seeds) const {
   IPIN_LATENCY_SCOPE("oracle.sketch.query_us");
   return irs_->EstimateUnionSize(seeds);
+}
+
+BudgetedValue SketchInfluenceOracle::InfluenceOfSetBudgeted(
+    std::span<const NodeId> seeds, const QueryBudget& budget) const {
+  IPIN_LATENCY_SCOPE("oracle.sketch.query_us");
+  const size_t beta =
+      static_cast<size_t>(1) << irs_->options().precision;
+  std::vector<uint8_t> ranks(beta, 0);
+  bool any = false;
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    if (budget.Expired()) {
+      const double partial =
+          any ? EstimateFromRanks(ranks) : 0.0;
+      return {partial, true};
+    }
+    const VersionedHll* sketch = irs_->Sketch(seeds[i]);
+    if (sketch == nullptr) continue;
+    any = true;
+    for (size_t c = 0; c < beta; ++c) {
+      const auto& list = sketch->cell(c);
+      if (!list.empty() && list.back().rank > ranks[c]) {
+        ranks[c] = list.back().rank;
+      }
+    }
+  }
+  return {any ? EstimateFromRanks(ranks) : 0.0, false};
 }
 
 std::unique_ptr<CoverageState> SketchInfluenceOracle::NewCoverage() const {

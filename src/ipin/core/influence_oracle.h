@@ -1,6 +1,7 @@
 #ifndef IPIN_CORE_INFLUENCE_ORACLE_H_
 #define IPIN_CORE_INFLUENCE_ORACLE_H_
 
+#include <chrono>
 #include <memory>
 #include <span>
 #include <unordered_set>
@@ -29,6 +30,30 @@ class CoverageState {
   virtual void Commit(NodeId u) = 0;
 };
 
+/// Wall-clock budget for one oracle query, used by the serving layer to
+/// bound tail latency: evaluation checks the deadline periodically and
+/// abandons the query instead of running to completion.
+struct QueryBudget {
+  /// Evaluation must not run past this instant.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  /// Summary entries scanned between deadline checks (amortizes the clock
+  /// read on the exact path, whose summaries can hold millions of entries).
+  size_t check_every = 1024;
+
+  bool Expired() const {
+    return std::chrono::steady_clock::now() >= deadline;
+  }
+};
+
+/// Result of a budgeted query. When `exceeded` is set the evaluation was
+/// abandoned mid-way and `value` is a partial (under-)count — callers
+/// degrade (e.g. fall back to a sketch estimate) rather than trust it.
+struct BudgetedValue {
+  double value = 0.0;
+  bool exceeded = false;
+};
+
 /// The paper's Influence Oracle (Section 4.1): answers influence-spread
 /// queries |union of sigma_omega(s)| for arbitrary seed sets, plus the
 /// incremental interface greedy maximization needs.
@@ -44,6 +69,15 @@ class InfluenceOracle {
   /// |union of sigma(s) for s in seeds|.
   virtual double InfluenceOfSet(std::span<const NodeId> seeds) const = 0;
 
+  /// InfluenceOfSet under a wall-clock budget. The default runs the
+  /// unbudgeted query (never reports exceeded); oracles whose evaluation
+  /// can take long override it with periodic deadline checks.
+  virtual BudgetedValue InfluenceOfSetBudgeted(
+      std::span<const NodeId> seeds, const QueryBudget& budget) const {
+    (void)budget;
+    return {InfluenceOfSet(seeds), false};
+  }
+
   /// Fresh, empty coverage accumulator.
   virtual std::unique_ptr<CoverageState> NewCoverage() const = 0;
 };
@@ -58,6 +92,12 @@ class ExactInfluenceOracle : public InfluenceOracle {
   size_t num_nodes() const override;
   double InfluenceOf(NodeId u) const override;
   double InfluenceOfSet(std::span<const NodeId> seeds) const override;
+  /// Exact union evaluation with deadline checks every
+  /// `budget.check_every` summary entries; an expired budget abandons the
+  /// scan (partial value, exceeded = true) so a worker never runs an
+  /// oversized exact query to completion.
+  BudgetedValue InfluenceOfSetBudgeted(
+      std::span<const NodeId> seeds, const QueryBudget& budget) const override;
   std::unique_ptr<CoverageState> NewCoverage() const override;
 
  private:
@@ -74,6 +114,10 @@ class SketchInfluenceOracle : public InfluenceOracle {
   size_t num_nodes() const override;
   double InfluenceOf(NodeId u) const override;
   double InfluenceOfSet(std::span<const NodeId> seeds) const override;
+  /// Sketch unions are O(|seeds| * beta); the budget is checked once per
+  /// seed, which is plenty at that granularity.
+  BudgetedValue InfluenceOfSetBudgeted(
+      std::span<const NodeId> seeds, const QueryBudget& budget) const override;
   std::unique_ptr<CoverageState> NewCoverage() const override;
 
  private:

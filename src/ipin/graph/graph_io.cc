@@ -39,6 +39,15 @@ std::optional<InteractionGraph> LoadInteractionsFromFile(
   size_t line_no = 0;
   size_t skipped_malformed = 0;
   size_t skipped_out_of_order = 0;
+  // First skipped line numbers (lenient mode), capped so a report on a
+  // thoroughly damaged file stays readable; enough to find the bad region.
+  constexpr size_t kMaxReportedSkips = 10;
+  std::vector<std::pair<size_t, const char*>> first_skips;
+  const auto record_skip = [&first_skips, &line_no](const char* reason) {
+    if (first_skips.size() < kMaxReportedSkips) {
+      first_skips.emplace_back(line_no, reason);
+    }
+  };
   Timestamp prev_time = 0;
   bool saw_edge = false;
   while (std::getline(in, line)) {
@@ -49,6 +58,7 @@ std::optional<InteractionGraph> LoadInteractionsFromFile(
     if (fields.size() < expected) {
       if (mode == ParseMode::kLenient) {
         ++skipped_malformed;
+        record_skip("too few fields");
         continue;
       }
       LogError(StrFormat("%s:%zu: expected %zu fields, got %zu", path.c_str(),
@@ -62,6 +72,7 @@ std::optional<InteractionGraph> LoadInteractionsFromFile(
     if (!src || !dst || !time || *src < 0 || *dst < 0) {
       if (mode == ParseMode::kLenient) {
         ++skipped_malformed;
+        record_skip("unparsable or negative field");
         continue;
       }
       LogError(StrFormat("%s:%zu: malformed edge line (unparsable or "
@@ -75,6 +86,7 @@ std::optional<InteractionGraph> LoadInteractionsFromFile(
     // legitimately unsorted files).
     if (mode == ParseMode::kLenient && saw_edge && *time < prev_time) {
       ++skipped_out_of_order;
+      record_skip("timestamp runs backwards");
       continue;
     }
     prev_time = *time;
@@ -106,6 +118,14 @@ std::optional<InteractionGraph> LoadInteractionsFromFile(
         "%s: skipped %zu lines in lenient mode (%zu malformed, %zu "
         "out of order)",
         path.c_str(), skipped, skipped_malformed, skipped_out_of_order));
+    for (const auto& [skip_line, reason] : first_skips) {
+      LogDebug(StrFormat("%s:%zu: skipped (%s)", path.c_str(), skip_line,
+                         reason));
+    }
+    if (skipped > first_skips.size()) {
+      LogDebug(StrFormat("%s: ... and %zu more skipped lines", path.c_str(),
+                         skipped - first_skips.size()));
+    }
   }
   IPIN_COUNTER_ADD("graph.io.interactions_loaded", graph.num_interactions());
   return graph;

@@ -1,0 +1,256 @@
+#include "ipin/serve/protocol.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "ipin/common/json.h"
+#include "ipin/common/string_util.h"
+
+namespace ipin::serve {
+namespace {
+
+// Serialization stays hand-rolled (like obs/export.cc): the reader side uses
+// common/json, the writer side controls its bytes exactly.
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+const char* MethodName(Method method) {
+  switch (method) {
+    case Method::kQuery:
+      return "query";
+    case Method::kHealth:
+      return "health";
+    case Method::kStats:
+      return "stats";
+    case Method::kReload:
+      return "reload";
+  }
+  return "query";
+}
+
+const char* ModeName(QueryMode mode) {
+  switch (mode) {
+    case QueryMode::kSketch:
+      return "sketch";
+    case QueryMode::kExact:
+      return "exact";
+    case QueryMode::kAuto:
+      return "auto";
+  }
+  return "auto";
+}
+
+bool Fail(std::string* error, const char* reason) {
+  if (error != nullptr) *error = reason;
+  return false;
+}
+
+}  // namespace
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kBadRequest:
+      return "BAD_REQUEST";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kOverloaded:
+      return "OVERLOADED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "INTERNAL";
+}
+
+std::optional<StatusCode> StatusCodeFromName(std::string_view name) {
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kBadRequest, StatusCode::kDeadlineExceeded,
+        StatusCode::kOverloaded, StatusCode::kUnavailable,
+        StatusCode::kInternal}) {
+    if (name == StatusCodeName(code)) return code;
+  }
+  return std::nullopt;
+}
+
+std::optional<Request> ParseRequest(std::string_view line, std::string* error,
+                                    int64_t* id_out) {
+  const auto doc = JsonValue::Parse(line);
+  if (!doc.has_value() || !doc->is_object()) {
+    Fail(error, "request is not a JSON object");
+    return std::nullopt;
+  }
+  Request request;
+  request.id = static_cast<int64_t>(doc->FindNumber("id", 0.0));
+  if (id_out != nullptr) *id_out = request.id;
+
+  const std::string method = doc->FindString("method", "query");
+  if (method == "query") {
+    request.method = Method::kQuery;
+  } else if (method == "health") {
+    request.method = Method::kHealth;
+  } else if (method == "stats") {
+    request.method = Method::kStats;
+  } else if (method == "reload") {
+    request.method = Method::kReload;
+  } else {
+    Fail(error, "unknown method");
+    return std::nullopt;
+  }
+
+  const std::string mode = doc->FindString("mode", "auto");
+  if (mode == "sketch") {
+    request.mode = QueryMode::kSketch;
+  } else if (mode == "exact") {
+    request.mode = QueryMode::kExact;
+  } else if (mode == "auto") {
+    request.mode = QueryMode::kAuto;
+  } else {
+    Fail(error, "unknown mode");
+    return std::nullopt;
+  }
+
+  const double deadline = doc->FindNumber("deadline_ms", 0.0);
+  if (deadline < 0) {
+    Fail(error, "negative deadline_ms");
+    return std::nullopt;
+  }
+  request.deadline_ms = static_cast<int64_t>(deadline);
+
+  const JsonValue* seeds = doc->Find("seeds");
+  if (seeds != nullptr) {
+    if (!seeds->is_array()) {
+      Fail(error, "seeds is not an array");
+      return std::nullopt;
+    }
+    request.seeds.reserve(seeds->array_items().size());
+    for (const JsonValue& s : seeds->array_items()) {
+      if (!s.is_number() || s.number_value() < 0) {
+        Fail(error, "seed is not a non-negative number");
+        return std::nullopt;
+      }
+      request.seeds.push_back(static_cast<NodeId>(s.number_value()));
+    }
+  }
+  if (request.method == Method::kQuery && request.seeds.empty()) {
+    Fail(error, "query without seeds");
+    return std::nullopt;
+  }
+  return request;
+}
+
+std::string SerializeRequest(const Request& request) {
+  std::string out = "{\"id\": " + std::to_string(request.id) +
+                    ", \"method\": \"" + MethodName(request.method) + "\"";
+  if (request.method == Method::kQuery) {
+    out += ", \"seeds\": [";
+    for (size_t i = 0; i < request.seeds.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(request.seeds[i]);
+    }
+    out += "], \"mode\": \"";
+    out += ModeName(request.mode);
+    out += "\"";
+  }
+  if (request.deadline_ms > 0) {
+    out += ", \"deadline_ms\": " + std::to_string(request.deadline_ms);
+  }
+  out += "}\n";
+  return out;
+}
+
+std::optional<Response> ParseResponse(std::string_view line) {
+  const auto doc = JsonValue::Parse(line);
+  if (!doc.has_value() || !doc->is_object()) return std::nullopt;
+  Response response;
+  response.id = static_cast<int64_t>(doc->FindNumber("id", 0.0));
+  const auto status = StatusCodeFromName(doc->FindString("status", ""));
+  if (!status.has_value()) return std::nullopt;
+  response.status = *status;
+  response.estimate = doc->FindNumber("estimate", 0.0);
+  const JsonValue* degraded = doc->Find("degraded");
+  response.degraded =
+      degraded != nullptr && degraded->is_bool() && degraded->bool_value();
+  response.epoch = static_cast<uint64_t>(doc->FindNumber("epoch", 0.0));
+  response.retry_after_ms =
+      static_cast<int64_t>(doc->FindNumber("retry_after_ms", 0.0));
+  response.error = doc->FindString("error", "");
+  const JsonValue* info = doc->Find("info");
+  if (info != nullptr && info->is_object()) {
+    for (const auto& [key, value] : info->object_items()) {
+      if (value.is_number()) response.info.emplace_back(key, value.number_value());
+    }
+  }
+  return response;
+}
+
+std::string SerializeResponse(const Response& response) {
+  std::string out = "{\"id\": " + std::to_string(response.id) +
+                    ", \"status\": \"" + StatusCodeName(response.status) + "\"";
+  if (response.status == StatusCode::kOk) {
+    out += ", \"estimate\": " + JsonNumber(response.estimate);
+    out += response.degraded ? ", \"degraded\": true" : ", \"degraded\": false";
+  }
+  out += ", \"epoch\": " + std::to_string(response.epoch);
+  if (response.retry_after_ms > 0) {
+    out += ", \"retry_after_ms\": " + std::to_string(response.retry_after_ms);
+  }
+  if (!response.error.empty()) {
+    out += ", \"error\": \"" + JsonEscape(response.error) + "\"";
+  }
+  if (!response.info.empty()) {
+    out += ", \"info\": {";
+    for (size_t i = 0; i < response.info.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += '"';
+      out += JsonEscape(response.info[i].first);
+      out += "\": ";
+      out += JsonNumber(response.info[i].second);
+    }
+    out += "}";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace ipin::serve

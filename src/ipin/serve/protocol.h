@@ -1,0 +1,128 @@
+#ifndef IPIN_SERVE_PROTOCOL_H_
+#define IPIN_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ipin/graph/types.h"
+
+// Wire protocol of the influence-oracle serving layer — THE canonical
+// definition; DESIGN.md §9 and the README quickstart reference this header
+// rather than restating it.
+//
+// Transport: a byte stream (Unix-domain or localhost TCP socket). Each
+// request and each response is exactly one JSON object on one line,
+// terminated by '\n' (newline-delimited JSON). Requests on one connection
+// are answered in submission order; a connection may pipeline requests.
+//
+// Request object:
+//   {"id": 7,                  // echoed back; any int64 (default 0)
+//    "method": "query",        // "query" | "health" | "stats" | "reload"
+//    "seeds": [1, 2, 3],       // query only: node ids
+//    "mode": "auto",           // query only: "sketch" | "exact" | "auto"
+//    "deadline_ms": 50}        // per-request deadline; 0/absent = server
+//                              // default
+//
+// Methods:
+//   query   estimate |sigma(seeds)|, the paper's Section 4.1 oracle query.
+//           mode "sketch" answers from the vHLL index (O(|S| * beta));
+//           "exact" answers from the exact IRS summaries when they are
+//           loaded and the evaluation fits the server's exact-latency
+//           budget, otherwise degrades to the sketch estimate; "auto"
+//           (default) is "exact" semantics when the exact map is loaded,
+//           "sketch" otherwise — degraded answers carry "degraded": true.
+//   health  cheap liveness probe, answered inline by the connection reader
+//           (never queued, so it works even when the queue is full).
+//   stats   server gauges (queue depth, epoch, workers, ...) in "info".
+//   reload  ask the server to reload its index file now (also triggered by
+//           the background reloader); answers after the attempt with
+//           "info": {"epoch": ..., "rolled_back": 0|1}.
+//
+// Response object:
+//   {"id": 7,
+//    "status": "OK",           // see StatusCode below
+//    "estimate": 123.4,        // query only
+//    "degraded": true,         // query only: sketch answer served where
+//                              // exact was requested (budget or unload)
+//    "epoch": 3,               // index epoch the answer was computed on
+//    "retry_after_ms": 50,     // OVERLOADED/UNAVAILABLE: backoff hint
+//    "error": "...",           // BAD_REQUEST/INTERNAL: human-readable
+//    "info": {"queue_depth": 0.0, ...}}  // stats/reload only
+//
+// Statuses:
+//   OK                 the request was served.
+//   BAD_REQUEST        unparsable JSON, unknown method, seed out of range.
+//   DEADLINE_EXCEEDED  the deadline passed before or during evaluation;
+//                      expired requests are dropped at dequeue without
+//                      occupying a worker for evaluation.
+//   OVERLOADED         admission control shed the request (queue full);
+//                      retry after retry_after_ms.
+//   UNAVAILABLE        no index is loaded, or the server is draining.
+//   INTERNAL           unexpected server-side failure (e.g. injected eval
+//                      fault with no fallback available).
+
+namespace ipin::serve {
+
+enum class Method { kQuery, kHealth, kStats, kReload };
+
+enum class QueryMode { kSketch, kExact, kAuto };
+
+enum class StatusCode {
+  kOk,
+  kBadRequest,
+  kDeadlineExceeded,
+  kOverloaded,
+  kUnavailable,
+  kInternal,
+};
+
+/// "OK", "DEADLINE_EXCEEDED", ... (the wire spelling).
+const char* StatusCodeName(StatusCode code);
+/// Inverse of StatusCodeName; nullopt for an unknown spelling.
+std::optional<StatusCode> StatusCodeFromName(std::string_view name);
+
+/// One parsed request line.
+struct Request {
+  int64_t id = 0;
+  Method method = Method::kQuery;
+  std::vector<NodeId> seeds;
+  QueryMode mode = QueryMode::kAuto;
+  /// 0 = use the server default.
+  int64_t deadline_ms = 0;
+};
+
+/// One response line, parsed or about to be serialized.
+struct Response {
+  int64_t id = 0;
+  StatusCode status = StatusCode::kOk;
+  double estimate = 0.0;
+  bool degraded = false;
+  uint64_t epoch = 0;
+  int64_t retry_after_ms = 0;
+  std::string error;
+  /// stats/reload payload; names are dot-free identifiers.
+  std::vector<std::pair<std::string, double>> info;
+};
+
+/// Parses one request line (without the trailing newline). On failure
+/// returns nullopt and, when `error` is non-null, stores the reason; *id_out
+/// (when non-null) receives the request id if one could be read, so the
+/// server can echo it in the BAD_REQUEST response.
+std::optional<Request> ParseRequest(std::string_view line, std::string* error,
+                                    int64_t* id_out = nullptr);
+
+/// Serializes a request as one line, with the trailing '\n'.
+std::string SerializeRequest(const Request& request);
+
+/// Parses one response line (client side). nullopt on malformed input.
+std::optional<Response> ParseResponse(std::string_view line);
+
+/// Serializes a response as one line, with the trailing '\n'.
+std::string SerializeResponse(const Response& response);
+
+}  // namespace ipin::serve
+
+#endif  // IPIN_SERVE_PROTOCOL_H_

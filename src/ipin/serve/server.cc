@@ -1,0 +1,529 @@
+#include "ipin/serve/server.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "ipin/common/failpoint.h"
+#include "ipin/common/logging.h"
+#include "ipin/common/string_util.h"
+#include "ipin/core/influence_oracle.h"
+#include "ipin/obs/metrics.h"
+
+namespace ipin::serve {
+namespace {
+
+// A protocol line longer than this is abuse, not a request.
+constexpr size_t kMaxLineBytes = 1 << 20;
+
+// Only referenced from IPIN_* instrumentation macro arguments, which
+// compile out under -DIPIN_OBS_DISABLED.
+[[maybe_unused]] int64_t ToMicros(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(d).count();
+}
+
+bool WriteAll(int fd, const std::string& data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + written, data.size() - written,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+struct OracleServer::Connection {
+  explicit Connection(int fd) : fd(fd) {}
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  const int fd;
+  std::mutex write_mu;             // responses are single lines, one writer at
+                                   // a time keeps them uninterleaved
+  std::string read_buffer;
+  std::atomic<bool> broken{false};       // write side failed; stop responding
+  std::atomic<bool> reader_done{false};  // reader thread exited (reapable)
+};
+
+OracleServer::OracleServer(IndexManager* index, ServerOptions options)
+    : index_(index),
+      options_(std::move(options)),
+      queue_(options_.queue_capacity) {}
+
+OracleServer::~OracleServer() { Shutdown(); }
+
+bool OracleServer::Start() {
+  if (running_.load(std::memory_order_acquire)) return true;
+  const bool unix_mode = !options_.unix_socket_path.empty();
+  if (unix_mode == (options_.tcp_port >= 0)) {
+    LogError("serve: set exactly one of unix_socket_path / tcp_port");
+    return false;
+  }
+
+  if (unix_mode) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_socket_path.size() >= sizeof(addr.sun_path)) {
+      LogError("serve: socket path too long: " + options_.unix_socket_path);
+      return false;
+    }
+    std::strncpy(addr.sun_path, options_.unix_socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      LogError(StrFormat("serve: socket(): %s", std::strerror(errno)));
+      return false;
+    }
+    ::unlink(options_.unix_socket_path.c_str());  // stale socket from a crash
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      LogError(StrFormat("serve: bind(%s): %s",
+                         options_.unix_socket_path.c_str(),
+                         std::strerror(errno)));
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      LogError(StrFormat("serve: socket(): %s", std::strerror(errno)));
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(options_.tcp_port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      LogError(StrFormat("serve: bind(127.0.0.1:%d): %s", options_.tcp_port,
+                         std::strerror(errno)));
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &len) == 0) {
+      bound_port_ = ntohs(bound.sin_port);
+    }
+  }
+
+  if (::listen(listen_fd_, 128) != 0) {
+    LogError(StrFormat("serve: listen(): %s", std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+
+  running_.store(true, std::memory_order_release);
+  draining_.store(false, std::memory_order_release);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  LogInfo(StrFormat(
+      "serve: listening on %s (%d workers, queue %zu)",
+      unix_mode ? options_.unix_socket_path.c_str()
+                : StrFormat("127.0.0.1:%d", bound_port_).c_str(),
+      options_.num_workers, options_.queue_capacity));
+  return true;
+}
+
+void OracleServer::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire) &&
+         !draining_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) {
+      ReapFinishedReaders();
+      continue;
+    }
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // listener closed (shutdown) or unrecoverable
+    }
+    if (IPIN_FAILPOINT("serve.accept").fail) {
+      // Injected accept failure: the kernel handed us the connection but
+      // the server "could not" take it — clients see a reset and retry.
+      IPIN_COUNTER_ADD("serve.accept.failures", 1);
+      ::close(fd);
+      continue;
+    }
+    auto conn = std::make_shared<Connection>(fd);
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      if (active_connections_ >= options_.max_connections) {
+        Response reject;
+        reject.status = StatusCode::kOverloaded;
+        reject.retry_after_ms = options_.retry_after_ms;
+        reject.error = "connection limit reached";
+        IPIN_COUNTER_ADD("serve.requests.shed", 1);
+        WriteResponse(conn, reject);
+        continue;  // conn destructor closes fd
+      }
+      ++active_connections_;
+      IPIN_GAUGE_SET("serve.connections.active", active_connections_);
+      readers_.push_back(ReaderSlot{
+          std::thread([this, conn] { ReadLoop(conn); }), conn});
+    }
+    ReapFinishedReaders();
+  }
+}
+
+void OracleServer::ReapFinishedReaders() {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (size_t i = 0; i < readers_.size();) {
+    if (readers_[i].conn->reader_done.load(std::memory_order_acquire)) {
+      readers_[i].thread.join();
+      readers_[i] = std::move(readers_.back());
+      readers_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+void OracleServer::ReadLoop(std::shared_ptr<Connection> conn) {
+  std::string line;
+  while (true) {
+    // Buffered line read.
+    size_t newline;
+    while ((newline = conn->read_buffer.find('\n')) == std::string::npos) {
+      char chunk[4096];
+      const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+      if (n == 0) goto done;  // peer closed / drain shutdown(SHUT_RD)
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        goto done;
+      }
+      conn->read_buffer.append(chunk, static_cast<size_t>(n));
+      if (conn->read_buffer.size() > kMaxLineBytes) {
+        LogWarning("serve: dropping connection with oversized request line");
+        goto done;
+      }
+    }
+    line.assign(conn->read_buffer, 0, newline);
+    conn->read_buffer.erase(0, newline + 1);
+
+    if (IPIN_FAILPOINT("serve.read").fail) {
+      // Injected read fault: the bytes arrived but the server treats the
+      // connection as unreadable, as a torn TCP stream would look.
+      IPIN_COUNTER_ADD("serve.read.failures", 1);
+      goto done;
+    }
+    if (line.empty()) continue;
+
+    std::string parse_error;
+    int64_t id = 0;
+    auto request = ParseRequest(line, &parse_error, &id);
+    if (!request.has_value()) {
+      Response bad;
+      bad.id = id;
+      bad.status = StatusCode::kBadRequest;
+      bad.error = parse_error;
+      IPIN_COUNTER_ADD("serve.requests.bad", 1);
+      WriteResponse(conn, bad);
+      continue;
+    }
+    HandleRequest(conn, std::move(*request));
+    if (conn->broken.load(std::memory_order_acquire)) break;
+  }
+done:
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    --active_connections_;
+    IPIN_GAUGE_SET("serve.connections.active", active_connections_);
+  }
+  conn->reader_done.store(true, std::memory_order_release);
+}
+
+void OracleServer::HandleRequest(const std::shared_ptr<Connection>& conn,
+                                 Request&& request) {
+  const Clock::time_point now = Clock::now();
+  switch (request.method) {
+    case Method::kHealth: {
+      // Answered inline so liveness probes work even with a full queue.
+      IPIN_LATENCY_SCOPE("serve.latency.health_us");
+      Response response;
+      response.id = request.id;
+      response.status = index_->Epoch() > 0 ? StatusCode::kOk
+                                            : StatusCode::kUnavailable;
+      response.epoch = index_->Epoch();
+      WriteResponse(conn, response);
+      return;
+    }
+    case Method::kStats: {
+      IPIN_LATENCY_SCOPE("serve.latency.stats_us");
+      WriteResponse(conn, StatsResponse(request.id));
+      return;
+    }
+    case Method::kReload: {
+      // Inline on the connection thread: a slow or wedged reload never
+      // occupies a query worker, and queries keep flowing from the old
+      // epoch while this blocks.
+      IPIN_LATENCY_SCOPE("serve.latency.reload_us");
+      const ReloadStatus status = index_->Reload();
+      Response response;
+      response.id = request.id;
+      response.status = StatusCode::kOk;
+      response.epoch = index_->Epoch();
+      response.info.emplace_back(
+          "rolled_back", status == ReloadStatus::kRolledBack ? 1.0 : 0.0);
+      WriteResponse(conn, response);
+      return;
+    }
+    case Method::kQuery:
+      break;
+  }
+
+  // Admission control for queries.
+  const int64_t deadline_ms = request.deadline_ms > 0
+                                  ? request.deadline_ms
+                                  : options_.default_deadline_ms;
+  Task task;
+  task.deadline = now + std::chrono::milliseconds(deadline_ms);
+  task.enqueued = now;
+  task.conn = conn;
+  const int64_t id = request.id;
+  task.request = std::move(request);
+
+  if (draining_.load(std::memory_order_acquire)) {
+    Response response;
+    response.id = id;
+    response.status = StatusCode::kUnavailable;
+    response.error = "server is draining";
+    response.retry_after_ms = options_.retry_after_ms;
+    WriteResponse(conn, response);
+    return;
+  }
+  if (!queue_.TryPush(std::move(task))) {
+    // Load shedding: reject now with a backoff hint rather than queueing
+    // beyond capacity.
+    Response response;
+    response.id = id;
+    response.status = StatusCode::kOverloaded;
+    response.retry_after_ms = options_.retry_after_ms;
+    IPIN_COUNTER_ADD("serve.requests.shed", 1);
+    WriteResponse(conn, response);
+    return;
+  }
+  IPIN_COUNTER_ADD("serve.requests.accepted", 1);
+  IPIN_GAUGE_SET("serve.queue.depth", queue_.Depth());
+}
+
+void OracleServer::WorkerLoop() {
+  while (true) {
+    auto task = queue_.Pop();
+    if (!task.has_value()) return;  // drained and empty
+    IPIN_GAUGE_SET("serve.queue.depth", queue_.Depth());
+    const Clock::time_point now = Clock::now();
+    IPIN_HISTOGRAM_RECORD("serve.queue.wait_us",
+                          ToMicros(now - task->enqueued));
+
+    // During drain, requests older than the drain deadline are answered
+    // immediately; the rest still get evaluated.
+    const bool past_drain =
+        draining_.load(std::memory_order_acquire) && now >= drain_deadline_;
+
+    Response response;
+    if (now >= task->deadline || past_drain) {
+      // Early drop at dequeue: an expired request never occupies a worker
+      // for evaluation.
+      response.id = task->request.id;
+      response.status = StatusCode::kDeadlineExceeded;
+      response.epoch = index_->Epoch();
+      IPIN_COUNTER_ADD("serve.requests.deadline_exceeded", 1);
+    } else {
+      IPIN_LATENCY_SCOPE("serve.latency.query_us");
+      response = EvaluateQuery(task->request, task->deadline);
+    }
+    WriteResponse(task->conn, response);
+  }
+}
+
+Response OracleServer::EvaluateQuery(const Request& request,
+                                     Clock::time_point deadline) {
+  Response response;
+  response.id = request.id;
+
+  // Snapshot the epoch: the whole evaluation runs on this index even if a
+  // reload swaps the manager's pointer mid-query.
+  const std::shared_ptr<const IrsApprox> index = index_->Current();
+  response.epoch = index_->Epoch();
+  if (index == nullptr) {
+    response.status = StatusCode::kUnavailable;
+    response.error = "no index loaded";
+    response.retry_after_ms = options_.retry_after_ms;
+    return response;
+  }
+  for (const NodeId seed : request.seeds) {
+    if (static_cast<size_t>(seed) >= index->num_nodes()) {
+      response.status = StatusCode::kBadRequest;
+      response.error = "seed out of range";
+      IPIN_COUNTER_ADD("serve.requests.bad", 1);
+      return response;
+    }
+  }
+
+  bool answered = false;
+  bool degraded = false;
+  double estimate = 0.0;
+
+  // Exact attempt: bounded by both the request deadline and the server's
+  // exact-latency budget, so a miss leaves time for the sketch fallback.
+  const bool want_exact = request.mode != QueryMode::kSketch;
+  if (want_exact) {
+    const std::shared_ptr<const IrsExact> exact = index_->Exact();
+    if (exact == nullptr || exact->num_nodes() < index->num_nodes()) {
+      // Exact map unloaded (or stale vs. the serving index): "exact"
+      // explicitly asked for it, so its answer is degraded; "auto" treats
+      // sketch-only service as the normal case.
+      degraded = request.mode == QueryMode::kExact;
+    } else {
+      QueryBudget budget;
+      budget.deadline = std::min(
+          deadline, Clock::now() + std::chrono::milliseconds(
+                                       options_.exact_budget_ms));
+      // serve.eval: delay mode burns the exact budget (a slow evaluation),
+      // error mode fails the attempt outright — both degrade to sketch.
+      const bool eval_fault = IPIN_FAILPOINT("serve.eval").fail;
+      if (!eval_fault) {
+        const ExactInfluenceOracle oracle(exact.get());
+        const BudgetedValue result =
+            oracle.InfluenceOfSetBudgeted(request.seeds, budget);
+        if (!result.exceeded) {
+          estimate = result.value;
+          answered = true;
+        }
+      }
+      if (!answered) degraded = true;
+    }
+  }
+
+  if (!answered) {
+    const SketchInfluenceOracle oracle(index.get());
+    QueryBudget budget;
+    budget.deadline = deadline;
+    const BudgetedValue result =
+        oracle.InfluenceOfSetBudgeted(request.seeds, budget);
+    if (result.exceeded) {
+      response.status = StatusCode::kDeadlineExceeded;
+      IPIN_COUNTER_ADD("serve.requests.deadline_exceeded", 1);
+      return response;
+    }
+    estimate = result.value;
+  }
+
+  if (Clock::now() >= deadline) {
+    // The answer exists but arrived too late to be truthful about.
+    response.status = StatusCode::kDeadlineExceeded;
+    IPIN_COUNTER_ADD("serve.requests.deadline_exceeded", 1);
+    return response;
+  }
+  response.status = StatusCode::kOk;
+  response.estimate = estimate;
+  response.degraded = degraded;
+  IPIN_COUNTER_ADD("serve.requests.ok", 1);
+  if (degraded) IPIN_COUNTER_ADD("serve.requests.degraded", 1);
+  return response;
+}
+
+Response OracleServer::StatsResponse(int64_t id) {
+  Response response;
+  response.id = id;
+  response.status = StatusCode::kOk;
+  response.epoch = index_->Epoch();
+  const std::shared_ptr<const IrsApprox> index = index_->Current();
+  size_t active;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    active = active_connections_;
+  }
+  response.info = {
+      {"queue_depth", static_cast<double>(queue_.Depth())},
+      {"queue_capacity", static_cast<double>(options_.queue_capacity)},
+      {"workers", static_cast<double>(options_.num_workers)},
+      {"connections_active", static_cast<double>(active)},
+      {"num_nodes",
+       index == nullptr ? 0.0 : static_cast<double>(index->num_nodes())},
+      {"exact_loaded", index_->Exact() != nullptr ? 1.0 : 0.0},
+      {"draining", draining_.load(std::memory_order_acquire) ? 1.0 : 0.0},
+  };
+  return response;
+}
+
+void OracleServer::WriteResponse(const std::shared_ptr<Connection>& conn,
+                                 const Response& response) {
+  if (conn->broken.load(std::memory_order_acquire)) return;
+  const std::string line = SerializeResponse(response);
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (!WriteAll(conn->fd, line)) {
+    conn->broken.store(true, std::memory_order_release);
+  }
+}
+
+void OracleServer::Shutdown() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  LogInfo("serve: draining");
+  drain_deadline_ =
+      Clock::now() + std::chrono::milliseconds(options_.drain_deadline_ms);
+  draining_.store(true, std::memory_order_release);
+
+  // 1. Stop accepting connections.
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!options_.unix_socket_path.empty()) {
+    ::unlink(options_.unix_socket_path.c_str());
+  }
+
+  // 2. Stop reading new requests: half-close every connection. Responses
+  // for queued work still go out on the write side.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& slot : readers_) ::shutdown(slot.conn->fd, SHUT_RD);
+  }
+
+  // 3. Drain the queue: workers answer everything still in it (evaluating
+  // while the drain deadline allows), then exit on the empty signal.
+  queue_.Drain();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+
+  // 4. Readers have seen EOF by now; join and release the connections
+  // (closing each fd once its last in-flight response holder is gone).
+  std::vector<ReaderSlot> readers;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    readers.swap(readers_);
+  }
+  for (auto& slot : readers) {
+    if (slot.thread.joinable()) slot.thread.join();
+  }
+  IPIN_GAUGE_SET("serve.queue.depth", 0);
+  LogInfo("serve: drained, all workers stopped");
+}
+
+}  // namespace ipin::serve

@@ -1,0 +1,153 @@
+#ifndef IPIN_SERVE_SERVER_H_
+#define IPIN_SERVE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ipin/serve/index_manager.h"
+#include "ipin/serve/protocol.h"
+#include "ipin/serve/queue.h"
+
+// The influence-oracle daemon core: a multi-threaded server speaking the
+// newline-delimited JSON protocol of protocol.h over a Unix-domain or
+// localhost-TCP socket. Robustness model (DESIGN.md §9):
+//
+//   * Admission control. Parsed query requests go through a bounded queue
+//     (BoundedQueue); when it is full the reader answers OVERLOADED with a
+//     retry_after_ms hint instead of queueing — offered load beyond
+//     capacity is shed at the door and the queue-depth gauge stays bounded.
+//   * Deadlines. Every query carries a deadline (its own or the server
+//     default) fixed at admission. Workers re-check it at dequeue (an
+//     expired request is answered DEADLINE_EXCEEDED without evaluation) and
+//     evaluation itself runs under a QueryBudget, so one oversized query
+//     cannot hold a worker past its deadline.
+//   * Graceful degradation. "exact"/"auto" queries run the exact oracle
+//     under an exact-latency budget; when the budget trips, the exact map
+//     is unloaded, or an eval fault is injected, the worker falls back to
+//     the sketch estimate and sets degraded=true.
+//   * Hot reload. Queries snapshot the IndexManager epoch; reloads swap it
+//     atomically and roll back on any validation failure (old epoch keeps
+//     serving). Reload requests are handled inline on the connection
+//     thread, so a slow reload never occupies a query worker.
+//   * Graceful shutdown. Shutdown() stops accepting, rejects new requests,
+//     answers everything already queued (evaluated if the drain deadline
+//     allows, DEADLINE_EXCEEDED otherwise), flushes the responses, then
+//     joins every thread.
+//
+// Failpoint sites: serve.accept (drop fresh connections), serve.read
+// (connection read errors), serve.eval (slow/failed exact evaluation,
+// forcing degradation), serve.reload (see IndexManager).
+//
+// Observability (all under serve.*): requests.{accepted,ok,shed,
+// deadline_exceeded,degraded,bad}, queue.depth, queue.wait_us,
+// connections.active, latency.{query,health,stats,reload}_us, index.epoch,
+// reload.{ok,rollback}.
+
+namespace ipin::serve {
+
+struct ServerOptions {
+  /// Exactly one of the two endpoints must be set: a Unix-domain socket
+  /// path, or a TCP port on 127.0.0.1 (0 = pick an ephemeral port, see
+  /// bound_port()).
+  std::string unix_socket_path;
+  int tcp_port = -1;
+
+  int num_workers = 4;
+  size_t queue_capacity = 64;
+  size_t max_connections = 64;
+
+  /// Deadline applied when a request does not carry its own.
+  int64_t default_deadline_ms = 1000;
+  /// Budget for the exact evaluation attempt before degrading to sketch.
+  int64_t exact_budget_ms = 50;
+  /// Backoff hint attached to OVERLOADED / UNAVAILABLE responses.
+  int64_t retry_after_ms = 50;
+  /// During Shutdown(), queued requests older than this are answered
+  /// DEADLINE_EXCEEDED instead of evaluated.
+  int64_t drain_deadline_ms = 2000;
+};
+
+class OracleServer {
+ public:
+  /// `index` must outlive the server.
+  OracleServer(IndexManager* index, ServerOptions options);
+  ~OracleServer();
+
+  OracleServer(const OracleServer&) = delete;
+  OracleServer& operator=(const OracleServer&) = delete;
+
+  /// Binds, listens, and spawns the acceptor + worker threads. False (with
+  /// a logged reason) on bind/listen failure.
+  bool Start();
+
+  /// Graceful drain as described above. Idempotent.
+  void Shutdown();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Port actually bound (TCP mode; useful with tcp_port = 0).
+  int bound_port() const { return bound_port_; }
+
+  /// Current queue depth (bounded by options().queue_capacity).
+  size_t queue_depth() const { return queue_.Depth(); }
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Connection;
+
+  struct Task {
+    Request request;
+    Clock::time_point deadline;
+    Clock::time_point enqueued;
+    std::shared_ptr<Connection> conn;
+  };
+
+  void AcceptLoop();
+  void ReadLoop(std::shared_ptr<Connection> conn);
+  void WorkerLoop();
+  void ReapFinishedReaders();
+
+  /// Admission decision + queueing for one parsed request; answers
+  /// inline-able methods (health/stats/reload) directly.
+  void HandleRequest(const std::shared_ptr<Connection>& conn,
+                     Request&& request);
+  Response EvaluateQuery(const Request& request, Clock::time_point deadline);
+  Response StatsResponse(int64_t id);
+
+  static void WriteResponse(const std::shared_ptr<Connection>& conn,
+                            const Response& response);
+
+  IndexManager* const index_;
+  const ServerOptions options_;
+
+  int listen_fd_ = -1;
+  int bound_port_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  Clock::time_point drain_deadline_{};
+
+  BoundedQueue<Task> queue_;
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  std::mutex conns_mu_;
+  struct ReaderSlot {
+    std::thread thread;
+    std::shared_ptr<Connection> conn;
+  };
+  std::vector<ReaderSlot> readers_;
+  size_t active_connections_ = 0;
+};
+
+}  // namespace ipin::serve
+
+#endif  // IPIN_SERVE_SERVER_H_

@@ -1,0 +1,213 @@
+#!/usr/bin/env bash
+# Fault drill for the oracle serving layer, end to end through the real
+# binaries: ipin_cli builds an index, ipin_oracled serves it, and the
+# retrying ipin_oracle_client drives it. The drill asserts the four
+# robustness guarantees of the serving layer:
+#   (a) under overload the server sheds (OVERLOADED + retry hint) instead
+#       of growing the queue without bound,
+#   (b) when exact evaluation is too slow it degrades to sketch answers
+#       within the deadline (degraded=true), and hopeless deadlines get
+#       DEADLINE_EXCEEDED instead of a late answer,
+#   (c) a corrupted index file rolls back on reload — the old epoch keeps
+#       serving, zero crashes — and recovers once the file is fixed,
+#   (d) SIGTERM drains in-flight work and exits 0; SIGKILL mid-reload
+#       leaves the on-disk index intact for the next start.
+#
+# Invoked by ctest: $1=ipin_cli $2=ipin_oracled $3=ipin_oracle_client
+# $4=obs mode ("obs-enabled"/"obs-disabled"; metric assertions only hold in
+# obs-enabled builds).
+set -euo pipefail
+
+CLI="$1"
+DAEMON="$2"
+CLIENT="$3"
+OBS_MODE="${4:-obs-enabled}"
+WORK="$(mktemp -d)"
+SOCK="${WORK}/ipin.sock"
+DAEMON_PID=""
+
+cleanup() {
+  if [ -n "${DAEMON_PID}" ] && kill -0 "${DAEMON_PID}" 2>/dev/null; then
+    kill -KILL "${DAEMON_PID}" 2>/dev/null || true
+  fi
+  rm -rf "${WORK}"
+}
+trap cleanup EXIT
+
+fail() { echo "serve smoke FAILED: $*" >&2; exit 1; }
+
+# Waits for the daemon readiness line in $1 (the log file).
+wait_ready() {
+  for _ in $(seq 1 150); do
+    if grep -q "ipin_oracled: serving" "$1"; then return 0; fi
+    if [ -n "${DAEMON_PID}" ] && ! kill -0 "${DAEMON_PID}" 2>/dev/null; then
+      cat "$1" >&2
+      fail "daemon died before becoming ready"
+    fi
+    sleep 0.1
+  done
+  cat "$1" >&2
+  fail "daemon did not become ready"
+}
+
+# SIGTERMs the daemon and asserts a clean drain (exit 0 + drain line).
+stop_daemon() {
+  local log="$1"
+  kill -TERM "${DAEMON_PID}"
+  local rc=0
+  wait "${DAEMON_PID}" || rc=$?
+  DAEMON_PID=""
+  [ "${rc}" -eq 0 ] || { cat "${log}" >&2; fail "drain exited ${rc}"; }
+  grep -q "ipin_oracled: drained, exiting" "${log}" \
+    || { cat "${log}" >&2; fail "missing drain line"; }
+}
+
+# Extracts "key=value" from client output.
+field() { sed -n "s/.*$2=\([^ ]*\).*/\1/p" "$1" | head -1; }
+
+# --- Build a small dataset and index -------------------------------------
+"${CLI}" generate --dataset=slashdot --scale=0.01 --out="${WORK}/net.txt" \
+  > /dev/null
+"${CLI}" build-index --in="${WORK}/net.txt" --window-pct=10 \
+  --out="${WORK}/index.bin" > /dev/null
+cp "${WORK}/index.bin" "${WORK}/index.good"
+
+# --- Phase 1: basic serving + clean SIGTERM drain ------------------------
+"${DAEMON}" --index="${WORK}/index.bin" --socket="${SOCK}" \
+  --graph="${WORK}/net.txt" --workers=2 \
+  --metrics_out="${WORK}/m1.json" > "${WORK}/d1.log" 2>&1 &
+DAEMON_PID=$!
+wait_ready "${WORK}/d1.log"
+
+"${CLIENT}" --socket="${SOCK}" --seeds=0,1,2 --mode=sketch \
+  > "${WORK}/q_sketch.txt"
+grep -q "status=OK" "${WORK}/q_sketch.txt"
+[ "$(field "${WORK}/q_sketch.txt" degraded)" = "0" ] \
+  || fail "sketch query must not be degraded"
+"${CLIENT}" --socket="${SOCK}" --seeds=0,1,2 --mode=exact \
+  > "${WORK}/q_exact.txt"
+[ "$(field "${WORK}/q_exact.txt" degraded)" = "0" ] \
+  || fail "exact query with a loaded map must not degrade"
+"${CLIENT}" --socket="${SOCK}" --method=health | grep -q "status=OK"
+"${CLIENT}" --socket="${SOCK}" --method=stats > "${WORK}/stats.txt"
+grep -q "queue_capacity=" "${WORK}/stats.txt" || fail "stats missing queue"
+
+stop_daemon "${WORK}/d1.log"
+test ! -e "${SOCK}" || fail "socket not unlinked after drain"
+if [ "${OBS_MODE}" = "obs-enabled" ]; then
+  grep -q '"serve.requests.ok"' "${WORK}/m1.json" \
+    || fail "metrics report missing serve.requests.ok"
+fi
+
+# --- Phase 2: overload + degradation under a slow-eval failpoint ---------
+# serve.eval=delay(30) makes every exact attempt burn 30 ms against a 10 ms
+# exact budget: auto queries must fall back to sketch (degraded=true), and a
+# 16-way closed loop against 2 workers and a 4-deep queue must shed.
+IPIN_FAILPOINTS="serve.eval=delay(30)" \
+  "${DAEMON}" --index="${WORK}/index.bin" --socket="${SOCK}" \
+  --graph="${WORK}/net.txt" --workers=2 --queue_capacity=4 \
+  --exact_budget_ms=10 --retry_after_ms=20 \
+  --metrics_out="${WORK}/m2.json" > "${WORK}/d2.log" 2>&1 &
+DAEMON_PID=$!
+wait_ready "${WORK}/d2.log"
+
+"${CLIENT}" --socket="${SOCK}" --seeds=0,1,2 --mode=auto \
+  --requests=200 --concurrency=16 > "${WORK}/burst.txt" || true
+cat "${WORK}/burst.txt"
+ok="$(field "${WORK}/burst.txt" ok)"
+degraded="$(field "${WORK}/burst.txt" degraded)"
+overloaded="$(field "${WORK}/burst.txt" overloaded)"
+bad="$(field "${WORK}/burst.txt" bad)"
+transport="$(field "${WORK}/burst.txt" transport_errors)"
+[ "${ok}" -ge 1 ] || fail "overloaded server answered nothing"
+[ "${degraded}" -ge 1 ] || fail "slow exact eval did not degrade to sketch"
+[ "${overloaded}" -ge 1 ] || fail "no load shedding under overload"
+[ "${bad}" -eq 0 ] || fail "unexpected BAD_REQUEST during burst"
+[ "${transport}" -eq 0 ] || fail "connections broke during burst"
+[ "${ok}" -eq "${degraded}" ] \
+  || fail "every OK under the slow-eval fault should be degraded"
+
+# A hopeless deadline gets DEADLINE_EXCEEDED, not a late answer.
+"${CLIENT}" --socket="${SOCK}" --seeds=0,1,2 --mode=auto --deadline_ms=1 \
+  > "${WORK}/q_deadline.txt" || true
+grep -q "status=DEADLINE_EXCEEDED" "${WORK}/q_deadline.txt" \
+  || fail "1ms deadline should be exceeded under the slow-eval fault"
+
+# A retrying client eventually gets through the overload.
+"${CLIENT}" --socket="${SOCK}" --seeds=0,1 --mode=sketch \
+  --requests=40 --concurrency=12 --retry_overloaded --max_attempts=6 \
+  > "${WORK}/burst_retry.txt" || true
+retry_ok="$(field "${WORK}/burst_retry.txt" ok)"
+[ "${retry_ok}" -ge 30 ] \
+  || fail "retry_overloaded client only got ${retry_ok}/40 through"
+
+stop_daemon "${WORK}/d2.log"
+if [ "${OBS_MODE}" = "obs-enabled" ]; then
+  grep -q '"serve.requests.shed"' "${WORK}/m2.json" \
+    || fail "metrics report missing serve.requests.shed"
+  grep -q '"serve.requests.degraded"' "${WORK}/m2.json" \
+    || fail "metrics report missing serve.requests.degraded"
+fi
+
+# --- Phase 3: corrupt reload rolls back; fixed file recovers -------------
+"${DAEMON}" --index="${WORK}/index.bin" --socket="${SOCK}" \
+  --metrics_out="${WORK}/m3.json" > "${WORK}/d3.log" 2>&1 &
+DAEMON_PID=$!
+wait_ready "${WORK}/d3.log"
+
+"${CLIENT}" --socket="${SOCK}" --seeds=0,1,2 > "${WORK}/q_pre.txt"
+epoch_pre="$(field "${WORK}/q_pre.txt" epoch)"
+
+# Flip one byte inside a section payload: the reload must verify, reject,
+# and keep the old index serving on the old epoch.
+printf '\x41' | dd of="${WORK}/index.bin" bs=1 seek=200 conv=notrunc \
+  status=none
+"${CLIENT}" --socket="${SOCK}" --method=reload > "${WORK}/r_bad.txt" || true
+grep -q "rolled_back=1" "${WORK}/r_bad.txt" \
+  || fail "corrupt reload did not report rollback"
+"${CLIENT}" --socket="${SOCK}" --seeds=0,1,2 > "${WORK}/q_post.txt"
+grep -q "status=OK" "${WORK}/q_post.txt" \
+  || fail "old index stopped serving after corrupt reload"
+[ "$(field "${WORK}/q_post.txt" epoch)" = "${epoch_pre}" ] \
+  || fail "epoch moved on a rolled-back reload"
+
+# Restore the good bytes: the next reload must swap and advance the epoch.
+cp "${WORK}/index.good" "${WORK}/index.bin"
+"${CLIENT}" --socket="${SOCK}" --method=reload > "${WORK}/r_good.txt"
+grep -q "rolled_back=0" "${WORK}/r_good.txt" \
+  || fail "reload of the restored file rolled back"
+epoch_post="$(field "${WORK}/r_good.txt" epoch)"
+[ "${epoch_post}" -gt "${epoch_pre}" ] \
+  || fail "epoch did not advance after a good reload"
+
+stop_daemon "${WORK}/d3.log"
+if [ "${OBS_MODE}" = "obs-enabled" ]; then
+  grep -q '"serve.reload.rollback"' "${WORK}/m3.json" \
+    || fail "metrics report missing serve.reload.rollback"
+fi
+
+# --- Phase 4: SIGKILL mid-reload leaves the index servable ---------------
+# serve.reload=delay(1000) holds every reload (including the startup one)
+# for a second; killing the daemon in the middle of a client-triggered
+# reload must not hurt the on-disk index.
+IPIN_FAILPOINTS="serve.reload=delay(1000)" \
+  "${DAEMON}" --index="${WORK}/index.bin" --socket="${SOCK}" \
+  > "${WORK}/d4.log" 2>&1 &
+DAEMON_PID=$!
+wait_ready "${WORK}/d4.log"
+"${CLIENT}" --socket="${SOCK}" --method=reload > /dev/null 2>&1 || true &
+sleep 0.3
+kill -KILL "${DAEMON_PID}"
+wait "${DAEMON_PID}" 2>/dev/null || true
+DAEMON_PID=""
+wait || true  # reap the backgrounded client
+
+"${DAEMON}" --index="${WORK}/index.bin" --socket="${WORK}/ipin2.sock" \
+  > "${WORK}/d5.log" 2>&1 &
+DAEMON_PID=$!
+wait_ready "${WORK}/d5.log"
+"${CLIENT}" --socket="${WORK}/ipin2.sock" --seeds=0,1,2 \
+  | grep -q "status=OK" || fail "index unusable after SIGKILL mid-reload"
+stop_daemon "${WORK}/d5.log"
+
+echo "serve smoke test OK"

@@ -1,6 +1,7 @@
 #include "ipin/common/failpoint.h"
 
 #include <cstdlib>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -62,7 +63,69 @@ TEST_F(FailpointTest, BadSpecRejected) {
   EXPECT_FALSE(failpoint::Set("x", "error(nope)"));
   EXPECT_FALSE(failpoint::Set("x", "short_write"));  // missing argument
   EXPECT_FALSE(failpoint::Set("", "error"));         // empty name
+  EXPECT_FALSE(failpoint::Set("x", "error_prob"));   // missing probability
+  EXPECT_FALSE(failpoint::Set("x", "error_prob(1.5)"));   // out of [0, 1]
+  EXPECT_FALSE(failpoint::Set("x", "error_prob(-0.1)"));
+  EXPECT_FALSE(failpoint::Set("x", "error_prob(lots)"));
   EXPECT_FALSE(failpoint::AnyArmed());
+}
+
+TEST_F(FailpointTest, ErrorProbHitRateTracksProbability) {
+  ASSERT_TRUE(failpoint::Set("flaky", "error_prob(0.3)"));
+  constexpr int kTrials = 2000;
+  int failures = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    if (IPIN_FAILPOINT("flaky").fail) ++failures;
+  }
+  // Binomial(2000, 0.3): stddev ~20.5, so +-100 is ~5 sigma — deterministic
+  // in practice for any fixed seed.
+  EXPECT_NEAR(failures, 600, 100);
+  EXPECT_EQ(failpoint::HitCount("flaky"), static_cast<size_t>(kTrials));
+}
+
+TEST_F(FailpointTest, ErrorProbExtremesAreExact) {
+  ASSERT_TRUE(failpoint::Set("never", "error_prob(0)"));
+  ASSERT_TRUE(failpoint::Set("always", "error_prob(1)"));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(IPIN_FAILPOINT("never").fail);
+    EXPECT_TRUE(IPIN_FAILPOINT("always").fail);
+  }
+}
+
+TEST_F(FailpointTest, ErrorProbReplaysFromSeed) {
+  const auto sample = [](const char* seed) {
+    if (seed != nullptr) {
+      ::setenv("IPIN_FAILPOINT_SEED", seed, 1);
+    } else {
+      ::unsetenv("IPIN_FAILPOINT_SEED");
+    }
+    EXPECT_TRUE(failpoint::Set("flaky", "error_prob(0.5)"));  // re-arm seeds
+    ::unsetenv("IPIN_FAILPOINT_SEED");
+    std::vector<bool> fails;
+    for (int i = 0; i < 64; ++i) fails.push_back(IPIN_FAILPOINT("flaky").fail);
+    return fails;
+  };
+
+  const auto run1 = sample("12345");
+  const auto run2 = sample("12345");
+  const auto run3 = sample("99999");
+  EXPECT_EQ(run1, run2);  // same seed => bit-identical fault schedule
+  EXPECT_NE(run1, run3);  // different seed => different schedule
+}
+
+TEST_F(FailpointTest, ErrorProbSchedulesDifferPerName) {
+  ::setenv("IPIN_FAILPOINT_SEED", "7", 1);
+  ASSERT_TRUE(failpoint::Set("point.a", "error_prob(0.5)"));
+  ASSERT_TRUE(failpoint::Set("point.b", "error_prob(0.5)"));
+  ::unsetenv("IPIN_FAILPOINT_SEED");
+  std::vector<bool> a, b;
+  for (int i = 0; i < 64; ++i) {
+    a.push_back(IPIN_FAILPOINT("point.a").fail);
+    b.push_back(IPIN_FAILPOINT("point.b").fail);
+  }
+  // One base seed, but per-name PRNGs: armed points fail on uncorrelated
+  // schedules instead of in lockstep.
+  EXPECT_NE(a, b);
 }
 
 TEST_F(FailpointTest, RearmingResetsHitCount) {

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -116,6 +117,54 @@ TEST_F(GraphIoTest, LenientModeSkipsTimestampRegressions) {
   const auto strict = LoadInteractionsFromFile(path_);
   ASSERT_TRUE(strict.has_value());
   EXPECT_EQ(strict->num_interactions(), 3u);
+}
+
+TEST_F(GraphIoTest, LenientModeReportsSkippedLineNumbers) {
+  // Debug log carries the line number and reason of each early skip, so a
+  // damaged file can be inspected without a rerun under a debugger.
+  SetLogLevel(LogLevel::kDebug);
+  std::vector<std::string> debug_lines;
+  SetLogSink([&debug_lines](LogLevel level, const std::string& message) {
+    if (level == LogLevel::kDebug) debug_lines.push_back(message);
+  });
+  WriteFile("0 1 5\nbroken\n1 2 6\n2 x 7\n2 0 8\n");
+  const auto graph = LoadInteractionsFromFile(
+      path_, EdgeListFormat::kSrcDstTime, ParseMode::kLenient);
+  SetLogSink(nullptr);
+  SetLogLevel(LogLevel::kError);
+  ASSERT_TRUE(graph.has_value());
+
+  ASSERT_EQ(debug_lines.size(), 2u);
+  EXPECT_NE(debug_lines[0].find(":2: skipped (too few fields)"),
+            std::string::npos)
+      << debug_lines[0];
+  EXPECT_NE(debug_lines[1].find(":4: skipped (unparsable or negative field)"),
+            std::string::npos)
+      << debug_lines[1];
+}
+
+TEST_F(GraphIoTest, SkippedLineReportIsCappedAtTen) {
+  SetLogLevel(LogLevel::kDebug);
+  std::vector<std::string> debug_lines;
+  SetLogSink([&debug_lines](LogLevel level, const std::string& message) {
+    if (level == LogLevel::kDebug) debug_lines.push_back(message);
+  });
+  std::string content = "0 1 5\n";
+  for (int i = 0; i < 25; ++i) content += "garbage line\n";
+  WriteFile(content);
+  const auto graph = LoadInteractionsFromFile(
+      path_, EdgeListFormat::kSrcDstTime, ParseMode::kLenient);
+  SetLogSink(nullptr);
+  SetLogLevel(LogLevel::kError);
+  ASSERT_TRUE(graph.has_value());
+
+  // 10 per-line records plus one "... and N more" trailer.
+  ASSERT_EQ(debug_lines.size(), 11u);
+  EXPECT_NE(debug_lines[0].find(":2: skipped"), std::string::npos);
+  EXPECT_NE(debug_lines[9].find(":11: skipped"), std::string::npos);
+  EXPECT_NE(debug_lines[10].find("and 15 more skipped lines"),
+            std::string::npos)
+      << debug_lines[10];
 }
 
 TEST_F(GraphIoTest, StrictModeStaysTheDefaultAndFails) {

@@ -1,0 +1,205 @@
+#include "ipin/serve/index_manager.h"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ipin/common/failpoint.h"
+#include "ipin/common/logging.h"
+#include "ipin/core/oracle_io.h"
+#include "ipin/datasets/synthetic.h"
+#include "ipin/obs/metrics.h"
+
+namespace ipin::serve {
+namespace {
+
+IrsApprox BuildSmallIndex(uint64_t seed = 3) {
+  const InteractionGraph graph =
+      GenerateUniformRandomNetwork(40, 400, 1000, seed);
+  IrsApproxOptions options;
+  options.precision = 5;
+  return IrsApprox::Compute(graph, 200, options);
+}
+
+class IndexManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/ipin_serve_index_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".bin";
+    SetLogLevel(LogLevel::kError);
+  }
+  void TearDown() override {
+    failpoint::ClearAll();
+    std::remove(path_.c_str());
+  }
+
+  void CorruptFile() const {
+    // Flip bytes in the middle: the CRC frames catch it and the loader
+    // reports damage instead of kOk.
+    std::fstream file(path_, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.is_open());
+    file.seekg(0, std::ios::end);
+    const auto size = static_cast<std::streamoff>(file.tellg());
+    ASSERT_GT(size, 64);
+    file.seekp(size / 2);
+    const char junk[16] = {'\x5a', '\x5a', '\x5a', '\x5a'};
+    file.write(junk, sizeof(junk));
+  }
+
+  std::string path_;
+};
+
+TEST_F(IndexManagerTest, InstallAdvancesEpoch) {
+  IndexManager manager("");
+  EXPECT_EQ(manager.Epoch(), 0u);
+  EXPECT_EQ(manager.Current(), nullptr);
+
+  manager.Install(std::make_shared<const IrsApprox>(BuildSmallIndex()));
+  EXPECT_EQ(manager.Epoch(), 1u);
+  ASSERT_NE(manager.Current(), nullptr);
+
+  manager.Install(std::make_shared<const IrsApprox>(BuildSmallIndex(4)));
+  EXPECT_EQ(manager.Epoch(), 2u);
+}
+
+TEST_F(IndexManagerTest, ReloadWithoutPathIsNoChange) {
+  IndexManager manager("");
+  EXPECT_EQ(manager.Reload(), ReloadStatus::kNoChange);
+  EXPECT_EQ(manager.Epoch(), 0u);
+}
+
+TEST_F(IndexManagerTest, ReloadLoadsVerifiedFile) {
+  ASSERT_TRUE(SaveInfluenceIndex(BuildSmallIndex(), path_));
+  IndexManager manager(path_);
+  EXPECT_EQ(manager.Reload(), ReloadStatus::kOk);
+  EXPECT_EQ(manager.Epoch(), 1u);
+  ASSERT_NE(manager.Current(), nullptr);
+  EXPECT_EQ(manager.Current()->num_nodes(), 40u);
+}
+
+TEST_F(IndexManagerTest, MissingFileRollsBack) {
+  IndexManager manager(path_);  // never written
+  EXPECT_EQ(manager.Reload(), ReloadStatus::kRolledBack);
+  EXPECT_EQ(manager.Epoch(), 0u);
+  EXPECT_EQ(manager.Current(), nullptr);
+}
+
+TEST_F(IndexManagerTest, CorruptReloadKeepsOldIndexServing) {
+  ASSERT_TRUE(SaveInfluenceIndex(BuildSmallIndex(), path_));
+  IndexManager manager(path_);
+  ASSERT_EQ(manager.Reload(), ReloadStatus::kOk);
+  const auto before = manager.Current();
+
+#ifndef IPIN_OBS_DISABLED
+  const uint64_t rollbacks_before = obs::MetricsRegistry::Global()
+                                        .GetCounter("serve.reload.rollback")
+                                        ->Value();
+#endif
+  CorruptFile();
+  EXPECT_EQ(manager.Reload(), ReloadStatus::kRolledBack);
+  EXPECT_EQ(manager.Epoch(), 1u);             // epoch did not advance
+  EXPECT_EQ(manager.Current().get(), before.get());  // same object serving
+#ifndef IPIN_OBS_DISABLED
+  EXPECT_GE(obs::MetricsRegistry::Global()
+                .GetCounter("serve.reload.rollback")
+                ->Value(),
+            rollbacks_before + 1);
+#endif
+}
+
+TEST_F(IndexManagerTest, InjectedReloadFailureRollsBack) {
+  ASSERT_TRUE(SaveInfluenceIndex(BuildSmallIndex(), path_));
+  IndexManager manager(path_);
+  ASSERT_EQ(manager.Reload(), ReloadStatus::kOk);
+
+  ASSERT_TRUE(failpoint::Set("serve.reload", "error"));
+  EXPECT_EQ(manager.Reload(), ReloadStatus::kRolledBack);
+  EXPECT_EQ(manager.Epoch(), 1u);
+
+  failpoint::Clear("serve.reload");
+  EXPECT_EQ(manager.Reload(), ReloadStatus::kOk);
+  EXPECT_EQ(manager.Epoch(), 2u);
+}
+
+TEST_F(IndexManagerTest, UnforcedReloadSkipsUnchangedFile) {
+  ASSERT_TRUE(SaveInfluenceIndex(BuildSmallIndex(), path_));
+  IndexManager manager(path_);
+  ASSERT_EQ(manager.Reload(/*force=*/false), ReloadStatus::kOk);
+  EXPECT_EQ(manager.Reload(/*force=*/false), ReloadStatus::kNoChange);
+  EXPECT_EQ(manager.Epoch(), 1u);
+  EXPECT_EQ(manager.Reload(/*force=*/true), ReloadStatus::kOk);
+  EXPECT_EQ(manager.Epoch(), 2u);
+}
+
+TEST_F(IndexManagerTest, RejectedFileNotRetriedUntilItChanges) {
+  ASSERT_TRUE(SaveInfluenceIndex(BuildSmallIndex(), path_));
+  CorruptFile();
+  IndexManager manager(path_);
+  EXPECT_EQ(manager.Reload(/*force=*/false), ReloadStatus::kRolledBack);
+  // Same bad bytes: the stamp check stops the poll loop from re-reading a
+  // file it already rejected.
+  EXPECT_EQ(manager.Reload(/*force=*/false), ReloadStatus::kNoChange);
+}
+
+TEST_F(IndexManagerTest, QueriesKeepFlowingDuringSlowReload) {
+  ASSERT_TRUE(SaveInfluenceIndex(BuildSmallIndex(), path_));
+  IndexManager manager(path_);
+  ASSERT_EQ(manager.Reload(), ReloadStatus::kOk);
+  const auto serving = manager.Current();
+  const std::vector<NodeId> seeds = {1, 2, 3};
+  const double expected = serving->EstimateUnionSize(seeds);
+
+  // A 200 ms reload in the background; queries must neither block on it nor
+  // see a half-swapped index.
+  ASSERT_TRUE(failpoint::Set("serve.reload", "delay(200)"));
+  std::thread reloader([&manager] {
+    EXPECT_EQ(manager.Reload(), ReloadStatus::kOk);
+  });
+
+  std::atomic<int> queries{0};
+  for (int i = 0; i < 50; ++i) {
+    const auto snapshot = manager.Current();
+    ASSERT_NE(snapshot, nullptr);
+    EXPECT_DOUBLE_EQ(snapshot->EstimateUnionSize(seeds), expected);
+    ++queries;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  reloader.join();
+  EXPECT_EQ(queries.load(), 50);
+  EXPECT_EQ(manager.Epoch(), 2u);
+}
+
+TEST_F(IndexManagerTest, ExactMapInstallAndUnload) {
+  IndexManager manager("");
+  EXPECT_EQ(manager.Exact(), nullptr);
+  const InteractionGraph graph =
+      GenerateUniformRandomNetwork(40, 400, 1000, 3);
+  manager.SetExact(
+      std::make_shared<const IrsExact>(IrsExact::Compute(graph, 200)));
+  ASSERT_NE(manager.Exact(), nullptr);
+  manager.UnloadExact();
+  EXPECT_EQ(manager.Exact(), nullptr);
+}
+
+TEST_F(IndexManagerTest, WatcherPicksUpChangedFile) {
+  ASSERT_TRUE(SaveInfluenceIndex(BuildSmallIndex(), path_));
+  IndexManager manager(path_);
+  ASSERT_EQ(manager.Reload(), ReloadStatus::kOk);
+
+  manager.StartWatcher(/*check_interval_ms=*/20);
+  // Rewrite with different content (and a different size or mtime).
+  ASSERT_TRUE(SaveInfluenceIndex(BuildSmallIndex(11), path_));
+  for (int i = 0; i < 200 && manager.Epoch() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  manager.StopWatcher();
+  EXPECT_GE(manager.Epoch(), 2u);
+}
+
+}  // namespace
+}  // namespace ipin::serve

@@ -1,0 +1,170 @@
+#include "ipin/serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+namespace ipin::serve {
+namespace {
+
+TEST(ServeProtocolTest, RequestRoundtrip) {
+  Request request;
+  request.id = 42;
+  request.method = Method::kQuery;
+  request.seeds = {1, 5, 9};
+  request.mode = QueryMode::kExact;
+  request.deadline_ms = 250;
+
+  const std::string line = SerializeRequest(request);
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_EQ(line.find('\n'), line.size() - 1);  // exactly one line
+
+  std::string error;
+  const auto parsed = ParseRequest(
+      std::string_view(line).substr(0, line.size() - 1), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->id, 42);
+  EXPECT_EQ(parsed->method, Method::kQuery);
+  EXPECT_EQ(parsed->seeds, (std::vector<NodeId>{1, 5, 9}));
+  EXPECT_EQ(parsed->mode, QueryMode::kExact);
+  EXPECT_EQ(parsed->deadline_ms, 250);
+}
+
+TEST(ServeProtocolTest, NonQueryMethodsNeedNoSeeds) {
+  for (const Method method : {Method::kHealth, Method::kStats,
+                              Method::kReload}) {
+    Request request;
+    request.id = 7;
+    request.method = method;
+    std::string error;
+    const auto parsed = ParseRequest(
+        SerializeRequest(request).substr(0,
+                                         SerializeRequest(request).size() - 1),
+        &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(parsed->method, method);
+    EXPECT_TRUE(parsed->seeds.empty());
+  }
+}
+
+TEST(ServeProtocolTest, DefaultsApplied) {
+  std::string error;
+  const auto parsed = ParseRequest(R"({"seeds": [3]})", &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->id, 0);
+  EXPECT_EQ(parsed->method, Method::kQuery);  // default method
+  EXPECT_EQ(parsed->mode, QueryMode::kAuto);  // default mode
+  EXPECT_EQ(parsed->deadline_ms, 0);          // server default
+}
+
+TEST(ServeProtocolTest, BadRequestsRejectedWithReason) {
+  const struct {
+    const char* line;
+    const char* reason;
+  } cases[] = {
+      {"not json", "request is not a JSON object"},
+      {"[1, 2]", "request is not a JSON object"},
+      {R"({"method": "destroy"})", "unknown method"},
+      {R"({"seeds": [1], "mode": "psychic"})", "unknown mode"},
+      {R"({"seeds": [1], "deadline_ms": -5})", "negative deadline_ms"},
+      {R"({"seeds": "1,2"})", "seeds is not an array"},
+      {R"({"seeds": [-1]})", "seed is not a non-negative number"},
+      {R"({"seeds": ["a"]})", "seed is not a non-negative number"},
+      {R"({"method": "query"})", "query without seeds"},
+  };
+  for (const auto& c : cases) {
+    std::string error;
+    EXPECT_FALSE(ParseRequest(c.line, &error).has_value()) << c.line;
+    EXPECT_EQ(error, c.reason) << c.line;
+  }
+}
+
+TEST(ServeProtocolTest, BadRequestStillYieldsId) {
+  std::string error;
+  int64_t id = 0;
+  EXPECT_FALSE(
+      ParseRequest(R"({"id": 99, "method": "destroy"})", &error, &id)
+          .has_value());
+  EXPECT_EQ(id, 99);  // the server can echo it in the error response
+}
+
+TEST(ServeProtocolTest, ResponseRoundtrip) {
+  Response response;
+  response.id = 13;
+  response.status = StatusCode::kOk;
+  response.estimate = 123.5;
+  response.degraded = true;
+  response.epoch = 4;
+
+  const std::string line = SerializeResponse(response);
+  EXPECT_EQ(line.back(), '\n');
+  const auto parsed = ParseResponse(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->id, 13);
+  EXPECT_EQ(parsed->status, StatusCode::kOk);
+  EXPECT_DOUBLE_EQ(parsed->estimate, 123.5);
+  EXPECT_TRUE(parsed->degraded);
+  EXPECT_EQ(parsed->epoch, 4u);
+}
+
+TEST(ServeProtocolTest, OverloadedResponseCarriesRetryHint) {
+  Response response;
+  response.id = 8;
+  response.status = StatusCode::kOverloaded;
+  response.retry_after_ms = 75;
+  response.error = "queue full";
+  const auto parsed = ParseResponse(SerializeResponse(response));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->status, StatusCode::kOverloaded);
+  EXPECT_EQ(parsed->retry_after_ms, 75);
+  EXPECT_EQ(parsed->error, "queue full");
+}
+
+TEST(ServeProtocolTest, InfoMapRoundtrip) {
+  Response response;
+  response.status = StatusCode::kOk;
+  response.info = {{"queue_depth", 3.0}, {"epoch", 2.0}};
+  const auto parsed = ParseResponse(SerializeResponse(response));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->info.size(), 2u);
+  // JSON objects carry no order guarantee; check as a set.
+  double queue_depth = -1.0, epoch = -1.0;
+  for (const auto& [key, value] : parsed->info) {
+    if (key == "queue_depth") queue_depth = value;
+    if (key == "epoch") epoch = value;
+  }
+  EXPECT_DOUBLE_EQ(queue_depth, 3.0);
+  EXPECT_DOUBLE_EQ(epoch, 2.0);
+}
+
+TEST(ServeProtocolTest, ErrorStringsAreEscaped) {
+  Response response;
+  response.status = StatusCode::kBadRequest;
+  response.error = "bad \"line\"\n\twith control \x01 bytes";
+  const std::string line = SerializeResponse(response);
+  EXPECT_EQ(line.find('\n'), line.size() - 1);  // newline survived escaping
+  const auto parsed = ParseResponse(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->error, response.error);
+}
+
+TEST(ServeProtocolTest, MalformedResponsesRejected) {
+  EXPECT_FALSE(ParseResponse("").has_value());
+  EXPECT_FALSE(ParseResponse("null").has_value());
+  EXPECT_FALSE(ParseResponse(R"({"id": 1})").has_value());  // no status
+  EXPECT_FALSE(ParseResponse(R"({"id": 1, "status": "MAYBE"})").has_value());
+}
+
+TEST(ServeProtocolTest, StatusCodeNamesRoundtrip) {
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kBadRequest, StatusCode::kDeadlineExceeded,
+        StatusCode::kOverloaded, StatusCode::kUnavailable,
+        StatusCode::kInternal}) {
+    const auto back = StatusCodeFromName(StatusCodeName(code));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, code);
+  }
+  EXPECT_FALSE(StatusCodeFromName("ok").has_value());  // case-sensitive
+}
+
+}  // namespace
+}  // namespace ipin::serve

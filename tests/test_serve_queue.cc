@@ -1,0 +1,150 @@
+#include "ipin/serve/queue.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ipin::serve {
+namespace {
+
+TEST(BoundedQueueTest, FifoWithinCapacity) {
+  BoundedQueue<int> queue(3);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_TRUE(queue.TryPush(3));
+  EXPECT_EQ(queue.Depth(), 3u);
+  EXPECT_EQ(queue.Pop(), 1);
+  EXPECT_EQ(queue.Pop(), 2);
+  EXPECT_EQ(queue.Pop(), 3);
+  EXPECT_EQ(queue.Depth(), 0u);
+}
+
+TEST(BoundedQueueTest, RejectsBeyondCapacity) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));  // load shedding, never blocks
+  EXPECT_EQ(queue.Depth(), 2u);
+  EXPECT_EQ(queue.Pop(), 1);
+  EXPECT_TRUE(queue.TryPush(3));  // slot freed
+}
+
+TEST(BoundedQueueTest, TryPopNeverBlocks) {
+  BoundedQueue<int> queue(2);
+  EXPECT_EQ(queue.TryPop(), std::nullopt);
+  queue.TryPush(7);
+  EXPECT_EQ(queue.TryPop(), 7);
+  EXPECT_EQ(queue.TryPop(), std::nullopt);
+}
+
+TEST(BoundedQueueTest, DrainRejectsPushesButEmptiesBacklog) {
+  BoundedQueue<int> queue(4);
+  queue.TryPush(1);
+  queue.TryPush(2);
+  queue.Drain();
+  EXPECT_TRUE(queue.draining());
+  EXPECT_FALSE(queue.TryPush(3));  // no new work during drain
+  EXPECT_EQ(queue.Pop(), 1);       // backlog still answered
+  EXPECT_EQ(queue.Pop(), 2);
+  EXPECT_EQ(queue.Pop(), std::nullopt);  // consumer exit signal
+}
+
+TEST(BoundedQueueTest, DrainWakesBlockedConsumers) {
+  BoundedQueue<int> queue(4);
+  std::atomic<int> woke{0};
+  std::vector<std::thread> consumers;
+  for (int i = 0; i < 3; ++i) {
+    consumers.emplace_back([&queue, &woke] {
+      while (queue.Pop().has_value()) {
+      }
+      ++woke;
+    });
+  }
+  queue.TryPush(1);
+  queue.Drain();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(woke.load(), 3);
+}
+
+TEST(BoundedQueueTest, ReopenAllowsPushesAgain) {
+  BoundedQueue<int> queue(2);
+  queue.Drain();
+  EXPECT_FALSE(queue.TryPush(1));
+  queue.Reopen();
+  EXPECT_TRUE(queue.TryPush(1));
+}
+
+TEST(BoundedQueueTest, ConcurrentProducersConsumersLoseNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2000;
+  BoundedQueue<int> queue(16);
+  std::atomic<int64_t> consumed_sum{0};
+  std::atomic<int> consumed_count{0};
+
+  std::vector<std::thread> consumers;
+  for (int i = 0; i < 3; ++i) {
+    consumers.emplace_back([&] {
+      while (const auto item = queue.Pop()) {
+        consumed_sum += *item;
+        ++consumed_count;
+      }
+    });
+  }
+
+  // Producers spin on TryPush: every item eventually gets through, the
+  // queue just bounds how many are in flight.
+  int64_t produced_sum = 0;
+  std::vector<std::thread> producers;
+  std::mutex sum_mu;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      int64_t local = 0;
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int value = p * kPerProducer + i;
+        while (!queue.TryPush(value)) std::this_thread::yield();
+        local += value;
+      }
+      std::lock_guard<std::mutex> lock(sum_mu);
+      produced_sum += local;
+    });
+  }
+  for (auto& t : producers) t.join();
+  queue.Drain();
+  for (auto& t : consumers) t.join();
+
+  EXPECT_EQ(consumed_count.load(), kProducers * kPerProducer);
+  EXPECT_EQ(consumed_sum.load(), produced_sum);
+}
+
+TEST(BoundedQueueTest, DepthNeverExceedsCapacityUnderContention) {
+  BoundedQueue<int> queue(8);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> over{false};
+
+  std::thread watcher([&] {
+    while (!stop) {
+      if (queue.Depth() > queue.capacity()) over = true;
+    }
+  });
+  std::thread consumer([&] {
+    while (queue.Pop().has_value()) {
+    }
+  });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < 5000; ++i) (void)queue.TryPush(i);
+    });
+  }
+  for (auto& t : producers) t.join();
+  queue.Drain();
+  consumer.join();
+  stop = true;
+  watcher.join();
+  EXPECT_FALSE(over.load());
+}
+
+}  // namespace
+}  // namespace ipin::serve

@@ -1,0 +1,449 @@
+#include "ipin/serve/server.h"
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ipin/common/failpoint.h"
+#include "ipin/common/logging.h"
+#include "ipin/core/influence_oracle.h"
+#include "ipin/core/oracle_io.h"
+#include "ipin/datasets/synthetic.h"
+#include "ipin/obs/metrics.h"
+#include "ipin/serve/client.h"
+
+namespace ipin::serve {
+namespace {
+
+constexpr size_t kNumNodes = 40;
+
+// In-process server over a Unix-domain socket in TempDir, talked to with the
+// real client library — the full wire path minus process isolation.
+class ServeServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetLogLevel(LogLevel::kError);
+    const std::string tag = std::to_string(reinterpret_cast<uintptr_t>(this));
+    socket_path_ = ::testing::TempDir() + "/ipin_srv_" + tag + ".sock";
+    graph_ = GenerateUniformRandomNetwork(kNumNodes, 400, 1000, 3);
+    IrsApproxOptions options;
+    options.precision = 5;
+    index_ = std::make_unique<IndexManager>("");
+    index_->Install(std::make_shared<const IrsApprox>(
+        IrsApprox::Compute(graph_, 200, options)));
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Shutdown();
+    failpoint::ClearAll();
+    std::remove(socket_path_.c_str());
+  }
+
+  void StartServer(ServerOptions options = {}) {
+    options.unix_socket_path = socket_path_;
+    server_ = std::make_unique<OracleServer>(index_.get(), options);
+    ASSERT_TRUE(server_->Start());
+  }
+
+  void LoadExact() {
+    index_->SetExact(
+        std::make_shared<const IrsExact>(IrsExact::Compute(graph_, 200)));
+  }
+
+  ClientOptions MakeClientOptions() const {
+    ClientOptions options;
+    options.unix_socket_path = socket_path_;
+    options.max_attempts = 3;
+    options.backoff_initial_ms = 5;
+    return options;
+  }
+
+  std::string socket_path_;
+  InteractionGraph graph_;
+  std::unique_ptr<IndexManager> index_;
+  std::unique_ptr<OracleServer> server_;
+};
+
+TEST_F(ServeServerTest, AnswersSketchQuery) {
+  StartServer();
+  OracleClient client(MakeClientOptions());
+  const std::vector<NodeId> seeds = {1, 2, 3};
+  const auto response = client.Query(seeds, QueryMode::kSketch);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, StatusCode::kOk);
+  EXPECT_FALSE(response->degraded);
+  EXPECT_EQ(response->epoch, 1u);
+  EXPECT_DOUBLE_EQ(response->estimate,
+                   index_->Current()->EstimateUnionSize(seeds));
+}
+
+TEST_F(ServeServerTest, AutoPrefersExactWhenLoaded) {
+  LoadExact();
+  StartServer();
+  OracleClient client(MakeClientOptions());
+  const std::vector<NodeId> seeds = {1, 2, 3};
+  const auto response = client.Query(seeds, QueryMode::kAuto);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, StatusCode::kOk);
+  EXPECT_FALSE(response->degraded);
+  const ExactInfluenceOracle oracle(index_->Exact().get());
+  EXPECT_DOUBLE_EQ(response->estimate, oracle.InfluenceOfSet(seeds));
+}
+
+TEST_F(ServeServerTest, ExactModeWithoutExactMapDegrades) {
+  StartServer();
+  OracleClient client(MakeClientOptions());
+  const std::vector<NodeId> seeds = {1, 2, 3};
+  const auto response = client.Query(seeds, QueryMode::kExact);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, StatusCode::kOk);
+  EXPECT_TRUE(response->degraded);  // served from the sketch instead
+  EXPECT_DOUBLE_EQ(response->estimate,
+                   index_->Current()->EstimateUnionSize(seeds));
+}
+
+TEST_F(ServeServerTest, AutoWithoutExactMapIsNotDegraded) {
+  StartServer();
+  OracleClient client(MakeClientOptions());
+  const auto response = client.Query({4, 5}, QueryMode::kAuto);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, StatusCode::kOk);
+  EXPECT_FALSE(response->degraded);  // sketch-only service is the norm
+}
+
+TEST_F(ServeServerTest, EvalFaultDegradesToSketch) {
+  LoadExact();
+  StartServer();
+  ASSERT_TRUE(failpoint::Set("serve.eval", "error"));
+  OracleClient client(MakeClientOptions());
+  const std::vector<NodeId> seeds = {1, 2, 3};
+  const auto response = client.Query(seeds, QueryMode::kExact);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, StatusCode::kOk);
+  EXPECT_TRUE(response->degraded);
+  EXPECT_DOUBLE_EQ(response->estimate,
+                   index_->Current()->EstimateUnionSize(seeds));
+}
+
+TEST_F(ServeServerTest, SlowExactEvalDegradesWithinDeadline) {
+  LoadExact();
+  ServerOptions options;
+  options.exact_budget_ms = 20;
+  StartServer(options);
+  // The injected 50 ms stall burns the exact budget; the request deadline
+  // (500 ms) still has room for the sketch fallback.
+  ASSERT_TRUE(failpoint::Set("serve.eval", "delay(50)"));
+  OracleClient client(MakeClientOptions());
+  const auto response =
+      client.Query({1, 2, 3}, QueryMode::kExact, /*deadline_ms=*/500);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, StatusCode::kOk);
+  EXPECT_TRUE(response->degraded);
+}
+
+TEST_F(ServeServerTest, DeadlineExceededWhenEvalOutlivesIt) {
+  LoadExact();
+  StartServer();
+  // 60 ms stall against a 10 ms deadline: even the fallback answer arrives
+  // too late to be truthful about.
+  ASSERT_TRUE(failpoint::Set("serve.eval", "delay(60)"));
+  OracleClient client(MakeClientOptions());
+  const auto response =
+      client.Query({1, 2, 3}, QueryMode::kExact, /*deadline_ms=*/10);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(ServeServerTest, SeedOutOfRangeIsBadRequest) {
+  StartServer();
+  OracleClient client(MakeClientOptions());
+  const auto response = client.Query({static_cast<NodeId>(kNumNodes + 5)});
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, StatusCode::kBadRequest);
+  EXPECT_EQ(response->error, "seed out of range");
+}
+
+TEST_F(ServeServerTest, HealthAndStatsAnswerInline) {
+  StartServer();
+  OracleClient client(MakeClientOptions());
+
+  Request health;
+  health.method = Method::kHealth;
+  auto response = client.Call(health);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, StatusCode::kOk);
+  EXPECT_EQ(response->epoch, 1u);
+
+  Request stats;
+  stats.method = Method::kStats;
+  response = client.Call(stats);
+  ASSERT_TRUE(response.has_value());
+  ASSERT_EQ(response->status, StatusCode::kOk);
+  double num_nodes = -1.0, queue_capacity = -1.0;
+  for (const auto& [key, value] : response->info) {
+    if (key == "num_nodes") num_nodes = value;
+    if (key == "queue_capacity") queue_capacity = value;
+  }
+  EXPECT_DOUBLE_EQ(num_nodes, static_cast<double>(kNumNodes));
+  EXPECT_DOUBLE_EQ(queue_capacity,
+                   static_cast<double>(server_->options().queue_capacity));
+}
+
+TEST_F(ServeServerTest, PipelinedRequestsAnsweredInOrder) {
+  StartServer();
+  OracleClient client(MakeClientOptions());
+  for (int i = 0; i < 20; ++i) {
+    const auto response = client.Query({static_cast<NodeId>(i % kNumNodes)});
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->status, StatusCode::kOk);
+  }
+}
+
+TEST_F(ServeServerTest, OverloadShedsInsteadOfQueueingUnbounded) {
+  LoadExact();
+  ServerOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 2;
+  options.retry_after_ms = 30;
+  StartServer(options);
+  // Each evaluation stalls 30 ms: with 1 worker and capacity 2, a burst of
+  // concurrent clients must overflow the queue and get shed.
+  ASSERT_TRUE(failpoint::Set("serve.eval", "delay(30)"));
+
+  std::atomic<int> ok{0}, overloaded{0}, other{0};
+  std::atomic<int64_t> hint{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 8; ++t) {
+    clients.emplace_back([&, t] {
+      ClientOptions copts = MakeClientOptions();
+      copts.jitter_seed = 100 + t;
+      OracleClient client(copts);
+      for (int i = 0; i < 4; ++i) {
+        const auto response = client.Query({1, 2}, QueryMode::kExact,
+                                           /*deadline_ms=*/5000);
+        if (!response.has_value()) {
+          ++other;
+        } else if (response->status == StatusCode::kOk) {
+          ++ok;
+        } else if (response->status == StatusCode::kOverloaded) {
+          ++overloaded;
+          hint = response->retry_after_ms;
+        } else {
+          ++other;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  EXPECT_GT(ok.load(), 0);          // the server kept serving
+  EXPECT_GT(overloaded.load(), 0);  // and shed the excess
+  EXPECT_EQ(other.load(), 0);
+  EXPECT_EQ(hint.load(), 30);  // the configured backoff hint
+  EXPECT_LE(server_->queue_depth(), options.queue_capacity);
+}
+
+TEST_F(ServeServerTest, RetryingClientRidesOutOverload) {
+  LoadExact();
+  ServerOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 1;
+  options.retry_after_ms = 10;
+  StartServer(options);
+  ASSERT_TRUE(failpoint::Set("serve.eval", "delay(20)"));
+
+  ClientOptions copts = MakeClientOptions();
+  copts.retry_overloaded = true;
+  copts.max_attempts = 20;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t] {
+      ClientOptions mine = copts;
+      mine.jitter_seed = 200 + t;
+      OracleClient client(mine);
+      for (int i = 0; i < 3; ++i) {
+        const auto response =
+            client.Query({1}, QueryMode::kExact, /*deadline_ms=*/5000);
+        if (response.has_value() && response->status == StatusCode::kOk) ++ok;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  // With retry-on-OVERLOADED every request eventually lands.
+  EXPECT_EQ(ok.load(), 12);
+}
+
+TEST_F(ServeServerTest, ReloadRequestRollsBackOnInjectedFailure) {
+  const std::string index_path = socket_path_ + ".idx";
+  ASSERT_TRUE(SaveInfluenceIndex(*index_->Current(), index_path));
+  index_ = std::make_unique<IndexManager>(index_path);
+  ASSERT_EQ(index_->Reload(), ReloadStatus::kOk);
+  StartServer();
+
+  ASSERT_TRUE(failpoint::Set("serve.reload", "error"));
+  OracleClient client(MakeClientOptions());
+  Request reload;
+  reload.method = Method::kReload;
+  auto response = client.Call(reload);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, StatusCode::kOk);
+  ASSERT_EQ(response->info.size(), 1u);
+  EXPECT_EQ(response->info[0].first, "rolled_back");
+  EXPECT_DOUBLE_EQ(response->info[0].second, 1.0);
+  EXPECT_EQ(response->epoch, 1u);  // unchanged
+
+  // Queries still served from the retained epoch.
+  const auto query = client.Query({1, 2});
+  ASSERT_TRUE(query.has_value());
+  EXPECT_EQ(query->status, StatusCode::kOk);
+
+  failpoint::Clear("serve.reload");
+  response = client.Call(reload);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->epoch, 2u);
+  std::remove(index_path.c_str());
+}
+
+TEST_F(ServeServerTest, QueriesKeepServingOldEpochDuringSlowReload) {
+  const std::string index_path = socket_path_ + ".idx";
+  ASSERT_TRUE(SaveInfluenceIndex(*index_->Current(), index_path));
+  index_ = std::make_unique<IndexManager>(index_path);
+  ASSERT_EQ(index_->Reload(), ReloadStatus::kOk);
+  StartServer();
+
+  ASSERT_TRUE(failpoint::Set("serve.reload", "delay(150)"));
+  OracleClient reload_client(MakeClientOptions());
+  std::thread reloader([&reload_client] {
+    Request reload;
+    reload.method = Method::kReload;
+    const auto response = reload_client.Call(reload);
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->epoch, 2u);
+  });
+
+  OracleClient client(MakeClientOptions());
+  int served = 0;
+  for (int i = 0; i < 20; ++i) {
+    const auto response = client.Query({1, 2});
+    ASSERT_TRUE(response.has_value());
+    if (response->status == StatusCode::kOk) ++served;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  reloader.join();
+  EXPECT_EQ(served, 20);  // the slow reload never blocked a query
+  std::remove(index_path.c_str());
+}
+
+TEST_F(ServeServerTest, InjectedReadFaultDropsConnectionClientRetries) {
+  StartServer();
+  ClientOptions copts = MakeClientOptions();
+  copts.io_timeout_ms = 500;
+  copts.max_attempts = 2;
+  OracleClient client(copts);
+
+  // While the read fault is armed every request line tears the connection:
+  // the client retries on a fresh connection, then gives up.
+  ASSERT_TRUE(failpoint::Set("serve.read", "error"));
+  std::string error;
+  EXPECT_FALSE(client.Query({1, 2}, QueryMode::kAuto, 0, &error).has_value());
+  EXPECT_GE(client.retries(), 1u);
+
+  // Fault cleared: the same client recovers on its next call.
+  failpoint::Clear("serve.read");
+  const auto response = client.Query({1, 2});
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, StatusCode::kOk);
+}
+
+TEST_F(ServeServerTest, ShutdownDrainsAndUnlinksSocket) {
+  StartServer();
+  OracleClient client(MakeClientOptions());
+  ASSERT_TRUE(client.Query({1}).has_value());
+
+  server_->Shutdown();
+  EXPECT_FALSE(server_->running());
+  // Socket gone: a fresh client cannot connect.
+  OracleClient late(MakeClientOptions());
+  std::string error;
+  EXPECT_FALSE(late.Query({1}, QueryMode::kAuto, 0, &error).has_value());
+  EXPECT_FALSE(error.empty());
+  // Idempotent.
+  server_->Shutdown();
+}
+
+TEST_F(ServeServerTest, ShutdownAnswersInFlightRequests) {
+  LoadExact();
+  ServerOptions options;
+  options.num_workers = 2;
+  options.drain_deadline_ms = 5000;
+  StartServer(options);
+  ASSERT_TRUE(failpoint::Set("serve.eval", "delay(40)"));
+
+  std::atomic<int> answered{0}, dropped{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t] {
+      ClientOptions copts = MakeClientOptions();
+      copts.jitter_seed = 300 + t;
+      copts.max_attempts = 1;  // no retries: we count first-shot outcomes
+      OracleClient client(copts);
+      const auto response =
+          client.Query({1, 2}, QueryMode::kExact, /*deadline_ms=*/5000);
+      if (response.has_value()) {
+        ++answered;
+      } else {
+        ++dropped;
+      }
+    });
+  }
+  // Give the requests time to be admitted, then drain under them.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server_->Shutdown();
+  for (auto& t : clients) t.join();
+  // Every admitted request got an answer before its connection closed; a
+  // request that raced the drain may have seen UNAVAILABLE (still a
+  // response). Nothing should observe a silently-dropped connection.
+  EXPECT_EQ(answered.load(), 4);
+  EXPECT_EQ(dropped.load(), 0);
+}
+
+TEST_F(ServeServerTest, UnavailableWhenNoIndexLoaded) {
+  index_ = std::make_unique<IndexManager>("");  // nothing installed
+  StartServer();
+  OracleClient client(MakeClientOptions());
+
+  Request health;
+  health.method = Method::kHealth;
+  const auto response = client.Call(health);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, StatusCode::kUnavailable);
+
+  const auto query = client.Query({1});
+  ASSERT_TRUE(query.has_value());
+  EXPECT_EQ(query->status, StatusCode::kUnavailable);
+  EXPECT_GT(query->retry_after_ms, 0);
+}
+
+TEST_F(ServeServerTest, EphemeralTcpPortWorks) {
+  ServerOptions options;
+  options.tcp_port = 0;
+  server_ = std::make_unique<OracleServer>(index_.get(), options);
+  ASSERT_TRUE(server_->Start());
+  ASSERT_GT(server_->bound_port(), 0);
+
+  ClientOptions copts;
+  copts.tcp_port = server_->bound_port();
+  OracleClient client(copts);
+  const auto response = client.Query({1, 2});
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, StatusCode::kOk);
+}
+
+}  // namespace
+}  // namespace ipin::serve
