@@ -171,15 +171,27 @@ std::optional<Response> OracleClient::Call(const Request& request,
       Disconnect();
       continue;
     }
-    std::string response_line;
-    if (!ReadLine(&response_line)) {
-      last_error = "read failed or timed out";
-      Disconnect();
-      continue;
+    // Responses on a connection carry no ordering guarantee (see
+    // protocol.h): correlate by id, discarding any stray answer to an
+    // earlier request on this connection.
+    std::optional<Response> response;
+    bool io_failed = false;
+    for (;;) {
+      std::string response_line;
+      if (!ReadLine(&response_line)) {
+        last_error = "read failed or timed out";
+        io_failed = true;
+        break;
+      }
+      response = ParseResponse(response_line);
+      if (!response.has_value()) {
+        last_error = "malformed response";
+        io_failed = true;
+        break;
+      }
+      if (response->id == to_send.id) break;
     }
-    auto response = ParseResponse(response_line);
-    if (!response.has_value()) {
-      last_error = "malformed response";
+    if (io_failed) {
       Disconnect();
       continue;
     }

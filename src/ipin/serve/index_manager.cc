@@ -22,8 +22,8 @@ void IndexManager::Install(std::shared_ptr<const IrsApprox> index) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     current_ = std::move(index);
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
   }
-  epoch_.fetch_add(1, std::memory_order_acq_rel);
   IPIN_GAUGE_SET("serve.index.epoch", Epoch());
 }
 
@@ -40,6 +40,12 @@ std::shared_ptr<const IrsApprox> IndexManager::Current() const {
 std::shared_ptr<const IrsExact> IndexManager::Exact() const {
   std::lock_guard<std::mutex> lock(mu_);
   return exact_;
+}
+
+IndexSnapshot IndexManager::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return IndexSnapshot{current_, exact_,
+                       epoch_.load(std::memory_order_relaxed)};
 }
 
 IndexManager::FileStamp IndexManager::StampOf(const std::string& path) {
@@ -97,8 +103,8 @@ ReloadStatus IndexManager::Reload(bool force) {
     std::lock_guard<std::mutex> lock(mu_);
     current_ = std::move(fresh);
     last_stamp_ = stamp;
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
   }
-  epoch_.fetch_add(1, std::memory_order_acq_rel);
   IPIN_COUNTER_ADD("serve.reload.ok", 1);
   IPIN_GAUGE_SET("serve.index.epoch", Epoch());
   LogInfo(StrFormat("serve: reloaded '%s' -> epoch %llu", index_path_.c_str(),

@@ -31,6 +31,15 @@
 
 namespace ipin::serve {
 
+/// A consistent view of the serving state, taken under one lock
+/// acquisition: `epoch` is the epoch `index`/`exact` were installed at,
+/// never the epoch of a reload that landed between two reads.
+struct IndexSnapshot {
+  std::shared_ptr<const IrsApprox> index;
+  std::shared_ptr<const IrsExact> exact;
+  uint64_t epoch = 0;
+};
+
 /// Outcome of one reload attempt.
 enum class ReloadStatus {
   kOk,          // new index verified and swapped in; epoch advanced
@@ -72,6 +81,11 @@ class IndexManager {
   std::shared_ptr<const IrsApprox> Current() const;
   std::shared_ptr<const IrsExact> Exact() const;
 
+  /// Index + exact map + epoch under one lock: use this wherever a
+  /// response reports the epoch an answer was computed on, so a reload
+  /// landing between separate Current()/Epoch() calls cannot skew it.
+  IndexSnapshot Snapshot() const;
+
   /// Epoch of the installed index; 0 = nothing installed yet. Each
   /// successful Install/Reload increments it.
   uint64_t Epoch() const { return epoch_.load(std::memory_order_acquire); }
@@ -92,6 +106,8 @@ class IndexManager {
   std::shared_ptr<const IrsApprox> current_;
   std::shared_ptr<const IrsExact> exact_;
   FileStamp last_stamp_;
+  // Written only under mu_ (so Snapshot() is consistent); atomic so the
+  // fast Epoch() read stays lock-free.
   std::atomic<uint64_t> epoch_{0};
 
   // Serializes reload attempts (watcher vs. request-triggered).

@@ -1,7 +1,9 @@
 #include "ipin/serve/protocol.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 #include "ipin/common/json.h"
 #include "ipin/common/string_util.h"
@@ -83,6 +85,21 @@ bool Fail(std::string* error, const char* reason) {
   return false;
 }
 
+// JSON numbers arrive as doubles; a cast that leaves the destination's
+// range is undefined behavior, so every integer field goes through one of
+// these. Clamping to +/-2^53 keeps the value exactly representable.
+int64_t ToClampedInt64(double v) {
+  constexpr double kLimit = 9007199254740992.0;  // 2^53
+  if (!std::isfinite(v)) return 0;
+  return static_cast<int64_t>(std::clamp(v, -kLimit, kLimit));
+}
+
+bool IsValidNodeIdNumber(double v) {
+  return std::isfinite(v) && v >= 0.0 &&
+         v <= static_cast<double>(std::numeric_limits<NodeId>::max()) &&
+         std::trunc(v) == v;
+}
+
 }  // namespace
 
 const char* StatusCodeName(StatusCode code) {
@@ -121,7 +138,7 @@ std::optional<Request> ParseRequest(std::string_view line, std::string* error,
     return std::nullopt;
   }
   Request request;
-  request.id = static_cast<int64_t>(doc->FindNumber("id", 0.0));
+  request.id = ToClampedInt64(doc->FindNumber("id", 0.0));
   if (id_out != nullptr) *id_out = request.id;
 
   const std::string method = doc->FindString("method", "query");
@@ -155,7 +172,7 @@ std::optional<Request> ParseRequest(std::string_view line, std::string* error,
     Fail(error, "negative deadline_ms");
     return std::nullopt;
   }
-  request.deadline_ms = static_cast<int64_t>(deadline);
+  request.deadline_ms = ToClampedInt64(deadline);
 
   const JsonValue* seeds = doc->Find("seeds");
   if (seeds != nullptr) {
@@ -165,8 +182,8 @@ std::optional<Request> ParseRequest(std::string_view line, std::string* error,
     }
     request.seeds.reserve(seeds->array_items().size());
     for (const JsonValue& s : seeds->array_items()) {
-      if (!s.is_number() || s.number_value() < 0) {
-        Fail(error, "seed is not a non-negative number");
+      if (!s.is_number() || !IsValidNodeIdNumber(s.number_value())) {
+        Fail(error, "seed is not a non-negative integer node id");
         return std::nullopt;
       }
       request.seeds.push_back(static_cast<NodeId>(s.number_value()));
@@ -203,7 +220,7 @@ std::optional<Response> ParseResponse(std::string_view line) {
   const auto doc = JsonValue::Parse(line);
   if (!doc.has_value() || !doc->is_object()) return std::nullopt;
   Response response;
-  response.id = static_cast<int64_t>(doc->FindNumber("id", 0.0));
+  response.id = ToClampedInt64(doc->FindNumber("id", 0.0));
   const auto status = StatusCodeFromName(doc->FindString("status", ""));
   if (!status.has_value()) return std::nullopt;
   response.status = *status;
@@ -211,9 +228,9 @@ std::optional<Response> ParseResponse(std::string_view line) {
   const JsonValue* degraded = doc->Find("degraded");
   response.degraded =
       degraded != nullptr && degraded->is_bool() && degraded->bool_value();
-  response.epoch = static_cast<uint64_t>(doc->FindNumber("epoch", 0.0));
-  response.retry_after_ms =
-      static_cast<int64_t>(doc->FindNumber("retry_after_ms", 0.0));
+  response.epoch = static_cast<uint64_t>(
+      std::max<int64_t>(0, ToClampedInt64(doc->FindNumber("epoch", 0.0))));
+  response.retry_after_ms = ToClampedInt64(doc->FindNumber("retry_after_ms", 0.0));
   response.error = doc->FindString("error", "");
   const JsonValue* info = doc->Find("info");
   if (info != nullptr && info->is_object()) {

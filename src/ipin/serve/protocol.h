@@ -15,8 +15,14 @@
 //
 // Transport: a byte stream (Unix-domain or localhost TCP socket). Each
 // request and each response is exactly one JSON object on one line,
-// terminated by '\n' (newline-delimited JSON). Requests on one connection
-// are answered in submission order; a connection may pipeline requests.
+// terminated by '\n' (newline-delimited JSON). A connection may pipeline
+// requests, but responses carry NO ordering guarantee: queries are fanned
+// out to a worker pool and complete in evaluation order, and health/stats
+// answers (plus shed/drain rejections) jump the queue by design. A client
+// with more than one request in flight MUST assign each a unique "id" and
+// correlate responses by the echoed id; the ids of concurrent requests on
+// one connection must not collide (the default id 0 is only safe for
+// strictly one-at-a-time use).
 //
 // Request object:
 //   {"id": 7,                  // echoed back; any int64 (default 0)

@@ -6,8 +6,11 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <condition_variable>
 #include <cstring>
+#include <deque>
 
 #include "ipin/common/failpoint.h"
 #include "ipin/common/logging.h"
@@ -27,16 +30,38 @@ constexpr size_t kMaxLineBytes = 1 << 20;
   return std::chrono::duration_cast<std::chrono::microseconds>(d).count();
 }
 
-bool WriteAll(int fd, const std::string& data) {
+void SetSendTimeout(int fd, int64_t timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+// Bounded write: the socket carries SO_SNDTIMEO, so each send() blocks at
+// most timeout_ms; the elapsed check on top bounds the WHOLE response even
+// against a peer that drains one byte per timeout window. A peer that stops
+// reading therefore costs at most ~2x timeout_ms of thread time, never a
+// wedged reader/worker.
+bool WriteAll(int fd, const std::string& data, int64_t timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
   size_t written = 0;
   while (written < data.size()) {
     const ssize_t n = ::send(fd, data.data() + written, data.size() - written,
                              MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_SNDTIMEO expired: the peer is not reading.
+        IPIN_COUNTER_ADD("serve.write.timeouts", 1);
+      }
       return false;
     }
     written += static_cast<size_t>(n);
+    if (written < data.size() && std::chrono::steady_clock::now() >= deadline) {
+      IPIN_COUNTER_ADD("serve.write.timeouts", 1);
+      return false;
+    }
   }
   return true;
 }
@@ -55,6 +80,21 @@ struct OracleServer::Connection {
   std::string read_buffer;
   std::atomic<bool> broken{false};       // write side failed; stop responding
   std::atomic<bool> reader_done{false};  // reader thread exited (reapable)
+};
+
+// Shared with the reload thread via shared_ptr: Shutdown() may detach that
+// thread if a reload is wedged inside the loader, so nothing it touches may
+// live in the server object itself.
+struct OracleServer::ReloadState {
+  std::mutex mu;
+  std::condition_variable cv;
+  struct Job {
+    std::shared_ptr<Connection> conn;
+    int64_t id = 0;
+  };
+  std::deque<Job> jobs;
+  bool stop = false;
+  bool exited = false;
 };
 
 OracleServer::OracleServer(IndexManager* index, ServerOptions options)
@@ -133,6 +173,49 @@ bool OracleServer::Start() {
 
   running_.store(true, std::memory_order_release);
   draining_.store(false, std::memory_order_release);
+
+  // Dedicated reload thread: a slow or wedged Reload() blocks only this
+  // thread — never a connection reader or query worker — and Shutdown()
+  // can abandon it (detach) if it outlasts the drain deadline.
+  reload_state_ = std::make_shared<ReloadState>();
+  reload_thread_ = std::thread([state = reload_state_, index = index_,
+                                write_timeout = options_.write_timeout_ms] {
+    for (;;) {
+      ReloadState::Job job;
+      bool draining;
+      {
+        std::unique_lock<std::mutex> lock(state->mu);
+        state->cv.wait(lock,
+                       [&] { return state->stop || !state->jobs.empty(); });
+        if (state->jobs.empty()) break;  // stop requested, nothing pending
+        job = std::move(state->jobs.front());
+        state->jobs.pop_front();
+        draining = state->stop;
+      }
+      Response response;
+      response.id = job.id;
+      if (draining) {
+        // Answer rather than reload: a fresh epoch is useless to a server
+        // that is shutting down, and this keeps the drain bounded.
+        response.status = StatusCode::kUnavailable;
+        response.error = "server is draining";
+      } else {
+        IPIN_LATENCY_SCOPE("serve.latency.reload_us");
+        const ReloadStatus status = index->Reload();
+        response.status = StatusCode::kOk;
+        response.epoch = index->Epoch();
+        response.info.emplace_back(
+            "rolled_back", status == ReloadStatus::kRolledBack ? 1.0 : 0.0);
+      }
+      WriteResponse(job.conn, response, write_timeout);
+    }
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->exited = true;
+    }
+    state->cv.notify_all();
+  });
+
   acceptor_ = std::thread([this] { AcceptLoop(); });
   workers_.reserve(static_cast<size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
@@ -167,6 +250,7 @@ void OracleServer::AcceptLoop() {
       ::close(fd);
       continue;
     }
+    SetSendTimeout(fd, options_.write_timeout_ms);
     auto conn = std::make_shared<Connection>(fd);
     {
       std::lock_guard<std::mutex> lock(conns_mu_);
@@ -176,7 +260,7 @@ void OracleServer::AcceptLoop() {
         reject.retry_after_ms = options_.retry_after_ms;
         reject.error = "connection limit reached";
         IPIN_COUNTER_ADD("serve.requests.shed", 1);
-        WriteResponse(conn, reject);
+        WriteResponse(conn, reject, options_.write_timeout_ms);
         continue;  // conn destructor closes fd
       }
       ++active_connections_;
@@ -240,7 +324,7 @@ void OracleServer::ReadLoop(std::shared_ptr<Connection> conn) {
       bad.status = StatusCode::kBadRequest;
       bad.error = parse_error;
       IPIN_COUNTER_ADD("serve.requests.bad", 1);
-      WriteResponse(conn, bad);
+      WriteResponse(conn, bad, options_.write_timeout_ms);
       continue;
     }
     HandleRequest(conn, std::move(*request));
@@ -262,32 +346,49 @@ void OracleServer::HandleRequest(const std::shared_ptr<Connection>& conn,
     case Method::kHealth: {
       // Answered inline so liveness probes work even with a full queue.
       IPIN_LATENCY_SCOPE("serve.latency.health_us");
+      const IndexSnapshot snapshot = index_->Snapshot();
       Response response;
       response.id = request.id;
-      response.status = index_->Epoch() > 0 ? StatusCode::kOk
-                                            : StatusCode::kUnavailable;
-      response.epoch = index_->Epoch();
-      WriteResponse(conn, response);
+      response.status = snapshot.epoch > 0 ? StatusCode::kOk
+                                           : StatusCode::kUnavailable;
+      response.epoch = snapshot.epoch;
+      WriteResponse(conn, response, options_.write_timeout_ms);
       return;
     }
     case Method::kStats: {
       IPIN_LATENCY_SCOPE("serve.latency.stats_us");
-      WriteResponse(conn, StatsResponse(request.id));
+      WriteResponse(conn, StatsResponse(request.id), options_.write_timeout_ms);
       return;
     }
     case Method::kReload: {
-      // Inline on the connection thread: a slow or wedged reload never
-      // occupies a query worker, and queries keep flowing from the old
-      // epoch while this blocks.
-      IPIN_LATENCY_SCOPE("serve.latency.reload_us");
-      const ReloadStatus status = index_->Reload();
+      // Handed to the dedicated reload thread (which also writes the
+      // response): a slow or wedged reload never occupies a query worker
+      // or this reader, and queries keep flowing from the old epoch while
+      // it runs.
       Response response;
       response.id = request.id;
-      response.status = StatusCode::kOk;
-      response.epoch = index_->Epoch();
-      response.info.emplace_back(
-          "rolled_back", status == ReloadStatus::kRolledBack ? 1.0 : 0.0);
-      WriteResponse(conn, response);
+      if (draining_.load(std::memory_order_acquire)) {
+        response.status = StatusCode::kUnavailable;
+        response.error = "server is draining";
+        WriteResponse(conn, response, options_.write_timeout_ms);
+        return;
+      }
+      constexpr size_t kMaxPendingReloads = 4;
+      {
+        std::lock_guard<std::mutex> lock(reload_state_->mu);
+        if (reload_state_->jobs.size() >= kMaxPendingReloads) {
+          response.status = StatusCode::kOverloaded;
+          response.retry_after_ms = options_.retry_after_ms;
+        } else {
+          reload_state_->jobs.push_back(
+              ReloadState::Job{conn, request.id});
+          reload_state_->cv.notify_one();
+        }
+      }
+      if (response.status == StatusCode::kOverloaded) {
+        IPIN_COUNTER_ADD("serve.requests.shed", 1);
+        WriteResponse(conn, response, options_.write_timeout_ms);
+      }
       return;
     }
     case Method::kQuery:
@@ -311,7 +412,7 @@ void OracleServer::HandleRequest(const std::shared_ptr<Connection>& conn,
     response.status = StatusCode::kUnavailable;
     response.error = "server is draining";
     response.retry_after_ms = options_.retry_after_ms;
-    WriteResponse(conn, response);
+    WriteResponse(conn, response, options_.write_timeout_ms);
     return;
   }
   if (!queue_.TryPush(std::move(task))) {
@@ -322,7 +423,7 @@ void OracleServer::HandleRequest(const std::shared_ptr<Connection>& conn,
     response.status = StatusCode::kOverloaded;
     response.retry_after_ms = options_.retry_after_ms;
     IPIN_COUNTER_ADD("serve.requests.shed", 1);
-    WriteResponse(conn, response);
+    WriteResponse(conn, response, options_.write_timeout_ms);
     return;
   }
   IPIN_COUNTER_ADD("serve.requests.accepted", 1);
@@ -355,7 +456,7 @@ void OracleServer::WorkerLoop() {
       IPIN_LATENCY_SCOPE("serve.latency.query_us");
       response = EvaluateQuery(task->request, task->deadline);
     }
-    WriteResponse(task->conn, response);
+    WriteResponse(task->conn, response, options_.write_timeout_ms);
   }
 }
 
@@ -364,10 +465,12 @@ Response OracleServer::EvaluateQuery(const Request& request,
   Response response;
   response.id = request.id;
 
-  // Snapshot the epoch: the whole evaluation runs on this index even if a
-  // reload swaps the manager's pointer mid-query.
-  const std::shared_ptr<const IrsApprox> index = index_->Current();
-  response.epoch = index_->Epoch();
+  // One-lock snapshot: the whole evaluation runs on this index (and exact
+  // map), and the reported epoch is the one these pointers were installed
+  // at — a reload swapping the manager mid-query can skew neither.
+  const IndexSnapshot snapshot = index_->Snapshot();
+  const std::shared_ptr<const IrsApprox>& index = snapshot.index;
+  response.epoch = snapshot.epoch;
   if (index == nullptr) {
     response.status = StatusCode::kUnavailable;
     response.error = "no index loaded";
@@ -391,7 +494,7 @@ Response OracleServer::EvaluateQuery(const Request& request,
   // exact-latency budget, so a miss leaves time for the sketch fallback.
   const bool want_exact = request.mode != QueryMode::kSketch;
   if (want_exact) {
-    const std::shared_ptr<const IrsExact> exact = index_->Exact();
+    const std::shared_ptr<const IrsExact>& exact = snapshot.exact;
     if (exact == nullptr || exact->num_nodes() < index->num_nodes()) {
       // Exact map unloaded (or stale vs. the serving index): "exact"
       // explicitly asked for it, so its answer is degraded; "auto" treats
@@ -450,8 +553,9 @@ Response OracleServer::StatsResponse(int64_t id) {
   Response response;
   response.id = id;
   response.status = StatusCode::kOk;
-  response.epoch = index_->Epoch();
-  const std::shared_ptr<const IrsApprox> index = index_->Current();
+  const IndexSnapshot snapshot = index_->Snapshot();
+  const std::shared_ptr<const IrsApprox>& index = snapshot.index;
+  response.epoch = snapshot.epoch;
   size_t active;
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
@@ -464,19 +568,24 @@ Response OracleServer::StatsResponse(int64_t id) {
       {"connections_active", static_cast<double>(active)},
       {"num_nodes",
        index == nullptr ? 0.0 : static_cast<double>(index->num_nodes())},
-      {"exact_loaded", index_->Exact() != nullptr ? 1.0 : 0.0},
+      {"exact_loaded", snapshot.exact != nullptr ? 1.0 : 0.0},
       {"draining", draining_.load(std::memory_order_acquire) ? 1.0 : 0.0},
   };
   return response;
 }
 
 void OracleServer::WriteResponse(const std::shared_ptr<Connection>& conn,
-                                 const Response& response) {
+                                 const Response& response,
+                                 int64_t write_timeout_ms) {
   if (conn->broken.load(std::memory_order_acquire)) return;
   const std::string line = SerializeResponse(response);
   std::lock_guard<std::mutex> lock(conn->write_mu);
-  if (!WriteAll(conn->fd, line)) {
+  if (conn->broken.load(std::memory_order_acquire)) return;
+  if (!WriteAll(conn->fd, line, write_timeout_ms)) {
     conn->broken.store(true, std::memory_order_release);
+    // Kick the connection's reader out of recv() so the connection is torn
+    // down instead of continuing to feed a peer that cannot be answered.
+    ::shutdown(conn->fd, SHUT_RDWR);
   }
 }
 
@@ -512,8 +621,10 @@ void OracleServer::Shutdown() {
   }
   workers_.clear();
 
-  // 4. Readers have seen EOF by now; join and release the connections
-  // (closing each fd once its last in-flight response holder is gone).
+  // 4. Readers have seen EOF by now (and any reader stuck writing to a
+  // non-consuming peer is released by the write timeout); join and release
+  // the connections (closing each fd once its last in-flight response
+  // holder is gone).
   std::vector<ReaderSlot> readers;
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
@@ -522,8 +633,40 @@ void OracleServer::Shutdown() {
   for (auto& slot : readers) {
     if (slot.thread.joinable()) slot.thread.join();
   }
+
+  // 5. Readers are gone, so no new reload jobs can arrive: stop the reload
+  // thread, bounded by the drain deadline.
+  StopReloadThread();
   IPIN_GAUGE_SET("serve.queue.depth", 0);
   LogInfo("serve: drained, all workers stopped");
+}
+
+void OracleServer::StopReloadThread() {
+  if (reload_state_ == nullptr) return;
+  bool exited;
+  {
+    std::unique_lock<std::mutex> lock(reload_state_->mu);
+    reload_state_->stop = true;
+    reload_state_->cv.notify_all();
+    // A healthy thread exits in microseconds; give a busy one until the
+    // drain deadline (but at least a small grace period).
+    const auto wait_until = std::max(
+        drain_deadline_, Clock::now() + std::chrono::milliseconds(100));
+    exited = reload_state_->cv.wait_until(
+        lock, wait_until, [this] { return reload_state_->exited; });
+  }
+  if (exited) {
+    if (reload_thread_.joinable()) reload_thread_.join();
+  } else if (reload_thread_.joinable()) {
+    // Wedged inside the index loader (hung disk/NFS, delay failpoint):
+    // abandon it rather than blocking shutdown forever. It only touches
+    // its refcounted state, the IndexManager (which outlives the server by
+    // contract), and refcounted connections.
+    LogWarning(
+        "serve: reload thread still busy past the drain deadline; detaching");
+    reload_thread_.detach();
+  }
+  reload_state_.reset();
 }
 
 }  // namespace ipin::serve

@@ -33,12 +33,19 @@
 //     the sketch estimate and sets degraded=true.
 //   * Hot reload. Queries snapshot the IndexManager epoch; reloads swap it
 //     atomically and roll back on any validation failure (old epoch keeps
-//     serving). Reload requests are handled inline on the connection
-//     thread, so a slow reload never occupies a query worker.
+//     serving). Reload requests are handed to a dedicated reload thread,
+//     so a slow or wedged reload never occupies a query worker or a
+//     connection reader.
+//   * Slow-consumer protection. Response writes carry a send timeout
+//     (write_timeout_ms); a client that pipelines requests but never reads
+//     its socket gets its connection marked broken and torn down instead
+//     of wedging the reader or a worker in a blocking send forever.
 //   * Graceful shutdown. Shutdown() stops accepting, rejects new requests,
 //     answers everything already queued (evaluated if the drain deadline
 //     allows, DEADLINE_EXCEEDED otherwise), flushes the responses, then
-//     joins every thread.
+//     joins every thread. The write timeout and the drain deadline bound
+//     every join except a reload wedged inside the index loader, which is
+//     detached (and logged) rather than waited on forever.
 //
 // Failpoint sites: serve.accept (drop fresh connections), serve.read
 // (connection read errors), serve.eval (slow/failed exact evaluation,
@@ -71,6 +78,11 @@ struct ServerOptions {
   /// During Shutdown(), queued requests older than this are answered
   /// DEADLINE_EXCEEDED instead of evaluated.
   int64_t drain_deadline_ms = 2000;
+  /// Bound on writing one response to a connection. A peer that stops
+  /// reading (full socket buffer) past this is treated as broken and its
+  /// connection is torn down — a blocking send never wedges a reader or
+  /// worker thread indefinitely.
+  int64_t write_timeout_ms = 2000;
 };
 
 class OracleServer {
@@ -111,20 +123,29 @@ class OracleServer {
     std::shared_ptr<Connection> conn;
   };
 
+  // Reload requests run on a dedicated thread; the state it shares with
+  // the server is refcounted so a wedged reload can be detached at
+  // shutdown without dangling anything.
+  struct ReloadState;
+
   void AcceptLoop();
   void ReadLoop(std::shared_ptr<Connection> conn);
   void WorkerLoop();
   void ReapFinishedReaders();
+  void StopReloadThread();
 
   /// Admission decision + queueing for one parsed request; answers
-  /// inline-able methods (health/stats/reload) directly.
+  /// health/stats inline and hands reloads to the reload thread.
   void HandleRequest(const std::shared_ptr<Connection>& conn,
                      Request&& request);
   Response EvaluateQuery(const Request& request, Clock::time_point deadline);
   Response StatsResponse(int64_t id);
 
+  /// Static (no `this`): also called from the reload thread, which may
+  /// outlive the server if a wedged reload forces a detach.
   static void WriteResponse(const std::shared_ptr<Connection>& conn,
-                            const Response& response);
+                            const Response& response,
+                            int64_t write_timeout_ms);
 
   IndexManager* const index_;
   const ServerOptions options_;
@@ -138,6 +159,8 @@ class OracleServer {
   BoundedQueue<Task> queue_;
   std::thread acceptor_;
   std::vector<std::thread> workers_;
+  std::shared_ptr<ReloadState> reload_state_;
+  std::thread reload_thread_;
 
   std::mutex conns_mu_;
   struct ReaderSlot {

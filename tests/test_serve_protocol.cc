@@ -67,8 +67,14 @@ TEST(ServeProtocolTest, BadRequestsRejectedWithReason) {
       {R"({"seeds": [1], "mode": "psychic"})", "unknown mode"},
       {R"({"seeds": [1], "deadline_ms": -5})", "negative deadline_ms"},
       {R"({"seeds": "1,2"})", "seeds is not an array"},
-      {R"({"seeds": [-1]})", "seed is not a non-negative number"},
-      {R"({"seeds": ["a"]})", "seed is not a non-negative number"},
+      {R"({"seeds": [-1]})", "seed is not a non-negative integer node id"},
+      {R"({"seeds": ["a"]})", "seed is not a non-negative integer node id"},
+      // Out of uint32 range / non-integral: casting such doubles to NodeId
+      // would be undefined behavior, so they must be rejected, not cast.
+      {R"({"seeds": [1e18]})", "seed is not a non-negative integer node id"},
+      {R"({"seeds": [4294967296]})",
+       "seed is not a non-negative integer node id"},
+      {R"({"seeds": [1.5]})", "seed is not a non-negative integer node id"},
       {R"({"method": "query"})", "query without seeds"},
   };
   for (const auto& c : cases) {
@@ -76,6 +82,24 @@ TEST(ServeProtocolTest, BadRequestsRejectedWithReason) {
     EXPECT_FALSE(ParseRequest(c.line, &error).has_value()) << c.line;
     EXPECT_EQ(error, c.reason) << c.line;
   }
+}
+
+TEST(ServeProtocolTest, ExtremeNumericFieldsAreClampedNotUb) {
+  // uint32 max is a valid seed; id/deadline_ms/epoch outside their integer
+  // range are clamped instead of hitting an out-of-range double->int cast.
+  std::string error;
+  auto parsed = ParseRequest(
+      R"({"id": 1e300, "seeds": [4294967295], "deadline_ms": 1e300})", &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->seeds, (std::vector<NodeId>{4294967295u}));
+  EXPECT_EQ(parsed->id, int64_t{1} << 53);
+  EXPECT_EQ(parsed->deadline_ms, int64_t{1} << 53);
+
+  const auto response =
+      ParseResponse(R"({"status": "OK", "epoch": -7, "retry_after_ms": 1e300})");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->epoch, 0u);  // negative epoch clamps to 0
+  EXPECT_EQ(response->retry_after_ms, int64_t{1} << 53);
 }
 
 TEST(ServeProtocolTest, BadRequestStillYieldsId) {

@@ -1,8 +1,17 @@
 #include "ipin/serve/server.h"
 
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -21,6 +30,55 @@ namespace ipin::serve {
 namespace {
 
 constexpr size_t kNumNodes = 40;
+
+// Raw blocking Unix-socket connection, for tests that need to speak the wire
+// protocol in ways the client library deliberately does not (pipelining,
+// never reading).
+int ConnectUnix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + written, data.size() - written,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Reads until `count` newline-terminated lines arrived (or EOF/error).
+std::vector<std::string> ReadLines(int fd, size_t count) {
+  std::vector<std::string> lines;
+  std::string buffer;
+  while (lines.size() < count) {
+    const size_t newline = buffer.find('\n');
+    if (newline != std::string::npos) {
+      lines.push_back(buffer.substr(0, newline));
+      buffer.erase(0, newline + 1);
+      continue;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+  return lines;
+}
 
 // In-process server over a Unix-domain socket in TempDir, talked to with the
 // real client library — the full wire path minus process isolation.
@@ -194,7 +252,7 @@ TEST_F(ServeServerTest, HealthAndStatsAnswerInline) {
                    static_cast<double>(server_->options().queue_capacity));
 }
 
-TEST_F(ServeServerTest, PipelinedRequestsAnsweredInOrder) {
+TEST_F(ServeServerTest, SequentialQueriesOnOneConnectionAllAnswered) {
   StartServer();
   OracleClient client(MakeClientOptions());
   for (int i = 0; i < 20; ++i) {
@@ -202,6 +260,88 @@ TEST_F(ServeServerTest, PipelinedRequestsAnsweredInOrder) {
     ASSERT_TRUE(response.has_value());
     EXPECT_EQ(response->status, StatusCode::kOk);
   }
+}
+
+TEST_F(ServeServerTest, PipelinedQueriesCorrelateById) {
+  StartServer();
+  const int fd = ConnectUnix(socket_path_);
+  ASSERT_GE(fd, 0);
+
+  // One burst of 20 queries with distinct ids. The worker pool may answer
+  // them in any order (protocol.h documents no ordering guarantee); every
+  // id must come back exactly once with an OK answer.
+  constexpr int kRequests = 20;
+  std::string burst;
+  for (int i = 1; i <= kRequests; ++i) {
+    Request request;
+    request.id = i;
+    request.seeds = {static_cast<NodeId>(i % kNumNodes)};
+    request.deadline_ms = 5000;
+    burst += SerializeRequest(request);
+  }
+  ASSERT_TRUE(SendAll(fd, burst));
+
+  const std::vector<std::string> lines = ReadLines(fd, kRequests);
+  ASSERT_EQ(lines.size(), static_cast<size_t>(kRequests));
+  std::set<int64_t> ids;
+  for (const std::string& line : lines) {
+    const auto response = ParseResponse(line);
+    ASSERT_TRUE(response.has_value()) << line;
+    EXPECT_EQ(response->status, StatusCode::kOk) << line;
+    ids.insert(response->id);
+  }
+  EXPECT_EQ(ids.size(), static_cast<size_t>(kRequests));
+  EXPECT_EQ(*ids.begin(), 1);
+  EXPECT_EQ(*ids.rbegin(), kRequests);
+  ::close(fd);
+}
+
+TEST_F(ServeServerTest, SlowConsumerIsCutOffNotWedgingServer) {
+  ServerOptions options;
+  options.write_timeout_ms = 100;
+  StartServer(options);
+
+  // Abusive peer: pipelines health probes but never reads a byte. Once the
+  // socket buffers fill, the reader's bounded write times out, the
+  // connection is marked broken and torn down.
+  const int fd = ConnectUnix(socket_path_);
+  ASSERT_GE(fd, 0);
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  const std::string request = "{\"method\": \"health\"}\n";
+  std::string chunk;
+  for (int i = 0; i < 64; ++i) chunk += request;
+  size_t sent = 0;
+  // Push until our own send buffer jams (server stopped consuming) or we
+  // have pushed far more than any buffer chain holds.
+  for (int spins = 0; sent < (8u << 20) && spins < 200;) {
+    const ssize_t n = ::send(fd, chunk.data(), chunk.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      spins = 0;
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      ++spins;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    } else {
+      break;  // reset by the server: it already cut us off
+    }
+  }
+
+  // Other clients keep getting answers while/after the abuser is cut off.
+  OracleClient client(MakeClientOptions());
+  const auto response = client.Query({1, 2});
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, StatusCode::kOk);
+
+  // And shutdown stays bounded: without the write timeout the abuser's
+  // reader thread would be stuck in send() forever and this would hang.
+  const auto start = std::chrono::steady_clock::now();
+  server_->Shutdown();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            3000);
+  ::close(fd);
 }
 
 TEST_F(ServeServerTest, OverloadShedsInsteadOfQueueingUnbounded) {
@@ -337,6 +477,45 @@ TEST_F(ServeServerTest, QueriesKeepServingOldEpochDuringSlowReload) {
   }
   reloader.join();
   EXPECT_EQ(served, 20);  // the slow reload never blocked a query
+  std::remove(index_path.c_str());
+}
+
+TEST_F(ServeServerTest, WedgedReloadDoesNotBlockShutdown) {
+  const std::string index_path = socket_path_ + ".idx";
+  ASSERT_TRUE(SaveInfluenceIndex(*index_->Current(), index_path));
+  index_ = std::make_unique<IndexManager>(index_path);
+  ASSERT_EQ(index_->Reload(), ReloadStatus::kOk);
+  ServerOptions options;
+  options.drain_deadline_ms = 200;
+  StartServer(options);
+
+  // The reload wedges for 1.2 s (hung disk stand-in), far past the 200 ms
+  // drain deadline. Fire it and shut down without waiting for the answer.
+  ASSERT_TRUE(failpoint::Set("serve.reload", "delay(1200)"));
+  const int fd = ConnectUnix(socket_path_);
+  ASSERT_GE(fd, 0);
+  timeval tv{.tv_sec = 5, .tv_usec = 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ASSERT_TRUE(SendAll(fd, "{\"id\": 1, \"method\": \"reload\"}\n"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));  // picked up
+
+  const auto start = std::chrono::steady_clock::now();
+  server_->Shutdown();  // must detach the wedged reload thread, not join it
+  const auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+  EXPECT_LT(elapsed_ms, 1000);
+
+  // The detached thread still answers once the wedge clears: reading the
+  // response both proves that and synchronizes with its last access to the
+  // IndexManager, so the fixture can safely tear down afterwards.
+  const std::vector<std::string> lines = ReadLines(fd, 1);
+  ASSERT_EQ(lines.size(), 1u);
+  const auto response = ParseResponse(lines[0]);
+  ASSERT_TRUE(response.has_value()) << lines[0];
+  EXPECT_EQ(response->id, 1);
+  EXPECT_EQ(response->status, StatusCode::kOk);
+  ::close(fd);
   std::remove(index_path.c_str());
 }
 
