@@ -8,10 +8,12 @@
 #include "ipin/common/check.h"
 #include "ipin/common/flags.h"
 #include "ipin/common/string_util.h"
+#include "ipin/common/thread_pool.h"
 #include "ipin/datasets/registry.h"
 #include "ipin/graph/interaction_graph.h"
 #include "ipin/obs/export.h"
 #include "ipin/obs/memtally.h"
+#include "ipin/obs/metrics.h"
 #include "ipin/obs/trace_events.h"
 
 // Shared plumbing for the table/figure harnesses: flag handling, dataset
@@ -57,10 +59,15 @@ inline void PrintBanner(const char* experiment, const FlagMap& flags,
   (void)flags;
 }
 
-/// Starts opt-in trace-event recording when --trace_out=FILE was passed.
-/// Call once, right after parsing flags; EmitRunReport stops the session
-/// and writes the Chrome trace file. No-op without the flag.
+/// Starts opt-in trace-event recording when --trace_out=FILE was passed and
+/// applies --threads=N to the global pool (0 or absent = IPIN_THREADS env /
+/// hardware default). Call once, right after parsing flags; EmitRunReport
+/// stops the session and writes the Chrome trace file.
 inline void SetupBenchObservability(const FlagMap& flags) {
+  if (flags.Has("threads")) {
+    const int64_t threads = flags.GetInt("threads", 0);
+    SetGlobalThreads(threads <= 0 ? 0 : static_cast<size_t>(threads));
+  }
   if (!flags.GetString("trace_out", "").empty()) {
     obs::StartTraceRecording();
   }
@@ -84,6 +91,10 @@ inline void EmitRunReport(const FlagMap& flags) {
   // Mirror measured byte tallies into mem.* gauges so the report (and any
   // trace counter tracks already sampled) carries them.
   obs::PublishMemoryGauges();
+  // Record the effective parallelism so a bench JSON is self-describing:
+  // a thread-count=1 run is comparable against the bench history, a
+  // multi-thread run is labelled as such.
+  IPIN_GAUGE_SET("parallel.threads.effective", GlobalThreads());
   const std::string path = flags.GetString("metrics_out", "");
   if (!path.empty()) {
     if (obs::WriteMetricsReportFile(path)) {

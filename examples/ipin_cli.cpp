@@ -18,7 +18,9 @@
 // records trace events during the command and writes a Chrome/Perfetto
 // trace_event JSON file on exit (open with https://ui.perfetto.dev);
 // --log_level=LEVEL (debug|info|warning|error) sets the logger threshold
-// (overriding the IPIN_LOG_LEVEL environment variable).
+// (overriding the IPIN_LOG_LEVEL environment variable); --threads=N sizes
+// the global worker pool (0/absent = IPIN_THREADS env or hardware
+// concurrency, 1 = exact sequential execution).
 
 #include <cerrno>
 #include <cmath>
@@ -33,6 +35,7 @@
 #include "ipin/common/logging.h"
 #include "ipin/common/random.h"
 #include "ipin/common/string_util.h"
+#include "ipin/common/thread_pool.h"
 #include "ipin/common/timer.h"
 #include "ipin/core/checkpoint.h"
 #include "ipin/core/influence_maximization.h"
@@ -69,7 +72,9 @@ int Usage() {
       "  report      --in=<file> [--window-pct=10] [--precision=9] "
       "[--queries=32] [--format=text|json|prom]\n"
       "global flags: --metrics_out=<json> --trace_out=<json> "
-      "--log_level=<level> --lenient (salvage damaged edge lists)\n");
+      "--log_level=<level> --lenient (salvage damaged edge lists)\n"
+      "              --threads=<n> (0 = IPIN_THREADS env / hardware; "
+      "1 = sequential)\n");
   return 2;
 }
 
@@ -410,6 +415,11 @@ int Run(int argc, char** argv) {
       return Usage();
     }
     SetLogLevel(level);
+  }
+
+  if (flags.Has("threads")) {
+    const int64_t threads = flags.GetInt("threads", 0);
+    SetGlobalThreads(threads <= 0 ? 0 : static_cast<size_t>(threads));
   }
 
   const std::string trace_out = flags.GetString("trace_out", "");

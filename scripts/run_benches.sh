@@ -6,12 +6,18 @@
 # Usage:
 #   scripts/run_benches.sh [--quick] [--build-dir=build] [--out-dir=bench-out]
 #                          [--reps=3] [--scale=0.05] [--datasets=slashdot]
+#                          [--threads=1]
 #
 #   --quick      micro-benches only (micro_irs, micro_sketch,
 #                micro_structures), 2 reps, minimal measuring time —
 #                the CI smoke configuration, a couple of minutes.
 #   full (default) additionally runs the fig3/fig4/table4 harnesses and
 #                uses 3 reps.
+#   --threads=N  worker-pool size for every bench (harnesses get --threads=N,
+#                micro benches inherit it via IPIN_THREADS). Defaults to 1 so
+#                bench-history documents stay comparable across machines;
+#                pass --threads=0 for the hardware default when measuring
+#                scaling curves (see EXPERIMENTS.md).
 #
 # Outputs in --out-dir:
 #   BENCH_micro_irs.json, BENCH_micro_sketch.json, ...   (ipin.bench.v1)
@@ -32,6 +38,7 @@ REPS=""
 SCALE=0.05
 DATASETS=slashdot
 OMEGA_PCT=10
+THREADS=1
 
 for arg in "$@"; do
   case "$arg" in
@@ -42,9 +49,14 @@ for arg in "$@"; do
     --scale=*) SCALE="${arg#*=}" ;;
     --datasets=*) DATASETS="${arg#*=}" ;;
     --omega-pct=*) OMEGA_PCT="${arg#*=}" ;;
+    --threads=*) THREADS="${arg#*=}" ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
+
+# Micro benches use google-benchmark's own flag parser, which rejects
+# unknown flags, so the pool size reaches them through the environment.
+export IPIN_THREADS="$THREADS"
 
 if [[ -z "$REPS" ]]; then
   REPS=$(( QUICK == 1 ? 2 : 3 ))
@@ -107,7 +119,7 @@ if [[ $QUICK == 0 ]]; then
       rep_file="$OUT_DIR/reps/${bench}.rep${r}.json"
       echo "== bench_${bench} rep $r/$REPS"
       "$BUILD_DIR/bench/bench_${bench}" \
-        --datasets="$DATASETS" --scale="$SCALE" \
+        --datasets="$DATASETS" --scale="$SCALE" --threads="$THREADS" \
         --metrics_out="$rep_file" >/dev/null
       reps+=("$rep_file")
     done

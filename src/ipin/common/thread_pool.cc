@@ -1,0 +1,188 @@
+#include "ipin/common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+#include "ipin/common/check.h"
+#include "ipin/common/string_util.h"
+#include "ipin/obs/metrics.h"
+
+namespace ipin {
+namespace {
+
+thread_local bool t_on_worker_thread = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+bool ThreadPool::OnWorkerThread() { return t_on_worker_thread; }
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  IPIN_CHECK(fn != nullptr);
+  size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    IPIN_CHECK(!stop_);
+    tasks_.push_back(std::move(fn));
+    depth = tasks_.size();
+  }
+  IPIN_COUNTER_ADD("parallel.pool.tasks", 1);
+  IPIN_GAUGE_SET("parallel.pool.queue_depth", depth);
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerMain() {
+  t_on_worker_thread = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ set and queue drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+      IPIN_GAUGE_SET("parallel.pool.queue_depth", tasks_.size());
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const std::function<void(size_t, size_t)>& body) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  const size_t n = end - begin;
+  if (n <= grain || num_threads() <= 1 || OnWorkerThread()) {
+    body(begin, end);
+    return;
+  }
+
+  // Dynamic chunk claiming: small-ish chunks (a few per thread) balance
+  // uneven per-index costs; `grain` bounds the scheduling overhead from
+  // below.
+  size_t chunk = (n + num_threads() * 4 - 1) / (num_threads() * 4);
+  if (chunk < grain) chunk = grain;
+  const size_t num_chunks = (n + chunk - 1) / chunk;
+
+  struct ForState {
+    std::atomic<size_t> next_chunk{0};
+    size_t completed = 0;  // guarded by mu
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::exception_ptr error;  // first failure, guarded by mu
+  };
+  auto state = std::make_shared<ForState>();
+
+  const auto run_chunks = [state, begin, end, chunk, num_chunks, &body] {
+    size_t ran = 0;
+    for (;;) {
+      const size_t c = state->next_chunk.fetch_add(1);
+      if (c >= num_chunks) break;
+      const size_t lo = begin + c * chunk;
+      const size_t hi = std::min(end, lo + chunk);
+      try {
+        body(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (!state->error) state->error = std::current_exception();
+      }
+      ++ran;
+    }
+    if (ran > 0) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->completed += ran;
+      if (state->completed == num_chunks) state->done_cv.notify_all();
+    }
+  };
+
+  // The caller claims chunks too, so at most num_threads() - 1 helpers are
+  // useful; tasks that wake up after the range is exhausted are no-ops.
+  const size_t helpers = std::min(num_threads() - 1, num_chunks - 1);
+  for (size_t i = 0; i < helpers; ++i) Submit(run_chunks);
+  run_chunks();
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&] { return state->completed == num_chunks; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+size_t HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+namespace {
+
+size_t ResolveDefaultThreads() {
+  if (const char* env = std::getenv("IPIN_THREADS")) {
+    const auto parsed = ParseInt64(env);
+    if (parsed.has_value() && *parsed > 0) return static_cast<size_t>(*parsed);
+  }
+  return HardwareThreads();
+}
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;      // guarded by g_pool_mu
+size_t g_pool_threads = 0;               // size of g_pool, guarded by g_pool_mu
+std::atomic<size_t> g_threads{0};        // 0 = not resolved yet
+
+}  // namespace
+
+void SetGlobalThreads(size_t n) {
+  g_threads.store(n == 0 ? ResolveDefaultThreads() : n,
+                  std::memory_order_release);
+}
+
+size_t GlobalThreads() {
+  size_t t = g_threads.load(std::memory_order_acquire);
+  if (t != 0) return t;
+  const size_t resolved = ResolveDefaultThreads();
+  size_t expected = 0;
+  g_threads.compare_exchange_strong(expected, resolved,
+                                    std::memory_order_acq_rel);
+  return g_threads.load(std::memory_order_acquire);
+}
+
+ThreadPool& GlobalPool() {
+  const size_t want = GlobalThreads();
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (g_pool == nullptr || g_pool_threads != want) {
+    g_pool.reset();  // join the old size's workers first
+    g_pool = std::make_unique<ThreadPool>(want);
+    g_pool_threads = want;
+  }
+  return *g_pool;
+}
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& body) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  if (GlobalThreads() <= 1 || end - begin <= grain ||
+      ThreadPool::OnWorkerThread()) {
+    body(begin, end);
+    return;
+  }
+  GlobalPool().ParallelFor(begin, end, grain, body);
+}
+
+}  // namespace ipin

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "ipin/common/check.h"
+#include "ipin/common/thread_pool.h"
 #include "ipin/obs/metrics.h"
+#include "ipin/obs/trace.h"
 #include "ipin/sketch/estimators.h"
 
 namespace ipin {
@@ -68,11 +70,9 @@ class SketchCoverage : public CoverageState {
 
  private:
   static void MaxInto(const VersionedHll& sketch, std::vector<uint8_t>* ranks) {
+    const std::span<const uint8_t> max_ranks = sketch.max_ranks();
     for (size_t c = 0; c < ranks->size(); ++c) {
-      const auto& list = sketch.cell(c);
-      if (!list.empty() && list.back().rank > (*ranks)[c]) {
-        (*ranks)[c] = list.back().rank;
-      }
+      if (max_ranks[c] > (*ranks)[c]) (*ranks)[c] = max_ranks[c];
     }
   }
 
@@ -119,6 +119,17 @@ class SetCoverage : public CoverageState {
 };
 
 }  // namespace
+
+std::vector<double> InfluenceOracle::InfluenceOfAll() const {
+  IPIN_TRACE_SPAN("oracle.influence_of_all");
+  std::vector<double> influence(num_nodes());
+  ParallelFor(0, influence.size(), 256, [&](size_t lo, size_t hi) {
+    for (size_t u = lo; u < hi; ++u) {
+      influence[u] = InfluenceOf(static_cast<NodeId>(u));
+    }
+  });
+  return influence;
+}
 
 ExactInfluenceOracle::ExactInfluenceOracle(const IrsExact* irs) : irs_(irs) {
   IPIN_CHECK(irs != nullptr);
@@ -199,11 +210,9 @@ BudgetedValue SketchInfluenceOracle::InfluenceOfSetBudgeted(
     const VersionedHll* sketch = irs_->Sketch(seeds[i]);
     if (sketch == nullptr) continue;
     any = true;
+    const std::span<const uint8_t> max_ranks = sketch->max_ranks();
     for (size_t c = 0; c < beta; ++c) {
-      const auto& list = sketch->cell(c);
-      if (!list.empty() && list.back().rank > ranks[c]) {
-        ranks[c] = list.back().rank;
-      }
+      if (max_ranks[c] > ranks[c]) ranks[c] = max_ranks[c];
     }
   }
   return {any ? EstimateFromRanks(ranks) : 0.0, false};

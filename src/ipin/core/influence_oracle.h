@@ -24,6 +24,9 @@ class CoverageState {
   virtual double Covered() const = 0;
 
   /// |covered union sigma(u)| - |covered| without modifying state.
+  /// Implementations must tolerate concurrent GainOf calls (the parallel
+  /// greedy rounds evaluate candidate gains from several threads between
+  /// Commits); Commit itself is never called concurrently with anything.
   virtual double GainOf(NodeId u) const = 0;
 
   /// Folds sigma(u) into the covered set.
@@ -63,8 +66,15 @@ class InfluenceOracle {
 
   virtual size_t num_nodes() const = 0;
 
-  /// |sigma(u)| (exact or estimated).
+  /// |sigma(u)| (exact or estimated). Must be safe to call concurrently
+  /// (every oracle here is read-only after construction) — InfluenceOfAll
+  /// and the greedy candidate scans fan it out across the global pool.
   virtual double InfluenceOf(NodeId u) const = 0;
+
+  /// {InfluenceOf(u) : u < num_nodes()}, evaluated in parallel on the
+  /// global pool. Entry u is exactly InfluenceOf(u), so the result does not
+  /// depend on the thread count.
+  virtual std::vector<double> InfluenceOfAll() const;
 
   /// |union of sigma(s) for s in seeds|.
   virtual double InfluenceOfSet(std::span<const NodeId> seeds) const = 0;

@@ -1,12 +1,25 @@
 #include "ipin/core/irs_approx.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "ipin/common/check.h"
 #include "ipin/common/hash.h"
+#include "ipin/common/thread_pool.h"
 #include "ipin/obs/metrics.h"
 #include "ipin/obs/trace.h"
 #include "ipin/sketch/estimators.h"
 
 namespace ipin {
+namespace {
+
+// Below this edge count the slab build's fixed costs (P sketch arrays, the
+// stitch pass) outweigh any speedup; stay on the one-pass scan.
+constexpr size_t kParallelBuildMinEdges = 4096;
+// Never cut slabs smaller than this many edges.
+constexpr size_t kMinSlabEdges = 1024;
+
+}  // namespace
 
 IrsApprox::IrsApprox(size_t num_nodes, Duration window,
                      const IrsApproxOptions& options)
@@ -28,6 +41,16 @@ IrsApprox::IrsApprox(Duration window, const IrsApproxOptions& options,
 
 IrsApprox IrsApprox::Compute(const InteractionGraph& graph, Duration window,
                              const IrsApproxOptions& options) {
+  const size_t threads = GlobalThreads();
+  if (threads > 1 && graph.num_interactions() >= kParallelBuildMinEdges) {
+    return ComputeParallel(graph, window, options, threads);
+  }
+  return ComputeSequential(graph, window, options);
+}
+
+IrsApprox IrsApprox::ComputeSequential(const InteractionGraph& graph,
+                                       Duration window,
+                                       const IrsApproxOptions& options) {
   IPIN_TRACE_SPAN("irs.approx.compute");
   IPIN_CHECK(graph.is_sorted());
   IrsApprox irs(graph.num_nodes(), window, options);
@@ -35,6 +58,120 @@ IrsApprox IrsApprox::Compute(const InteractionGraph& graph, Duration window,
   for (size_t i = edges.size(); i > 0; --i) {
     irs.ProcessInteraction(edges[i - 1]);
   }
+  irs.PublishBuildMetrics();
+  return irs;
+}
+
+// Correctness sketch (full argument in DESIGN.md §10). A node's final cell
+// lists are the canonical Pareto frontier (domination pruning, Lemma 3) of
+// the set of (rank, channel-end-time) pairs that reach it, and AddEntry
+// produces that frontier regardless of insertion order — so any schedule
+// inserting the same pair set yields bit-identical sketches. Slab builds
+// insert exactly the pairs carried by channels confined to one slab; every
+// channel crossing a slab boundary decomposes into its maximal suffix
+// (already folded into the stitched suffix sketches) plus slab-local hops,
+// which the stitch scan replays: scanning slab i right-to-left, each edge
+// (u, v, t) pulls v's suffix-derived entries (prop[v], accumulated by later
+// slab-i edges) and v's final suffix sketch through the same
+// window-bounded MergeWindow the one-pass scan would have applied at that
+// edge. Entries from the suffix all have time >= the slab boundary, so
+// once t + window <= boundary nothing further can cross and the scan
+// breaks early — with a window far smaller than the trace span the stitch
+// touches only a thin band per boundary.
+IrsApprox IrsApprox::ComputeParallel(const InteractionGraph& graph,
+                                     Duration window,
+                                     const IrsApproxOptions& options,
+                                     size_t num_slabs) {
+  IPIN_CHECK(graph.is_sorted());
+  const auto& edges = graph.interactions();
+  const size_t m = edges.size();
+  const size_t n = graph.num_nodes();
+  size_t slabs_wanted = std::max<size_t>(num_slabs, 1);
+  if (slabs_wanted > 1 && m / slabs_wanted < kMinSlabEdges) {
+    slabs_wanted = std::max<size_t>(1, m / kMinSlabEdges);
+  }
+  if (slabs_wanted <= 1 || m == 0) {
+    return ComputeSequential(graph, window, options);
+  }
+  IPIN_TRACE_SPAN("irs.approx.compute_parallel");
+  const size_t P = slabs_wanted;
+
+  // Slab i owns edge indices [bounds[i], bounds[i+1]); slabs are contiguous
+  // in the sorted edge array, so equal-timestamp runs may split across a
+  // boundary — harmless, the stitch replays those edges too.
+  std::vector<size_t> bounds(P + 1);
+  for (size_t i = 0; i <= P; ++i) bounds[i] = i * m / P;
+
+  // Phase 1: independent reverse scans, one (partial) IrsApprox per slab.
+  std::vector<IrsApprox> slabs;
+  slabs.reserve(P);
+  for (size_t i = 0; i < P; ++i) slabs.emplace_back(n, window, options);
+  {
+    IPIN_TRACE_SPAN("irs.approx.parallel.slab_build");
+    ParallelFor(0, P, 1, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        for (size_t j = bounds[i + 1]; j > bounds[i]; --j) {
+          slabs[i].ProcessInteraction(edges[j - 1]);
+        }
+      }
+    });
+  }
+
+  // Phases 2+3, right to left: compute the boundary propagation for slab i
+  // against the already-stitched suffix, then fold slab i's local sketches
+  // and the propagated entries into the final ones.
+  std::vector<std::unique_ptr<VersionedHll>> final_sketches =
+      std::move(slabs[P - 1].sketches_);
+  size_t merge_calls = slabs[P - 1].merge_calls_;
+  for (size_t i = P - 1; i-- > 0;) {
+    IPIN_TRACE_SPAN("irs.approx.parallel.stitch");
+    const Timestamp boundary = edges[bounds[i + 1]].time;
+    // prop[x]: entries of the suffix that flow into x via slab-i edges,
+    // built by replaying the reverse scan over the boundary band.
+    std::vector<std::unique_ptr<VersionedHll>> prop(n);
+    for (size_t j = bounds[i + 1]; j > bounds[i]; --j) {
+      const auto [u, v, t] = edges[j - 1];
+      if (t + window <= boundary) break;  // suffix out of reach from here on
+      if (u == v) continue;  // self-loops never propagate (Algorithm 3)
+      const VersionedHll* from_prop = prop[v].get();
+      const VersionedHll* from_final = final_sketches[v].get();
+      if (from_prop == nullptr && from_final == nullptr) continue;
+      if (prop[u] == nullptr) {
+        prop[u] = std::make_unique<VersionedHll>(options.precision,
+                                                 options.salt);
+      }
+      if (from_prop != nullptr) {
+        prop[u]->MergeWindow(*from_prop, t, window);
+        ++merge_calls;
+      }
+      if (from_final != nullptr) {
+        prop[u]->MergeWindow(*from_final, t, window);
+        ++merge_calls;
+      }
+    }
+    merge_calls += slabs[i].merge_calls_;
+    auto& local = slabs[i].sketches_;
+    ParallelFor(0, n, 1024, [&](size_t lo, size_t hi) {
+      for (size_t x = lo; x < hi; ++x) {
+        if (local[x] != nullptr) {
+          if (final_sketches[x] == nullptr) {
+            final_sketches[x] = std::move(local[x]);
+          } else {
+            final_sketches[x]->MergeAll(*local[x]);
+          }
+        }
+        // A node with propagated entries was the source of some slab-i
+        // edge, so its local sketch exists and final_sketches[x] is set.
+        if (prop[x] != nullptr) final_sketches[x]->MergeAll(*prop[x]);
+      }
+    });
+  }
+
+  IrsApprox irs(window, options, std::move(final_sketches));
+  irs.saw_interaction_ = true;
+  irs.last_time_ = edges.front().time;
+  irs.edges_scanned_ = m;
+  irs.merge_calls_ = merge_calls;
   irs.PublishBuildMetrics();
   return irs;
 }
@@ -103,11 +240,11 @@ double IrsApprox::EstimateUnionSize(std::span<const NodeId> seeds) const {
     const VersionedHll* sketch = sketches_[u].get();
     if (sketch == nullptr) continue;
     any = true;
+    // Contiguous per-cell max-rank cache: one linear pass instead of
+    // chasing beta cell-list headers.
+    const std::span<const uint8_t> max_ranks = sketch->max_ranks();
     for (size_t c = 0; c < beta; ++c) {
-      const auto& list = sketch->cell(c);
-      if (!list.empty() && list.back().rank > ranks[c]) {
-        ranks[c] = list.back().rank;
-      }
+      if (max_ranks[c] > ranks[c]) ranks[c] = max_ranks[c];
     }
   }
   if (!any) return 0.0;

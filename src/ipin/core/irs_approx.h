@@ -31,8 +31,23 @@ struct IrsApproxOptions {
 class IrsApprox {
  public:
   /// Runs the full reverse scan over a time-sorted interaction list.
+  /// Dispatches to ComputeParallel when the global thread count
+  /// (common/thread_pool.h) is > 1 and the graph is large enough for the
+  /// slab overhead to pay off; the result is identical either way.
   static IrsApprox Compute(const InteractionGraph& graph, Duration window,
                            const IrsApproxOptions& options = {});
+
+  /// Parallel build (DESIGN.md §10): splits the reverse scan into
+  /// `num_slabs` contiguous time slabs built independently, then stitches
+  /// right-to-left so entries from later slabs flow across slab boundaries
+  /// exactly as the one-pass scan would have propagated them. Per-node
+  /// sketches are bit-identical to the sequential Compute for every slab
+  /// count (cross-validated in tests/test_parallel_irs.cc); slab builds and
+  /// per-node folds run on the global pool.
+  static IrsApprox ComputeParallel(const InteractionGraph& graph,
+                                   Duration window,
+                                   const IrsApproxOptions& options,
+                                   size_t num_slabs);
 
   /// Empty instance; feed interactions with ProcessInteraction in reverse
   /// time order.
@@ -91,6 +106,11 @@ class IrsApprox {
   friend class CheckpointAccess;
 
   VersionedHll* MutableSketch(NodeId u);
+
+  // The plain one-pass reverse scan (the paper's Algorithm 3 verbatim).
+  static IrsApprox ComputeSequential(const InteractionGraph& graph,
+                                     Duration window,
+                                     const IrsApproxOptions& options);
 
   // Rolls the plain-member scan tallies up into the metrics registry; called
   // once per completed build (by Compute and the checkpointed variant).

@@ -152,11 +152,9 @@ double SourceSetApprox::EstimateUnionSize(
     const VersionedHll* sketch = sketches_[v].get();
     if (sketch == nullptr) continue;
     any = true;
+    const std::span<const uint8_t> max_ranks = sketch->max_ranks();
     for (size_t c = 0; c < beta; ++c) {
-      const auto& list = sketch->cell(c);
-      if (!list.empty() && list.back().rank > ranks[c]) {
-        ranks[c] = list.back().rank;
-      }
+      if (max_ranks[c] > ranks[c]) ranks[c] = max_ranks[c];
     }
   }
   if (!any) return 0.0;
@@ -216,11 +214,9 @@ class SourceSetCoverage : public CoverageState {
 
  private:
   static void MaxInto(const VersionedHll& sketch, std::vector<uint8_t>* ranks) {
+    const std::span<const uint8_t> max_ranks = sketch.max_ranks();
     for (size_t c = 0; c < ranks->size(); ++c) {
-      const auto& list = sketch.cell(c);
-      if (!list.empty() && list.back().rank > (*ranks)[c]) {
-        (*ranks)[c] = list.back().rank;
-      }
+      if (max_ranks[c] > (*ranks)[c]) (*ranks)[c] = max_ranks[c];
     }
   }
 

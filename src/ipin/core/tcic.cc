@@ -1,6 +1,9 @@
 #include "ipin/core/tcic.h"
 
+#include <vector>
+
 #include "ipin/common/check.h"
+#include "ipin/common/thread_pool.h"
 #include "ipin/obs/metrics.h"
 #include "ipin/obs/trace.h"
 
@@ -65,11 +68,19 @@ double AverageTcicSpread(const InteractionGraph& graph,
                          uint64_t seed) {
   IPIN_TRACE_SPAN("tcic.average_spread");
   IPIN_CHECK_GE(num_runs, 1u);
+  // Monte Carlo runs are independent, each on its own SplitMix-derived RNG
+  // stream keyed by the run index — so the per-run spreads, and the sum
+  // accumulated below in run order, are identical for any thread count.
+  std::vector<double> spread(num_runs);
+  ParallelFor(0, num_runs, 1, [&](size_t lo, size_t hi) {
+    for (size_t run = lo; run < hi; ++run) {
+      Rng rng(seed + run * 0x9e3779b97f4a7c15ULL);
+      spread[run] =
+          static_cast<double>(SimulateTcic(graph, seeds, options, &rng));
+    }
+  });
   double total = 0.0;
-  for (size_t run = 0; run < num_runs; ++run) {
-    Rng rng(seed + run * 0x9e3779b97f4a7c15ULL);
-    total += static_cast<double>(SimulateTcic(graph, seeds, options, &rng));
-  }
+  for (const double s : spread) total += s;
   return total / static_cast<double>(num_runs);
 }
 

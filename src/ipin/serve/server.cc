@@ -217,9 +217,10 @@ bool OracleServer::Start() {
   });
 
   acceptor_ = std::thread([this] { AcceptLoop(); });
-  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  worker_pool_ =
+      std::make_unique<ThreadPool>(static_cast<size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    worker_pool_->Submit([this] { WorkerLoop(); });
   }
   LogInfo(StrFormat(
       "serve: listening on %s (%d workers, queue %zu)",
@@ -616,10 +617,7 @@ void OracleServer::Shutdown() {
   // 3. Drain the queue: workers answer everything still in it (evaluating
   // while the drain deadline allows), then exit on the empty signal.
   queue_.Drain();
-  for (auto& worker : workers_) {
-    if (worker.joinable()) worker.join();
-  }
-  workers_.clear();
+  worker_pool_.reset();  // ThreadPool dtor joins once every WorkerLoop exits
 
   // 4. Readers have seen EOF by now (and any reader stuck writing to a
   // non-consuming peer is released by the write timeout); join and release

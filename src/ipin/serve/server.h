@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "ipin/common/thread_pool.h"
 #include "ipin/serve/index_manager.h"
 #include "ipin/serve/protocol.h"
 #include "ipin/serve/queue.h"
@@ -158,7 +159,11 @@ class OracleServer {
 
   BoundedQueue<Task> queue_;
   std::thread acceptor_;
-  std::vector<std::thread> workers_;
+  // Query workers run as num_workers long-lived WorkerLoop tasks on the
+  // shared pool abstraction (common/thread_pool.h); Shutdown drains the
+  // queue (WorkerLoop exits on the empty signal) and resets the pool,
+  // whose destructor joins.
+  std::unique_ptr<ThreadPool> worker_pool_;
   std::shared_ptr<ReloadState> reload_state_;
   std::thread reload_thread_;
 

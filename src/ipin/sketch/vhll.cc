@@ -19,6 +19,7 @@ VersionedHll::VersionedHll(int precision, uint64_t salt)
   IPIN_CHECK_GE(precision, 4);
   IPIN_CHECK_LE(precision, 18);
   cells_.resize(static_cast<size_t>(1) << precision);
+  max_ranks_.resize(cells_.size(), 0);
 }
 
 bool VersionedHll::Add(uint64_t item, Timestamp t) {
@@ -69,6 +70,8 @@ bool VersionedHll::AddEntry(size_t cell_index, uint8_t rank, Timestamp t) {
                  list.begin() + static_cast<ptrdiff_t>(end));
     }
   }
+  // Ranks ascend within a list, so the cached cell max is just the tail.
+  max_ranks_[cell_index] = list.back().rank;
   return true;
 }
 
@@ -115,18 +118,19 @@ bool VersionedHll::MergeWithFloor(const VersionedHll& other, Timestamp floor,
 }
 
 double VersionedHll::Estimate() const {
-  std::vector<uint8_t> ranks(cells_.size(), 0);
-  for (size_t c = 0; c < cells_.size(); ++c) {
-    // Max rank is the last entry (ascending rank order).
-    if (!cells_[c].empty()) ranks[c] = cells_[c].back().rank;
-  }
-  return EstimateFromRanks(ranks);
+  return EstimateFromRanks({max_ranks_.data(), max_ranks_.size()});
 }
 
 double VersionedHll::EstimateBefore(Timestamp bound) const {
-  std::vector<uint8_t> ranks(cells_.size(), 0);
-  MaxRanks(bound, &ranks);
-  return EstimateFromRanks(ranks);
+  std::vector<uint8_t> scratch;
+  return EstimateBefore(bound, &scratch);
+}
+
+double VersionedHll::EstimateBefore(Timestamp bound,
+                                    std::vector<uint8_t>* scratch) const {
+  scratch->assign(cells_.size(), 0);
+  MaxRanks(bound, scratch);
+  return EstimateFromRanks(*scratch);
 }
 
 void VersionedHll::MaxRanks(Timestamp bound,
@@ -145,13 +149,16 @@ void VersionedHll::MaxRanks(Timestamp bound,
 
 void VersionedHll::CompactExpired(Timestamp frontier, Duration window) {
   const Timestamp bound = frontier + window;
-  for (CellList& list : cells_) {
+  for (size_t c = 0; c < cells_.size(); ++c) {
+    CellList& list = cells_[c];
     while (!list.empty() && list.back().time >= bound) list.pop_back();
+    max_ranks_[c] = list.empty() ? 0 : list.back().rank;
   }
 }
 
 void VersionedHll::Clear() {
   for (CellList& list : cells_) list.clear();
+  std::fill(max_ranks_.begin(), max_ranks_.end(), 0);
 }
 
 size_t VersionedHll::NumEntries() const {
@@ -161,7 +168,9 @@ size_t VersionedHll::NumEntries() const {
 }
 
 bool VersionedHll::CheckInvariants() const {
-  for (const CellList& list : cells_) {
+  for (size_t c = 0; c < cells_.size(); ++c) {
+    const CellList& list = cells_[c];
+    if (max_ranks_[c] != (list.empty() ? 0 : list.back().rank)) return false;
     for (size_t i = 1; i < list.size(); ++i) {
       // Strictly ascending rank; non-descending time; no domination either
       // way (equal times with equal ranks would have been collapsed).
@@ -240,6 +249,7 @@ std::optional<VersionedHll> VersionedHll::Deserialize(std::string_view data,
       }
       sketch.cells_[c].push_back(e);
     }
+    if (count > 0) sketch.max_ranks_[c] = sketch.cells_[c].back().rank;
   }
   if (!sketch.CheckInvariants()) return std::nullopt;
   return sketch;
@@ -247,6 +257,7 @@ std::optional<VersionedHll> VersionedHll::Deserialize(std::string_view data,
 
 size_t VersionedHll::MemoryUsageBytes() const {
   size_t bytes = cells_.capacity() * sizeof(CellList);
+  bytes += max_ranks_.capacity() * sizeof(uint8_t);
   for (const CellList& list : cells_) {
     bytes += list.capacity() * sizeof(Entry);
   }

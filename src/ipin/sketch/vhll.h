@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -86,11 +87,18 @@ class VersionedHll {
   bool MergeWithFloor(const VersionedHll& other, Timestamp floor,
                       Timestamp bound);
 
-  /// Estimated number of distinct items ever inserted.
+  /// Estimated number of distinct items ever inserted. O(beta): reads the
+  /// per-cell max-rank cache, not the entry lists.
   double Estimate() const;
 
   /// Estimated number of distinct items with timestamp < `bound`.
   double EstimateBefore(Timestamp bound) const;
+
+  /// As above, but reuses `*scratch` for the rank vector instead of
+  /// allocating one per call (hot in oracle serving, where one worker
+  /// answers many windowed queries back to back). `*scratch` is resized as
+  /// needed; contents on entry are ignored.
+  double EstimateBefore(Timestamp bound, std::vector<uint8_t>* scratch) const;
 
   /// Drops entries that can no longer affect any windowed query with
   /// merge_time <= frontier: entries with time >= frontier + window.
@@ -125,6 +133,13 @@ class VersionedHll {
   /// The raw list of cell `i` (ascending time, strictly ascending rank).
   const CellList& cell(size_t i) const { return cells_[i]; }
 
+  /// Per-cell max rank (0 for an empty cell), maintained on every mutation.
+  /// Contiguous, so cellwise-max union loops (the oracle's hot path) touch
+  /// one cache line per 64 cells instead of chasing every cell list.
+  std::span<const uint8_t> max_ranks() const {
+    return {max_ranks_.data(), max_ranks_.size()};
+  }
+
   /// Fills `ranks` (size num_cells) with the per-cell max rank, optionally
   /// bounded: only entries with time < bound count. Used by the oracle's
   /// union-estimate fast path.
@@ -155,6 +170,9 @@ class VersionedHll {
   size_t merge_entries_scanned_ = 0;
   size_t cell_updates_ = 0;
   std::vector<CellList, obs::TallyAllocator<CellList, &VhllMemTally>> cells_;
+  // Cache of cells_[c].back().rank (0 when empty), kept in sync by every
+  // mutating method so Estimate() and the union fast paths are O(beta).
+  std::vector<uint8_t, obs::TallyAllocator<uint8_t, &VhllMemTally>> max_ranks_;
 };
 
 }  // namespace ipin

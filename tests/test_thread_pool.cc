@@ -1,0 +1,153 @@
+#include "ipin/common/thread_pool.h"
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ipin {
+namespace {
+
+// The pool must work correctly whatever the host's core count (CI runners
+// range from 1 to many), so every test pins an explicit pool size instead
+// of relying on hardware_concurrency.
+
+class GlobalThreadsGuard {
+ public:
+  ~GlobalThreadsGuard() { SetGlobalThreads(0); }  // restore default
+};
+
+TEST(ThreadPoolTest, SubmitRunsEveryTask) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    // The destructor completes everything already queued before joining.
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEachIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(0, hits.size(), 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEmptyAndTinyRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(5, 5, 1, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // A range no larger than the grain runs inline as one chunk.
+  std::vector<int> seen;
+  pool.ParallelFor(10, 13, 8, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) seen.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(seen, (std::vector<int>{10, 11, 12}));
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsBodyInlineInOrder) {
+  // threads == 1 is the exact sequential fallback: one body call over the
+  // whole range, on the calling thread, so no synchronization is needed.
+  ThreadPool pool(1);
+  std::vector<size_t> order;
+  pool.ParallelFor(0, 100, 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) order.push_back(i);
+  });
+  std::vector<size_t> expected(100);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.ParallelFor(0, 8, 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      // On a pool worker the nested call must inline rather than wait for
+      // pool capacity that may never free up.
+      pool.ParallelFor(0, 10, 1, [&](size_t nlo, size_t nhi) {
+        total.fetch_add(static_cast<int>(nhi - nlo));
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 80);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 100, 1,
+                       [&](size_t lo, size_t) {
+                         if (lo >= 50) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The pool is still usable afterwards.
+  std::atomic<int> count{0};
+  pool.ParallelFor(0, 10, 1, [&](size_t lo, size_t hi) {
+    count.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, GlobalThreadsKnob) {
+  GlobalThreadsGuard guard;
+  SetGlobalThreads(3);
+  EXPECT_EQ(GlobalThreads(), 3u);
+  SetGlobalThreads(1);
+  EXPECT_EQ(GlobalThreads(), 1u);
+  SetGlobalThreads(0);  // back to IPIN_THREADS / hardware default
+  EXPECT_GE(GlobalThreads(), 1u);
+}
+
+TEST(ThreadPoolTest, FreeParallelForSequentialWhenGlobalThreadsIsOne) {
+  GlobalThreadsGuard guard;
+  SetGlobalThreads(1);
+  std::vector<size_t> order;
+  ParallelFor(0, 64, 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) order.push_back(i);
+  });
+  std::vector<size_t> expected(64);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, FreeParallelForCoversRangeOnGlobalPool) {
+  GlobalThreadsGuard guard;
+  SetGlobalThreads(4);
+  std::vector<std::atomic<int>> hits(2048);
+  ParallelFor(0, hits.size(), 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SubmittedTasksSeePoolAsWorkerThread) {
+  ThreadPool pool(2);
+  std::atomic<bool> on_worker{false};
+  std::atomic<bool> ran{false};
+  pool.Submit([&] {
+    on_worker.store(ThreadPool::OnWorkerThread());
+    ran.store(true);
+  });
+  while (!ran.load()) std::this_thread::yield();
+  EXPECT_TRUE(on_worker.load());
+  EXPECT_FALSE(ThreadPool::OnWorkerThread());
+}
+
+}  // namespace
+}  // namespace ipin
