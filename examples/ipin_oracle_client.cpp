@@ -3,19 +3,32 @@
 //
 //   Single request (default) — send one request, print the response fields:
 //     ipin_oracle_client --socket=/tmp/ipin.sock --seeds=1,2,3 [--mode=auto]
-//         [--deadline_ms=0] [--method=query|health|stats|reload]
+//         [--deadline_ms=0]
+//         [--method=query|health|stats|reload|metrics|debug]
+//         [--format=prom|json]           # metrics payload format
+//         [--trace_id=<hex>]             # propagate trace context
+//     Queries print "trace_id=<hex>" (the given one, or the one the client
+//     generated) so the request can be found in the server's trace and
+//     logs; metrics/debug print their payload document after the status
+//     line.
 //
 //   Burst (--requests=N) — closed-loop load from --concurrency threads, each
-//     with its own connection, then a one-line tally the smoke test parses:
+//     with its own connection, then a one-line tally the smoke test parses,
+//     with client-side latency percentiles over all completed calls:
 //     ipin_oracle_client --socket=... --seeds=1,2 --requests=500
 //         --concurrency=8 [--retry_overloaded]
 //     => "burst: sent=500 ok=481 degraded=12 overloaded=19 deadline=0
-//         unavailable=0 bad=0 transport_errors=0 retries=19"
+//         unavailable=0 bad=0 transport_errors=0 retries=19
+//         p50_us=812 p95_us=2210 p99_us=4105"
+//
+// --metrics_out=<json> writes the client-side metrics report (including the
+// client.burst.latency_us histogram) on exit.
 //
 // Exit codes: 0 when the single request got status OK (or a burst got at
 // least one OK), 1 on any other status, 2 on transport failure / bad usage.
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -23,6 +36,8 @@
 
 #include "ipin/common/flags.h"
 #include "ipin/common/string_util.h"
+#include "ipin/obs/export.h"
+#include "ipin/obs/metrics.h"
 #include "ipin/serve/client.h"
 
 namespace ipin {
@@ -32,10 +47,13 @@ int Usage() {
   std::fprintf(stderr,
                "usage: ipin_oracle_client (--socket=<path> | --port=<n>) "
                "[--host=127.0.0.1]\n"
-               "  [--method=query|health|stats|reload] [--seeds=a,b,c]\n"
-               "  [--mode=sketch|exact|auto] [--deadline_ms=0]\n"
+               "  [--method=query|health|stats|reload|metrics|debug]\n"
+               "  [--seeds=a,b,c] [--mode=sketch|exact|auto] "
+               "[--deadline_ms=0]\n"
+               "  [--format=prom|json] [--trace_id=<hex>]\n"
                "  [--requests=<n> --concurrency=<c>] [--retry_overloaded]\n"
-               "  [--max_attempts=4] [--io_timeout_ms=2000]\n");
+               "  [--max_attempts=4] [--io_timeout_ms=2000] "
+               "[--metrics_out=<json>]\n");
   return 2;
 }
 
@@ -86,9 +104,32 @@ std::optional<serve::Request> BuildRequest(const FlagMap& flags) {
     request.method = serve::Method::kStats;
   } else if (method == "reload") {
     request.method = serve::Method::kReload;
+  } else if (method == "metrics") {
+    request.method = serve::Method::kMetrics;
+  } else if (method == "debug") {
+    request.method = serve::Method::kDebug;
   } else {
     std::fprintf(stderr, "bad --method '%s'\n", method.c_str());
     return std::nullopt;
+  }
+
+  const std::string format = flags.GetString("format", "prom");
+  if (format == "json") {
+    request.format = serve::MetricsFormat::kJson;
+  } else if (format != "prom") {
+    std::fprintf(stderr, "bad --format '%s'\n", format.c_str());
+    return std::nullopt;
+  }
+
+  const std::string trace_hex = flags.GetString("trace_id", "");
+  if (!trace_hex.empty()) {
+    const auto trace_id = serve::TraceIdFromHex(trace_hex);
+    if (!trace_id.has_value()) {
+      std::fprintf(stderr, "bad --trace_id '%s' (1-16 hex digits)\n",
+                   trace_hex.c_str());
+      return std::nullopt;
+    }
+    request.trace_id = *trace_id;
   }
 
   const std::string mode = flags.GetString("mode", "auto");
@@ -147,7 +188,17 @@ int RunSingle(const serve::ClientOptions& options,
   for (const auto& [key, value] : response->info) {
     std::printf(" %s=%g", key.c_str(), value);
   }
+  const uint64_t trace_id = response->trace_id != 0 ? response->trace_id
+                                                    : client.last_trace_id();
+  if (trace_id != 0) {
+    std::printf(" trace_id=%s", serve::TraceIdToHex(trace_id).c_str());
+  }
   std::printf("\n");
+  // metrics/debug carry a whole document; print it after the status line.
+  if (!response->payload.empty()) {
+    std::fputs(response->payload.c_str(), stdout);
+    if (response->payload.back() != '\n') std::fputc('\n', stdout);
+  }
   return response->status == serve::StatusCode::kOk ? 0 : 1;
 }
 
@@ -160,26 +211,47 @@ int RunBurst(const serve::ClientOptions& options,
   std::atomic<size_t> next{0};
   std::vector<std::thread> threads;
   threads.reserve(concurrency);
+  // Client-observed call latency (including any retries/backoff inside
+  // Call). Explicit registry use, not the IPIN_* macros, so the burst
+  // percentiles work even in obs-disabled builds.
+  obs::Histogram* const latency =
+      obs::MetricsRegistry::Global().GetHistogram("client.burst.latency_us");
   for (size_t t = 0; t < concurrency; ++t) {
     threads.emplace_back([&, t]() {
       serve::ClientOptions per_thread = options;
       per_thread.jitter_seed = options.jitter_seed + t;
       serve::OracleClient client(per_thread);
       while (next.fetch_add(1) < requests) {
+        const auto start = std::chrono::steady_clock::now();
         tally.Count(client.Call(request));
+        latency->Record(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count()));
       }
       tally.retries += client.retries();
     });
   }
   for (auto& thread : threads) thread.join();
 
+  // Snapshot the histogram for the interpolated percentiles.
+  obs::HistogramSnapshot snapshot;
+  snapshot.count = latency->Count();
+  snapshot.sum = latency->Sum();
+  snapshot.min = latency->Min();
+  snapshot.max = latency->Max();
+  for (size_t i = 0; i < obs::Histogram::kNumBuckets; ++i) {
+    snapshot.buckets[i] = latency->BucketCount(i);
+  }
   std::printf(
       "burst: sent=%zu ok=%zu degraded=%zu overloaded=%zu deadline=%zu "
-      "unavailable=%zu bad=%zu transport_errors=%zu retries=%zu\n",
+      "unavailable=%zu bad=%zu transport_errors=%zu retries=%zu "
+      "p50_us=%.0f p95_us=%.0f p99_us=%.0f\n",
       requests, tally.ok.load(), tally.degraded.load(),
       tally.overloaded.load(), tally.deadline.load(),
       tally.unavailable.load(), tally.bad.load(),
-      tally.transport_errors.load(), tally.retries.load());
+      tally.transport_errors.load(), tally.retries.load(), snapshot.P50(),
+      snapshot.P95(), snapshot.P99());
   return tally.ok.load() > 0 ? 0 : 1;
 }
 
@@ -203,11 +275,18 @@ int Run(int argc, char** argv) {
 
   const size_t requests =
       static_cast<size_t>(flags.GetInt("requests", 0));
-  if (requests > 0) {
-    return RunBurst(options, *request, requests,
-                    static_cast<size_t>(flags.GetInt("concurrency", 4)));
+  const int rc =
+      requests > 0
+          ? RunBurst(options, *request, requests,
+                     static_cast<size_t>(flags.GetInt("concurrency", 4)))
+          : RunSingle(options, *request);
+
+  const std::string metrics_out = flags.GetString("metrics_out", "");
+  if (!metrics_out.empty() && obs::WriteMetricsReportFile(metrics_out)) {
+    std::fprintf(stderr, "ipin_oracle_client: wrote metrics report to %s\n",
+                 metrics_out.c_str());
   }
-  return RunSingle(options, *request);
+  return rc;
 }
 
 }  // namespace

@@ -13,10 +13,16 @@
 //       [--default_deadline_ms=1000] [--exact_budget_ms=50]
 //       [--retry_after_ms=50] [--drain_deadline_ms=2000]
 //       [--reload_check_ms=0]                          # >0: file watcher
+//       [--slow_query_us=100000] [--flight_size=256] [--flight_slow_size=64]
+//       [--audit_rate=0]                               # e.g. 0.01 = 1 in 100
+//       [--stats_window_s=10]
+//       [--trace_out=trace.json]                       # Chrome trace at exit
 //       [--metrics_out=report.json] [--log_level=debug]
 //
 // On SIGTERM or SIGINT the daemon drains in-flight requests (bounded by
-// --drain_deadline_ms) and exits 0. Readiness: the line
+// --drain_deadline_ms) and exits 0. On SIGUSR1 it logs the slow-query
+// flight recorder dump (the same "ipin.debug.v1" document the "debug"
+// request verb returns) without interrupting service. Readiness: the line
 // "ipin_oracled: serving ..." on stdout means the socket is accepting.
 
 #include <csignal>
@@ -31,6 +37,7 @@
 #include "ipin/graph/graph_io.h"
 #include "ipin/obs/export.h"
 #include "ipin/obs/memtally.h"
+#include "ipin/obs/trace_events.h"
 #include "ipin/serve/index_manager.h"
 #include "ipin/serve/server.h"
 
@@ -45,16 +52,21 @@ int Usage() {
                "  [--workers=4] [--queue_capacity=64] [--max_connections=64]\n"
                "  [--default_deadline_ms=1000] [--exact_budget_ms=50]\n"
                "  [--retry_after_ms=50] [--drain_deadline_ms=2000]\n"
-               "  [--reload_check_ms=0] [--metrics_out=<json>] "
-               "[--log_level=<level>]\n");
+               "  [--reload_check_ms=0] [--slow_query_us=100000]\n"
+               "  [--flight_size=256] [--flight_slow_size=64] "
+               "[--audit_rate=0]\n"
+               "  [--stats_window_s=10] [--trace_out=<json>]\n"
+               "  [--metrics_out=<json>] [--log_level=<level>]\n");
   return 2;
 }
 
-// Signal-handler flag: the main thread sleeps in a loop on it, so the
-// handler itself only needs one async-signal-safe store.
+// Signal-handler flags: the main thread sleeps in a loop on them, so the
+// handlers themselves only need one async-signal-safe store each.
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_dump = 0;
 
 void HandleStopSignal(int) { g_stop = 1; }
+void HandleDumpSignal(int) { g_dump = 1; }
 
 int Run(int argc, char** argv) {
   const FlagMap flags = FlagMap::Parse(argc, argv);
@@ -110,6 +122,19 @@ int Run(int argc, char** argv) {
   options.exact_budget_ms = flags.GetInt("exact_budget_ms", 50);
   options.retry_after_ms = flags.GetInt("retry_after_ms", 50);
   options.drain_deadline_ms = flags.GetInt("drain_deadline_ms", 2000);
+  options.slow_query_us = flags.GetInt("slow_query_us", 100000);
+  options.flight_recorder_size =
+      static_cast<size_t>(flags.GetInt("flight_size", 256));
+  options.flight_slow_size =
+      static_cast<size_t>(flags.GetInt("flight_slow_size", 64));
+  options.audit_rate = flags.GetDouble("audit_rate", 0.0);
+  options.stats_window_s = flags.GetInt("stats_window_s", 10);
+
+  // --trace_out records Chrome trace events for the whole serving session;
+  // each request renders as one async lane keyed by its trace_id. The file
+  // is written after the drain.
+  const std::string trace_out = flags.GetString("trace_out", "");
+  if (!trace_out.empty()) obs::StartTraceRecording();
 
   serve::OracleServer server(&index, options);
   if (!server.Start()) return 1;
@@ -119,6 +144,7 @@ int Run(int argc, char** argv) {
 
   std::signal(SIGTERM, HandleStopSignal);
   std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGUSR1, HandleDumpSignal);
   std::signal(SIGPIPE, SIG_IGN);
 
   if (socket_path.empty()) {
@@ -133,6 +159,12 @@ int Run(int argc, char** argv) {
   std::fflush(stdout);
 
   while (g_stop == 0) {
+    if (g_dump != 0) {
+      g_dump = 0;
+      // One log line, service uninterrupted: the operator's kill -USR1
+      // answer to "what are the slow queries doing".
+      LogInfo("ipin_oracled: flight recorder dump: " + server.DebugDump());
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
 
@@ -140,6 +172,12 @@ int Run(int argc, char** argv) {
   index.StopWatcher();
   server.Shutdown();
 
+  if (!trace_out.empty()) {
+    obs::StopTraceRecording();
+    if (obs::WriteChromeTrace(trace_out)) {
+      LogInfo("wrote chrome trace to " + trace_out);
+    }
+  }
   const std::string metrics_out = flags.GetString("metrics_out", "");
   if (!metrics_out.empty()) {
     obs::PublishMemoryGauges();

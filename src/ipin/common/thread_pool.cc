@@ -38,7 +38,7 @@ bool ThreadPool::OnWorkerThread() { return t_on_worker_thread; }
 
 void ThreadPool::Submit(std::function<void()> fn) {
   IPIN_CHECK(fn != nullptr);
-  size_t depth = 0;
+  [[maybe_unused]] size_t depth = 0;  // read only by the obs gauge below
   {
     std::lock_guard<std::mutex> lock(mu_);
     IPIN_CHECK(!stop_);

@@ -425,7 +425,7 @@ void MaybeCheckpoint(const Irs& irs, const Fingerprint& fp, uint64_t done,
   }
 }
 
-void PublishCheckpointMetrics(const CheckpointStats& stats) {
+void PublishCheckpointMetrics([[maybe_unused]] const CheckpointStats& stats) {
   IPIN_COUNTER_ADD("robustness.checkpoint.saves", stats.checkpoints_written);
   IPIN_COUNTER_ADD("robustness.checkpoint.save_failures",
                    stats.checkpoint_failures);

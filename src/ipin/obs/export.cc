@@ -78,11 +78,43 @@ void AppendHistogramJson(const HistogramSnapshot& h, std::string* out) {
   out->append("]}");
 }
 
-// "a.b.c" -> "a_b_c" (Prometheus metric names reject dots).
+// Sanitizes to a valid Prometheus metric name ([a-zA-Z_:][a-zA-Z0-9_:]*):
+// every invalid character (dots, dashes, slashes, spaces, ...) becomes '_',
+// and a leading digit gets a '_' prefix. Registry names are free-form
+// strings, so escaping here — not at every registration site — is what
+// keeps the exposition parseable.
 std::string PrometheusName(const std::string& name) {
   std::string out = name;
   for (char& c : out) {
-    if (c == '.' || c == '/' || c == '-') c = '_';
+    const bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!valid) c = '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+// Prometheus label values live inside double quotes; backslash, quote, and
+// newline must be escaped per the exposition format.
+std::string PrometheusLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      default:
+        out.push_back(c);
+    }
   }
   return out;
 }
@@ -157,7 +189,12 @@ std::string MetricsReportJson(const MetricsSnapshot& snapshot,
 std::string MetricsPrometheusText(const MetricsSnapshot& snapshot) {
   std::string out;
   for (const auto& [name, value] : snapshot.counters) {
-    const std::string prom = PrometheusName(name);
+    // Counters carry the conventional _total suffix (avoiding __total when
+    // a registry name already ends in it).
+    std::string prom = PrometheusName(name);
+    if (prom.size() < 6 || prom.compare(prom.size() - 6, 6, "_total") != 0) {
+      prom += "_total";
+    }
     out.append(StrFormat("# TYPE %s counter\n%s %llu\n", prom.c_str(),
                          prom.c_str(),
                          static_cast<unsigned long long>(value)));
@@ -174,10 +211,12 @@ std::string MetricsPrometheusText(const MetricsSnapshot& snapshot) {
     for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
       if (h.buckets[i] == 0) continue;
       cumulative += h.buckets[i];
-      out.append(StrFormat(
-          "%s_bucket{le=\"%llu\"} %llu\n", prom.c_str(),
-          static_cast<unsigned long long>(Histogram::BucketUpperBound(i)),
-          static_cast<unsigned long long>(cumulative)));
+      const std::string le = PrometheusLabelValue(StrFormat(
+          "%llu",
+          static_cast<unsigned long long>(Histogram::BucketUpperBound(i))));
+      out.append(StrFormat("%s_bucket{le=\"%s\"} %llu\n", prom.c_str(),
+                           le.c_str(),
+                           static_cast<unsigned long long>(cumulative)));
     }
     out.append(StrFormat("%s_bucket{le=\"+Inf\"} %llu\n", prom.c_str(),
                          static_cast<unsigned long long>(h.count)));

@@ -36,8 +36,12 @@ void WriteMetricsText(const MetricsSnapshot& snapshot, std::FILE* out);
 std::string MetricsReportJson(const MetricsSnapshot& snapshot,
                               const std::vector<SpanStats>& spans);
 
-/// Prometheus text exposition format ('.' in names becomes '_'; histograms
-/// export cumulative "_bucket" series plus "_sum" and "_count").
+/// Prometheus text exposition format. Metric names are sanitized to
+/// [a-zA-Z_:][a-zA-Z0-9_:]* (every other character becomes '_'); counters
+/// carry the conventional "_total" suffix; histograms export cumulative
+/// "_bucket" series plus "_sum"/"_count" and companion _p50/_p95/_p99
+/// gauges. One sample per line, label values escaped per the exposition
+/// format.
 std::string MetricsPrometheusText(const MetricsSnapshot& snapshot);
 
 /// Snapshots the global registry and span tree and renders them as JSON.

@@ -31,12 +31,15 @@ enum class Phase : char {
   kEnd = 'E',
   kInstant = 'i',
   kCounter = 'C',
+  kAsyncBegin = 'b',
+  kAsyncEnd = 'e',
 };
 
 struct TraceEvent {
   const char* name = nullptr;  // must outlive the session
   double value = 0.0;          // counter events only
   uint64_t ts_ns = 0;          // nanoseconds since the session clock origin
+  uint64_t id = 0;             // async events only: the lane id
   Phase phase = Phase::kInstant;
 };
 
@@ -122,11 +125,12 @@ ThreadEventBuffer* GetThreadBuffer() {
   return t_buffer;
 }
 
-void Record(Phase phase, const char* name, double value) {
+void Record(Phase phase, const char* name, double value, uint64_t id = 0) {
   TraceEvent event;
   event.name = name;
   event.value = value;
   event.ts_ns = NowNs();
+  event.id = id;
   event.phase = phase;
   GetThreadBuffer()->Push(event);
 }
@@ -227,6 +231,13 @@ void AppendEventJson(const TraceEvent& event, uint32_t tid,
     case Phase::kInstant:
       out->append(",\"s\":\"t\"");  // thread-scoped instant
       break;
+    case Phase::kAsyncBegin:
+    case Phase::kAsyncEnd:
+      // cat+id+name identify the async track; Chrome renders all events
+      // sharing an id as one lane.
+      out->append(StrFormat(",\"cat\":\"request\",\"id\":\"0x%llx\"",
+                            static_cast<unsigned long long>(event.id)));
+      break;
     default:
       break;
   }
@@ -287,6 +298,16 @@ void RecordInstantEvent(const char* name) {
 void RecordCounterEvent(const char* name, double value) {
   if (!IsTraceRecording()) return;
   Record(Phase::kCounter, name, value);
+}
+
+void RecordAsyncBeginEvent(const char* name, uint64_t id) {
+  if (!IsTraceRecording()) return;
+  Record(Phase::kAsyncBegin, name, 0.0, id);
+}
+
+void RecordAsyncEndEvent(const char* name, uint64_t id) {
+  if (!IsTraceRecording()) return;
+  Record(Phase::kAsyncEnd, name, 0.0, id);
 }
 
 void RecordBeginEvent(const char* name) { Record(Phase::kBegin, name, 0.0); }

@@ -1,0 +1,185 @@
+#include "ipin/obs/window.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ipin::obs {
+namespace {
+
+// Snapshot vectors are sorted by name (MetricsRegistry::Snapshot contract).
+uint64_t CounterValue(const MetricsSnapshot& snapshot,
+                      const std::string& name) {
+  const auto it = std::lower_bound(
+      snapshot.counters.begin(), snapshot.counters.end(), name,
+      [](const auto& entry, const std::string& key) {
+        return entry.first < key;
+      });
+  if (it == snapshot.counters.end() || it->first != name) return 0;
+  return it->second;
+}
+
+const HistogramSnapshot* FindHistogram(const MetricsSnapshot& snapshot,
+                                       const std::string& name) {
+  const auto it = std::lower_bound(
+      snapshot.histograms.begin(), snapshot.histograms.end(), name,
+      [](const HistogramSnapshot& h, const std::string& key) {
+        return h.name < key;
+      });
+  if (it == snapshot.histograms.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+double SecondsBetween(std::chrono::steady_clock::time_point a,
+                      std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(b - a)
+      .count();
+}
+
+}  // namespace
+
+WindowedAggregator::WindowedAggregator(WindowedAggregatorOptions options)
+    : options_(options) {
+  ring_.reserve(std::max<size_t>(options_.num_buckets, 2));
+}
+
+WindowedAggregator::~WindowedAggregator() { Stop(); }
+
+void WindowedAggregator::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) return;
+    running_ = true;
+    stop_ = false;
+    SampleLocked();  // t0 sample so the first window query has a far edge
+  }
+  sampler_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      cv_.wait_for(lock, std::chrono::milliseconds(options_.sample_period_ms),
+                   [this] { return stop_; });
+      if (stop_) break;
+      SampleLocked();
+    }
+  });
+}
+
+void WindowedAggregator::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    running_ = false;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (sampler_.joinable()) sampler_.join();
+}
+
+void WindowedAggregator::SampleNow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  SampleLocked();
+}
+
+void WindowedAggregator::SampleLocked() {
+  Sample sample{Clock::now(), MetricsRegistry::Global().Snapshot()};
+  const size_t capacity = std::max<size_t>(options_.num_buckets, 2);
+  if (ring_.size() < capacity) {
+    ring_.push_back(std::move(sample));
+  } else {
+    ring_[next_ % capacity] = std::move(sample);
+  }
+  ++next_;
+}
+
+size_t WindowedAggregator::sample_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+bool WindowedAggregator::FindWindowLocked(double window_s,
+                                          const Sample** oldest,
+                                          const Sample** newest) const {
+  if (ring_.size() < 2) return false;
+  const size_t capacity = std::max<size_t>(options_.num_buckets, 2);
+  const Sample* latest =
+      ring_.size() < capacity ? &ring_.back()
+                              : &ring_[(next_ - 1) % capacity];
+  const Clock::time_point edge =
+      latest->at - std::chrono::duration_cast<Clock::duration>(
+                       std::chrono::duration<double>(std::max(window_s, 0.0)));
+  // Among samples strictly older than the newest, pick the one closest to
+  // the window edge (an aged ring may no longer reach that far back).
+  const Sample* best = nullptr;
+  double best_distance = 0.0;
+  for (const Sample& sample : ring_) {
+    if (&sample == latest) continue;
+    const double distance = std::abs(SecondsBetween(edge, sample.at));
+    if (best == nullptr || distance < best_distance) {
+      best = &sample;
+      best_distance = distance;
+    }
+  }
+  if (best == nullptr) return false;
+  *oldest = best;
+  *newest = latest;
+  return true;
+}
+
+double WindowedAggregator::Rate(const std::string& counter,
+                                double window_s) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Sample* oldest = nullptr;
+  const Sample* newest = nullptr;
+  if (!FindWindowLocked(window_s, &oldest, &newest)) return 0.0;
+  const double span = SecondsBetween(oldest->at, newest->at);
+  if (span <= 0.0) return 0.0;
+  const uint64_t then = CounterValue(oldest->snapshot, counter);
+  const uint64_t now = CounterValue(newest->snapshot, counter);
+  if (now <= then) return 0.0;  // reset (or unknown) counters read as idle
+  return static_cast<double>(now - then) / span;
+}
+
+uint64_t WindowedAggregator::DeltaCount(const std::string& counter,
+                                        double window_s) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Sample* oldest = nullptr;
+  const Sample* newest = nullptr;
+  if (!FindWindowLocked(window_s, &oldest, &newest)) return 0;
+  const uint64_t then = CounterValue(oldest->snapshot, counter);
+  const uint64_t now = CounterValue(newest->snapshot, counter);
+  return now > then ? now - then : 0;
+}
+
+HistogramSnapshot WindowedAggregator::WindowedHistogram(
+    const std::string& histogram, double window_s) const {
+  HistogramSnapshot delta;
+  delta.name = histogram;
+  std::lock_guard<std::mutex> lock(mu_);
+  const Sample* oldest = nullptr;
+  const Sample* newest = nullptr;
+  if (!FindWindowLocked(window_s, &oldest, &newest)) return delta;
+  const HistogramSnapshot* then = FindHistogram(oldest->snapshot, histogram);
+  const HistogramSnapshot* now = FindHistogram(newest->snapshot, histogram);
+  if (now == nullptr) return delta;
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    const uint64_t before = then == nullptr ? 0 : then->buckets[i];
+    delta.buckets[i] = now->buckets[i] > before ? now->buckets[i] - before : 0;
+    delta.count += delta.buckets[i];
+  }
+  const uint64_t sum_before = then == nullptr ? 0 : then->sum;
+  delta.sum = now->sum > sum_before ? now->sum - sum_before : 0;
+  // The cumulative min/max cannot be windowed; report bucket-resolution
+  // bounds of the windowed samples so Percentile() clamps sensibly.
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    if (delta.buckets[i] == 0) continue;
+    delta.min = i == 0 ? 0 : Histogram::BucketUpperBound(i - 1) + 1;
+    break;
+  }
+  for (size_t i = Histogram::kNumBuckets; i > 0; --i) {
+    if (delta.buckets[i - 1] == 0) continue;
+    delta.max = Histogram::BucketUpperBound(i - 1);
+    break;
+  }
+  return delta;
+}
+
+}  // namespace ipin::obs

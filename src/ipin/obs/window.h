@@ -1,0 +1,100 @@
+#ifndef IPIN_OBS_WINDOW_H_
+#define IPIN_OBS_WINDOW_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ipin/obs/metrics.h"
+
+// Windowed view over the cumulative metrics registry. The registry's
+// counters and histograms only ever grow, which answers "how many since
+// process start" but not "how fast right now" — the question a live
+// dashboard (ipin_top, the extended stats verb) actually asks. The
+// WindowedAggregator keeps a ring of periodic registry snapshots (one
+// per-second bucket by default) and answers trailing-window questions by
+// subtracting the snapshot nearest the window's far edge from the newest
+// one: counter deltas become rates, histogram bucket deltas become a
+// windowed histogram whose percentiles describe only the window's samples.
+//
+// Cost model: one registry snapshot per period on a background thread
+// (milliseconds of work for hundreds of metrics); queries copy under the
+// same mutex. Nothing here touches a metric hot path.
+
+namespace ipin::obs {
+
+struct WindowedAggregatorOptions {
+  /// Snapshot period — the bucket width of the ring.
+  int64_t sample_period_ms = 1000;
+  /// Ring capacity; history beyond num_buckets * sample_period_ms is gone.
+  size_t num_buckets = 64;
+};
+
+class WindowedAggregator {
+ public:
+  explicit WindowedAggregator(WindowedAggregatorOptions options = {});
+  ~WindowedAggregator();
+
+  WindowedAggregator(const WindowedAggregator&) = delete;
+  WindowedAggregator& operator=(const WindowedAggregator&) = delete;
+
+  /// Starts the background sampler thread (taking one sample immediately).
+  /// Idempotent.
+  void Start();
+  /// Stops and joins the sampler. Buffered samples remain queryable.
+  void Stop();
+
+  /// Takes one snapshot right now (Start not required — tests and pull-based
+  /// callers can drive the ring manually).
+  void SampleNow();
+
+  /// Per-second rate of `counter` over the trailing `window_s` seconds
+  /// (delta between the newest sample and the one nearest the window edge,
+  /// divided by their actual spacing). 0 with fewer than two samples or an
+  /// unknown counter.
+  double Rate(const std::string& counter, double window_s) const;
+
+  /// Absolute increase of `counter` over the trailing window.
+  uint64_t DeltaCount(const std::string& counter, double window_s) const;
+
+  /// Histogram of only the samples recorded during the trailing window
+  /// (bucket-wise delta). `min`/`max` are bucket-resolution estimates, not
+  /// exact extremes — the cumulative extremes cannot be windowed. Empty
+  /// (count 0) with fewer than two samples or an unknown histogram.
+  HistogramSnapshot WindowedHistogram(const std::string& histogram,
+                                      double window_s) const;
+
+  /// Number of buffered samples (at most num_buckets).
+  size_t sample_count() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  struct Sample {
+    Clock::time_point at;
+    MetricsSnapshot snapshot;
+  };
+
+  void SampleLocked();
+  /// Newest sample and the buffered sample closest to (newest - window_s);
+  /// false when fewer than two samples exist.
+  bool FindWindowLocked(double window_s, const Sample** oldest,
+                        const Sample** newest) const;
+
+  const WindowedAggregatorOptions options_;
+
+  mutable std::mutex mu_;
+  std::vector<Sample> ring_;  // ring of size options_.num_buckets
+  size_t next_ = 0;           // absolute write index
+  std::condition_variable cv_;
+  std::thread sampler_;
+  bool running_ = false;
+  bool stop_ = false;
+};
+
+}  // namespace ipin::obs
+
+#endif  // IPIN_OBS_WINDOW_H_

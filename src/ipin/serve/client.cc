@@ -146,6 +146,15 @@ std::optional<Response> OracleClient::Call(const Request& request,
                                            std::string* error) {
   Request to_send = request;
   if (to_send.id == 0) to_send.id = next_id_++;
+  if (to_send.method == Method::kQuery && to_send.trace_id == 0) {
+    // Originate trace context here so a query's server-side spans and log
+    // lines are correlatable with this call even when the caller passed no
+    // id. 0 means "absent" on the wire, so roll until nonzero.
+    do {
+      to_send.trace_id = rng_.NextUint64();
+    } while (to_send.trace_id == 0);
+  }
+  last_trace_id_ = to_send.trace_id;
   const std::string line = SerializeRequest(to_send);
 
   std::string last_error = "no attempts made";

@@ -13,7 +13,9 @@
 // line + one response line. Transport failures (connect refused, read
 // timeout, torn connection) are retried on a fresh connection with jittered
 // exponential backoff; OVERLOADED responses can opt into the same retry
-// loop, honouring the server's retry_after_ms hint.
+// loop, honouring the server's retry_after_ms hint. Queries sent without a
+// trace_id get a client-generated one (see last_trace_id()), so every
+// query is correlatable with its server-side spans and log lines.
 
 namespace ipin::serve {
 
@@ -67,6 +69,11 @@ class OracleClient {
   /// tests and the bench harness).
   size_t retries() const { return retries_; }
 
+  /// Trace id the last Call() went out with (the request's own, or the one
+  /// this client generated for a query sent without one); 0 before any
+  /// call. Lets callers print/propagate the id for server-side correlation.
+  uint64_t last_trace_id() const { return last_trace_id_; }
+
  private:
   bool EnsureConnected(std::string* error);
   bool SendLine(const std::string& line);
@@ -79,6 +86,7 @@ class OracleClient {
   int64_t next_id_ = 1;
   size_t retries_ = 0;
   int64_t retry_after_hint_ = 0;
+  uint64_t last_trace_id_ = 0;
 };
 
 }  // namespace ipin::serve

@@ -10,6 +10,7 @@
 #include "ipin/common/string_util.h"
 #include "ipin/core/oracle_io.h"
 #include "ipin/obs/metrics.h"
+#include "ipin/obs/trace_events.h"
 
 namespace ipin::serve {
 
@@ -107,6 +108,9 @@ ReloadStatus IndexManager::Reload(bool force) {
   }
   IPIN_COUNTER_ADD("serve.reload.ok", 1);
   IPIN_GAUGE_SET("serve.index.epoch", Epoch());
+  // Marks the epoch flip in the Chrome trace, so request lanes before and
+  // after the swap can be told apart.
+  IPIN_TRACE_INSTANT("serve.index.reload");
   LogInfo(StrFormat("serve: reloaded '%s' -> epoch %llu", index_path_.c_str(),
                     static_cast<unsigned long long>(Epoch())));
   return ReloadStatus::kOk;

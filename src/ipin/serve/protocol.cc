@@ -64,6 +64,10 @@ const char* MethodName(Method method) {
       return "stats";
     case Method::kReload:
       return "reload";
+    case Method::kMetrics:
+      return "metrics";
+    case Method::kDebug:
+      return "debug";
   }
   return "query";
 }
@@ -100,7 +104,53 @@ bool IsValidNodeIdNumber(double v) {
          std::trunc(v) == v;
 }
 
+// Parses the optional hex trace-context field `key`. True on success (value
+// absent counts, leaving *out at 0); false fails the request.
+bool ParseTraceField(const JsonValue& doc, const char* key, uint64_t* out,
+                     std::string* error) {
+  *out = 0;
+  const JsonValue* value = doc.Find(key);
+  if (value == nullptr) return true;
+  if (!value->is_string()) {
+    Fail(error, "trace ids must be hex strings");
+    return false;
+  }
+  const auto id = TraceIdFromHex(value->string_value());
+  if (!id.has_value()) {
+    Fail(error, "trace ids must be 1-16 hex digits");
+    return false;
+  }
+  *out = *id;
+  return true;
+}
+
 }  // namespace
+
+std::string TraceIdToHex(uint64_t id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+std::optional<uint64_t> TraceIdFromHex(std::string_view hex) {
+  if (hex.empty() || hex.size() > 16) return std::nullopt;
+  uint64_t value = 0;
+  for (const char c : hex) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return std::nullopt;
+    }
+    value = (value << 4) | static_cast<uint64_t>(digit);
+  }
+  return value;
+}
 
 const char* StatusCodeName(StatusCode code) {
   switch (code) {
@@ -150,8 +200,27 @@ std::optional<Request> ParseRequest(std::string_view line, std::string* error,
     request.method = Method::kStats;
   } else if (method == "reload") {
     request.method = Method::kReload;
+  } else if (method == "metrics") {
+    request.method = Method::kMetrics;
+  } else if (method == "debug") {
+    request.method = Method::kDebug;
   } else {
     Fail(error, "unknown method");
+    return std::nullopt;
+  }
+
+  const std::string format = doc->FindString("format", "prom");
+  if (format == "prom") {
+    request.format = MetricsFormat::kPrometheus;
+  } else if (format == "json") {
+    request.format = MetricsFormat::kJson;
+  } else {
+    Fail(error, "unknown format");
+    return std::nullopt;
+  }
+
+  if (!ParseTraceField(*doc, "trace_id", &request.trace_id, error) ||
+      !ParseTraceField(*doc, "parent_span", &request.parent_span, error)) {
     return std::nullopt;
   }
 
@@ -209,8 +278,18 @@ std::string SerializeRequest(const Request& request) {
     out += ModeName(request.mode);
     out += "\"";
   }
+  if (request.method == Method::kMetrics &&
+      request.format != MetricsFormat::kPrometheus) {
+    out += ", \"format\": \"json\"";
+  }
   if (request.deadline_ms > 0) {
     out += ", \"deadline_ms\": " + std::to_string(request.deadline_ms);
+  }
+  if (request.trace_id != 0) {
+    out += ", \"trace_id\": \"" + TraceIdToHex(request.trace_id) + "\"";
+  }
+  if (request.parent_span != 0) {
+    out += ", \"parent_span\": \"" + TraceIdToHex(request.parent_span) + "\"";
   }
   out += "}\n";
   return out;
@@ -232,6 +311,9 @@ std::optional<Response> ParseResponse(std::string_view line) {
       std::max<int64_t>(0, ToClampedInt64(doc->FindNumber("epoch", 0.0))));
   response.retry_after_ms = ToClampedInt64(doc->FindNumber("retry_after_ms", 0.0));
   response.error = doc->FindString("error", "");
+  const auto trace_id = TraceIdFromHex(doc->FindString("trace_id", ""));
+  response.trace_id = trace_id.value_or(0);
+  response.payload = doc->FindString("payload", "");
   const JsonValue* info = doc->Find("info");
   if (info != nullptr && info->is_object()) {
     for (const auto& [key, value] : info->object_items()) {
@@ -254,6 +336,12 @@ std::string SerializeResponse(const Response& response) {
   }
   if (!response.error.empty()) {
     out += ", \"error\": \"" + JsonEscape(response.error) + "\"";
+  }
+  if (response.trace_id != 0) {
+    out += ", \"trace_id\": \"" + TraceIdToHex(response.trace_id) + "\"";
+  }
+  if (!response.payload.empty()) {
+    out += ", \"payload\": \"" + JsonEscape(response.payload) + "\"";
   }
   if (!response.info.empty()) {
     out += ", \"info\": {";

@@ -27,10 +27,21 @@
 // Request object:
 //   {"id": 7,                  // echoed back; any int64 (default 0)
 //    "method": "query",        // "query" | "health" | "stats" | "reload"
+//                              // | "metrics" | "debug"
 //    "seeds": [1, 2, 3],       // query only: node ids
 //    "mode": "auto",           // query only: "sketch" | "exact" | "auto"
-//    "deadline_ms": 50}        // per-request deadline; 0/absent = server
+//    "deadline_ms": 50,        // per-request deadline; 0/absent = server
 //                              // default
+//    "trace_id": "00c0ffee0badf00d",  // optional distributed-trace context:
+//    "parent_span": "1"}       // 64-bit ids as lowercase hex strings (hex
+//                              // strings, not JSON numbers, because doubles
+//                              // cannot carry 64 bits). A request without a
+//                              // trace_id is assigned one at admission; the
+//                              // id links the request's spans in the
+//                              // server's Chrome trace, tags its log lines,
+//                              // and is echoed in the response. parent_span
+//                              // nests this request under a caller's span
+//                              // (the future scatter-gather router).
 //
 // Methods:
 //   query   estimate |sigma(seeds)|, the paper's Section 4.1 oracle query.
@@ -42,10 +53,18 @@
 //           "sketch" otherwise — degraded answers carry "degraded": true.
 //   health  cheap liveness probe, answered inline by the connection reader
 //           (never queued, so it works even when the queue is full).
-//   stats   server gauges (queue depth, epoch, workers, ...) in "info".
+//   stats   server gauges (queue depth, epoch, workers, ...) in "info",
+//           including windowed rates/latencies (win_qps, win_p99_us, ...)
+//           over the server's stats window when observability is compiled
+//           in.
 //   reload  ask the server to reload its index file now (also triggered by
 //           the background reloader); answers after the attempt with
 //           "info": {"epoch": ..., "rolled_back": 0|1}.
+//   metrics full metrics snapshot in "payload", answered inline — the
+//           scrape endpoint. "format": "prom" (default, Prometheus text
+//           exposition) or "json" (the ipin.metrics.v1 report document).
+//   debug   the slow-query flight recorder dump (ipin.debug.v1 JSON, see
+//           flight_recorder.h) in "payload", answered inline.
 //
 // Response object:
 //   {"id": 7,
@@ -56,7 +75,11 @@
 //    "epoch": 3,               // index epoch the answer was computed on
 //    "retry_after_ms": 50,     // OVERLOADED/UNAVAILABLE: backoff hint
 //    "error": "...",           // BAD_REQUEST/INTERNAL: human-readable
-//    "info": {"queue_depth": 0.0, ...}}  // stats/reload only
+//    "trace_id": "00c0ffee0badf00d",  // echo of the request's trace
+//                              // context (server-assigned if absent)
+//    "info": {"queue_depth": 0.0, ...},  // stats/reload only
+//    "payload": "..."}         // metrics/debug only: the document, as one
+//                              // JSON string
 //
 // Statuses:
 //   OK                 the request was served.
@@ -72,7 +95,10 @@
 
 namespace ipin::serve {
 
-enum class Method { kQuery, kHealth, kStats, kReload };
+enum class Method { kQuery, kHealth, kStats, kReload, kMetrics, kDebug };
+
+/// Formats accepted by the "metrics" method.
+enum class MetricsFormat { kPrometheus, kJson };
 
 enum class QueryMode { kSketch, kExact, kAuto };
 
@@ -90,6 +116,13 @@ const char* StatusCodeName(StatusCode code);
 /// Inverse of StatusCodeName; nullopt for an unknown spelling.
 std::optional<StatusCode> StatusCodeFromName(std::string_view name);
 
+/// 64-bit trace ids travel as 16 lowercase hex characters ("00c0ffee..."):
+/// JSON numbers are doubles and cannot carry 64 bits exactly.
+std::string TraceIdToHex(uint64_t id);
+/// Inverse of TraceIdToHex; accepts 1-16 hex digits (either case), nullopt
+/// otherwise.
+std::optional<uint64_t> TraceIdFromHex(std::string_view hex);
+
 /// One parsed request line.
 struct Request {
   int64_t id = 0;
@@ -98,6 +131,11 @@ struct Request {
   QueryMode mode = QueryMode::kAuto;
   /// 0 = use the server default.
   int64_t deadline_ms = 0;
+  /// Distributed-trace context; 0 = none carried (the server assigns one).
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
+  /// metrics method only.
+  MetricsFormat format = MetricsFormat::kPrometheus;
 };
 
 /// One response line, parsed or about to be serialized.
@@ -109,8 +147,12 @@ struct Response {
   uint64_t epoch = 0;
   int64_t retry_after_ms = 0;
   std::string error;
+  /// Echo of the request's trace context; 0 = none.
+  uint64_t trace_id = 0;
   /// stats/reload payload; names are dot-free identifiers.
   std::vector<std::pair<std::string, double>> info;
+  /// metrics/debug payload: a whole document as one JSON string.
+  std::string payload;
 };
 
 /// Parses one request line (without the trailing newline). On failure

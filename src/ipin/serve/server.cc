@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
@@ -16,7 +17,9 @@
 #include "ipin/common/logging.h"
 #include "ipin/common/string_util.h"
 #include "ipin/core/influence_oracle.h"
+#include "ipin/obs/export.h"
 #include "ipin/obs/metrics.h"
+#include "ipin/obs/trace_events.h"
 
 namespace ipin::serve {
 namespace {
@@ -24,9 +27,7 @@ namespace {
 // A protocol line longer than this is abuse, not a request.
 constexpr size_t kMaxLineBytes = 1 << 20;
 
-// Only referenced from IPIN_* instrumentation macro arguments, which
-// compile out under -DIPIN_OBS_DISABLED.
-[[maybe_unused]] int64_t ToMicros(std::chrono::steady_clock::duration d) {
+int64_t ToMicros(std::chrono::steady_clock::duration d) {
   return std::chrono::duration_cast<std::chrono::microseconds>(d).count();
 }
 
@@ -91,6 +92,7 @@ struct OracleServer::ReloadState {
   struct Job {
     std::shared_ptr<Connection> conn;
     int64_t id = 0;
+    uint64_t trace_id = 0;
   };
   std::deque<Job> jobs;
   bool stop = false;
@@ -100,7 +102,19 @@ struct OracleServer::ReloadState {
 OracleServer::OracleServer(IndexManager* index, ServerOptions options)
     : index_(index),
       options_(std::move(options)),
-      queue_(options_.queue_capacity) {}
+      queue_(options_.queue_capacity),
+      flight_(options_.flight_recorder_size, options_.flight_slow_size,
+              options_.slow_query_us),
+      window_(obs::WindowedAggregatorOptions{
+          /*sample_period_ms=*/1000,
+          /*num_buckets=*/std::max<size_t>(
+              64, static_cast<size_t>(std::max<int64_t>(
+                      0, options_.stats_window_s)) * 2)}) {
+  if (options_.audit_rate > 0.0) {
+    audit_every_ = static_cast<uint64_t>(
+        std::max(1.0, std::round(1.0 / std::min(1.0, options_.audit_rate))));
+  }
+}
 
 OracleServer::~OracleServer() { Shutdown(); }
 
@@ -174,6 +188,13 @@ bool OracleServer::Start() {
   running_.store(true, std::memory_order_release);
   draining_.store(false, std::memory_order_release);
 
+#ifndef IPIN_OBS_DISABLED
+  // One registry sample per second backs the stats verb's win_* fields and
+  // ipin_top. Not started in obs-disabled builds: the macros record
+  // nothing, so the ring would only ever hold empty snapshots.
+  window_.Start();
+#endif
+
   // Dedicated reload thread: a slow or wedged Reload() blocks only this
   // thread — never a connection reader or query worker — and Shutdown()
   // can abandon it (detach) if it outlasts the drain deadline.
@@ -194,6 +215,7 @@ bool OracleServer::Start() {
       }
       Response response;
       response.id = job.id;
+      response.trace_id = job.trace_id;
       if (draining) {
         // Answer rather than reload: a fresh epoch is useless to a server
         // that is shutting down, and this keeps the drain bounded.
@@ -350,6 +372,7 @@ void OracleServer::HandleRequest(const std::shared_ptr<Connection>& conn,
       const IndexSnapshot snapshot = index_->Snapshot();
       Response response;
       response.id = request.id;
+      response.trace_id = request.trace_id;
       response.status = snapshot.epoch > 0 ? StatusCode::kOk
                                            : StatusCode::kUnavailable;
       response.epoch = snapshot.epoch;
@@ -358,7 +381,39 @@ void OracleServer::HandleRequest(const std::shared_ptr<Connection>& conn,
     }
     case Method::kStats: {
       IPIN_LATENCY_SCOPE("serve.latency.stats_us");
-      WriteResponse(conn, StatsResponse(request.id), options_.write_timeout_ms);
+      WriteResponse(conn, StatsResponse(request), options_.write_timeout_ms);
+      return;
+    }
+    case Method::kMetrics: {
+      // The scrape endpoint: answered inline (like health) so a dashboard
+      // keeps seeing metrics precisely when the queue is full and they
+      // matter most. The registry classes exist in every build, so this
+      // answers (with an empty-ish registry) even under IPIN_OBS_DISABLED.
+      IPIN_LATENCY_SCOPE("serve.latency.metrics_us");
+      Response response;
+      response.id = request.id;
+      response.trace_id = request.trace_id;
+      response.status = StatusCode::kOk;
+      response.epoch = index_->Epoch();
+      response.payload =
+          request.format == MetricsFormat::kJson
+              ? obs::GlobalMetricsReportJson()
+              : obs::MetricsPrometheusText(
+                    obs::MetricsRegistry::Global().Snapshot());
+      WriteResponse(conn, response, options_.write_timeout_ms);
+      return;
+    }
+    case Method::kDebug: {
+      // Flight-recorder dump, inline for the same reason as metrics: the
+      // slow queries it explains are exactly when workers are busy.
+      IPIN_LATENCY_SCOPE("serve.latency.debug_us");
+      Response response;
+      response.id = request.id;
+      response.trace_id = request.trace_id;
+      response.status = StatusCode::kOk;
+      response.epoch = index_->Epoch();
+      response.payload = flight_.DumpJson();
+      WriteResponse(conn, response, options_.write_timeout_ms);
       return;
     }
     case Method::kReload: {
@@ -368,6 +423,7 @@ void OracleServer::HandleRequest(const std::shared_ptr<Connection>& conn,
       // it runs.
       Response response;
       response.id = request.id;
+      response.trace_id = request.trace_id;
       if (draining_.load(std::memory_order_acquire)) {
         response.status = StatusCode::kUnavailable;
         response.error = "server is draining";
@@ -382,7 +438,7 @@ void OracleServer::HandleRequest(const std::shared_ptr<Connection>& conn,
           response.retry_after_ms = options_.retry_after_ms;
         } else {
           reload_state_->jobs.push_back(
-              ReloadState::Job{conn, request.id});
+              ReloadState::Job{conn, request.id, request.trace_id});
           reload_state_->cv.notify_one();
         }
       }
@@ -396,7 +452,15 @@ void OracleServer::HandleRequest(const std::shared_ptr<Connection>& conn,
       break;
   }
 
-  // Admission control for queries.
+  // Admission control for queries. A query without a trace id gets one
+  // here, so every path below (responses, spans, flight records, logs) can
+  // refer to the request by it.
+  if (request.trace_id == 0) {
+    request.trace_id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const uint64_t trace_id = request.trace_id;
+  IPIN_TRACE_ASYNC_BEGIN("serve.request", trace_id);
+
   const int64_t deadline_ms = request.deadline_ms > 0
                                   ? request.deadline_ms
                                   : options_.default_deadline_ms;
@@ -405,30 +469,60 @@ void OracleServer::HandleRequest(const std::shared_ptr<Connection>& conn,
   task.enqueued = now;
   task.conn = conn;
   const int64_t id = request.id;
-  task.request = std::move(request);
 
   if (draining_.load(std::memory_order_acquire)) {
     Response response;
     response.id = id;
+    response.trace_id = trace_id;
     response.status = StatusCode::kUnavailable;
     response.error = "server is draining";
     response.retry_after_ms = options_.retry_after_ms;
     WriteResponse(conn, response, options_.write_timeout_ms);
+    RecordRejected(trace_id, id, request.mode, request.seeds.size(),
+                   StatusCode::kUnavailable, now);
+    IPIN_TRACE_ASYNC_END("serve.request", trace_id);
     return;
   }
+  task.admission_us = ToMicros(Clock::now() - now);
+  // TryPush takes the task by value, so the request is gone either way:
+  // snapshot what the rejection paths need first.
+  const QueryMode mode = request.mode;
+  const size_t num_seeds = request.seeds.size();
+  task.request = std::move(request);
   if (!queue_.TryPush(std::move(task))) {
     // Load shedding: reject now with a backoff hint rather than queueing
     // beyond capacity.
     Response response;
     response.id = id;
+    response.trace_id = trace_id;
     response.status = StatusCode::kOverloaded;
     response.retry_after_ms = options_.retry_after_ms;
     IPIN_COUNTER_ADD("serve.requests.shed", 1);
     WriteResponse(conn, response, options_.write_timeout_ms);
+    RecordRejected(trace_id, id, mode, num_seeds, StatusCode::kOverloaded,
+                   now);
+    IPIN_TRACE_ASYNC_END("serve.request", trace_id);
     return;
   }
+  IPIN_TRACE_ASYNC_BEGIN("serve.queue", trace_id);
   IPIN_COUNTER_ADD("serve.requests.accepted", 1);
   IPIN_GAUGE_SET("serve.queue.depth", queue_.Depth());
+}
+
+void OracleServer::RecordRejected(uint64_t trace_id, int64_t id,
+                                  QueryMode mode, size_t num_seeds,
+                                  StatusCode status,
+                                  Clock::time_point received) {
+  RequestRecord record;
+  record.trace_id = trace_id;
+  record.id = id;
+  record.mode = mode;
+  record.status = status;
+  record.num_seeds = num_seeds;
+  record.epoch = index_->Epoch();
+  record.total_us = ToMicros(Clock::now() - received);
+  record.admission_us = record.total_us;
+  flight_.Record(record);
 }
 
 void OracleServer::WorkerLoop() {
@@ -437,8 +531,10 @@ void OracleServer::WorkerLoop() {
     if (!task.has_value()) return;  // drained and empty
     IPIN_GAUGE_SET("serve.queue.depth", queue_.Depth());
     const Clock::time_point now = Clock::now();
-    IPIN_HISTOGRAM_RECORD("serve.queue.wait_us",
-                          ToMicros(now - task->enqueued));
+    const uint64_t trace_id = task->request.trace_id;
+    const int64_t queue_us = ToMicros(now - task->enqueued);
+    IPIN_HISTOGRAM_RECORD("serve.queue.wait_us", queue_us);
+    IPIN_TRACE_ASYNC_END("serve.queue", trace_id);
 
     // During drain, requests older than the drain deadline are answered
     // immediately; the rest still get evaluated.
@@ -446,18 +542,56 @@ void OracleServer::WorkerLoop() {
         draining_.load(std::memory_order_acquire) && now >= drain_deadline_;
 
     Response response;
+    int64_t eval_us = 0;
     if (now >= task->deadline || past_drain) {
       // Early drop at dequeue: an expired request never occupies a worker
       // for evaluation.
       response.id = task->request.id;
+      response.trace_id = trace_id;
       response.status = StatusCode::kDeadlineExceeded;
       response.epoch = index_->Epoch();
       IPIN_COUNTER_ADD("serve.requests.deadline_exceeded", 1);
     } else {
       IPIN_LATENCY_SCOPE("serve.latency.query_us");
+      IPIN_TRACE_ASYNC_BEGIN("serve.eval", trace_id);
+      const Clock::time_point eval_start = Clock::now();
       response = EvaluateQuery(task->request, task->deadline);
+      eval_us = ToMicros(Clock::now() - eval_start);
+      IPIN_TRACE_ASYNC_END("serve.eval", trace_id);
     }
+    IPIN_TRACE_ASYNC_BEGIN("serve.write", trace_id);
+    const Clock::time_point write_start = Clock::now();
     WriteResponse(task->conn, response, options_.write_timeout_ms);
+    const Clock::time_point done = Clock::now();
+    IPIN_TRACE_ASYNC_END("serve.write", trace_id);
+    IPIN_TRACE_ASYNC_END("serve.request", trace_id);
+
+    RequestRecord record;
+    record.trace_id = trace_id;
+    record.id = task->request.id;
+    record.mode = task->request.mode;
+    record.status = response.status;
+    record.degraded = response.degraded;
+    record.num_seeds = task->request.seeds.size();
+    record.epoch = response.epoch;
+    record.admission_us = task->admission_us;
+    record.queue_us = queue_us;
+    record.eval_us = eval_us;
+    record.write_us = ToMicros(done - write_start);
+    record.total_us = ToMicros(done - task->enqueued);
+    flight_.Record(record);
+    if (record.total_us > options_.slow_query_us) {
+      LogWarning(StrFormat(
+          "serve: slow query trace_id=%s id=%lld status=%s total_us=%lld "
+          "(admission=%lld queue=%lld eval=%lld write=%lld)",
+          TraceIdToHex(trace_id).c_str(),
+          static_cast<long long>(record.id), StatusCodeName(record.status),
+          static_cast<long long>(record.total_us),
+          static_cast<long long>(record.admission_us),
+          static_cast<long long>(record.queue_us),
+          static_cast<long long>(record.eval_us),
+          static_cast<long long>(record.write_us)));
+    }
   }
 }
 
@@ -465,6 +599,7 @@ Response OracleServer::EvaluateQuery(const Request& request,
                                      Clock::time_point deadline) {
   Response response;
   response.id = request.id;
+  response.trace_id = request.trace_id;
 
   // One-lock snapshot: the whole evaluation runs on this index (and exact
   // map), and the reported epoch is the one these pointers were installed
@@ -522,6 +657,7 @@ Response OracleServer::EvaluateQuery(const Request& request,
     }
   }
 
+  bool answered_by_sketch = false;
   if (!answered) {
     const SketchInfluenceOracle oracle(index.get());
     QueryBudget budget;
@@ -534,6 +670,7 @@ Response OracleServer::EvaluateQuery(const Request& request,
       return response;
     }
     estimate = result.value;
+    answered_by_sketch = true;
   }
 
   if (Clock::now() >= deadline) {
@@ -546,13 +683,68 @@ Response OracleServer::EvaluateQuery(const Request& request,
   response.estimate = estimate;
   response.degraded = degraded;
   IPIN_COUNTER_ADD("serve.requests.ok", 1);
-  if (degraded) IPIN_COUNTER_ADD("serve.requests.degraded", 1);
+  if (degraded) {
+    IPIN_COUNTER_ADD("serve.requests.degraded", 1);
+    LogDebug(StrFormat("serve: degraded answer trace_id=%s id=%lld",
+                       TraceIdToHex(request.trace_id).c_str(),
+                       static_cast<long long>(request.id)));
+  }
+#ifndef IPIN_OBS_DISABLED
+  if (answered_by_sketch) MaybeAudit(snapshot, request.seeds, estimate);
+#else
+  (void)answered_by_sketch;
+#endif
   return response;
 }
 
-Response OracleServer::StatsResponse(int64_t id) {
+#ifndef IPIN_OBS_DISABLED
+void OracleServer::MaybeAudit(const IndexSnapshot& snapshot,
+                              const std::vector<NodeId>& seeds,
+                              double estimate) {
+  if (audit_every_ == 0 || seeds.empty()) return;
+  const std::shared_ptr<const IrsExact>& exact = snapshot.exact;
+  // Same coverage condition as the exact serving path: auditing against a
+  // stale exact map would measure reload skew, not sketch error.
+  if (exact == nullptr || exact->num_nodes() < snapshot.index->num_nodes()) {
+    return;
+  }
+  if (audit_tick_.fetch_add(1, std::memory_order_relaxed) % audit_every_ !=
+      0) {
+    return;
+  }
+  IPIN_COUNTER_ADD("serve.audit.sampled", 1);
+  // Fire-and-forget on the shared global pool (NOT the serve worker pool):
+  // the exact re-evaluation never holds a serving worker, and the captured
+  // shared_ptr keeps the audited epoch's exact map alive even across a
+  // reload or server shutdown.
+  GlobalPool().Submit([exact, seeds, estimate] {
+    const ExactInfluenceOracle oracle(exact.get());
+    const double truth = oracle.InfluenceOfSet(seeds);
+    if (truth <= 0.0) {
+      IPIN_COUNTER_ADD("serve.audit.zero_truth", 1);
+      IPIN_COUNTER_ADD("serve.audit.completed", 1);
+      return;
+    }
+    // Histograms hold non-negative integers, so the signed relative error
+    // is split into over/under histograms, scaled to per-mille.
+    const double rel = (estimate - truth) / truth;
+    const uint64_t abs_pm =
+        static_cast<uint64_t>(std::fabs(rel) * 1000.0 + 0.5);
+    IPIN_HISTOGRAM_RECORD("serve.audit.rel_error_abs_pm", abs_pm);
+    if (rel >= 0.0) {
+      IPIN_HISTOGRAM_RECORD("serve.audit.rel_error_over_pm", abs_pm);
+    } else {
+      IPIN_HISTOGRAM_RECORD("serve.audit.rel_error_under_pm", abs_pm);
+    }
+    IPIN_COUNTER_ADD("serve.audit.completed", 1);
+  });
+}
+#endif  // IPIN_OBS_DISABLED
+
+Response OracleServer::StatsResponse(const Request& request) {
   Response response;
-  response.id = id;
+  response.id = request.id;
+  response.trace_id = request.trace_id;
   response.status = StatusCode::kOk;
   const IndexSnapshot snapshot = index_->Snapshot();
   const std::shared_ptr<const IrsApprox>& index = snapshot.index;
@@ -572,6 +764,31 @@ Response OracleServer::StatsResponse(int64_t id) {
       {"exact_loaded", snapshot.exact != nullptr ? 1.0 : 0.0},
       {"draining", draining_.load(std::memory_order_acquire) ? 1.0 : 0.0},
   };
+#ifndef IPIN_OBS_DISABLED
+  // Trailing-window view from the per-second sampler: rates per second and
+  // query-latency percentiles over the last stats_window_s seconds. All 0
+  // until the sampler has at least two samples.
+  const double win_s = static_cast<double>(options_.stats_window_s);
+  const obs::HistogramSnapshot latency =
+      window_.WindowedHistogram("serve.latency.query_us", win_s);
+  response.info.emplace_back("win_s", win_s);
+  response.info.emplace_back("win_qps",
+                             window_.Rate("serve.requests.accepted", win_s));
+  response.info.emplace_back("win_ok_per_s",
+                             window_.Rate("serve.requests.ok", win_s));
+  response.info.emplace_back("win_shed_per_s",
+                             window_.Rate("serve.requests.shed", win_s));
+  response.info.emplace_back(
+      "win_degraded_per_s", window_.Rate("serve.requests.degraded", win_s));
+  response.info.emplace_back(
+      "win_deadline_per_s",
+      window_.Rate("serve.requests.deadline_exceeded", win_s));
+  response.info.emplace_back("win_query_count",
+                             static_cast<double>(latency.count));
+  response.info.emplace_back("win_p50_us", latency.P50());
+  response.info.emplace_back("win_p95_us", latency.P95());
+  response.info.emplace_back("win_p99_us", latency.P99());
+#endif
   return response;
 }
 
@@ -635,6 +852,7 @@ void OracleServer::Shutdown() {
   // 5. Readers are gone, so no new reload jobs can arrive: stop the reload
   // thread, bounded by the drain deadline.
   StopReloadThread();
+  window_.Stop();
   IPIN_GAUGE_SET("serve.queue.depth", 0);
   LogInfo("serve: drained, all workers stopped");
 }

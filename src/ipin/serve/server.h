@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "ipin/common/thread_pool.h"
+#include "ipin/obs/window.h"
+#include "ipin/serve/flight_recorder.h"
 #include "ipin/serve/index_manager.h"
 #include "ipin/serve/protocol.h"
 #include "ipin/serve/queue.h"
@@ -55,7 +57,35 @@
 // Observability (all under serve.*): requests.{accepted,ok,shed,
 // deadline_exceeded,degraded,bad}, queue.depth, queue.wait_us,
 // connections.active, latency.{query,health,stats,reload}_us, index.epoch,
-// reload.{ok,rollback}.
+// reload.{ok,rollback}, audit.{sampled,completed,zero_truth},
+// audit.rel_error_{abs,over,under}_pm.
+//
+// Request observability (the tentpole of DESIGN.md §7):
+//
+//   * Trace context. Every query carries a 64-bit trace id — the client's,
+//     or one the server assigns at admission. The id links the request's
+//     stages (serve.request / serve.queue / serve.eval / serve.write) as
+//     Chrome-trace async events on one lane, tags slow-query and
+//     degradation log lines, and is echoed in the response.
+//   * Live introspection. A WindowedAggregator samples the metrics
+//     registry once a second; "stats" answers carry trailing-window rates
+//     and percentiles (win_qps, win_p99_us, ...) and the "metrics" verb
+//     returns the full registry (Prometheus text or JSON) inline — both
+//     work under a full queue.
+//   * Flight recorder. Every completed query (including shed and expired
+//     ones) lands in a bounded ring with per-stage timings; queries over
+//     slow_query_us additionally land in a separate slow ring and log a
+//     warning. The "debug" verb (and SIGUSR1 in ipin_oracled) dumps both.
+//   * Accuracy audit. A deterministic 1-in-N sample of sketch-served
+//     answers is re-evaluated exactly off the hot path (on the shared
+//     global pool) when the exact map is loaded; signed relative error
+//     lands in the serve.audit.rel_error_* histograms, so sketch drift is
+//     visible in production without a benchmark run.
+//
+// Under -DIPIN_OBS_DISABLED the trace events, windowed stats, and audit
+// compile out / stay off; the flight recorder and the metrics/debug verbs
+// keep answering (with whatever the registry holds) so the wire protocol
+// keeps its shape in every build.
 
 namespace ipin::serve {
 
@@ -84,6 +114,18 @@ struct ServerOptions {
   /// connection is torn down — a blocking send never wedges a reader or
   /// worker thread indefinitely.
   int64_t write_timeout_ms = 2000;
+
+  /// Flight recorder: last N completed queries, last M slow ones, and the
+  /// total-latency threshold (microseconds) that makes a query "slow".
+  size_t flight_recorder_size = 256;
+  size_t flight_slow_size = 64;
+  int64_t slow_query_us = 100000;
+  /// Fraction of sketch-served answers re-evaluated exactly off the hot
+  /// path (0 disables the audit; 0.01 = every ~100th answer). Requires the
+  /// exact map to be loaded; no-op under -DIPIN_OBS_DISABLED.
+  double audit_rate = 0.0;
+  /// Trailing window (seconds) for the win_* fields of the stats verb.
+  int64_t stats_window_s = 10;
 };
 
 class OracleServer {
@@ -110,6 +152,12 @@ class OracleServer {
   /// Current queue depth (bounded by options().queue_capacity).
   size_t queue_depth() const { return queue_.Depth(); }
 
+  /// The flight recorder's "ipin.debug.v1" dump (same document the "debug"
+  /// verb returns) — for SIGUSR1 handlers and tests.
+  std::string DebugDump() const { return flight_.DumpJson(); }
+
+  const FlightRecorder& flight_recorder() const { return flight_; }
+
   const ServerOptions& options() const { return options_; }
 
  private:
@@ -121,6 +169,8 @@ class OracleServer {
     Request request;
     Clock::time_point deadline;
     Clock::time_point enqueued;
+    /// Time spent in parse + admission before the queue push.
+    int64_t admission_us = 0;
     std::shared_ptr<Connection> conn;
   };
 
@@ -136,11 +186,21 @@ class OracleServer {
   void StopReloadThread();
 
   /// Admission decision + queueing for one parsed request; answers
-  /// health/stats inline and hands reloads to the reload thread.
+  /// health/stats/metrics/debug inline and hands reloads to the reload
+  /// thread.
   void HandleRequest(const std::shared_ptr<Connection>& conn,
                      Request&& request);
   Response EvaluateQuery(const Request& request, Clock::time_point deadline);
-  Response StatsResponse(int64_t id);
+  Response StatsResponse(const Request& request);
+  /// Records a query rejected before it reached a worker (shed / drain).
+  void RecordRejected(uint64_t trace_id, int64_t id, QueryMode mode,
+                      size_t num_seeds, StatusCode status,
+                      Clock::time_point received);
+#ifndef IPIN_OBS_DISABLED
+  /// Maybe re-evaluates a sketch-served answer exactly, off the hot path.
+  void MaybeAudit(const IndexSnapshot& snapshot,
+                  const std::vector<NodeId>& seeds, double estimate);
+#endif
 
   /// Static (no `this`): also called from the reload thread, which may
   /// outlive the server if a wedged reload forces a detach.
@@ -174,6 +234,14 @@ class OracleServer {
   };
   std::vector<ReaderSlot> readers_;
   size_t active_connections_ = 0;
+
+  FlightRecorder flight_;
+  obs::WindowedAggregator window_;
+  /// Server-assigned trace ids for requests that arrive without one.
+  std::atomic<uint64_t> next_trace_id_{1};
+  /// Deterministic 1-in-audit_every_ sampling (0 = audit disabled).
+  uint64_t audit_every_ = 0;
+  std::atomic<uint64_t> audit_tick_{0};
 };
 
 }  // namespace ipin::serve

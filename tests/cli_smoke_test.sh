@@ -65,7 +65,7 @@ fi
 # (Capture to files: grep -q on a pipe would SIGPIPE the CLI mid-write.)
 "${CLI}" report --in="${WORK}/net.txt" --format=prom > "${WORK}/report.prom"
 if [ "${OBS_MODE}" = "obs-enabled" ]; then
-  grep -q '^# TYPE irs_exact_edges_scanned counter' "${WORK}/report.prom"
+  grep -q '^# TYPE irs_exact_edges_scanned_total counter' "${WORK}/report.prom"
   grep -q '_p95 ' "${WORK}/report.prom"
 fi
 "${CLI}" report --in="${WORK}/net.txt" --format=json > "${WORK}/report.json"

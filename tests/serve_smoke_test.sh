@@ -13,15 +13,26 @@
 #   (d) SIGTERM drains in-flight work and exits 0; SIGKILL mid-reload
 #       leaves the on-disk index intact for the next start.
 #
+# A fifth phase drills the observability surface: wire-propagated trace
+# context (explicit trace ids echoed and recorded), the "metrics" and
+# "debug" verbs, the slow-query flight recorder (a failpoint-delayed query
+# must show up with per-stage timings), the SIGUSR1 dump, and — in
+# obs-enabled builds — the Chrome trace written by --trace_out, which must
+# contain the request's async span lane.
+#
 # Invoked by ctest: $1=ipin_cli $2=ipin_oracled $3=ipin_oracle_client
 # $4=obs mode ("obs-enabled"/"obs-disabled"; metric assertions only hold in
-# obs-enabled builds).
+# obs-enabled builds). Optional: $5=ipin_top (dashboard smoke),
+# $6=artifact dir (falls back to $IPIN_SMOKE_ARTIFACTS; the Chrome trace
+# and flight-recorder dump are copied there for CI upload).
 set -euo pipefail
 
 CLI="$1"
 DAEMON="$2"
 CLIENT="$3"
 OBS_MODE="${4:-obs-enabled}"
+IPIN_TOP="${5:-}"
+ARTIFACTS="${6:-${IPIN_SMOKE_ARTIFACTS:-}}"
 WORK="$(mktemp -d)"
 SOCK="${WORK}/ipin.sock"
 DAEMON_PID=""
@@ -209,5 +220,83 @@ wait_ready "${WORK}/d5.log"
 "${CLIENT}" --socket="${WORK}/ipin2.sock" --seeds=0,1,2 \
   | grep -q "status=OK" || fail "index unusable after SIGKILL mid-reload"
 stop_daemon "${WORK}/d5.log"
+
+# --- Phase 5: observability — trace context, metrics/debug, flight recorder
+# serve.eval=delay(30) slows every exact evaluation past the 5 ms slow-query
+# threshold, so the traced query below must land in the slow ring with its
+# eval stage blamed. audit_rate=1 audits every sketch-served answer.
+IPIN_FAILPOINTS="serve.eval=delay(30)" \
+  "${DAEMON}" --index="${WORK}/index.bin" --socket="${SOCK}" \
+  --graph="${WORK}/net.txt" --workers=2 --slow_query_us=5000 \
+  --audit_rate=1 --trace_out="${WORK}/trace.json" \
+  --metrics_out="${WORK}/m6.json" > "${WORK}/d6.log" 2>&1 &
+DAEMON_PID=$!
+wait_ready "${WORK}/d6.log"
+
+# An explicit trace id rides the wire and comes back padded to 16 hex chars.
+"${CLIENT}" --socket="${SOCK}" --seeds=0,1,2 --mode=exact \
+  --trace_id=c0ffee > "${WORK}/q_traced.txt"
+grep -q "trace_id=0000000000c0ffee" "${WORK}/q_traced.txt" \
+  || fail "explicit trace id not echoed"
+# A query without one still prints the (client-generated) trace id.
+"${CLIENT}" --socket="${SOCK}" --seeds=0,1,2 --mode=sketch \
+  > "${WORK}/q_gen.txt"
+grep -q "trace_id=" "${WORK}/q_gen.txt" || fail "no trace id on plain query"
+
+# The metrics verb scrapes inline; Prometheus text only in obs-enabled
+# builds (the obs-disabled registry is empty, but the verb must still
+# answer OK).
+"${CLIENT}" --socket="${SOCK}" --method=metrics > "${WORK}/metrics.txt"
+grep -q "status=OK" "${WORK}/metrics.txt" || fail "metrics verb not OK"
+if [ "${OBS_MODE}" = "obs-enabled" ]; then
+  grep -q "# TYPE" "${WORK}/metrics.txt" \
+    || fail "metrics payload is not Prometheus text"
+  grep -q "serve_requests_accepted_total" "${WORK}/metrics.txt" \
+    || fail "metrics payload missing serve counters"
+fi
+
+# The debug verb dumps the flight recorder: the delayed query is in there,
+# identified by its trace id, with per-stage timings.
+"${CLIENT}" --socket="${SOCK}" --method=debug > "${WORK}/debug.txt"
+grep -q "ipin.debug.v1" "${WORK}/debug.txt" || fail "debug verb missing schema"
+grep -q "eval_us" "${WORK}/debug.txt" || fail "debug dump missing timings"
+grep -q "0000000000c0ffee" "${WORK}/debug.txt" \
+  || fail "slow traced query not in the flight recorder"
+
+# SIGUSR1 logs the same dump without interrupting service.
+kill -USR1 "${DAEMON_PID}"
+for _ in $(seq 1 50); do
+  if grep -q "flight recorder dump" "${WORK}/d6.log"; then break; fi
+  sleep 0.1
+done
+grep -q "flight recorder dump" "${WORK}/d6.log" \
+  || fail "SIGUSR1 did not log the flight recorder dump"
+"${CLIENT}" --socket="${SOCK}" --method=health | grep -q "status=OK" \
+  || fail "server unhealthy after SIGUSR1 dump"
+
+# The live dashboard renders one sample when its binary was handed to us.
+if [ -n "${IPIN_TOP}" ]; then
+  "${IPIN_TOP}" --socket="${SOCK}" --once > "${WORK}/top.txt"
+  grep -q "epoch" "${WORK}/top.txt" || fail "ipin_top rendered nothing"
+fi
+
+stop_daemon "${WORK}/d6.log"
+if [ "${OBS_MODE}" = "obs-enabled" ]; then
+  [ -s "${WORK}/trace.json" ] || fail "--trace_out wrote no Chrome trace"
+  grep -q '"serve.request"' "${WORK}/trace.json" \
+    || fail "trace missing serve.request span"
+  grep -q '"serve.eval"' "${WORK}/trace.json" \
+    || fail "trace missing serve.eval span"
+  grep -q '"id":"0xc0ffee"' "${WORK}/trace.json" \
+    || fail "trace missing the propagated trace id lane"
+  grep -q '"serve.audit.sampled"' "${WORK}/m6.json" \
+    || fail "metrics report missing serve.audit.sampled"
+fi
+if [ -n "${ARTIFACTS}" ]; then
+  mkdir -p "${ARTIFACTS}"
+  cp -f "${WORK}/trace.json" "${ARTIFACTS}/" 2>/dev/null || true
+  cp -f "${WORK}/debug.txt" "${ARTIFACTS}/flight_recorder_dump.txt" \
+    2>/dev/null || true
+fi
 
 echo "serve smoke test OK"

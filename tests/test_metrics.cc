@@ -2,6 +2,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <regex>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -191,6 +194,127 @@ TEST(RegistryTest, ResetAllZeroesWithoutInvalidatingPointers) {
   registry.ResetAll();
   EXPECT_EQ(counter->Value(), 0u);
   EXPECT_EQ(registry.GetCounter("test_metrics.reset.counter"), counter);
+}
+
+TEST(PercentileTest, EmptyHistogramReportsZeroNotGarbage) {
+  HistogramSnapshot snapshot;  // all zeroes
+  EXPECT_EQ(snapshot.Percentile(0.5), 0.0);
+  EXPECT_EQ(snapshot.P50(), 0.0);
+  EXPECT_EQ(snapshot.P95(), 0.0);
+  EXPECT_EQ(snapshot.P99(), 0.0);
+}
+
+TEST(PercentileTest, SingleSampleEveryQuantileIsThatSample) {
+  Histogram hist;
+  hist.Record(100);
+  HistogramSnapshot snapshot;
+  snapshot.count = hist.Count();
+  snapshot.sum = hist.Sum();
+  snapshot.min = hist.Min();
+  snapshot.max = hist.Max();
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    snapshot.buckets[i] = hist.BucketCount(i);
+  }
+  // Bucket interpolation cannot place the sample more precisely than its
+  // bucket, but every quantile must land inside [min, max] = [100, 100].
+  EXPECT_EQ(snapshot.P50(), 100.0);
+  EXPECT_EQ(snapshot.P99(), 100.0);
+  EXPECT_EQ(snapshot.Percentile(0.0), 100.0);
+  EXPECT_EQ(snapshot.Percentile(1.0), 100.0);
+}
+
+TEST(PercentileTest, QuantilesAreMonotoneAndClamped) {
+  Histogram hist;
+  for (uint64_t v : {1u, 2u, 4u, 8u, 1000u, 2000u, 4000u}) hist.Record(v);
+  HistogramSnapshot snapshot;
+  snapshot.count = hist.Count();
+  snapshot.sum = hist.Sum();
+  snapshot.min = hist.Min();
+  snapshot.max = hist.Max();
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    snapshot.buckets[i] = hist.BucketCount(i);
+  }
+  double previous = 0.0;
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    const double value = snapshot.Percentile(q);
+    EXPECT_GE(value, previous) << q;
+    EXPECT_GE(value, 1.0) << q;     // clamped to min
+    EXPECT_LE(value, 4000.0) << q;  // clamped to max
+    previous = value;
+  }
+}
+
+// Format-correctness of the Prometheus exposition: every non-comment line
+// is exactly `name{labels} value` with a legal metric name, every comment
+// is a well-formed TYPE line, counters carry _total, and registry names
+// with characters Prometheus forbids are sanitized. The server's "metrics"
+// verb hands this text to real scrapers, so the grammar is load-bearing.
+TEST(PrometheusExportTest, ExpositionMatchesGrammar) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("test_prom.requests.ok")->Add(3);
+  // Already-suffixed counters must not become __total_total.
+  registry.GetCounter("test_prom.bytes_total")->Add(9);
+  // Dots and dashes are not legal in Prometheus names; sanitizer's problem.
+  registry.GetCounter("test_prom.weird-name.9lives")->Add(1);
+  registry.GetGauge("test_prom.queue.depth")->Set(2.5);
+  Histogram* hist = registry.GetHistogram("test_prom.latency_us");
+  hist->Record(3);
+  hist->Record(900);
+
+  const std::string text = MetricsPrometheusText(registry.Snapshot());
+  ASSERT_FALSE(text.empty());
+  ASSERT_EQ(text.back(), '\n');  // exposition ends in a newline
+
+  const std::regex name_re("[a-zA-Z_:][a-zA-Z0-9_:]*");
+  const std::regex type_re(
+      "# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)");
+  const std::regex sample_re(
+      "[a-zA-Z_:][a-zA-Z0-9_:]*(\\{[a-zA-Z_][a-zA-Z0-9_]*="
+      "\"[^\"\\\\\\n]*\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"\\\\\\n]*\")*\\})? "
+      "-?[0-9.eE+-]+(e[+-]?[0-9]+)?");
+
+  std::istringstream lines(text);
+  std::string line;
+  size_t samples = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line[0] == '#') {
+      EXPECT_TRUE(std::regex_match(line, type_re)) << line;
+    } else {
+      EXPECT_TRUE(std::regex_match(line, sample_re)) << line;
+      ++samples;
+    }
+  }
+  EXPECT_GT(samples, 0u);
+
+  // Counter naming: _total appended once, never doubled.
+  EXPECT_NE(text.find("test_prom_requests_ok_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_bytes_total 9\n"), std::string::npos);
+  EXPECT_EQ(text.find("_total_total"), std::string::npos);
+  // The illegal characters were mapped into the legal alphabet.
+  EXPECT_EQ(text.find("weird-name"), std::string::npos);
+  EXPECT_EQ(text.find("test_prom.weird"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_weird_name"), std::string::npos);
+  // Histograms expose the cumulative series and companion quantile gauges.
+  EXPECT_NE(text.find("test_prom_latency_us_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_latency_us_sum 903\n"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_latency_us_count 2\n"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_latency_us_p99 "), std::string::npos);
+
+  // Cumulative bucket counts are monotone nondecreasing in le order.
+  const std::regex bucket_re(
+      "test_prom_latency_us_bucket\\{le=\"([0-9]+|\\+Inf)\"\\} ([0-9]+)");
+  std::istringstream again(text);
+  uint64_t last = 0;
+  while (std::getline(again, line)) {
+    std::smatch match;
+    if (!std::regex_match(line, match, bucket_re)) continue;
+    const uint64_t cumulative = std::stoull(match[2]);
+    EXPECT_GE(cumulative, last) << line;
+    last = cumulative;
+  }
+  EXPECT_EQ(last, 2u);  // +Inf bucket equals the count
 }
 
 TEST(ScopedTimerTest, RecordsOnDestruction) {

@@ -1,0 +1,130 @@
+#include "ipin/obs/window.h"
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "ipin/obs/metrics.h"
+
+namespace ipin::obs {
+namespace {
+
+// The aggregator snapshots the process-global registry; every test uses
+// metric names under a test-unique prefix so tests cannot interfere.
+// SampleNow() drives the ring manually — no background thread, no sleeps
+// needed for delta/histogram assertions (Rate needs real elapsed time
+// between samples and so tolerates only coarse bounds).
+
+TEST(WindowedAggregatorTest, NoAnswersWithFewerThanTwoSamples) {
+  WindowedAggregator window;
+  EXPECT_EQ(window.Rate("test_window.none", 10.0), 0.0);
+  EXPECT_EQ(window.DeltaCount("test_window.none", 10.0), 0u);
+  EXPECT_EQ(window.WindowedHistogram("test_window.none", 10.0).count, 0u);
+  window.SampleNow();
+  EXPECT_EQ(window.sample_count(), 1u);
+  EXPECT_EQ(window.DeltaCount("test_window.none", 10.0), 0u);
+}
+
+TEST(WindowedAggregatorTest, DeltaCountSubtractsWindowEdge) {
+  Counter* counter =
+      MetricsRegistry::Global().GetCounter("test_window.delta.counter");
+  WindowedAggregator window;
+  counter->Add(5);
+  window.SampleNow();
+  counter->Add(37);
+  window.SampleNow();
+  EXPECT_EQ(window.DeltaCount("test_window.delta.counter", 60.0), 37u);
+  // Unknown counters read as idle, not as an error.
+  EXPECT_EQ(window.DeltaCount("test_window.delta.unknown", 60.0), 0u);
+}
+
+TEST(WindowedAggregatorTest, RateIsDeltaOverElapsedTime) {
+  Counter* counter =
+      MetricsRegistry::Global().GetCounter("test_window.rate.counter");
+  WindowedAggregator window;
+  window.SampleNow();
+  counter->Add(100);
+  // Real elapsed time between the samples keeps the computed rate finite
+  // and bounded: 100 events over >= 50 ms is at most 2000/s.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  window.SampleNow();
+  const double rate = window.Rate("test_window.rate.counter", 60.0);
+  EXPECT_GT(rate, 0.0);
+  EXPECT_LE(rate, 100.0 / 0.05 + 1.0);
+}
+
+TEST(WindowedAggregatorTest, WindowedHistogramCoversOnlyTheWindow) {
+  Histogram* hist =
+      MetricsRegistry::Global().GetHistogram("test_window.hist.latency");
+  hist->Record(1000);  // before the first sample: outside every window
+  WindowedAggregator window;
+  window.SampleNow();
+  hist->Record(3);
+  hist->Record(3);
+  hist->Record(100);
+  window.SampleNow();
+
+  const HistogramSnapshot delta =
+      window.WindowedHistogram("test_window.hist.latency", 60.0);
+  EXPECT_EQ(delta.count, 3u);
+  EXPECT_EQ(delta.sum, 106u);
+  // Bucket-resolution bounds of the windowed samples, not the cumulative
+  // extremes (1000 was recorded before the window).
+  EXPECT_LE(delta.min, 3u);
+  EXPECT_GE(delta.max, 100u);
+  EXPECT_LT(delta.max, 1000u);
+  const double p50 = delta.P50();
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p50, 3.0);
+}
+
+TEST(WindowedAggregatorTest, RingEvictsOldestSamples) {
+  Counter* counter =
+      MetricsRegistry::Global().GetCounter("test_window.ring.counter");
+  WindowedAggregatorOptions options;
+  options.num_buckets = 3;
+  WindowedAggregator window(options);
+  for (int i = 0; i < 10; ++i) {
+    counter->Add(1);
+    window.SampleNow();
+  }
+  EXPECT_EQ(window.sample_count(), 3u);
+  // Only the increments between the three retained samples are visible:
+  // counts 8, 9, 10 -> a delta of at most 2 however wide the window.
+  EXPECT_LE(window.DeltaCount("test_window.ring.counter", 1e6), 2u);
+}
+
+TEST(WindowedAggregatorTest, StartStopSamplerIsIdempotent) {
+  WindowedAggregatorOptions options;
+  options.sample_period_ms = 10;
+  WindowedAggregator window(options);
+  window.Start();
+  window.Start();  // idempotent
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  window.Stop();
+  window.Stop();  // idempotent
+  const size_t after_stop = window.sample_count();
+  EXPECT_GE(after_stop, 2u);  // t0 sample + at least one periodic tick
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(window.sample_count(), after_stop);  // sampler really stopped
+  // Restart works after a Stop.
+  window.Start();
+  window.Stop();
+}
+
+TEST(WindowedAggregatorTest, CounterResetReadsAsIdleNotUnderflow) {
+  Counter* counter =
+      MetricsRegistry::Global().GetCounter("test_window.reset.counter");
+  WindowedAggregator window;
+  counter->Add(50);
+  window.SampleNow();
+  counter->Reset();
+  window.SampleNow();
+  EXPECT_EQ(window.DeltaCount("test_window.reset.counter", 60.0), 0u);
+  EXPECT_EQ(window.Rate("test_window.reset.counter", 60.0), 0.0);
+}
+
+}  // namespace
+}  // namespace ipin::obs

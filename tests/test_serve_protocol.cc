@@ -178,6 +178,120 @@ TEST(ServeProtocolTest, MalformedResponsesRejected) {
   EXPECT_FALSE(ParseResponse(R"({"id": 1, "status": "MAYBE"})").has_value());
 }
 
+TEST(ServeProtocolTest, TraceIdHexRoundtrip) {
+  EXPECT_EQ(TraceIdToHex(0x00c0ffee0badf00dULL), "00c0ffee0badf00d");
+  EXPECT_EQ(TraceIdToHex(1), "0000000000000001");
+  for (const uint64_t id :
+       {uint64_t{1}, uint64_t{0xdeadbeef}, UINT64_MAX}) {
+    const auto back = TraceIdFromHex(TraceIdToHex(id));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, id);
+  }
+  // Short forms and uppercase are accepted on the way in.
+  EXPECT_EQ(TraceIdFromHex("f"), 0xfu);
+  EXPECT_EQ(TraceIdFromHex("DEADBEEF"), 0xdeadbeefu);
+  // Not hex / empty / too long are not.
+  EXPECT_FALSE(TraceIdFromHex("").has_value());
+  EXPECT_FALSE(TraceIdFromHex("xyz").has_value());
+  EXPECT_FALSE(TraceIdFromHex("0x12").has_value());
+  EXPECT_FALSE(TraceIdFromHex("00112233445566778").has_value());  // 17 chars
+}
+
+TEST(ServeProtocolTest, TraceContextRoundtrip) {
+  Request request;
+  request.id = 5;
+  request.seeds = {1};
+  request.trace_id = 0x00c0ffee0badf00dULL;
+  request.parent_span = 0x17;
+  std::string error;
+  const std::string line = SerializeRequest(request);
+  EXPECT_NE(line.find("\"trace_id\": \"00c0ffee0badf00d\""),
+            std::string::npos);
+  const auto parsed =
+      ParseRequest(std::string_view(line).substr(0, line.size() - 1), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->trace_id, 0x00c0ffee0badf00dULL);
+  EXPECT_EQ(parsed->parent_span, 0x17u);
+
+  // Absent trace fields parse as 0 (= none carried).
+  const auto bare = ParseRequest(R"({"seeds": [1]})", &error);
+  ASSERT_TRUE(bare.has_value()) << error;
+  EXPECT_EQ(bare->trace_id, 0u);
+  EXPECT_EQ(bare->parent_span, 0u);
+}
+
+TEST(ServeProtocolTest, BadTraceContextRejected) {
+  const struct {
+    const char* line;
+    const char* reason;
+  } cases[] = {
+      {R"({"seeds": [1], "trace_id": 7})", "trace ids must be hex strings"},
+      {R"({"seeds": [1], "trace_id": "zz"})",
+       "trace ids must be 1-16 hex digits"},
+      {R"({"seeds": [1], "trace_id": ""})",
+       "trace ids must be 1-16 hex digits"},
+      {R"({"seeds": [1], "parent_span": "00112233445566778"})",
+       "trace ids must be 1-16 hex digits"},
+  };
+  for (const auto& c : cases) {
+    std::string error;
+    EXPECT_FALSE(ParseRequest(c.line, &error).has_value()) << c.line;
+    EXPECT_EQ(error, c.reason) << c.line;
+  }
+}
+
+TEST(ServeProtocolTest, MetricsAndDebugMethodsParse) {
+  std::string error;
+  auto parsed = ParseRequest(R"({"method": "metrics"})", &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->method, Method::kMetrics);
+  EXPECT_EQ(parsed->format, MetricsFormat::kPrometheus);  // default
+
+  parsed = ParseRequest(R"({"method": "metrics", "format": "json"})", &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->format, MetricsFormat::kJson);
+
+  EXPECT_FALSE(
+      ParseRequest(R"({"method": "metrics", "format": "xml"})", &error)
+          .has_value());
+  EXPECT_EQ(error, "unknown format");
+
+  parsed = ParseRequest(R"({"method": "debug"})", &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->method, Method::kDebug);
+
+  // The client serializer round-trips both verbs.
+  Request request;
+  request.method = Method::kMetrics;
+  request.format = MetricsFormat::kJson;
+  const std::string line = SerializeRequest(request);
+  parsed = ParseRequest(std::string_view(line).substr(0, line.size() - 1),
+                        &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->method, Method::kMetrics);
+  EXPECT_EQ(parsed->format, MetricsFormat::kJson);
+}
+
+TEST(ServeProtocolTest, ResponseTraceAndPayloadRoundtrip) {
+  Response response;
+  response.id = 3;
+  response.status = StatusCode::kOk;
+  response.trace_id = 0xabcdULL;
+  response.payload = "# TYPE x counter\nx_total 1\n";
+  const std::string line = SerializeResponse(response);
+  EXPECT_EQ(line.find('\n'), line.size() - 1);  // payload newlines escaped
+  const auto parsed = ParseResponse(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->trace_id, 0xabcdULL);
+  EXPECT_EQ(parsed->payload, response.payload);
+
+  // Absent fields read back as their "none" values.
+  const auto bare = ParseResponse(R"({"status": "OK"})");
+  ASSERT_TRUE(bare.has_value());
+  EXPECT_EQ(bare->trace_id, 0u);
+  EXPECT_TRUE(bare->payload.empty());
+}
+
 TEST(ServeProtocolTest, StatusCodeNamesRoundtrip) {
   for (const StatusCode code :
        {StatusCode::kOk, StatusCode::kBadRequest, StatusCode::kDeadlineExceeded,

@@ -19,6 +19,7 @@
 #include <gtest/gtest.h>
 
 #include "ipin/common/failpoint.h"
+#include "ipin/common/json.h"
 #include "ipin/common/logging.h"
 #include "ipin/core/influence_oracle.h"
 #include "ipin/core/oracle_io.h"
@@ -608,6 +609,237 @@ TEST_F(ServeServerTest, UnavailableWhenNoIndexLoaded) {
   EXPECT_EQ(query->status, StatusCode::kUnavailable);
   EXPECT_GT(query->retry_after_ms, 0);
 }
+
+TEST_F(ServeServerTest, TraceContextEchoedAndServerAssigned) {
+  StartServer();
+  OracleClient client(MakeClientOptions());
+
+  // Explicit trace context is echoed verbatim, on queries and inline verbs.
+  Request request;
+  request.method = Method::kQuery;
+  request.seeds = {1, 2};
+  request.trace_id = 0xabc123;
+  auto response = client.Call(request);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, StatusCode::kOk);
+  EXPECT_EQ(response->trace_id, 0xabc123u);
+
+  Request health;
+  health.method = Method::kHealth;
+  health.trace_id = 0x5150;
+  response = client.Call(health);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->trace_id, 0x5150u);
+
+  // The client library stamps queries that carry none.
+  response = client.Query({1, 2});
+  ASSERT_TRUE(response.has_value());
+  EXPECT_NE(client.last_trace_id(), 0u);
+  EXPECT_EQ(response->trace_id, client.last_trace_id());
+
+  // A bare-wire query with no trace field gets a server-assigned id, so
+  // every request shows up in the server's trace and flight recorder.
+  const int fd = ConnectUnix(socket_path_);
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(SendAll(fd, "{\"id\": 9, \"seeds\": [1]}\n"));
+  const std::vector<std::string> lines = ReadLines(fd, 1);
+  ASSERT_EQ(lines.size(), 1u);
+  const auto parsed = ParseResponse(lines[0]);
+  ASSERT_TRUE(parsed.has_value()) << lines[0];
+  EXPECT_EQ(parsed->status, StatusCode::kOk);
+  EXPECT_NE(parsed->trace_id, 0u);
+  ::close(fd);
+}
+
+TEST_F(ServeServerTest, MetricsVerbAnswersInlineWithPayload) {
+  StartServer();
+  OracleClient client(MakeClientOptions());
+  ASSERT_TRUE(client.Query({1, 2}).has_value());  // populate serve counters
+
+  Request metrics;
+  metrics.method = Method::kMetrics;
+  metrics.trace_id = 0x77;
+  auto response = client.Call(metrics);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, StatusCode::kOk);
+  EXPECT_EQ(response->epoch, 1u);
+  EXPECT_EQ(response->trace_id, 0x77u);
+#ifndef IPIN_OBS_DISABLED
+  // Prometheus text exposition: TYPE comments and _total counter series.
+  EXPECT_NE(response->payload.find("# TYPE"), std::string::npos);
+  EXPECT_NE(response->payload.find("serve_requests_accepted_total"),
+            std::string::npos);
+#endif
+
+  metrics.format = MetricsFormat::kJson;
+  response = client.Call(metrics);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, StatusCode::kOk);
+#ifndef IPIN_OBS_DISABLED
+  const auto doc = JsonValue::Parse(response->payload);
+  ASSERT_TRUE(doc.has_value()) << response->payload;
+  EXPECT_EQ(doc->FindString("schema", ""), "ipin.metrics.v1");
+#endif
+}
+
+TEST_F(ServeServerTest, DebugVerbDumpsSlowQueryWithStageTimings) {
+  LoadExact();
+  ServerOptions options;
+  options.exact_budget_ms = 100;
+  options.slow_query_us = 5000;  // 5 ms: the stalled query below is "slow"
+  StartServer(options);
+  // A 30 ms eval stall pushes one request over the slow-query threshold.
+  ASSERT_TRUE(failpoint::Set("serve.eval", "delay(30)"));
+  OracleClient client(MakeClientOptions());
+  auto query = client.Query({1, 2, 3}, QueryMode::kExact,
+                            /*deadline_ms=*/5000);
+  ASSERT_TRUE(query.has_value());
+  ASSERT_EQ(query->status, StatusCode::kOk);
+  const uint64_t slow_trace = client.last_trace_id();
+  failpoint::Clear("serve.eval");
+
+  // The worker records to the flight recorder after writing the query
+  // response, so the record can trail the answer by a beat: poll.
+  Request debug;
+  debug.method = Method::kDebug;
+  std::optional<Response> response;
+  std::optional<JsonValue> doc;
+  for (int spin = 0; spin < 400; ++spin) {
+    response = client.Call(debug);
+    ASSERT_TRUE(response.has_value());
+    ASSERT_EQ(response->status, StatusCode::kOk);
+    doc = JsonValue::Parse(response->payload);
+    ASSERT_TRUE(doc.has_value()) << response->payload;
+    if (doc->FindNumber("slow_recorded", 0) >= 1.0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(doc->FindString("schema", ""), "ipin.debug.v1");
+  EXPECT_EQ(doc->FindNumber("slow_threshold_us", -1), 5000.0);
+  EXPECT_GE(doc->FindNumber("recorded", 0), 1.0);
+  EXPECT_GE(doc->FindNumber("slow_recorded", 0), 1.0);
+
+  // The stalled query sits in the slow ring with per-stage timings that
+  // blame the eval stage for the 30 ms.
+  const JsonValue* slow = doc->Find("slow");
+  ASSERT_NE(slow, nullptr);
+  ASSERT_TRUE(slow->is_array());
+  ASSERT_FALSE(slow->array_items().empty());
+  bool found = false;
+  for (const JsonValue& record : slow->array_items()) {
+    if (record.FindString("trace_id", "") != TraceIdToHex(slow_trace)) {
+      continue;
+    }
+    found = true;
+    EXPECT_EQ(record.FindString("status", ""), "OK");
+    EXPECT_GE(record.FindNumber("eval_us", 0), 25000.0);
+    EXPECT_GE(record.FindNumber("total_us", 0),
+              record.FindNumber("eval_us", 0));
+    EXPECT_GE(record.FindNumber("queue_us", -1), 0.0);
+    EXPECT_GE(record.FindNumber("admission_us", -1), 0.0);
+    EXPECT_GE(record.FindNumber("write_us", -1), 0.0);
+  }
+  EXPECT_TRUE(found) << response->payload;
+}
+
+#ifndef IPIN_OBS_DISABLED
+TEST_F(ServeServerTest, StatsReportsWindowedFields) {
+  StartServer();
+  OracleClient client(MakeClientOptions());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(client.Query({1, 2}).has_value());
+  }
+  Request stats;
+  stats.method = Method::kStats;
+  const auto response = client.Call(stats);
+  ASSERT_TRUE(response.has_value());
+  ASSERT_EQ(response->status, StatusCode::kOk);
+  double win_s = -1.0, win_qps = -1.0, win_p99 = -1.0;
+  for (const auto& [key, value] : response->info) {
+    if (key == "win_s") win_s = value;
+    if (key == "win_qps") win_qps = value;
+    if (key == "win_p99_us") win_p99 = value;
+  }
+  // The window exists and is the configured width; the rates themselves
+  // need two sampler ticks (seconds apart), which this test does not wait
+  // for — they legitimately read 0 right after startup.
+  EXPECT_DOUBLE_EQ(win_s,
+                   static_cast<double>(server_->options().stats_window_s));
+  EXPECT_GE(win_qps, 0.0);
+  EXPECT_GE(win_p99, 0.0);
+}
+
+// End-to-end accuracy audit: serve sketch answers with audit_rate=1, wait
+// for the background re-evaluations on the shared pool, and assert the
+// measured relative error respects the same vHLL tolerance that
+// test_influence_oracle's TracksExactOracle establishes for this exact
+// configuration (precision 9, |influence| > 30 -> within 25%, i.e. 250
+// per-mille).
+TEST(ServeAuditTest, MeasuredSketchErrorWithinVhllTolerance) {
+  SetLogLevel(LogLevel::kError);
+  SyntheticConfig config;
+  config.num_nodes = 250;
+  config.num_interactions = 4000;
+  config.time_span = 9000;
+  config.seed = 19;
+  const InteractionGraph graph = GenerateInteractionNetwork(config);
+  const Duration window = 2000;
+  auto exact =
+      std::make_shared<const IrsExact>(IrsExact::Compute(graph, window));
+  IrsApproxOptions approx_options;
+  approx_options.precision = 9;
+  IndexManager index("");
+  index.Install(std::make_shared<const IrsApprox>(
+      IrsApprox::Compute(graph, window, approx_options)));
+  index.SetExact(exact);
+
+  const std::vector<NodeId> seeds = {2, 30, 71, 120, 200};
+  const ExactInfluenceOracle oracle(exact.get());
+  const double truth = oracle.InfluenceOfSet(seeds);
+  ASSERT_GT(truth, 30.0);  // the 25% tolerance presumes a non-tiny set
+
+  ServerOptions options;
+  options.unix_socket_path =
+      ::testing::TempDir() + "/ipin_audit_" +
+      std::to_string(static_cast<unsigned long long>(config.seed)) + ".sock";
+  options.audit_rate = 1.0;  // audit every sketch-served answer
+  OracleServer server(&index, options);
+  ASSERT_TRUE(server.Start());
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Counter* sampled = registry.GetCounter("serve.audit.sampled");
+  obs::Counter* completed = registry.GetCounter("serve.audit.completed");
+  obs::Histogram* abs_pm =
+      registry.GetHistogram("serve.audit.rel_error_abs_pm");
+  const uint64_t completed_before = completed->Value();
+  const uint64_t recorded_before = abs_pm->Count();
+
+  ClientOptions copts;
+  copts.unix_socket_path = options.unix_socket_path;
+  OracleClient client(copts);
+  constexpr uint64_t kQueries = 5;
+  for (uint64_t i = 0; i < kQueries; ++i) {
+    const auto response = client.Query(seeds, QueryMode::kSketch);
+    ASSERT_TRUE(response.has_value());
+    ASSERT_EQ(response->status, StatusCode::kOk);
+  }
+  EXPECT_GE(sampled->Value(), kQueries);
+
+  // The re-evaluations run on the global pool; wait for them to land.
+  for (int spin = 0;
+       spin < 1000 && completed->Value() < completed_before + kQueries;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_GE(completed->Value(), completed_before + kQueries);
+  // truth > 30, so no audit can hit the zero-truth path: every sample
+  // recorded a relative error, and the worst of them stays inside the
+  // sketch's accuracy envelope.
+  ASSERT_EQ(abs_pm->Count(), recorded_before + kQueries);
+  EXPECT_LE(abs_pm->Max(), 250u);
+  server.Shutdown();
+  std::remove(options.unix_socket_path.c_str());
+}
+#endif  // IPIN_OBS_DISABLED
 
 TEST_F(ServeServerTest, EphemeralTcpPortWorks) {
   ServerOptions options;

@@ -247,7 +247,7 @@ TEST(PrometheusExportTest, EmitsSanitizedSeries) {
   registry.GetCounter("test_spans.prom.counter")->Add(9);
   registry.GetHistogram("test_spans.prom.hist")->Record(5);
   const std::string text = MetricsPrometheusText(registry.Snapshot());
-  EXPECT_NE(text.find("test_spans_prom_counter 9"), std::string::npos);
+  EXPECT_NE(text.find("test_spans_prom_counter_total 9"), std::string::npos);
   EXPECT_NE(text.find("test_spans_prom_hist_count 1"), std::string::npos);
   EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
 }
