@@ -27,7 +27,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   const FlagMap flags = FlagMap::Parse(argc, argv);
-  SetupBenchObservability(flags);
+  SetupBenchObservability(flags, "ablation_design");
   const double scale = flags.GetDouble("scale", 0.01);
   const size_t k = static_cast<size_t>(flags.GetInt("k", 10));
   PrintBanner("Ablations: design choices of the IRS pipeline", flags, scale);

@@ -2,6 +2,7 @@
 #define IPIN_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -12,8 +13,10 @@
 #include "ipin/datasets/registry.h"
 #include "ipin/graph/interaction_graph.h"
 #include "ipin/obs/export.h"
+#include "ipin/obs/ledger.h"
 #include "ipin/obs/memtally.h"
 #include "ipin/obs/metrics.h"
+#include "ipin/obs/progress.h"
 #include "ipin/obs/trace_events.h"
 
 // Shared plumbing for the table/figure harnesses: flag handling, dataset
@@ -59,17 +62,44 @@ inline void PrintBanner(const char* experiment, const FlagMap& flags,
   (void)flags;
 }
 
-/// Starts opt-in trace-event recording when --trace_out=FILE was passed and
+/// Starts opt-in trace-event recording when --trace_out=FILE was passed,
 /// applies --threads=N to the global pool (0 or absent = IPIN_THREADS env /
-/// hardware default). Call once, right after parsing flags; EmitRunReport
-/// stops the session and writes the Chrome trace file.
-inline void SetupBenchObservability(const FlagMap& flags) {
+/// hardware default), opens the run ledger (written on EmitRunReport when
+/// --ledger_dir=DIR or IPIN_LEDGER_DIR names a directory), and starts the
+/// heartbeat reporter when --progress_out=FILE (cadence --heartbeat_ms,
+/// default 1000). Call once, right after parsing flags; EmitRunReport
+/// closes everything out. `experiment` names the run in its ledger.
+inline void SetupBenchObservability(const FlagMap& flags,
+                                    const char* experiment = "bench") {
   if (flags.Has("threads")) {
     const int64_t threads = flags.GetInt("threads", 0);
     SetGlobalThreads(threads <= 0 ? 0 : static_cast<size_t>(threads));
   }
   if (!flags.GetString("trace_out", "").empty()) {
     obs::StartTraceRecording();
+  }
+  obs::RunLedgerOptions ledger_options;
+  ledger_options.dir = flags.GetString("ledger_dir", "");
+  if (ledger_options.dir.empty()) {
+    if (const char* env = std::getenv("IPIN_LEDGER_DIR");
+        env != nullptr && env[0] != '\0') {
+      ledger_options.dir = env;
+    }
+  }
+  ledger_options.tool = "bench";
+  ledger_options.command = experiment;
+  ledger_options.args = StrFormat(
+      "--scale=%g --datasets=%s --threads=%zu",
+      flags.GetDouble("scale", 0.0),
+      flags.GetString("datasets", "all").c_str(), GlobalThreads());
+  obs::RunLedger::Global().Begin(ledger_options);
+  const std::string progress_out = flags.GetString("progress_out", "");
+  if (!progress_out.empty()) {
+    obs::ProgressOptions popts;
+    popts.interval_ms =
+        static_cast<uint64_t>(flags.GetInt("heartbeat_ms", 1000));
+    popts.out_path = progress_out;
+    obs::StartProgressReporting(popts);
   }
 }
 
@@ -81,16 +111,20 @@ inline void SetupBenchObservability(const FlagMap& flags) {
 /// stops the session and writes the Chrome trace there. Call once, at the
 /// end of main.
 inline void EmitRunReport(const FlagMap& flags) {
+  obs::StopProgressReporting();
   const std::string trace_path = flags.GetString("trace_out", "");
   if (!trace_path.empty()) {
     obs::StopTraceRecording();
     if (obs::WriteChromeTrace(trace_path)) {
       std::printf("\n# chrome trace -> %s\n", trace_path.c_str());
+      obs::RunLedger::Global().RecordOutput(trace_path);
     }
   }
   // Mirror measured byte tallies into mem.* gauges so the report (and any
-  // trace counter tracks already sampled) carries them.
+  // trace counter tracks already sampled) carries them; ditto the
+  // per-phase pool profiles (parallel.phase.*).
   obs::PublishMemoryGauges();
+  PublishPoolPhaseMetrics();
   // Record the effective parallelism so a bench JSON is self-describing:
   // a thread-count=1 run is comparable against the bench history, a
   // multi-thread run is labelled as such.
@@ -99,11 +133,17 @@ inline void EmitRunReport(const FlagMap& flags) {
   if (!path.empty()) {
     if (obs::WriteMetricsReportFile(path)) {
       std::printf("\n# metrics report -> %s\n", path.c_str());
+      obs::RunLedger::Global().RecordOutput(path);
     }
-    return;
+  } else {
+    std::printf(
+        "\n# run report (pass --metrics_out=FILE to write to a file):\n");
+    std::printf("%s\n", obs::GlobalMetricsReportJson().c_str());
   }
-  std::printf("\n# run report (pass --metrics_out=FILE to write to a file):\n");
-  std::printf("%s\n", obs::GlobalMetricsReportJson().c_str());
+  const std::string ledger_path = obs::RunLedger::Global().Finish(0);
+  if (!ledger_path.empty()) {
+    std::printf("# run ledger -> %s\n", ledger_path.c_str());
+  }
 }
 
 }  // namespace ipin

@@ -15,7 +15,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   const FlagMap flags = FlagMap::Parse(argc, argv);
-  SetupBenchObservability(flags);
+  SetupBenchObservability(flags, "fig3_processing_time");
   const double scale = flags.GetDouble("scale", 0.01);
   const int precision = static_cast<int>(flags.GetInt("precision", 9));
   PrintBanner("Figure 3: processing time vs window length", flags, scale);

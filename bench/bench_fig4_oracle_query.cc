@@ -16,7 +16,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   const FlagMap flags = FlagMap::Parse(argc, argv);
-  SetupBenchObservability(flags);
+  SetupBenchObservability(flags, "fig4_oracle_query");
   const double scale = flags.GetDouble("scale", 0.01);
   const int precision = static_cast<int>(flags.GetInt("precision", 9));
   const size_t repeats = static_cast<size_t>(flags.GetInt("repeats", 5));

@@ -79,7 +79,7 @@ std::vector<MethodSeeds> SelectAllSeeds(const InteractionGraph& graph,
 
 int Run(int argc, char** argv) {
   const FlagMap flags = FlagMap::Parse(argc, argv);
-  SetupBenchObservability(flags);
+  SetupBenchObservability(flags, "fig5_spread");
   const double scale = flags.GetDouble("scale", 0.02);
   const size_t runs = static_cast<size_t>(flags.GetInt("runs", 20));
   const size_t max_k = static_cast<size_t>(flags.GetInt("k", 50));

@@ -12,11 +12,13 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "ipin/obs/export.h"
+#include "ipin/obs/ledger.h"
 #include "ipin/obs/memtally.h"
 #include "ipin/obs/trace_events.h"
 
@@ -42,6 +44,22 @@ int main(int argc, char** argv) {
   const std::string trace_out = TakeFlag(&argc, argv, "trace_out");
   const std::string metrics_out = TakeFlag(&argc, argv, "metrics_out");
 
+  // google-benchmark rejects unknown flags, so the ledger directory comes
+  // in through the environment (run_benches.sh exports it).
+  ipin::obs::RunLedgerOptions ledger_options;
+  if (const char* env = std::getenv("IPIN_LEDGER_DIR");
+      env != nullptr && env[0] != '\0') {
+    ledger_options.dir = env;
+  }
+  ledger_options.tool = "bench_micro";
+  std::string self = argv[0] != nullptr ? argv[0] : "bench_micro";
+  if (const size_t slash = self.find_last_of('/');
+      slash != std::string::npos) {
+    self = self.substr(slash + 1);
+  }
+  ledger_options.command = self;
+  ipin::obs::RunLedger::Global().Begin(ledger_options);
+
   if (!trace_out.empty()) ipin::obs::StartTraceRecording();
 
   benchmark::Initialize(&argc, argv);
@@ -60,6 +78,10 @@ int main(int argc, char** argv) {
     if (ipin::obs::WriteMetricsReportFile(metrics_out)) {
       std::fprintf(stderr, "# metrics report -> %s\n", metrics_out.c_str());
     }
+  }
+  const std::string ledger_path = ipin::obs::RunLedger::Global().Finish(0);
+  if (!ledger_path.empty()) {
+    std::fprintf(stderr, "# run ledger -> %s\n", ledger_path.c_str());
   }
   return 0;
 }

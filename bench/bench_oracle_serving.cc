@@ -105,7 +105,7 @@ LevelResult RunLevel(const serve::ClientOptions& client_options,
 
 int Run(int argc, char** argv) {
   const FlagMap flags = FlagMap::Parse(argc, argv);
-  SetupBenchObservability(flags);
+  SetupBenchObservability(flags, "oracle_serving");
   const double scale = flags.GetDouble("scale", 0.01);
   const int precision = static_cast<int>(flags.GetInt("precision", 9));
   const size_t requests = static_cast<size_t>(flags.GetInt("requests", 2000));

@@ -13,7 +13,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   const FlagMap flags = FlagMap::Parse(argc, argv);
-  SetupBenchObservability(flags);
+  SetupBenchObservability(flags, "table2_datasets");
   const double scale = flags.GetDouble("scale", 0.01);
   PrintBanner("Table 2: dataset characteristics", flags, scale);
 

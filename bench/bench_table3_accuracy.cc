@@ -16,7 +16,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   const FlagMap flags = FlagMap::Parse(argc, argv);
-  SetupBenchObservability(flags);
+  SetupBenchObservability(flags, "table3_accuracy");
   // The paper runs exact on Higgs and Slashdot only (memory); scale so that
   // the exact algorithm fits comfortably.
   const double scale = flags.GetDouble("scale", 0.05);

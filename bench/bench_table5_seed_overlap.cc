@@ -16,7 +16,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   const FlagMap flags = FlagMap::Parse(argc, argv);
-  SetupBenchObservability(flags);
+  SetupBenchObservability(flags, "table5_seed_overlap");
   const double scale = flags.GetDouble("scale", 0.01);
   const size_t k = static_cast<size_t>(flags.GetInt("k", 10));
   PrintBanner("Table 5: common seeds across window lengths", flags, scale);

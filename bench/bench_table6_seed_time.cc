@@ -20,7 +20,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   const FlagMap flags = FlagMap::Parse(argc, argv);
-  SetupBenchObservability(flags);
+  SetupBenchObservability(flags, "table6_seed_time");
   const double scale = flags.GetDouble("scale", 0.01);
   const size_t k = static_cast<size_t>(flags.GetInt("k", 50));
   const bool run_cte = flags.GetBool("continest", true);

@@ -17,14 +17,20 @@
 // registry + span tree as a JSON run report on exit; --trace_out=FILE
 // records trace events during the command and writes a Chrome/Perfetto
 // trace_event JSON file on exit (open with https://ui.perfetto.dev);
-// --log_level=LEVEL (debug|info|warning|error) sets the logger threshold
-// (overriding the IPIN_LOG_LEVEL environment variable); --threads=N sizes
-// the global worker pool (0/absent = IPIN_THREADS env or hardware
-// concurrency, 1 = exact sequential execution).
+// --ledger_dir=DIR persists an ipin.run.v1 manifest (config, provenance,
+// per-phase timings, outcome) on exit — inspect with tools/ipin_runs;
+// --progress_out=FILE appends ipin.heartbeat.v1 JSON lines during the
+// command at --heartbeat_ms cadence (default 1000); --progress adds a
+// human ticker on stderr; --log_level=LEVEL (debug|info|warning|error)
+// sets the logger threshold (overriding the IPIN_LOG_LEVEL environment
+// variable); --threads=N sizes the global worker pool (0/absent =
+// IPIN_THREADS env or hardware concurrency, 1 = exact sequential
+// execution).
 
 #include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
@@ -48,8 +54,10 @@
 #include "ipin/graph/graph_io.h"
 #include "ipin/graph/static_graph.h"
 #include "ipin/obs/export.h"
+#include "ipin/obs/ledger.h"
 #include "ipin/obs/memtally.h"
 #include "ipin/obs/metrics.h"
+#include "ipin/obs/progress.h"
 #include "ipin/obs/trace.h"
 #include "ipin/obs/trace_events.h"
 
@@ -74,7 +82,11 @@ int Usage() {
       "global flags: --metrics_out=<json> --trace_out=<json> "
       "--log_level=<level> --lenient (salvage damaged edge lists)\n"
       "              --threads=<n> (0 = IPIN_THREADS env / hardware; "
-      "1 = sequential)\n");
+      "1 = sequential)\n"
+      "              --ledger_dir=<dir> (write an ipin.run.v1 manifest; "
+      "see ipin_runs)\n"
+      "              --progress_out=<jsonl> --heartbeat_ms=<ms> "
+      "--progress (stderr ticker)\n");
   return 2;
 }
 
@@ -119,6 +131,7 @@ int CmdGenerate(const FlagMap& flags) {
   }
   const InteractionGraph graph = GenerateInteractionNetwork(*config);
   if (!SaveInteractionsToFile(graph, out)) return 1;
+  obs::RunLedger::Global().RecordOutput(out);
   std::printf("wrote %zu interactions / %zu nodes to %s\n",
               graph.num_interactions(), graph.num_nodes(), out.c_str());
   return 0;
@@ -140,6 +153,7 @@ std::optional<InteractionGraph> LoadGraphArg(const FlagMap& flags,
     *rc = kExitBadInput;
     return std::nullopt;
   }
+  obs::RunLedger::Global().RecordInputFile(path);
   const ParseMode mode = flags.GetBool("lenient", false) ? ParseMode::kLenient
                                                          : ParseMode::kStrict;
   auto graph = LoadInteractionsFromFile(path, EdgeListFormat::kSrcDstTime, mode);
@@ -162,6 +176,7 @@ std::optional<IrsApprox> LoadIndexArg(const std::string& path, int* rc) {
     *rc = kExitBadInput;
     return std::nullopt;
   }
+  obs::RunLedger::Global().RecordInputFile(path);
   IndexLoadResult result = LoadInfluenceIndexDetailed(path);
   if (result.status == IndexLoadStatus::kMissing) {
     std::fprintf(stderr, "ipin_cli: cannot open index '%s'\n", path.c_str());
@@ -240,6 +255,7 @@ int CmdBuildIndex(const FlagMap& flags) {
         ckpt_stats.invalid_checkpoints_skipped);
   }
   if (!SaveInfluenceIndex(index, out)) return 1;
+  obs::RunLedger::Global().RecordOutput(out);
   std::printf(
       "built index in %.2fs (window %lld, beta %zu, %.1f MB) -> %s\n",
       build_seconds, static_cast<long long>(index.window()),
@@ -305,6 +321,7 @@ int CmdConvert(const FlagMap& flags) {
   if (dimacs.empty()) return Usage();
   const StaticGraph flat = StaticGraph::FromInteractions(*graph);
   if (!SaveDimacs(flat, dimacs)) return 1;
+  obs::RunLedger::Global().RecordOutput(dimacs);
   std::printf("wrote DIMACS graph (%zu nodes, %zu arcs) to %s\n",
               flat.num_nodes(), flat.num_edges(), dimacs.c_str());
   return 0;
@@ -372,6 +389,7 @@ int CmdReport(const FlagMap& flags) {
   // collector).
   const std::string format = flags.GetString("format", "text");
   obs::PublishMemoryGauges();
+  PublishPoolPhaseMetrics();
   const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
   if (format == "json") {
     std::printf("%s\n",
@@ -422,15 +440,62 @@ int Run(int argc, char** argv) {
     SetGlobalThreads(threads <= 0 ? 0 : static_cast<size_t>(threads));
   }
 
+  // The run ledger always records (events, wall time); it only writes a
+  // manifest file when --ledger_dir (or IPIN_LEDGER_DIR) names a directory.
+  obs::RunLedgerOptions ledger_options;
+  ledger_options.dir = flags.GetString("ledger_dir", "");
+  if (ledger_options.dir.empty()) {
+    if (const char* env = std::getenv("IPIN_LEDGER_DIR");
+        env != nullptr && env[0] != '\0') {
+      ledger_options.dir = env;
+    }
+  }
+  ledger_options.tool = "ipin_cli";
+  ledger_options.command = flags.positional()[0];
+  for (int i = 1; i < argc; ++i) {
+    if (i > 1) ledger_options.args += " ";
+    ledger_options.args += argv[i];
+  }
+  obs::RunLedger& ledger = obs::RunLedger::Global();
+  ledger.Begin(ledger_options);
+
   const std::string trace_out = flags.GetString("trace_out", "");
   if (!trace_out.empty()) obs::StartTraceRecording();
 
+  const std::string progress_out = flags.GetString("progress_out", "");
+  const bool progress_ticker = flags.GetBool("progress", false);
+  if (!progress_out.empty() || progress_ticker) {
+    obs::ProgressOptions popts;
+    popts.interval_ms =
+        static_cast<uint64_t>(flags.GetInt("heartbeat_ms", 1000));
+    popts.out_path = progress_out;
+    popts.stderr_ticker = progress_ticker;
+    const bool started = obs::StartProgressReporting(popts);
+#ifndef IPIN_OBS_DISABLED
+    if (!started && !progress_out.empty()) {
+      std::fprintf(stderr, "ipin_cli: cannot open --progress_out '%s'\n",
+                   progress_out.c_str());
+      return kExitBadInput;
+    }
+#else
+    // Progress engine compiled out: the flags stay accepted no-ops so
+    // scripts work against both build modes.
+    (void)started;
+#endif
+  }
+
   int rc = Dispatch(flags.positional()[0], flags);
+
+  // Stop the reporter before the ledger snapshots heartbeat state, so the
+  // final heartbeat is on disk and in the ledger's recent-lines ring.
+  obs::StopProgressReporting();
+  if (!progress_out.empty()) ledger.RecordOutput(progress_out);
 
   if (!trace_out.empty()) {
     obs::StopTraceRecording();
     if (obs::WriteChromeTrace(trace_out)) {
       LogInfo("wrote chrome trace to " + trace_out);
+      ledger.RecordOutput(trace_out);
     } else if (rc == 0) {
       rc = 1;
     }
@@ -439,11 +504,27 @@ int Run(int argc, char** argv) {
   const std::string metrics_out = flags.GetString("metrics_out", "");
   if (!metrics_out.empty()) {
     obs::PublishMemoryGauges();
+    PublishPoolPhaseMetrics();
     if (obs::WriteMetricsReportFile(metrics_out)) {
       LogInfo("wrote metrics report to " + metrics_out);
+      ledger.RecordOutput(metrics_out);
     } else if (rc == 0) {
       rc = 1;
     }
+  }
+
+  const double wall_seconds = ledger.WallSeconds();
+  std::string outputs;
+  for (const std::string& out : ledger.Outputs()) outputs += " " + out;
+  const std::string ledger_path = ledger.Finish(rc);
+  if (!ledger_path.empty()) LogInfo("wrote run ledger to " + ledger_path);
+  if (rc == 0) {
+    // Success-only: error paths keep their single-line stderr contract.
+    LogInfo(StrFormat("done in %.2fs (peak rss %.1f MB, threads %zu)%s%s",
+                      wall_seconds,
+                      obs::PeakRssBytes() / (1024.0 * 1024.0),
+                      GlobalThreads(), outputs.empty() ? "" : " ->",
+                      outputs.c_str()));
   }
   return rc;
 }

@@ -6,7 +6,7 @@
 # Usage:
 #   scripts/run_benches.sh [--quick] [--build-dir=build] [--out-dir=bench-out]
 #                          [--reps=3] [--scale=0.05] [--datasets=slashdot]
-#                          [--threads=1]
+#                          [--threads=1] [--ledger-dir=DIR]
 #
 #   --quick      micro-benches only (micro_irs, micro_sketch,
 #                micro_structures), 2 reps, minimal measuring time —
@@ -18,6 +18,9 @@
 #                bench-history documents stay comparable across machines;
 #                pass --threads=0 for the hardware default when measuring
 #                scaling curves (see EXPERIMENTS.md).
+#   --ledger-dir=DIR  write one ipin.run.v1 manifest per bench invocation
+#                (exported as IPIN_LEDGER_DIR; defaults to <out-dir>/ledgers).
+#                Inspect with build/tools/ipin_runs.
 #
 # Outputs in --out-dir:
 #   BENCH_micro_irs.json, BENCH_micro_sketch.json, ...   (ipin.bench.v1)
@@ -39,6 +42,7 @@ SCALE=0.05
 DATASETS=slashdot
 OMEGA_PCT=10
 THREADS=1
+LEDGER_DIR=""
 
 for arg in "$@"; do
   case "$arg" in
@@ -50,13 +54,17 @@ for arg in "$@"; do
     --datasets=*) DATASETS="${arg#*=}" ;;
     --omega-pct=*) OMEGA_PCT="${arg#*=}" ;;
     --threads=*) THREADS="${arg#*=}" ;;
+    --ledger-dir=*) LEDGER_DIR="${arg#*=}" ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
 
 # Micro benches use google-benchmark's own flag parser, which rejects
-# unknown flags, so the pool size reaches them through the environment.
+# unknown flags, so the pool size and ledger directory reach them through
+# the environment (harnesses pick IPIN_LEDGER_DIR up as well).
 export IPIN_THREADS="$THREADS"
+export IPIN_LEDGER_DIR="${LEDGER_DIR:-$OUT_DIR/ledgers}"
+mkdir -p "$IPIN_LEDGER_DIR"
 
 if [[ -z "$REPS" ]]; then
   REPS=$(( QUICK == 1 ? 2 : 3 ))

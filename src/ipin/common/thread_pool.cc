@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
+#include <map>
 #include <memory>
 
 #include "ipin/common/check.h"
@@ -15,7 +17,132 @@ namespace {
 
 thread_local bool t_on_worker_thread = false;
 
+// ---- per-phase accounting (see PoolPhaseProfile) --------------------------
+
+thread_local const char* t_pool_phase = nullptr;
+
+struct PhaseAccum {
+  std::atomic<uint64_t> tasks{0};
+  std::atomic<uint64_t> busy_us{0};
+  std::atomic<uint64_t> max_task_us{0};
+  std::atomic<uint64_t> wall_us{0};
+};
+
+std::mutex g_phase_mu;
+// unique_ptr values: accumulator addresses stay valid outside the lock.
+std::map<std::string, std::unique_ptr<PhaseAccum>>& PhaseAccums() {
+  static auto* accums = new std::map<std::string, std::unique_ptr<PhaseAccum>>;
+  return *accums;
+}
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// The accumulator for the calling thread's phase tag, or nullptr when
+// untagged (or under IPIN_OBS_DISABLED: accounting compiles out, the two
+// clock reads per chunk with it).
+PhaseAccum* AccumForCurrentPhase() {
+#ifdef IPIN_OBS_DISABLED
+  return nullptr;
+#else
+  const char* phase = t_pool_phase;
+  if (phase == nullptr) return nullptr;
+  std::lock_guard<std::mutex> lock(g_phase_mu);
+  auto& slot = PhaseAccums()[phase];
+  if (slot == nullptr) slot = std::make_unique<PhaseAccum>();
+  return slot.get();
+#endif
+}
+
+void RecordChunk(PhaseAccum* acc, uint64_t elapsed_us) {
+  acc->tasks.fetch_add(1, std::memory_order_relaxed);
+  acc->busy_us.fetch_add(elapsed_us, std::memory_order_relaxed);
+  uint64_t max = acc->max_task_us.load(std::memory_order_relaxed);
+  while (elapsed_us > max &&
+         !acc->max_task_us.compare_exchange_weak(max, elapsed_us,
+                                                 std::memory_order_relaxed)) {
+  }
+}
+
+// Clears the tag while a chunk body runs so a nested ParallelFor inside the
+// body is not attributed twice (once as the outer chunk, once as its own
+// section); restored even when the body throws.
+class TagClearGuard {
+ public:
+  TagClearGuard() : saved_(t_pool_phase) { t_pool_phase = nullptr; }
+  ~TagClearGuard() { t_pool_phase = saved_; }
+  TagClearGuard(const TagClearGuard&) = delete;
+  TagClearGuard& operator=(const TagClearGuard&) = delete;
+
+ private:
+  const char* saved_;
+};
+
+// Runs one chunk of a tagged section with timing; untagged runs go straight
+// to the body.
+void RunChunkAccounted(PhaseAccum* acc,
+                       const std::function<void(size_t, size_t)>& body,
+                       size_t lo, size_t hi) {
+  if (acc == nullptr) {
+    body(lo, hi);
+    return;
+  }
+  TagClearGuard guard;
+  const uint64_t t0 = NowMicros();
+  body(lo, hi);
+  RecordChunk(acc, NowMicros() - t0);
+}
+
 }  // namespace
+
+const char* SetCurrentPoolPhase(const char* phase) {
+  const char* prev = t_pool_phase;
+  t_pool_phase = phase;
+  return prev;
+}
+
+const char* CurrentPoolPhase() { return t_pool_phase; }
+
+std::vector<PoolPhaseProfile> PoolPhaseProfiles() {
+  std::vector<PoolPhaseProfile> out;
+  std::lock_guard<std::mutex> lock(g_phase_mu);
+  for (const auto& [name, acc] : PhaseAccums()) {
+    PoolPhaseProfile p;
+    p.name = name;
+    p.tasks = acc->tasks.load(std::memory_order_relaxed);
+    p.busy_us = acc->busy_us.load(std::memory_order_relaxed);
+    p.max_task_us = acc->max_task_us.load(std::memory_order_relaxed);
+    p.wall_us = acc->wall_us.load(std::memory_order_relaxed);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+void ResetPoolPhaseProfiles() {
+  std::lock_guard<std::mutex> lock(g_phase_mu);
+  PhaseAccums().clear();
+}
+
+void PublishPoolPhaseMetrics() {
+  for (const PoolPhaseProfile& p : PoolPhaseProfiles()) {
+    const std::string prefix = "parallel.phase." + p.name;
+    auto& registry = obs::MetricsRegistry::Global();
+    registry.GetGauge(prefix + ".tasks")->Set(static_cast<double>(p.tasks));
+    registry.GetGauge(prefix + ".busy_us")
+        ->Set(static_cast<double>(p.busy_us));
+    registry.GetGauge(prefix + ".max_task_us")
+        ->Set(static_cast<double>(p.max_task_us));
+    registry.GetGauge(prefix + ".wall_us")
+        ->Set(static_cast<double>(p.wall_us));
+    registry.GetGauge(prefix + ".imbalance")->Set(p.ImbalanceRatio());
+    registry.GetGauge(prefix + ".utilization")
+        ->Set(p.Utilization(GlobalThreads()));
+  }
+}
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -71,10 +198,18 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   if (end <= begin) return;
   if (grain == 0) grain = 1;
   const size_t n = end - begin;
+  PhaseAccum* const acc = AccumForCurrentPhase();
   if (n <= grain || num_threads() <= 1 || OnWorkerThread()) {
-    body(begin, end);
+    if (acc != nullptr) {
+      const uint64_t t0 = NowMicros();
+      RunChunkAccounted(acc, body, begin, end);
+      acc->wall_us.fetch_add(NowMicros() - t0, std::memory_order_relaxed);
+    } else {
+      body(begin, end);
+    }
     return;
   }
+  const uint64_t section_start = acc != nullptr ? NowMicros() : 0;
 
   // Dynamic chunk claiming: small-ish chunks (a few per thread) balance
   // uneven per-index costs; `grain` bounds the scheduling overhead from
@@ -92,7 +227,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   };
   auto state = std::make_shared<ForState>();
 
-  const auto run_chunks = [state, begin, end, chunk, num_chunks, &body] {
+  const auto run_chunks = [state, begin, end, chunk, num_chunks, &body, acc] {
     size_t ran = 0;
     for (;;) {
       const size_t c = state->next_chunk.fetch_add(1);
@@ -100,7 +235,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
       const size_t lo = begin + c * chunk;
       const size_t hi = std::min(end, lo + chunk);
       try {
-        body(lo, hi);
+        RunChunkAccounted(acc, body, lo, hi);
       } catch (...) {
         std::lock_guard<std::mutex> lock(state->mu);
         if (!state->error) state->error = std::current_exception();
@@ -122,6 +257,10 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
 
   std::unique_lock<std::mutex> lock(state->mu);
   state->done_cv.wait(lock, [&] { return state->completed == num_chunks; });
+  if (acc != nullptr) {
+    acc->wall_us.fetch_add(NowMicros() - section_start,
+                           std::memory_order_relaxed);
+  }
   if (state->error) std::rethrow_exception(state->error);
 }
 
@@ -179,7 +318,14 @@ void ParallelFor(size_t begin, size_t end, size_t grain,
   if (grain == 0) grain = 1;
   if (GlobalThreads() <= 1 || end - begin <= grain ||
       ThreadPool::OnWorkerThread()) {
-    body(begin, end);
+    PhaseAccum* const acc = AccumForCurrentPhase();
+    if (acc != nullptr) {
+      const uint64_t t0 = NowMicros();
+      RunChunkAccounted(acc, body, begin, end);
+      acc->wall_us.fetch_add(NowMicros() - t0, std::memory_order_relaxed);
+    } else {
+      body(begin, end);
+    }
     return;
   }
   GlobalPool().ParallelFor(begin, end, grain, body);

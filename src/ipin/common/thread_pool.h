@@ -3,9 +3,11 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -96,6 +98,68 @@ ThreadPool& GlobalPool();
 /// GlobalThreads() <= 1, the range fits one grain, or already on a worker.
 void ParallelFor(size_t begin, size_t end, size_t grain,
                  const std::function<void(size_t, size_t)>& body);
+
+// ---- Per-phase pool profiling ---------------------------------------------
+//
+// Parallel sections tagged with a phase name (obs::ProgressPhase tags the
+// calling thread automatically; SetCurrentPoolPhase does it by hand)
+// accumulate task-level accounting: how many chunks ran under the tag, the
+// summed and slowest chunk execution times, and the caller-side wall time of
+// the tagged sections. From those the skew and utilization of a phase are
+// derived — e.g. a slab-stitched IRS build where one slab dominates shows
+// up as a high imbalance ratio instead of having to be inferred from total
+// wall time. Accounting compiles out under IPIN_OBS_DISABLED (the API stays,
+// profiles are simply empty). Untagged sections (the serving worker loops)
+// are not accounted.
+
+/// Cumulative accounting for every parallel section run under one tag.
+struct PoolPhaseProfile {
+  std::string name;
+  uint64_t tasks = 0;        // chunks executed under the tag
+  uint64_t busy_us = 0;      // summed chunk execution wall time
+  uint64_t max_task_us = 0;  // slowest single chunk
+  uint64_t wall_us = 0;      // summed caller-side section wall time
+
+  double MeanTaskUs() const {
+    return tasks == 0 ? 0.0 : static_cast<double>(busy_us) /
+                                  static_cast<double>(tasks);
+  }
+
+  /// Slowest chunk over mean chunk time: 1.0 = perfectly balanced,
+  /// >> 1.0 = one straggler chunk dominated. 0 when nothing ran.
+  double ImbalanceRatio() const {
+    const double mean = MeanTaskUs();
+    return mean == 0.0 ? 0.0 : static_cast<double>(max_task_us) / mean;
+  }
+
+  /// Fraction of the section's thread-time that did work:
+  /// busy / (wall * threads). 0 when nothing ran.
+  double Utilization(size_t threads) const {
+    if (wall_us == 0 || threads == 0) return 0.0;
+    return static_cast<double>(busy_us) /
+           (static_cast<double>(wall_us) * static_cast<double>(threads));
+  }
+};
+
+/// Tags parallel sections started by the calling thread with `phase`
+/// (nullptr = untagged). Returns the previous tag so callers can restore
+/// it; the string must stay alive while the tag is set.
+const char* SetCurrentPoolPhase(const char* phase);
+
+/// The calling thread's current phase tag (nullptr when untagged).
+const char* CurrentPoolPhase();
+
+/// Every phase profile accumulated so far, sorted by name.
+std::vector<PoolPhaseProfile> PoolPhaseProfiles();
+
+/// Clears all accumulated phase profiles (tests, between bench reps).
+void ResetPoolPhaseProfiles();
+
+/// Mirrors each profile into the metrics registry as the gauges
+/// "parallel.phase.<name>.{tasks,busy_us,max_task_us,wall_us,imbalance,
+/// utilization}" (utilization computed against GlobalThreads()). Call
+/// before snapshotting the registry for a run report or ledger.
+void PublishPoolPhaseMetrics();
 
 }  // namespace ipin
 

@@ -15,7 +15,9 @@
 #include "ipin/common/logging.h"
 #include "ipin/common/safe_io.h"
 #include "ipin/common/string_util.h"
+#include "ipin/obs/ledger.h"
 #include "ipin/obs/metrics.h"
+#include "ipin/obs/progress.h"
 #include "ipin/obs/trace.h"
 
 namespace ipin {
@@ -393,11 +395,13 @@ uint64_t TryResume(const CheckpointOptions& options,
     CheckpointAccess::SetTallies(&candidate, meta.tally);
     *irs = std::move(candidate);
     stats->resumed_edges = meta.edges_processed;
-    LogInfo(StrFormat(
+    const std::string detail = StrFormat(
         "resuming %s IRS build from %s (%llu/%llu edges)",
         AlgoName(expected.algo), path.c_str(),
         static_cast<unsigned long long>(meta.edges_processed),
-        static_cast<unsigned long long>(meta.fp.num_interactions)));
+        static_cast<unsigned long long>(meta.fp.num_interactions));
+    LogInfo(detail);
+    obs::RunLedger::Global().RecordEvent("checkpoint.resume", detail);
     return meta.edges_processed;
   }
   return 0;
@@ -417,11 +421,19 @@ void MaybeCheckpoint(const Irs& irs, const Fingerprint& fp, uint64_t done,
   CheckpointAccess::GetTallies(irs, meta.tally);
   if (SaveCheckpoint(irs, meta, options.dir, serialize_chunk)) {
     ++stats->checkpoints_written;
+    obs::RunLedger::Global().RecordEvent(
+        "checkpoint.save",
+        StrFormat("%llu/%llu edges",
+                  static_cast<unsigned long long>(done),
+                  static_cast<unsigned long long>(total)));
     PruneCheckpoints(options.dir, fp.algo, options.keep);
   } else {
     ++stats->checkpoint_failures;
-    LogWarning(StrFormat("checkpoint save at edge %llu failed; continuing",
-                         static_cast<unsigned long long>(done)));
+    const std::string detail =
+        StrFormat("checkpoint save at edge %llu failed; continuing",
+                  static_cast<unsigned long long>(done));
+    LogWarning(detail);
+    obs::RunLedger::Global().RecordEvent("checkpoint.save_failure", detail);
   }
 }
 
@@ -477,13 +489,21 @@ IrsExact ComputeIrsExactCheckpointed(const InteractionGraph& graph,
                 ParseExactChunk)
           : 0;
 
+  obs::ProgressPhase phase("irs.exact.scan", m);
+  phase.SetDone(done);  // resumed edges count as completed work
+  uint64_t since_tick = 0;
   for (uint64_t i = m - done; i > 0; --i) {
     irs.ProcessInteraction(edges[i - 1]);
     ++done;
+    if (++since_tick == (uint64_t{64} << 10)) {
+      phase.SetDone(done);
+      since_tick = 0;
+    }
     if (enabled) {
       MaybeCheckpoint(irs, fp, done, m, options, stats, SerializeExactChunk);
     }
   }
+  phase.SetDone(done);
   CheckpointAccess::Publish(irs);
   PublishCheckpointMetrics(*stats);
   return irs;
@@ -522,13 +542,21 @@ IrsApprox ComputeIrsApproxCheckpointed(const InteractionGraph& graph,
                                   ParseApproxChunk)
                       : 0;
 
+  obs::ProgressPhase phase("irs.approx.scan", m);
+  phase.SetDone(done);  // resumed edges count as completed work
+  uint64_t since_tick = 0;
   for (uint64_t i = m - done; i > 0; --i) {
     irs.ProcessInteraction(edges[i - 1]);
     ++done;
+    if (++since_tick == (uint64_t{64} << 10)) {
+      phase.SetDone(done);
+      since_tick = 0;
+    }
     if (enabled) {
       MaybeCheckpoint(irs, fp, done, m, options, stats, SerializeApproxChunk);
     }
   }
+  phase.SetDone(done);
   CheckpointAccess::Publish(irs);
   PublishCheckpointMetrics(*stats);
   return irs;

@@ -7,6 +7,7 @@
 #include "ipin/common/check.h"
 #include "ipin/common/thread_pool.h"
 #include "ipin/obs/metrics.h"
+#include "ipin/obs/progress.h"
 #include "ipin/obs/trace.h"
 
 namespace ipin {
@@ -52,6 +53,7 @@ SeedSelection SelectSeedsGreedy(const InfluenceOracle& oracle, size_t k) {
 
   size_t early_exits = 0;
   size_t speculative = 0;
+  obs::ProgressPhase phase("im.greedy.rounds", k);
   while (result.seeds.size() < k) {
     double best_gain = 0.0;
     NodeId best_node = kInvalidNode;
@@ -97,6 +99,7 @@ SeedSelection SelectSeedsGreedy(const InfluenceOracle& oracle, size_t k) {
     coverage->Commit(best_node);
     result.seeds.push_back(best_node);
     result.gains.push_back(best_gain);
+    phase.Tick();
   }
   result.total_coverage = coverage->Covered();
   IPIN_COUNTER_ADD("im.greedy.gain_evaluations", result.gain_evaluations);
@@ -144,6 +147,7 @@ SeedSelection SelectSeedsCelf(const InfluenceOracle& oracle, size_t k) {
 
   size_t round = 1;
   size_t reinserts = 0;
+  obs::ProgressPhase phase("im.celf.rounds", k);
   while (result.seeds.size() < k && !heap.empty()) {
     HeapEntry top = heap.top();
     heap.pop();
@@ -160,6 +164,7 @@ SeedSelection SelectSeedsCelf(const InfluenceOracle& oracle, size_t k) {
     result.seeds.push_back(top.node);
     result.gains.push_back(top.gain);
     ++round;
+    phase.Tick();
   }
   result.total_coverage = coverage->Covered();
   IPIN_COUNTER_ADD("im.celf.gain_evaluations", result.gain_evaluations);

@@ -7,6 +7,7 @@
 #include "ipin/common/hash.h"
 #include "ipin/common/thread_pool.h"
 #include "ipin/obs/metrics.h"
+#include "ipin/obs/progress.h"
 #include "ipin/obs/trace.h"
 #include "ipin/sketch/estimators.h"
 
@@ -55,9 +56,17 @@ IrsApprox IrsApprox::ComputeSequential(const InteractionGraph& graph,
   IPIN_CHECK(graph.is_sorted());
   IrsApprox irs(graph.num_nodes(), window, options);
   const auto& edges = graph.interactions();
+  obs::ProgressPhase phase("irs.approx.scan", edges.size());
+  size_t since_tick = 0;
   for (size_t i = edges.size(); i > 0; --i) {
     irs.ProcessInteraction(edges[i - 1]);
+    // Chunked ticks keep the per-edge path atomics-free.
+    if (++since_tick == (size_t{64} << 10)) {
+      phase.Tick(since_tick);
+      since_tick = 0;
+    }
   }
+  phase.SetDone(edges.size());
   irs.PublishBuildMetrics();
   return irs;
 }
@@ -108,11 +117,13 @@ IrsApprox IrsApprox::ComputeParallel(const InteractionGraph& graph,
   for (size_t i = 0; i < P; ++i) slabs.emplace_back(n, window, options);
   {
     IPIN_TRACE_SPAN("irs.approx.parallel.slab_build");
+    obs::ProgressPhase phase("irs.approx.slab_build", P);
     ParallelFor(0, P, 1, [&](size_t lo, size_t hi) {
       for (size_t i = lo; i < hi; ++i) {
         for (size_t j = bounds[i + 1]; j > bounds[i]; --j) {
           slabs[i].ProcessInteraction(edges[j - 1]);
         }
+        phase.Tick();
       }
     });
   }
@@ -123,6 +134,7 @@ IrsApprox IrsApprox::ComputeParallel(const InteractionGraph& graph,
   std::vector<std::unique_ptr<VersionedHll>> final_sketches =
       std::move(slabs[P - 1].sketches_);
   size_t merge_calls = slabs[P - 1].merge_calls_;
+  obs::ProgressPhase stitch_phase("irs.approx.stitch", P - 1);
   for (size_t i = P - 1; i-- > 0;) {
     IPIN_TRACE_SPAN("irs.approx.parallel.stitch");
     const Timestamp boundary = edges[bounds[i + 1]].time;
@@ -165,6 +177,7 @@ IrsApprox IrsApprox::ComputeParallel(const InteractionGraph& graph,
         if (prop[x] != nullptr) final_sketches[x]->MergeAll(*prop[x]);
       }
     });
+    stitch_phase.Tick();
   }
 
   IrsApprox irs(window, options, std::move(final_sketches));

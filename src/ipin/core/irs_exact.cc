@@ -5,6 +5,7 @@
 #include "ipin/common/check.h"
 #include "ipin/common/memory.h"
 #include "ipin/obs/metrics.h"
+#include "ipin/obs/progress.h"
 #include "ipin/obs/trace.h"
 
 namespace ipin {
@@ -24,9 +25,17 @@ IrsExact IrsExact::Compute(const InteractionGraph& graph, Duration window) {
   IPIN_CHECK(graph.is_sorted());
   IrsExact irs(graph.num_nodes(), window);
   const auto& edges = graph.interactions();
+  obs::ProgressPhase phase("irs.exact.scan", edges.size());
+  size_t since_tick = 0;
   for (size_t i = edges.size(); i > 0; --i) {
     irs.ProcessInteraction(edges[i - 1]);
+    // Chunked ticks keep the per-edge path atomics-free.
+    if (++since_tick == (size_t{64} << 10)) {
+      phase.Tick(since_tick);
+      since_tick = 0;
+    }
   }
+  phase.SetDone(edges.size());
   irs.PublishBuildMetrics();
   return irs;
 }

@@ -5,6 +5,7 @@
 #include "ipin/common/check.h"
 #include "ipin/common/thread_pool.h"
 #include "ipin/obs/metrics.h"
+#include "ipin/obs/progress.h"
 #include "ipin/obs/trace.h"
 
 namespace ipin {
@@ -72,11 +73,13 @@ double AverageTcicSpread(const InteractionGraph& graph,
   // stream keyed by the run index — so the per-run spreads, and the sum
   // accumulated below in run order, are identical for any thread count.
   std::vector<double> spread(num_runs);
+  obs::ProgressPhase phase("tcic.mc_runs", num_runs);
   ParallelFor(0, num_runs, 1, [&](size_t lo, size_t hi) {
     for (size_t run = lo; run < hi; ++run) {
       Rng rng(seed + run * 0x9e3779b97f4a7c15ULL);
       spread[run] =
           static_cast<double>(SimulateTcic(graph, seeds, options, &rng));
+      phase.Tick();
     }
   });
   double total = 0.0;

@@ -11,6 +11,7 @@
 #include "ipin/common/string_util.h"
 #include "ipin/common/thread_pool.h"
 #include "ipin/obs/metrics.h"
+#include "ipin/obs/progress.h"
 #include "ipin/obs/trace.h"
 
 namespace ipin {
@@ -120,11 +121,13 @@ std::optional<InteractionGraph> LoadInteractionsFromFile(
   std::vector<ParsedChunk> chunks(starts.size());
   {
     IPIN_TRACE_SPAN("graph.load.parse");
+    obs::ProgressPhase phase("graph.parse", text.size());  // units: bytes
     ParallelFor(0, starts.size(), 1, [&](size_t lo, size_t hi) {
       for (size_t i = lo; i < hi; ++i) {
         const size_t begin = starts[i];
         const size_t end = i + 1 < starts.size() ? starts[i + 1] : text.size();
         ParseChunk(text.substr(begin, end - begin), format, &chunks[i]);
+        phase.Tick(end - begin);
       }
     });
   }

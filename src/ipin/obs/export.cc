@@ -7,7 +7,6 @@
 #include "ipin/common/string_util.h"
 
 namespace ipin::obs {
-namespace {
 
 void AppendJsonString(const std::string& s, std::string* out) {
   out->push_back('"');
@@ -39,7 +38,7 @@ void AppendJsonString(const std::string& s, std::string* out) {
   out->push_back('"');
 }
 
-void AppendDouble(double value, std::string* out) {
+void AppendJsonDouble(double value, std::string* out) {
   // %.17g round-trips but is noisy; %.10g is plenty for metric values.
   std::string text = StrFormat("%.10g", value);
   // JSON has no inf/nan literals; clamp to null.
@@ -50,6 +49,8 @@ void AppendDouble(double value, std::string* out) {
   out->append(text);
 }
 
+namespace {
+
 void AppendHistogramJson(const HistogramSnapshot& h, std::string* out) {
   out->append(StrFormat("{\"count\":%llu,\"sum\":%llu,\"min\":%llu,"
                         "\"max\":%llu,\"mean\":",
@@ -57,13 +58,13 @@ void AppendHistogramJson(const HistogramSnapshot& h, std::string* out) {
                         static_cast<unsigned long long>(h.sum),
                         static_cast<unsigned long long>(h.min),
                         static_cast<unsigned long long>(h.max)));
-  AppendDouble(h.Mean(), out);
+  AppendJsonDouble(h.Mean(), out);
   out->append(",\"p50\":");
-  AppendDouble(h.P50(), out);
+  AppendJsonDouble(h.P50(), out);
   out->append(",\"p95\":");
-  AppendDouble(h.P95(), out);
+  AppendJsonDouble(h.P95(), out);
   out->append(",\"p99\":");
-  AppendDouble(h.P99(), out);
+  AppendJsonDouble(h.P99(), out);
   out->append(",\"buckets\":[");
   bool first = true;
   for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
@@ -158,7 +159,7 @@ std::string MetricsReportJson(const MetricsSnapshot& snapshot,
     first = false;
     AppendJsonString(name, &out);
     out.push_back(':');
-    AppendDouble(value, &out);
+    AppendJsonDouble(value, &out);
   }
   out.append("},\"histograms\":{");
   first = true;
@@ -179,7 +180,7 @@ std::string MetricsReportJson(const MetricsSnapshot& snapshot,
     out.append(StrFormat(",\"depth\":%d,\"calls\":%llu,\"total_us\":",
                          span.depth,
                          static_cast<unsigned long long>(span.calls)));
-    AppendDouble(static_cast<double>(span.total_ns) * 1e-3, &out);
+    AppendJsonDouble(static_cast<double>(span.total_ns) * 1e-3, &out);
     out.push_back('}');
   }
   out.append("]}");

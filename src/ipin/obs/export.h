@@ -28,6 +28,13 @@
 
 namespace ipin::obs {
 
+/// Appends `s` to *out as a quoted, escaped JSON string literal. Shared by
+/// every hand-rolled emitter in the obs layer (run reports, run ledgers).
+void AppendJsonString(const std::string& s, std::string* out);
+
+/// Appends `value` as a JSON number (%.10g); non-finite values become null.
+void AppendJsonDouble(double value, std::string* out);
+
 /// Pretty-prints a snapshot (counters, gauges, histogram summaries) to
 /// `out`, one metric per line, sorted by name.
 void WriteMetricsText(const MetricsSnapshot& snapshot, std::FILE* out);

@@ -7,6 +7,7 @@
 #include "ipin/obs/metrics.h"
 
 #ifdef __unix__
+#include <sys/resource.h>
 #include <unistd.h>
 #endif
 
@@ -74,6 +75,17 @@ size_t CurrentRssBytes() {
   const long page = sysconf(_SC_PAGESIZE);
   if (page <= 0) return 0;
   return static_cast<size_t>(resident_pages) * static_cast<size_t>(page);
+#else
+  return 0;
+#endif
+}
+
+size_t PeakRssBytes() {
+#ifdef __unix__
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<size_t>(usage.ru_maxrss) * 1024u;
 #else
   return 0;
 #endif

@@ -87,6 +87,11 @@ void PublishMemoryGauges();
 /// 0 where unavailable.
 size_t CurrentRssBytes();
 
+/// Lifetime peak resident-set size in bytes (getrusage ru_maxrss); 0 where
+/// unavailable. The run ledger records this as the job's memory high-water
+/// mark.
+size_t PeakRssBytes();
+
 /// std::allocator adaptor that charges a MemoryTally for every allocation.
 /// The tally is named by a function pointer template argument, so the
 /// allocator is stateless: all instances compare equal and containers never

@@ -1,0 +1,283 @@
+#include "ipin/obs/progress.h"
+
+#ifndef IPIN_OBS_DISABLED
+
+#include <time.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "ipin/common/string_util.h"
+#include "ipin/common/thread_pool.h"
+#include "ipin/obs/memtally.h"
+
+namespace ipin::obs {
+
+struct ProgressPhase::State {
+  const char* name = nullptr;
+  std::atomic<uint64_t> done{0};
+  std::atomic<uint64_t> total{0};
+  uint64_t start_steady_us = 0;
+  uint64_t start_cpu_us = 0;
+};
+
+namespace {
+
+constexpr size_t kRecentLines = 64;
+
+uint64_t NowSteadyMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t NowUnixMillis() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+// CPU time consumed by the whole process: overlapping phases each see the
+// process total, which is the honest number when workers serve a phase.
+uint64_t ProcessCpuMicros() {
+  struct timespec ts;
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000u +
+         static_cast<uint64_t>(ts.tv_nsec) / 1000u;
+}
+
+// Completed phases fold into one aggregate per name so repeated phases
+// (bench reps, serving queries that select seeds) cost bounded memory.
+struct PhaseAgg {
+  uint64_t instances = 0;
+  uint64_t units_done = 0;
+  uint64_t units_total = 0;
+  uint64_t wall_us = 0;
+  uint64_t cpu_us = 0;
+};
+
+struct EngineState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<ProgressPhase::State*> active;  // creation order
+  std::map<std::string, PhaseAgg> completed;
+  std::deque<std::string> recent;  // last kRecentLines heartbeat lines
+  uint64_t heartbeats = 0;
+  // Reporter thread state.
+  std::thread reporter;
+  bool reporter_running = false;
+  bool stop = false;
+  std::FILE* out = nullptr;
+  ProgressOptions options;
+  uint64_t report_start_us = 0;
+};
+
+EngineState& Engine() {
+  static auto* engine = new EngineState;
+  return *engine;
+}
+
+// Composes and emits one heartbeat line. Caller holds Engine().mu.
+void EmitHeartbeat(EngineState* e) {
+  ++e->heartbeats;
+  const char* phase = "idle";
+  uint64_t done = 0;
+  uint64_t total = 0;
+  double rate = 0.0;
+  double eta_s = -1.0;
+  if (!e->active.empty()) {
+    const ProgressPhase::State* s = e->active.back();  // innermost
+    phase = s->name;
+    done = s->done.load(std::memory_order_relaxed);
+    total = s->total.load(std::memory_order_relaxed);
+    const double phase_seconds =
+        static_cast<double>(NowSteadyMicros() - s->start_steady_us) / 1e6;
+    if (phase_seconds > 0.0) rate = static_cast<double>(done) / phase_seconds;
+    if (rate > 0.0 && total > done) {
+      eta_s = static_cast<double>(total - done) / rate;
+    }
+  }
+  std::string line = StrFormat(
+      "{\"schema\":\"ipin.heartbeat.v1\",\"seq\":%llu,\"unix_ms\":%llu,"
+      "\"elapsed_ms\":%llu,\"phase\":\"%s\",\"units_done\":%llu,"
+      "\"units_total\":%llu,\"rate_per_s\":%.6g,\"rss_bytes\":%llu",
+      static_cast<unsigned long long>(e->heartbeats),
+      static_cast<unsigned long long>(NowUnixMillis()),
+      static_cast<unsigned long long>(
+          (NowSteadyMicros() - e->report_start_us) / 1000u),
+      phase, static_cast<unsigned long long>(done),
+      static_cast<unsigned long long>(total), rate,
+      static_cast<unsigned long long>(CurrentRssBytes()));
+  if (eta_s >= 0.0) line += StrFormat(",\"eta_s\":%.6g", eta_s);
+  line += "}";
+
+  if (e->out != nullptr) {
+    std::fprintf(e->out, "%s\n", line.c_str());
+    std::fflush(e->out);
+  }
+  if (e->options.stderr_ticker) {
+    if (total > 0) {
+      std::fprintf(stderr, "[ipin][progress] %s %llu/%llu (%.3g/s%s)\n",
+                   phase, static_cast<unsigned long long>(done),
+                   static_cast<unsigned long long>(total), rate,
+                   eta_s >= 0.0 ? StrFormat(", eta %.0fs", eta_s).c_str()
+                                : "");
+    } else {
+      std::fprintf(stderr, "[ipin][progress] %s %llu units (%.3g/s)\n",
+                   phase, static_cast<unsigned long long>(done), rate);
+    }
+  }
+  e->recent.push_back(std::move(line));
+  while (e->recent.size() > kRecentLines) e->recent.pop_front();
+}
+
+void ReporterMain() {
+  EngineState& e = Engine();
+  std::unique_lock<std::mutex> lock(e.mu);
+  const auto interval =
+      std::chrono::milliseconds(std::max<uint64_t>(1, e.options.interval_ms));
+  while (!e.stop) {
+    if (e.cv.wait_for(lock, interval, [&e] { return e.stop; })) break;
+    EmitHeartbeat(&e);
+  }
+  EmitHeartbeat(&e);  // final line: every reported run emits at least one
+  if (e.out != nullptr) {
+    std::fclose(e.out);
+    e.out = nullptr;
+  }
+}
+
+}  // namespace
+
+ProgressPhase::ProgressPhase(const char* name, uint64_t total_units)
+    : state_(new State) {
+  state_->name = name;
+  state_->total.store(total_units, std::memory_order_relaxed);
+  state_->start_steady_us = NowSteadyMicros();
+  state_->start_cpu_us = ProcessCpuMicros();
+  {
+    EngineState& e = Engine();
+    std::lock_guard<std::mutex> lock(e.mu);
+    e.active.push_back(state_);
+  }
+  prev_pool_phase_ = SetCurrentPoolPhase(name);
+}
+
+ProgressPhase::~ProgressPhase() {
+  SetCurrentPoolPhase(prev_pool_phase_);
+  const uint64_t wall_us = NowSteadyMicros() - state_->start_steady_us;
+  const uint64_t cpu_us = ProcessCpuMicros() - state_->start_cpu_us;
+  {
+    EngineState& e = Engine();
+    std::lock_guard<std::mutex> lock(e.mu);
+    e.active.erase(std::find(e.active.begin(), e.active.end(), state_));
+    PhaseAgg& agg = e.completed[state_->name];
+    ++agg.instances;
+    agg.units_done += state_->done.load(std::memory_order_relaxed);
+    agg.units_total += state_->total.load(std::memory_order_relaxed);
+    agg.wall_us += wall_us;
+    agg.cpu_us += cpu_us;
+  }
+  delete state_;
+}
+
+void ProgressPhase::Tick(uint64_t delta) {
+  state_->done.fetch_add(delta, std::memory_order_relaxed);
+}
+
+void ProgressPhase::SetDone(uint64_t done) {
+  state_->done.store(done, std::memory_order_relaxed);
+}
+
+bool StartProgressReporting(const ProgressOptions& options) {
+  EngineState& e = Engine();
+  std::lock_guard<std::mutex> lock(e.mu);
+  if (e.reporter_running) return false;
+  std::FILE* out = nullptr;
+  if (!options.out_path.empty()) {
+    out = std::fopen(options.out_path.c_str(), "wb");
+    if (out == nullptr) return false;
+  }
+  e.out = out;
+  e.options = options;
+  e.stop = false;
+  e.report_start_us = NowSteadyMicros();
+  e.reporter = std::thread(ReporterMain);
+  e.reporter_running = true;
+  return true;
+}
+
+void StopProgressReporting() {
+  EngineState& e = Engine();
+  std::thread reporter;
+  {
+    std::lock_guard<std::mutex> lock(e.mu);
+    if (!e.reporter_running) return;
+    e.stop = true;
+    reporter = std::move(e.reporter);
+    e.reporter_running = false;
+  }
+  e.cv.notify_all();
+  reporter.join();
+}
+
+std::vector<ProgressPhaseSnapshot> ProgressPhases() {
+  std::vector<ProgressPhaseSnapshot> out;
+  EngineState& e = Engine();
+  std::lock_guard<std::mutex> lock(e.mu);
+  for (const auto& [name, agg] : e.completed) {
+    ProgressPhaseSnapshot snap;
+    snap.name = name;
+    snap.instances = agg.instances;
+    snap.units_done = agg.units_done;
+    snap.units_total = agg.units_total;
+    snap.wall_us = agg.wall_us;
+    snap.cpu_us = agg.cpu_us;
+    out.push_back(std::move(snap));
+  }
+  for (const ProgressPhase::State* s : e.active) {
+    ProgressPhaseSnapshot snap;
+    snap.name = s->name;
+    snap.instances = 1;
+    snap.units_done = s->done.load(std::memory_order_relaxed);
+    snap.units_total = s->total.load(std::memory_order_relaxed);
+    snap.wall_us = NowSteadyMicros() - s->start_steady_us;
+    snap.cpu_us = ProcessCpuMicros() - s->start_cpu_us;
+    snap.active = true;
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+uint64_t ProgressHeartbeatsEmitted() {
+  EngineState& e = Engine();
+  std::lock_guard<std::mutex> lock(e.mu);
+  return e.heartbeats;
+}
+
+std::vector<std::string> RecentHeartbeatLines() {
+  EngineState& e = Engine();
+  std::lock_guard<std::mutex> lock(e.mu);
+  return {e.recent.begin(), e.recent.end()};
+}
+
+void ResetProgressForTest() {
+  EngineState& e = Engine();
+  std::lock_guard<std::mutex> lock(e.mu);
+  e.completed.clear();
+  e.recent.clear();
+}
+
+}  // namespace ipin::obs
+
+#endif  // IPIN_OBS_DISABLED

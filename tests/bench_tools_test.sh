@@ -106,6 +106,34 @@ sed 's/"median": 102/"median": 51/' "$WORKDIR/BENCH_micro_test.json" \
   --current="$WORKDIR/BENCH_improved.json" \
   || fail "bench_compare flagged an improvement as regression"
 
+# --- provenance -----------------------------------------------------------
+# bench_history stamps the collecting machine's environment into the
+# document so later comparisons can tell like-for-like from cross-machine.
+grep -q '"provenance"' "$WORKDIR/BENCH_micro_test.json" \
+  || fail "aggregated document missing provenance object"
+grep -q '"hostname"' "$WORKDIR/BENCH_micro_test.json" \
+  || fail "provenance missing hostname"
+grep -q '"build_type"' "$WORKDIR/BENCH_micro_test.json" \
+  || fail "provenance missing build_type"
+grep -Eq '"threads": [0-9]+' "$WORKDIR/BENCH_micro_test.json" \
+  || fail "provenance missing threads"
+
+# Differing provenance warns (stderr) without failing the comparison.
+sed 's/"hostname": "[^"]*"/"hostname": "elsewhere"/' \
+  "$WORKDIR/BENCH_micro_test.json" > "$WORKDIR/BENCH_elsewhere.json"
+"$BENCH_COMPARE" --baseline="$WORKDIR/BENCH_micro_test.json" \
+  --current="$WORKDIR/BENCH_elsewhere.json" 2>"$WORKDIR/prov_warn.txt" \
+  || fail "provenance-only difference must not fail the gate"
+grep -q 'warning: hostname differs' "$WORKDIR/prov_warn.txt" \
+  || fail "differing hostname should warn on stderr"
+# Identical provenance stays silent.
+"$BENCH_COMPARE" --baseline="$WORKDIR/BENCH_micro_test.json" \
+  --current="$WORKDIR/BENCH_micro_test.json" 2>"$WORKDIR/prov_quiet.txt" \
+  > /dev/null
+if grep -q 'warning:' "$WORKDIR/prov_quiet.txt"; then
+  fail "identical provenance should not warn"
+fi
+
 # Usage / parse errors exit 2 (distinct from the regression exit 1).
 set +e
 "$BENCH_COMPARE" 2>/dev/null

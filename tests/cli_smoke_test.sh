@@ -138,4 +138,76 @@ EOF
 grep -qi "degraded" "${WORK}/err3.txt" \
   || { echo "degraded load should warn on stderr" >&2; exit 1; }
 
+# Run ledger: --ledger_dir persists one ipin.run.v1 manifest per command
+# in both build modes (the ledger is cold-path code, never compiled out).
+"${CLI}" build-index --in="${WORK}/net.txt" --out="${WORK}/index6.bin" \
+  --ledger_dir="${WORK}/ledgers" 2>"${WORK}/led1.txt" > /dev/null
+grep -q "wrote run ledger to" "${WORK}/led1.txt" \
+  || { echo "ledger path line missing" >&2; exit 1; }
+ls "${WORK}/ledgers" | grep -q '\.ipinrun$' \
+  || { echo "no .ipinrun file written" >&2; exit 1; }
+grep -aq '"ipin.run.v1"' "${WORK}/ledgers"/*.ipinrun \
+  || { echo "ledger missing schema tag" >&2; exit 1; }
+grep -aq '"outcome":"ok"' "${WORK}/ledgers"/*.ipinrun \
+  || { echo "ledger missing ok outcome" >&2; exit 1; }
+# The IPIN_LEDGER_DIR env fallback works too.
+IPIN_LEDGER_DIR="${WORK}/ledgers_env" "${CLI}" stats "${WORK}/net.txt" \
+  > /dev/null 2>&1
+ls "${WORK}/ledgers_env" | grep -q '\.ipinrun$' \
+  || { echo "IPIN_LEDGER_DIR fallback did not write a ledger" >&2; exit 1; }
+
+# End-of-command summary line on success, at the default log level.
+grep -q "done in .*peak rss .*threads" "${WORK}/led1.txt" \
+  || { echo "summary line missing" >&2; exit 1; }
+# ...and never on the (single-line stderr) error paths.
+set +e
+"${CLI}" topk --index="${WORK}/does-not-exist.bin" 2>"${WORK}/err4.txt"
+set -e
+if grep -q "done in" "${WORK}/err4.txt"; then
+  echo "summary line must not appear on failure" >&2; exit 1
+fi
+[ "$(wc -l < "${WORK}/err4.txt")" -eq 1 ] \
+  || { echo "error path grew beyond one stderr line" >&2; exit 1; }
+
+# Heartbeats: --progress_out appends ipin.heartbeat.v1 lines; the final
+# beat on stop guarantees at least one in obs-enabled builds. In disabled
+# builds the flag is an accepted no-op.
+"${CLI}" build-index --in="${WORK}/net.txt" --out="${WORK}/index7.bin" \
+  --progress_out="${WORK}/hb.jsonl" --heartbeat_ms=20 > /dev/null
+if [ "${OBS_MODE}" = "obs-enabled" ]; then
+  test -s "${WORK}/hb.jsonl"
+  grep -q '"ipin.heartbeat.v1"' "${WORK}/hb.jsonl"
+  grep -q '"rss_bytes"' "${WORK}/hb.jsonl"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "${WORK}/hb.jsonl" <<'EOF'
+import json, sys
+prev = 0
+for line in open(sys.argv[1]):
+    beat = json.loads(line)
+    assert beat["seq"] > prev, (beat["seq"], prev)
+    prev = beat["seq"]
+EOF
+  fi
+  # An unopenable --progress_out is the user's problem: exit 2.
+  set +e
+  "${CLI}" stats "${WORK}/net.txt" \
+    --progress_out="${WORK}/no/such/dir/hb.jsonl" 2>/dev/null
+  [ $? -eq 2 ] || { echo "bad --progress_out should exit 2" >&2; exit 1; }
+  set -e
+fi
+
+# A resumed checkpointed build records a checkpoint.resume event in its
+# ledger (the run ledger works in both obs modes).
+"${CLI}" build-index --in="${WORK}/net.txt" --out="${WORK}/index8.bin" \
+  --checkpoint_dir="${WORK}/ckpt2" --checkpoint_every=500 > /dev/null
+"${CLI}" build-index --in="${WORK}/net.txt" --out="${WORK}/index9.bin" \
+  --checkpoint_dir="${WORK}/ckpt2" --checkpoint_every=500 \
+  --ledger_dir="${WORK}/ledgers_resume" > /dev/null
+grep -aq '"outcome":"resumed"' "${WORK}/ledgers_resume"/*.ipinrun \
+  || { echo "resumed build ledger lacks resumed outcome" >&2; exit 1; }
+grep -aq '"checkpoint.resume"' "${WORK}/ledgers_resume"/*.ipinrun \
+  || { echo "resumed build ledger lacks checkpoint.resume event" >&2; exit 1; }
+cmp "${WORK}/index8.bin" "${WORK}/index9.bin" \
+  || { echo "ledgered resume changed the index bytes" >&2; exit 1; }
+
 echo "cli smoke test OK"

@@ -1,0 +1,255 @@
+// Run-ledger coverage: write/read roundtrip, outcome derivation, the event
+// cap, and corruption handling (damaged later frames degrade, a damaged
+// core frame is fatal, random flips never crash the loader).
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ipin/common/logging.h"
+#include "ipin/common/random.h"
+#include "ipin/obs/ledger.h"
+
+namespace ipin::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+class LedgerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/ipin_ledger_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    fs::remove_all(dir_);
+    SetLogLevel(LogLevel::kError);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  RunLedgerOptions Options(const std::string& command) {
+    RunLedgerOptions options;
+    options.dir = dir_;
+    options.tool = "test";
+    options.command = command;
+    options.args = "--flag=1";
+    return options;
+  }
+
+  std::string ReadBytes(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }
+
+  void WriteBytes(const std::string& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::string dir_;
+};
+
+TEST_F(LedgerTest, RoundtripsCoreActivityAndMetrics) {
+  RunLedger& ledger = RunLedger::Global();
+  ledger.Begin(Options("roundtrip"));
+  EXPECT_TRUE(ledger.begun());
+
+  const std::string input = dir_ + "/input.txt";
+  fs::create_directories(dir_);
+  WriteBytes(input, "1 2 3\n4 5 6\n");
+  ledger.RecordInputFile(input);
+  ledger.RecordOutput("/out/index.bin");
+  ledger.RecordEvent("checkpoint.save", "100/200 edges");
+  EXPECT_TRUE(ledger.SawEvent("checkpoint.save"));
+  EXPECT_FALSE(ledger.SawEvent("checkpoint.resume"));
+
+  const std::string path = ledger.Finish(0);
+  ASSERT_FALSE(path.empty());
+  EXPECT_FALSE(ledger.begun());
+
+  const LedgerLoadResult result = LoadRunLedger(path);
+  ASSERT_EQ(result.status, LedgerLoadStatus::kOk);
+  EXPECT_EQ(result.frames_total, 3u);
+  EXPECT_EQ(result.frames_dropped, 0u);
+  const JsonValue& doc = result.doc;
+  EXPECT_EQ(doc.FindString("schema", ""), "ipin.run.v1");
+  EXPECT_EQ(doc.FindString("tool", ""), "test");
+  EXPECT_EQ(doc.FindString("command", ""), "roundtrip");
+  EXPECT_EQ(doc.FindString("args", ""), "--flag=1");
+  EXPECT_EQ(doc.FindString("outcome", ""), "ok");
+  EXPECT_GE(doc.FindNumber("wall_seconds", -1.0), 0.0);
+
+  const JsonValue* prov = doc.Find("provenance");
+  ASSERT_NE(prov, nullptr);
+  EXPECT_FALSE(prov->FindString("git_sha", "").empty());
+  EXPECT_FALSE(prov->FindString("hostname", "").empty());
+  EXPECT_GE(prov->FindNumber("cpus", 0.0), 1.0);
+
+  const JsonValue* inputs = doc.Find("inputs");
+  ASSERT_NE(inputs, nullptr);
+  ASSERT_TRUE(inputs->is_array());
+  ASSERT_EQ(inputs->array_items().size(), 1u);
+  EXPECT_EQ(inputs->array_items()[0].FindString("path", ""), input);
+  EXPECT_EQ(inputs->array_items()[0].FindNumber("bytes", 0.0), 12.0);
+  EXPECT_GT(inputs->array_items()[0].FindNumber("crc32c", 0.0), 0.0);
+
+  const JsonValue* events = doc.Find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array_items().size(), 1u);
+  EXPECT_EQ(events->array_items()[0].FindString("kind", ""),
+            "checkpoint.save");
+
+  // The metrics frame merged in too.
+  EXPECT_NE(doc.Find("counters"), nullptr);
+  EXPECT_NE(doc.Find("gauges"), nullptr);
+}
+
+TEST_F(LedgerTest, OutcomeDerivation) {
+  RunLedger& ledger = RunLedger::Global();
+
+  ledger.Begin(Options("resumed"));
+  ledger.RecordEvent("checkpoint.resume", "from ckpt_approx_42");
+  const std::string resumed_path = ledger.Finish(0);
+  ASSERT_FALSE(resumed_path.empty());
+  EXPECT_EQ(LoadRunLedger(resumed_path).doc.FindString("outcome", ""),
+            "resumed");
+
+  ledger.Begin(Options("failed"));
+  ledger.RecordEvent("checkpoint.resume", "resume then crash");
+  const std::string failed_path = ledger.Finish(3);
+  ASSERT_FALSE(failed_path.empty());
+  const LedgerLoadResult failed = LoadRunLedger(failed_path);
+  EXPECT_EQ(failed.doc.FindString("outcome", ""), "error");
+  EXPECT_EQ(failed.doc.FindNumber("exit_code", 0.0), 3.0);
+}
+
+TEST_F(LedgerTest, EventCapCountsDrops) {
+  RunLedger& ledger = RunLedger::Global();
+  ledger.Begin(Options("cap"));
+  for (size_t i = 0; i < RunLedger::kMaxEvents + 50; ++i) {
+    ledger.RecordEvent("spam", std::to_string(i));
+  }
+  // Kind bookkeeping survives the cap.
+  ledger.RecordEvent("checkpoint.resume", "late but tracked");
+  EXPECT_TRUE(ledger.SawEvent("checkpoint.resume"));
+  const std::string path = ledger.Finish(0);
+  ASSERT_FALSE(path.empty());
+  const LedgerLoadResult result = LoadRunLedger(path);
+  const JsonValue* events = result.doc.Find("events");
+  ASSERT_NE(events, nullptr);
+  EXPECT_EQ(events->array_items().size(), RunLedger::kMaxEvents);
+  EXPECT_EQ(result.doc.FindNumber("events_dropped", 0.0), 51.0);
+  EXPECT_EQ(result.doc.FindString("outcome", ""), "resumed");
+}
+
+TEST_F(LedgerTest, FinishWithoutDirWritesNothing) {
+  RunLedger& ledger = RunLedger::Global();
+  RunLedgerOptions options;  // dir empty: in-memory only
+  options.tool = "test";
+  options.command = "nowrite";
+  ledger.Begin(options);
+  EXPECT_EQ(ledger.Finish(0), "");
+}
+
+TEST_F(LedgerTest, RecordingBeforeBeginIsDropped) {
+  RunLedger& ledger = RunLedger::Global();
+  // Not begun (previous tests finished their runs).
+  ledger.RecordEvent("orphan", "no run open");
+  ledger.RecordOutput("/nope");
+  ledger.Begin(Options("clean"));
+  EXPECT_FALSE(ledger.SawEvent("orphan"));
+  EXPECT_TRUE(ledger.Outputs().empty());
+  const std::string path = ledger.Finish(0);
+  const LedgerLoadResult result = LoadRunLedger(path);
+  const JsonValue* events = result.doc.Find("events");
+  ASSERT_NE(events, nullptr);
+  EXPECT_TRUE(events->array_items().empty());
+}
+
+TEST_F(LedgerTest, DamagedLaterFrameDegradesButCoreSurvives) {
+  RunLedger& ledger = RunLedger::Global();
+  ledger.Begin(Options("degrade"));
+  ledger.RecordEvent("checkpoint.save", "1/2");
+  const std::string path = ledger.Finish(0);
+  ASSERT_FALSE(path.empty());
+
+  // Flip the final byte: inside the last (metrics) frame's payload.
+  std::string bytes = ReadBytes(path);
+  ASSERT_GT(bytes.size(), 64u);
+  bytes.back() = static_cast<char>(bytes.back() ^ 0xff);
+  WriteBytes(path, bytes);
+
+  const LedgerLoadResult result = LoadRunLedger(path);
+  ASSERT_EQ(result.status, LedgerLoadStatus::kDegraded);
+  EXPECT_TRUE(result.usable());
+  EXPECT_GE(result.frames_dropped, 1u);
+  EXPECT_EQ(result.doc.FindString("outcome", ""), "ok");  // core survived
+  EXPECT_NE(result.doc.Find("events"), nullptr);  // activity survived too
+}
+
+TEST_F(LedgerTest, DamagedCoreFrameIsCorrupt) {
+  RunLedger& ledger = RunLedger::Global();
+  ledger.Begin(Options("corrupt"));
+  const std::string path = ledger.Finish(0);
+  ASSERT_FALSE(path.empty());
+
+  // Byte 40 sits inside the first (core) frame's payload: the file header
+  // is 20 bytes and each frame header 12.
+  std::string bytes = ReadBytes(path);
+  ASSERT_GT(bytes.size(), 41u);
+  bytes[40] = static_cast<char>(bytes[40] ^ 0xff);
+  WriteBytes(path, bytes);
+
+  const LedgerLoadResult result = LoadRunLedger(path);
+  EXPECT_EQ(result.status, LedgerLoadStatus::kCorrupt);
+  EXPECT_FALSE(result.usable());
+}
+
+TEST_F(LedgerTest, MissingFileReportsMissing) {
+  EXPECT_EQ(LoadRunLedger(dir_ + "/nope.ipinrun").status,
+            LedgerLoadStatus::kMissing);
+}
+
+TEST_F(LedgerTest, RandomFlipsNeverCrashTheLoader) {
+  RunLedger& ledger = RunLedger::Global();
+  ledger.Begin(Options("fuzz"));
+  ledger.RecordInputFile("/dev/null");
+  for (int i = 0; i < 20; ++i) ledger.RecordEvent("e", std::to_string(i));
+  const std::string path = ledger.Finish(0);
+  ASSERT_FALSE(path.empty());
+  const std::string pristine = ReadBytes(path);
+
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string bytes = pristine;
+    const size_t pos = rng.NextBounded(bytes.size());
+    bytes[pos] = static_cast<char>(bytes[pos] ^ (1 + rng.NextBounded(255)));
+    WriteBytes(path, bytes);
+    const LedgerLoadResult result = LoadRunLedger(path);
+    if (result.usable()) {
+      // Whatever survived must still carry the schema tag.
+      EXPECT_EQ(result.doc.FindString("schema", ""), "ipin.run.v1");
+    }
+  }
+}
+
+TEST_F(LedgerTest, ListRunLedgersSortsChronologically) {
+  RunLedger& ledger = RunLedger::Global();
+  ledger.Begin(Options("first"));
+  const std::string first = ledger.Finish(0);
+  ledger.Begin(Options("second"));
+  const std::string second = ledger.Finish(0);
+  ASSERT_FALSE(first.empty());
+  ASSERT_FALSE(second.empty());
+  const std::vector<std::string> listed = ListRunLedgers(dir_);
+  ASSERT_EQ(listed.size(), 2u);
+  EXPECT_EQ(listed[0], first);
+  EXPECT_EQ(listed[1], second);
+  EXPECT_TRUE(ListRunLedgers(dir_ + "/absent").empty());
+}
+
+}  // namespace
+}  // namespace ipin::obs

@@ -2,7 +2,9 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
@@ -134,6 +136,71 @@ TEST(ThreadPoolTest, FreeParallelForCoversRangeOnGlobalPool) {
   for (size_t i = 0; i < hits.size(); ++i) {
     ASSERT_EQ(hits[i].load(), 1) << "index " << i;
   }
+}
+
+TEST(ThreadPoolTest, PhaseProfilesAccountTaggedSections) {
+  GlobalThreadsGuard guard;
+  SetGlobalThreads(3);
+  ResetPoolPhaseProfiles();
+
+  const char* prev = SetCurrentPoolPhase("test.profiled");
+  EXPECT_EQ(CurrentPoolPhase(), std::string("test.profiled"));
+  std::atomic<uint64_t> sink{0};
+  ParallelFor(0, 4096, 64, [&](size_t lo, size_t hi) {
+    uint64_t local = 0;
+    for (size_t i = lo; i < hi; ++i) local += i;
+    sink.fetch_add(local);
+  });
+  SetCurrentPoolPhase(prev);
+  EXPECT_GT(sink.load(), 0u);
+
+  // An untagged section must not land in any profile.
+  ParallelFor(0, 256, 32, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) sink.fetch_add(1);
+  });
+
+  const std::vector<PoolPhaseProfile> profiles = PoolPhaseProfiles();
+#ifdef IPIN_OBS_DISABLED
+  EXPECT_TRUE(profiles.empty());  // accounting compiles out
+#else
+  ASSERT_EQ(profiles.size(), 1u);
+  const PoolPhaseProfile& p = profiles[0];
+  EXPECT_EQ(p.name, "test.profiled");
+  EXPECT_GT(p.tasks, 0u);
+  EXPECT_GE(p.max_task_us, 0u);
+  EXPECT_GE(p.busy_us, 0u);
+  EXPECT_LE(p.MeanTaskUs(),
+            static_cast<double>(p.max_task_us));  // mean <= max
+  // Imbalance is slowest-over-mean: >= 1 whenever anything ran and any
+  // chunk took measurable time; exactly 0 only when no time was measured.
+  const double imbalance = p.ImbalanceRatio();
+  EXPECT_TRUE(imbalance == 0.0 || imbalance >= 1.0) << imbalance;
+#endif
+
+  ResetPoolPhaseProfiles();
+  EXPECT_TRUE(PoolPhaseProfiles().empty());
+}
+
+TEST(ThreadPoolTest, PhaseProfilesSurviveSequentialFallback) {
+  GlobalThreadsGuard guard;
+  SetGlobalThreads(1);  // serial path must account identically
+  ResetPoolPhaseProfiles();
+  const char* prev = SetCurrentPoolPhase("test.serial");
+  uint64_t sum = 0;
+  ParallelFor(0, 128, 16, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) sum += i;
+  });
+  SetCurrentPoolPhase(prev);
+  EXPECT_EQ(sum, 128u * 127u / 2);
+  const std::vector<PoolPhaseProfile> profiles = PoolPhaseProfiles();
+#ifdef IPIN_OBS_DISABLED
+  EXPECT_TRUE(profiles.empty());
+#else
+  ASSERT_EQ(profiles.size(), 1u);
+  EXPECT_EQ(profiles[0].name, "test.serial");
+  EXPECT_GE(profiles[0].tasks, 1u);
+#endif
+  ResetPoolPhaseProfiles();
 }
 
 TEST(ThreadPoolTest, SubmittedTasksSeePoolAsWorkerThread) {

@@ -81,6 +81,32 @@ int Run(int argc, char** argv) {
     }
   }
 
+  // Cross-environment comparisons are legitimate (that is the point of an
+  // archived history) but noisier, so differing provenance warns rather
+  // than fails.
+  const JsonValue* base_prov = baseline_doc->Find("provenance");
+  const JsonValue* cur_prov = current_doc->Find("provenance");
+  if (base_prov != nullptr && cur_prov != nullptr) {
+    for (const char* key : {"hostname", "build_type", "obs"}) {
+      const std::string b = base_prov->FindString(key, "");
+      const std::string c = cur_prov->FindString(key, "");
+      if (b != c) {
+        std::fprintf(stderr,
+                     "bench_compare: warning: %s differs (baseline '%s', "
+                     "current '%s'); deltas may reflect the environment\n",
+                     key, b.c_str(), c.c_str());
+      }
+    }
+    if (base_prov->FindNumber("threads", 0.0) !=
+        cur_prov->FindNumber("threads", 0.0)) {
+      std::fprintf(stderr,
+                   "bench_compare: warning: thread counts differ (baseline "
+                   "%.0f, current %.0f); timing deltas are not like-for-like\n",
+                   base_prov->FindNumber("threads", 0.0),
+                   cur_prov->FindNumber("threads", 0.0));
+    }
+  }
+
   const auto baseline = MetricsOf(*baseline_doc, stat);
   const auto current = MetricsOf(*current_doc, stat);
 

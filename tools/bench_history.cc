@@ -39,6 +39,7 @@
 
 #include "ipin/common/flags.h"
 #include "ipin/common/json.h"
+#include "ipin/obs/ledger.h"
 
 namespace ipin {
 namespace {
@@ -146,12 +147,26 @@ int Run(int argc, char** argv) {
     return 1;
   }
 
+  // Provenance of the machine aggregating the reps (the same machine that
+  // ran them in this pipeline). --git_sha/--compiler still win when the
+  // caller passes them (CI knows its exact toolchain); the collected
+  // environment rides along so bench_compare can warn when two documents
+  // came from different hosts or build configurations.
+  const obs::RunProvenance prov = obs::CollectRunProvenance();
+
   std::string out = "{\n  \"schema\": \"ipin.bench.v1\",\n";
   out += "  \"bench\": \"" + JsonEscape(bench) + "\",\n";
-  for (const char* key : {"git_sha", "compiler", "dataset", "omega"}) {
+  const std::string git_sha = flags.GetString("git_sha", prov.git_sha);
+  out += "  \"git_sha\": \"" + JsonEscape(git_sha) + "\",\n";
+  for (const char* key : {"compiler", "dataset", "omega"}) {
     out += std::string("  \"") + key + "\": \"" +
            JsonEscape(flags.GetString(key, "unknown")) + "\",\n";
   }
+  out += "  \"provenance\": {\"hostname\": \"" + JsonEscape(prov.hostname) +
+         "\", \"build_type\": \"" + JsonEscape(prov.build_type) +
+         "\", \"obs\": \"" + JsonEscape(prov.obs_mode) +
+         "\", \"cpus\": " + std::to_string(prov.cpus) +
+         ", \"threads\": " + std::to_string(prov.threads) + "},\n";
   out += "  \"reps\": " + std::to_string(reps) + ",\n";
   out += "  \"metrics\": {\n";
   bool first = true;
