@@ -47,8 +47,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: ipin_oracle_client (--socket=<path> | --port=<n>) "
                "[--host=127.0.0.1]\n"
-               "  [--method=query|health|stats|reload|metrics|debug]\n"
-               "  [--seeds=a,b,c] [--mode=sketch|exact|auto] "
+               "  [--method=query|topk|health|stats|reload|metrics|debug]\n"
+               "  [--seeds=a,b,c] [--mode=sketch|exact|auto] [--k=10] "
                "[--deadline_ms=0]\n"
                "  [--format=prom|json] [--trace_id=<hex>]\n"
                "  [--requests=<n> --concurrency=<c>] [--retry_overloaded]\n"
@@ -108,6 +108,14 @@ std::optional<serve::Request> BuildRequest(const FlagMap& flags) {
     request.method = serve::Method::kMetrics;
   } else if (method == "debug") {
     request.method = serve::Method::kDebug;
+  } else if (method == "topk") {
+    request.method = serve::Method::kTopk;
+    request.k = flags.GetInt("k", 10);
+    if (request.k < 1) {
+      std::fprintf(stderr, "bad --k %lld\n",
+                   static_cast<long long>(request.k));
+      return std::nullopt;
+    }
   } else {
     std::fprintf(stderr, "bad --method '%s'\n", method.c_str());
     return std::nullopt;
@@ -145,7 +153,10 @@ std::optional<serve::Request> BuildRequest(const FlagMap& flags) {
   }
 
   request.deadline_ms = flags.GetInt("deadline_ms", 0);
-  for (const auto piece : SplitString(flags.GetString("seeds"), ",")) {
+  // Named string: SplitString returns views into it, and a temporary dies
+  // before the loop body runs (pre-C++23 range-for dangling).
+  const std::string seeds_flag = flags.GetString("seeds");
+  for (const auto piece : SplitString(seeds_flag, ",")) {
     const auto id = ParseInt64(piece);
     if (!id || *id < 0) {
       std::fprintf(stderr, "bad seed id '%.*s'\n",
@@ -175,6 +186,22 @@ int RunSingle(const serve::ClientOptions& options,
       response->status == serve::StatusCode::kOk) {
     std::printf(" estimate=%.1f degraded=%d", response->estimate,
                 response->degraded ? 1 : 0);
+  }
+  if (request.method == serve::Method::kTopk &&
+      response->status == serve::StatusCode::kOk) {
+    std::printf(" degraded=%d topk=", response->degraded ? 1 : 0);
+    for (size_t i = 0; i < response->topk.size(); ++i) {
+      std::printf("%s%llu:%.1f", i == 0 ? "" : ",",
+                  static_cast<unsigned long long>(response->topk[i].first),
+                  response->topk[i].second);
+    }
+  }
+  // Scatter-gather answers carry the partial-result accounting.
+  if (response->shards_total > 0) {
+    std::printf(" shards_answered=%lld shards_total=%lld coverage=%.3f",
+                static_cast<long long>(response->shards_answered),
+                static_cast<long long>(response->shards_total),
+                response->coverage);
   }
   std::printf(" epoch=%llu",
               static_cast<unsigned long long>(response->epoch));

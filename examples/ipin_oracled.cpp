@@ -56,7 +56,8 @@ int Usage() {
                "  [--flight_size=256] [--flight_slow_size=64] "
                "[--audit_rate=0]\n"
                "  [--stats_window_s=10] [--trace_out=<json>]\n"
-               "  [--metrics_out=<json>] [--log_level=<level>]\n");
+               "  [--metrics_out=<json>] [--log_level=<level>]\n"
+               "  [--shard_id=<i> --shard_count=<n>]   sharded deployment\n");
   return 2;
 }
 
@@ -129,6 +130,11 @@ int Run(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("flight_slow_size", 64));
   options.audit_rate = flags.GetDouble("audit_rate", 0.0);
   options.stats_window_s = flags.GetInt("stats_window_s", 10);
+  // Sharded deployments (ipin_routerd + per-shard indexes from ipin_shard):
+  // the identity is echoed by the stats verb so operators and the shard
+  // drill can tell backends apart.
+  options.shard_id = static_cast<int>(flags.GetInt("shard_id", -1));
+  options.shard_count = static_cast<int>(flags.GetInt("shard_count", 0));
 
   // --trace_out records Chrome trace events for the whole serving session;
   // each request renders as one async lane keyed by its trace_id. The file

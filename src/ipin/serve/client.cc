@@ -21,7 +21,7 @@
 namespace ipin::serve {
 namespace {
 
-void SetIoTimeout(int fd, int64_t timeout_ms) {
+void ApplyIoTimeout(int fd, int64_t timeout_ms) {
   timeval tv{};
   tv.tv_sec = timeout_ms / 1000;
   tv.tv_usec = (timeout_ms % 1000) * 1000;
@@ -53,7 +53,9 @@ bool ConnectWithTimeout(int fd, const sockaddr* addr, socklen_t len,
 }  // namespace
 
 OracleClient::OracleClient(ClientOptions options)
-    : options_(std::move(options)), rng_(options_.jitter_seed) {}
+    : options_(std::move(options)),
+      rng_(options_.jitter_seed),
+      io_timeout_ms_(options_.io_timeout_ms) {}
 
 OracleClient::~OracleClient() { Disconnect(); }
 
@@ -103,10 +105,15 @@ bool OracleClient::EnsureConnected(std::string* error) {
     if (fd >= 0) ::close(fd);
     return false;
   }
-  SetIoTimeout(fd, options_.io_timeout_ms);
+  ApplyIoTimeout(fd, io_timeout_ms_);
   fd_ = fd;
   read_buffer_.clear();
   return true;
+}
+
+void OracleClient::SetIoTimeout(int64_t io_timeout_ms) {
+  io_timeout_ms_ = std::max<int64_t>(1, io_timeout_ms);
+  if (fd_ >= 0) ApplyIoTimeout(fd_, io_timeout_ms_);
 }
 
 bool OracleClient::SendLine(const std::string& line) {

@@ -26,8 +26,13 @@ void AppendRecordJson(const RequestRecord& record,
       std::chrono::duration_cast<std::chrono::microseconds>(now -
                                                             record.completed)
           .count();
+  if (record.shard >= 0) {
+    out->append(StrFormat("{\"shard\":%d,", record.shard));
+  } else {
+    out->append("{");
+  }
   out->append(StrFormat(
-      "{\"trace_id\":\"%s\",\"id\":%lld,\"mode\":\"%s\",\"status\":\"%s\","
+      "\"trace_id\":\"%s\",\"id\":%lld,\"mode\":\"%s\",\"status\":\"%s\","
       "\"degraded\":%s,\"seeds\":%zu,\"epoch\":%llu,\"age_us\":%lld,"
       "\"admission_us\":%lld,\"queue_us\":%lld,\"eval_us\":%lld,"
       "\"write_us\":%lld,\"total_us\":%lld}",

@@ -30,7 +30,8 @@
 //    "recent": [ <record>, ... ], // oldest -> newest, bounded ring
 //    "slow":   [ <record>, ... ]} // oldest -> newest, bounded ring
 //
-//   <record> = {"trace_id": "00c0ffee0badf00d", "id": 7,
+//   <record> = {"shard": 1,            // router shard legs only
+//               "trace_id": "00c0ffee0badf00d", "id": 7,
 //               "mode": "auto", "status": "OK", "degraded": false,
 //               "seeds": 3, "epoch": 2, "age_us": 52341,
 //               "admission_us": 12, "queue_us": 480, "eval_us": 1790,
@@ -50,6 +51,11 @@ struct RequestRecord {
   bool degraded = false;
   size_t num_seeds = 0;
   uint64_t epoch = 0;
+  /// Router only: the shard a leg record went to (-1 = not a shard leg;
+  /// such records omit "shard" from the dump). The router records one leg
+  /// record per shard RPC plus one overall record per request, all under
+  /// the request's trace_id, so a dump shows which leg made a request slow.
+  int shard = -1;
   /// Per-stage timings. admission covers parse + admission decision,
   /// queue the bounded-queue wait, eval the oracle evaluation, write the
   /// response serialization + socket write. total is end-to-end and can

@@ -58,6 +58,8 @@ const char* MethodName(Method method) {
   switch (method) {
     case Method::kQuery:
       return "query";
+    case Method::kTopk:
+      return "topk";
     case Method::kHealth:
       return "health";
     case Method::kStats:
@@ -152,6 +154,43 @@ std::optional<uint64_t> TraceIdFromHex(std::string_view hex) {
   return value;
 }
 
+std::string RanksToHex(const std::vector<uint8_t>& ranks) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(ranks.size() * 2);
+  for (const uint8_t rank : ranks) {
+    out += kDigits[rank >> 4];
+    out += kDigits[rank & 0xf];
+  }
+  return out;
+}
+
+std::optional<std::vector<uint8_t>> RanksFromHex(std::string_view hex) {
+  if (hex.size() % 2 != 0) return std::nullopt;
+  std::vector<uint8_t> ranks;
+  ranks.reserve(hex.size() / 2);
+  int acc = 0;
+  for (size_t i = 0; i < hex.size(); ++i) {
+    const char c = hex[i];
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return std::nullopt;
+    }
+    if (i % 2 == 0) {
+      acc = digit << 4;
+    } else {
+      ranks.push_back(static_cast<uint8_t>(acc | digit));
+    }
+  }
+  return ranks;
+}
+
 const char* StatusCodeName(StatusCode code) {
   switch (code) {
     case StatusCode::kOk:
@@ -194,6 +233,8 @@ std::optional<Request> ParseRequest(std::string_view line, std::string* error,
   const std::string method = doc->FindString("method", "query");
   if (method == "query") {
     request.method = Method::kQuery;
+  } else if (method == "topk") {
+    request.method = Method::kTopk;
   } else if (method == "health") {
     request.method = Method::kHealth;
   } else if (method == "stats") {
@@ -243,6 +284,15 @@ std::optional<Request> ParseRequest(std::string_view line, std::string* error,
   }
   request.deadline_ms = ToClampedInt64(deadline);
 
+  request.k = ToClampedInt64(doc->FindNumber("k", 10.0));
+  if (request.method == Method::kTopk && request.k < 1) {
+    Fail(error, "topk needs k >= 1");
+    return std::nullopt;
+  }
+  const JsonValue* want_ranks = doc->Find("want_ranks");
+  request.want_ranks =
+      want_ranks != nullptr && want_ranks->is_bool() && want_ranks->bool_value();
+
   const JsonValue* seeds = doc->Find("seeds");
   if (seeds != nullptr) {
     if (!seeds->is_array()) {
@@ -278,6 +328,12 @@ std::string SerializeRequest(const Request& request) {
     out += ModeName(request.mode);
     out += "\"";
   }
+  if (request.method == Method::kQuery && request.want_ranks) {
+    out += ", \"want_ranks\": true";
+  }
+  if (request.method == Method::kTopk) {
+    out += ", \"k\": " + std::to_string(request.k);
+  }
   if (request.method == Method::kMetrics &&
       request.format != MetricsFormat::kPrometheus) {
     out += ", \"format\": \"json\"";
@@ -307,8 +363,36 @@ std::optional<Response> ParseResponse(std::string_view line) {
   const JsonValue* degraded = doc->Find("degraded");
   response.degraded =
       degraded != nullptr && degraded->is_bool() && degraded->bool_value();
+  const std::string ranks_hex = doc->FindString("ranks", "");
+  if (!ranks_hex.empty()) {
+    auto ranks = RanksFromHex(ranks_hex);
+    if (!ranks.has_value()) return std::nullopt;
+    response.ranks = std::move(*ranks);
+  }
+  const JsonValue* topk = doc->Find("topk");
+  if (topk != nullptr) {
+    if (!topk->is_array()) return std::nullopt;
+    response.topk.reserve(topk->array_items().size());
+    for (const JsonValue& pair : topk->array_items()) {
+      if (!pair.is_array() || pair.array_items().size() != 2) {
+        return std::nullopt;
+      }
+      const JsonValue& node = pair.array_items()[0];
+      const JsonValue& estimate = pair.array_items()[1];
+      if (!node.is_number() || !IsValidNodeIdNumber(node.number_value()) ||
+          !estimate.is_number()) {
+        return std::nullopt;
+      }
+      response.topk.emplace_back(static_cast<NodeId>(node.number_value()),
+                                 estimate.number_value());
+    }
+  }
   response.epoch = static_cast<uint64_t>(
       std::max<int64_t>(0, ToClampedInt64(doc->FindNumber("epoch", 0.0))));
+  response.shards_total = ToClampedInt64(doc->FindNumber("shards_total", 0.0));
+  response.shards_answered =
+      ToClampedInt64(doc->FindNumber("shards_answered", 0.0));
+  response.coverage = doc->FindNumber("coverage", 0.0);
   response.retry_after_ms = ToClampedInt64(doc->FindNumber("retry_after_ms", 0.0));
   response.error = doc->FindString("error", "");
   const auto trace_id = TraceIdFromHex(doc->FindString("trace_id", ""));
@@ -330,7 +414,24 @@ std::string SerializeResponse(const Response& response) {
     out += ", \"estimate\": " + JsonNumber(response.estimate);
     out += response.degraded ? ", \"degraded\": true" : ", \"degraded\": false";
   }
+  if (!response.ranks.empty()) {
+    out += ", \"ranks\": \"" + RanksToHex(response.ranks) + "\"";
+  }
+  if (!response.topk.empty()) {
+    out += ", \"topk\": [";
+    for (size_t i = 0; i < response.topk.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "[" + std::to_string(response.topk[i].first) + ", " +
+             JsonNumber(response.topk[i].second) + "]";
+    }
+    out += "]";
+  }
   out += ", \"epoch\": " + std::to_string(response.epoch);
+  if (response.shards_total > 0) {
+    out += ", \"shards_total\": " + std::to_string(response.shards_total);
+    out += ", \"shards_answered\": " + std::to_string(response.shards_answered);
+    out += ", \"coverage\": " + JsonNumber(response.coverage);
+  }
   if (response.retry_after_ms > 0) {
     out += ", \"retry_after_ms\": " + std::to_string(response.retry_after_ms);
   }

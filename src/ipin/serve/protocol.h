@@ -26,10 +26,17 @@
 //
 // Request object:
 //   {"id": 7,                  // echoed back; any int64 (default 0)
-//    "method": "query",        // "query" | "health" | "stats" | "reload"
-//                              // | "metrics" | "debug"
+//    "method": "query",        // "query" | "topk" | "health" | "stats"
+//                              // | "reload" | "metrics" | "debug"
 //    "seeds": [1, 2, 3],       // query only: node ids
 //    "mode": "auto",           // query only: "sketch" | "exact" | "auto"
+//    "k": 10,                  // topk only: result count (default 10)
+//    "want_ranks": true,       // query only: also return the union's
+//                              // per-cell max-rank vector ("ranks" below).
+//                              // Forces the sketch path (ranks only exist
+//                              // there); the scatter-gather router sets it
+//                              // on every shard leg so partials merge
+//                              // exactly.
 //    "deadline_ms": 50,        // per-request deadline; 0/absent = server
 //                              // default
 //    "trace_id": "00c0ffee0badf00d",  // optional distributed-trace context:
@@ -41,7 +48,9 @@
 //                              // server's Chrome trace, tags its log lines,
 //                              // and is echoed in the response. parent_span
 //                              // nests this request under a caller's span
-//                              // (the future scatter-gather router).
+//                              // (ipin_routerd reuses the client's trace_id
+//                              // on every shard leg and sets parent_span to
+//                              // it, so one id spans router + shard lanes).
 //
 // Methods:
 //   query   estimate |sigma(seeds)|, the paper's Section 4.1 oracle query.
@@ -51,6 +60,12 @@
 //           budget, otherwise degrades to the sketch estimate; "auto"
 //           (default) is "exact" semantics when the exact map is loaded,
 //           "sketch" otherwise — degraded answers carry "degraded": true.
+//           With "want_ranks": true the answer is always computed on the
+//           sketch path and additionally carries "ranks".
+//   topk    the k nodes with the largest individual influence estimates
+//           |sigma(u)|, answered from the vHLL index, sorted by estimate
+//           descending (ties broken by ascending node id, so shard partials
+//           merge deterministically). Response carries "topk".
 //   health  cheap liveness probe, answered inline by the connection reader
 //           (never queued, so it works even when the queue is full).
 //   stats   server gauges (queue depth, epoch, workers, ...) in "info",
@@ -71,8 +86,32 @@
 //    "status": "OK",           // see StatusCode below
 //    "estimate": 123.4,        // query only
 //    "degraded": true,         // query only: sketch answer served where
-//                              // exact was requested (budget or unload)
+//                              // exact was requested (budget or unload),
+//                              // or — through the router — a partial
+//                              // answer missing >= 1 shard
+//    "ranks": "0a03...",       // query with want_ranks: the union's
+//                              // per-cell max-rank vector, hex-encoded two
+//                              // digits per cell (beta cells). Cellwise max
+//                              // of rank vectors from disjoint seed
+//                              // partitions reproduces the single-process
+//                              // estimate exactly (see shard_map.h), which
+//                              // is how the router merges shard partials.
+//    "topk": [[4, 99.5], ...], // topk only: [node, estimate] pairs,
+//                              // estimate descending, ties by node id
 //    "epoch": 3,               // index epoch the answer was computed on
+//                              // (shard-map epoch in router responses)
+//    "shards_total": 3,        // router only: shards that own part of the
+//                              // answer (shards holding >= 1 requested
+//                              // seed; every shard for topk)
+//    "shards_answered": 2,     // router only: of those, how many returned
+//                              // a usable partial before the deadline.
+//                              // shards_answered < shards_total implies
+//                              // degraded=true; the estimate is then a
+//                              // conservative lower bound.
+//    "coverage": 0.66,         // router only: conservative coverage bound —
+//                              // fraction of requested seeds whose owning
+//                              // shard answered (fraction of shards for
+//                              // topk). 1.0 on a complete answer.
 //    "retry_after_ms": 50,     // OVERLOADED/UNAVAILABLE: backoff hint
 //    "error": "...",           // BAD_REQUEST/INTERNAL: human-readable
 //    "trace_id": "00c0ffee0badf00d",  // echo of the request's trace
@@ -95,7 +134,7 @@
 
 namespace ipin::serve {
 
-enum class Method { kQuery, kHealth, kStats, kReload, kMetrics, kDebug };
+enum class Method { kQuery, kTopk, kHealth, kStats, kReload, kMetrics, kDebug };
 
 /// Formats accepted by the "metrics" method.
 enum class MetricsFormat { kPrometheus, kJson };
@@ -123,6 +162,11 @@ std::string TraceIdToHex(uint64_t id);
 /// otherwise.
 std::optional<uint64_t> TraceIdFromHex(std::string_view hex);
 
+/// Rank vectors travel as two lowercase hex digits per cell ("0a03...").
+std::string RanksToHex(const std::vector<uint8_t>& ranks);
+/// Inverse of RanksToHex; nullopt on odd length or a non-hex digit.
+std::optional<std::vector<uint8_t>> RanksFromHex(std::string_view hex);
+
 /// One parsed request line.
 struct Request {
   int64_t id = 0;
@@ -131,6 +175,11 @@ struct Request {
   QueryMode mode = QueryMode::kAuto;
   /// 0 = use the server default.
   int64_t deadline_ms = 0;
+  /// topk only: result count (>= 1; default 10).
+  int64_t k = 10;
+  /// query only: also return the union's per-cell max-rank vector (forces
+  /// the sketch path; see the header comment).
+  bool want_ranks = false;
   /// Distributed-trace context; 0 = none carried (the server assigns one).
   uint64_t trace_id = 0;
   uint64_t parent_span = 0;
@@ -144,7 +193,17 @@ struct Response {
   StatusCode status = StatusCode::kOk;
   double estimate = 0.0;
   bool degraded = false;
+  /// query with want_ranks: the union's per-cell max ranks (beta cells);
+  /// empty otherwise.
+  std::vector<uint8_t> ranks;
+  /// topk: [node, estimate] pairs, estimate descending, ties by node id.
+  std::vector<std::pair<NodeId, double>> topk;
   uint64_t epoch = 0;
+  /// Scatter-gather accounting (router responses only; serialized when
+  /// shards_total > 0). See the header comment for semantics.
+  int64_t shards_total = 0;
+  int64_t shards_answered = 0;
+  double coverage = 0.0;
   int64_t retry_after_ms = 0;
   std::string error;
   /// Echo of the request's trace context; 0 = none.

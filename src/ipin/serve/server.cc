@@ -12,6 +12,7 @@
 #include <condition_variable>
 #include <cstring>
 #include <deque>
+#include <queue>
 
 #include "ipin/common/failpoint.h"
 #include "ipin/common/logging.h"
@@ -20,6 +21,7 @@
 #include "ipin/obs/export.h"
 #include "ipin/obs/metrics.h"
 #include "ipin/obs/trace_events.h"
+#include "ipin/sketch/estimators.h"
 
 namespace ipin::serve {
 namespace {
@@ -449,6 +451,7 @@ void OracleServer::HandleRequest(const std::shared_ptr<Connection>& conn,
       return;
     }
     case Method::kQuery:
+    case Method::kTopk:
       break;
   }
 
@@ -613,6 +616,51 @@ Response OracleServer::EvaluateQuery(const Request& request,
     response.retry_after_ms = options_.retry_after_ms;
     return response;
   }
+
+  if (request.method == Method::kTopk) {
+    // The k individually most influential SKETCHED nodes (a node without a
+    // sketch never sent inside the window; its IRS is empty and it is never
+    // ranked — this also keeps shard partials disjoint, since a shard index
+    // holds sketches only for the nodes it owns). Bounded worst-on-top
+    // heap: O(n log k), ties broken by ascending node id so the order — and
+    // the router's merge of shard partials — is deterministic.
+    const size_t k = std::min<size_t>(
+        static_cast<size_t>(std::max<int64_t>(1, request.k)),
+        index->num_nodes());
+    const auto better = [](const std::pair<NodeId, double>& a,
+                           const std::pair<NodeId, double>& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    };
+    // priority_queue treats its comparator as less-than, so comparing with
+    // `better` keeps the WORST kept entry on top, ready to evict.
+    std::priority_queue<std::pair<NodeId, double>,
+                        std::vector<std::pair<NodeId, double>>,
+                        decltype(better)>
+        worst_first(better);
+    QueryBudget budget;
+    budget.deadline = deadline;
+    for (NodeId u = 0; u < index->num_nodes(); ++u) {
+      if (u % 4096 == 0 && budget.Expired()) {
+        response.status = StatusCode::kDeadlineExceeded;
+        IPIN_COUNTER_ADD("serve.requests.deadline_exceeded", 1);
+        return response;
+      }
+      const VersionedHll* sketch = index->Sketch(u);
+      if (sketch == nullptr) continue;
+      worst_first.emplace(u, sketch->Estimate());
+      if (worst_first.size() > k) worst_first.pop();
+    }
+    response.topk.resize(worst_first.size());
+    for (size_t i = worst_first.size(); i-- > 0;) {
+      response.topk[i] = worst_first.top();
+      worst_first.pop();
+    }
+    response.status = StatusCode::kOk;
+    IPIN_COUNTER_ADD("serve.requests.ok", 1);
+    return response;
+  }
+
   for (const NodeId seed : request.seeds) {
     if (static_cast<size_t>(seed) >= index->num_nodes()) {
       response.status = StatusCode::kBadRequest;
@@ -628,7 +676,11 @@ Response OracleServer::EvaluateQuery(const Request& request,
 
   // Exact attempt: bounded by both the request deadline and the server's
   // exact-latency budget, so a miss leaves time for the sketch fallback.
-  const bool want_exact = request.mode != QueryMode::kSketch;
+  // want_ranks forces the sketch path — the rank vector only exists there —
+  // so an explicit "exact" + want_ranks request is answered degraded.
+  const bool want_exact =
+      request.mode != QueryMode::kSketch && !request.want_ranks;
+  if (request.want_ranks && request.mode == QueryMode::kExact) degraded = true;
   if (want_exact) {
     const std::shared_ptr<const IrsExact>& exact = snapshot.exact;
     if (exact == nullptr || exact->num_nodes() < index->num_nodes()) {
@@ -658,6 +710,39 @@ Response OracleServer::EvaluateQuery(const Request& request,
   }
 
   bool answered_by_sketch = false;
+  if (!answered && request.want_ranks) {
+    // Rank-vector variant of IrsApprox::EstimateUnionSize, mirrored here so
+    // the estimate is bit-identical to the plain sketch path AND the union's
+    // per-cell max ranks travel back in the response — the partial a
+    // scatter-gather router folds (cellwise max) into an exact global
+    // answer. An all-zero vector (no seed has a sketch) is both the merge
+    // identity and EstimateFromRanks == 0.0, matching the plain path.
+    const size_t beta = static_cast<size_t>(1)
+                        << index->options().precision;
+    std::vector<uint8_t> ranks(beta, 0);
+    bool any = false;
+    QueryBudget budget;
+    budget.deadline = deadline;
+    size_t scanned = 0;
+    for (const NodeId u : request.seeds) {
+      if (++scanned % 64 == 0 && budget.Expired()) {
+        response.status = StatusCode::kDeadlineExceeded;
+        IPIN_COUNTER_ADD("serve.requests.deadline_exceeded", 1);
+        return response;
+      }
+      const VersionedHll* sketch = index->Sketch(u);
+      if (sketch == nullptr) continue;
+      any = true;
+      const std::span<const uint8_t> max_ranks = sketch->max_ranks();
+      for (size_t c = 0; c < beta; ++c) {
+        if (max_ranks[c] > ranks[c]) ranks[c] = max_ranks[c];
+      }
+    }
+    estimate = any ? EstimateFromRanks(ranks) : 0.0;
+    response.ranks = std::move(ranks);
+    answered = true;
+    answered_by_sketch = true;
+  }
   if (!answered) {
     const SketchInfluenceOracle oracle(index.get());
     QueryBudget budget;
@@ -764,6 +849,12 @@ Response OracleServer::StatsResponse(const Request& request) {
       {"exact_loaded", snapshot.exact != nullptr ? 1.0 : 0.0},
       {"draining", draining_.load(std::memory_order_acquire) ? 1.0 : 0.0},
   };
+  if (options_.shard_count > 0) {
+    response.info.emplace_back("shard_id",
+                               static_cast<double>(options_.shard_id));
+    response.info.emplace_back("shard_count",
+                               static_cast<double>(options_.shard_count));
+  }
 #ifndef IPIN_OBS_DISABLED
   // Trailing-window view from the per-second sampler: rates per second and
   // query-latency percentiles over the last stats_window_s seconds. All 0

@@ -126,6 +126,12 @@ struct ServerOptions {
   double audit_rate = 0.0;
   /// Trailing window (seconds) for the win_* fields of the stats verb.
   int64_t stats_window_s = 10;
+
+  /// Identity of this daemon inside a sharded deployment (ipin_oracled
+  /// --shard_id/--shard_count), echoed by the stats verb so operators and
+  /// drills can tell shards apart. -1/0 = not a shard.
+  int shard_id = -1;
+  int shard_count = 0;
 };
 
 class OracleServer {

@@ -37,10 +37,29 @@ WORK="$(mktemp -d)"
 SOCK="${WORK}/ipin.sock"
 DAEMON_PID=""
 
+PIDFILE_DIR="${WORK}/pids"
+mkdir -p "${PIDFILE_DIR}"
+
+# Every daemon start drops a PID file; cleanup kills them ALL. Tracking only
+# the "current" daemon leaks the previous phase's process when a later phase
+# fails between stop_daemon and the next start, and leaves the backgrounded
+# reload client of phase 4 running. ctest then hangs on the orphan holding
+# the log pipe open.
+register_daemon() {
+  DAEMON_PID=$!
+  echo "${DAEMON_PID}" > "${PIDFILE_DIR}/daemon.${DAEMON_PID}.pid"
+}
+
 cleanup() {
-  if [ -n "${DAEMON_PID}" ] && kill -0 "${DAEMON_PID}" 2>/dev/null; then
-    kill -KILL "${DAEMON_PID}" 2>/dev/null || true
-  fi
+  local pidfile pid
+  for pidfile in "${PIDFILE_DIR}"/*.pid; do
+    [ -e "${pidfile}" ] || continue
+    pid="$(cat "${pidfile}")"
+    kill -KILL "${pid}" 2>/dev/null || true
+  done
+  # Stray background jobs (e.g. the phase-4 reload client).
+  local job
+  for job in $(jobs -p); do kill -KILL "${job}" 2>/dev/null || true; done
   rm -rf "${WORK}"
 }
 trap cleanup EXIT
@@ -87,7 +106,7 @@ cp "${WORK}/index.bin" "${WORK}/index.good"
 "${DAEMON}" --index="${WORK}/index.bin" --socket="${SOCK}" \
   --graph="${WORK}/net.txt" --workers=2 \
   --metrics_out="${WORK}/m1.json" > "${WORK}/d1.log" 2>&1 &
-DAEMON_PID=$!
+register_daemon
 wait_ready "${WORK}/d1.log"
 
 "${CLIENT}" --socket="${SOCK}" --seeds=0,1,2 --mode=sketch \
@@ -119,7 +138,7 @@ IPIN_FAILPOINTS="serve.eval=delay(30)" \
   --graph="${WORK}/net.txt" --workers=2 --queue_capacity=4 \
   --exact_budget_ms=10 --retry_after_ms=20 \
   --metrics_out="${WORK}/m2.json" > "${WORK}/d2.log" 2>&1 &
-DAEMON_PID=$!
+register_daemon
 wait_ready "${WORK}/d2.log"
 
 "${CLIENT}" --socket="${SOCK}" --seeds=0,1,2 --mode=auto \
@@ -163,7 +182,7 @@ fi
 # --- Phase 3: corrupt reload rolls back; fixed file recovers -------------
 "${DAEMON}" --index="${WORK}/index.bin" --socket="${SOCK}" \
   --metrics_out="${WORK}/m3.json" > "${WORK}/d3.log" 2>&1 &
-DAEMON_PID=$!
+register_daemon
 wait_ready "${WORK}/d3.log"
 
 "${CLIENT}" --socket="${SOCK}" --seeds=0,1,2 > "${WORK}/q_pre.txt"
@@ -204,7 +223,7 @@ fi
 IPIN_FAILPOINTS="serve.reload=delay(1000)" \
   "${DAEMON}" --index="${WORK}/index.bin" --socket="${SOCK}" \
   > "${WORK}/d4.log" 2>&1 &
-DAEMON_PID=$!
+register_daemon
 wait_ready "${WORK}/d4.log"
 "${CLIENT}" --socket="${SOCK}" --method=reload > /dev/null 2>&1 || true &
 sleep 0.3
@@ -215,7 +234,7 @@ wait || true  # reap the backgrounded client
 
 "${DAEMON}" --index="${WORK}/index.bin" --socket="${WORK}/ipin2.sock" \
   > "${WORK}/d5.log" 2>&1 &
-DAEMON_PID=$!
+register_daemon
 wait_ready "${WORK}/d5.log"
 "${CLIENT}" --socket="${WORK}/ipin2.sock" --seeds=0,1,2 \
   | grep -q "status=OK" || fail "index unusable after SIGKILL mid-reload"
@@ -230,7 +249,7 @@ IPIN_FAILPOINTS="serve.eval=delay(30)" \
   --graph="${WORK}/net.txt" --workers=2 --slow_query_us=5000 \
   --audit_rate=1 --trace_out="${WORK}/trace.json" \
   --metrics_out="${WORK}/m6.json" > "${WORK}/d6.log" 2>&1 &
-DAEMON_PID=$!
+register_daemon
 wait_ready "${WORK}/d6.log"
 
 # An explicit trace id rides the wire and comes back padded to 16 hex chars.

@@ -201,5 +201,44 @@ TEST_F(IndexManagerTest, WatcherPicksUpChangedFile) {
   EXPECT_GE(manager.Epoch(), 2u);
 }
 
+
+TEST_F(IndexManagerTest, RepeatedCorruptReloadsKeepOldEpochThenRecover) {
+  ASSERT_TRUE(SaveInfluenceIndex(BuildSmallIndex(), path_));
+  IndexManager manager(path_);
+  ASSERT_EQ(manager.Reload(), ReloadStatus::kOk);
+  const auto before = manager.Current();
+
+#ifndef IPIN_OBS_DISABLED
+  const uint64_t rollbacks_before = obs::MetricsRegistry::Global()
+                                        .GetCounter("serve.reload.rollback")
+                                        ->Value();
+#endif
+  // A stuck-bad artifact: every reload attempt sees the same corrupt file.
+  // N consecutive rollbacks must each be counted, and none of them may
+  // unpin the good epoch-1 index.
+  CorruptFile();
+  constexpr int kAttempts = 5;
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    // Forced reloads bypass the stamp check, so every attempt reaches the
+    // loader and must roll back.
+    EXPECT_EQ(manager.Reload(), ReloadStatus::kRolledBack);
+    EXPECT_EQ(manager.Epoch(), 1u);
+    EXPECT_EQ(manager.Current().get(), before.get());
+  }
+#ifndef IPIN_OBS_DISABLED
+  EXPECT_GE(obs::MetricsRegistry::Global()
+                .GetCounter("serve.reload.rollback")
+                ->Value(),
+            rollbacks_before + kAttempts);
+#endif
+
+  // A good artifact lands: the very next reload recovers and swaps epochs.
+  ASSERT_TRUE(SaveInfluenceIndex(BuildSmallIndex(11), path_));
+  EXPECT_EQ(manager.Reload(), ReloadStatus::kOk);
+  EXPECT_EQ(manager.Epoch(), 2u);
+  EXPECT_NE(manager.Current().get(), before.get());
+}
+
+
 }  // namespace
 }  // namespace ipin::serve

@@ -304,5 +304,97 @@ TEST(ServeProtocolTest, StatusCodeNamesRoundtrip) {
   EXPECT_FALSE(StatusCodeFromName("ok").has_value());  // case-sensitive
 }
 
+
+TEST(ServeProtocolTest, ShardedRequestFieldsRoundtrip) {
+  Request request;
+  request.id = 9;
+  request.method = Method::kTopk;
+  request.k = 25;
+  std::string error;
+  auto line = SerializeRequest(request);
+  auto parsed =
+      ParseRequest(std::string_view(line).substr(0, line.size() - 1), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->method, Method::kTopk);
+  EXPECT_EQ(parsed->k, 25);
+
+  request = Request{};
+  request.method = Method::kQuery;
+  request.seeds = {4, 8};
+  request.mode = QueryMode::kSketch;
+  request.want_ranks = true;
+  line = SerializeRequest(request);
+  parsed =
+      ParseRequest(std::string_view(line).substr(0, line.size() - 1), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_TRUE(parsed->want_ranks);
+  EXPECT_EQ(parsed->mode, QueryMode::kSketch);
+}
+
+TEST(ServeProtocolTest, TopkDefaultsAndValidation) {
+  std::string error;
+  const auto defaulted = ParseRequest(R"({"method": "topk"})", &error);
+  ASSERT_TRUE(defaulted.has_value()) << error;
+  EXPECT_EQ(defaulted->k, 10);
+  // k must be >= 1.
+  EXPECT_FALSE(
+      ParseRequest(R"({"method": "topk", "k": 0})", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ServeProtocolTest, RanksHexRoundtrip) {
+  const std::vector<uint8_t> ranks = {0, 1, 10, 63, 255};
+  const std::string hex = RanksToHex(ranks);
+  EXPECT_EQ(hex, "00010a3fff");
+  const auto back = RanksFromHex(hex);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, ranks);
+  EXPECT_FALSE(RanksFromHex("abc").has_value());   // odd length
+  EXPECT_FALSE(RanksFromHex("zz").has_value());    // not hex
+  EXPECT_TRUE(RanksFromHex("")->empty());
+}
+
+TEST(ServeProtocolTest, ShardedResponseFieldsRoundtrip) {
+  Response response;
+  response.id = 3;
+  response.status = StatusCode::kOk;
+  response.estimate = 17.5;
+  response.degraded = true;
+  response.ranks = {3, 0, 7, 1};
+  response.topk = {{5, 12.0}, {9, 3.25}};
+  response.shards_total = 3;
+  response.shards_answered = 2;
+  response.coverage = 0.75;
+
+  const std::string line = SerializeResponse(response);
+  const auto parsed =
+      ParseResponse(std::string_view(line).substr(0, line.size() - 1));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->ranks, (std::vector<uint8_t>{3, 0, 7, 1}));
+  ASSERT_EQ(parsed->topk.size(), 2u);
+  EXPECT_EQ(parsed->topk[0].first, 5u);
+  EXPECT_DOUBLE_EQ(parsed->topk[0].second, 12.0);
+  EXPECT_EQ(parsed->shards_total, 3);
+  EXPECT_EQ(parsed->shards_answered, 2);
+  EXPECT_DOUBLE_EQ(parsed->coverage, 0.75);
+  EXPECT_TRUE(parsed->degraded);
+}
+
+TEST(ServeProtocolTest, ShardFieldsOmittedWhenNotSharded) {
+  Response response;
+  response.id = 1;
+  response.status = StatusCode::kOk;
+  response.estimate = 2.0;
+  const std::string line = SerializeResponse(response);
+  EXPECT_EQ(line.find("shards_total"), std::string::npos);
+  EXPECT_EQ(line.find("coverage"), std::string::npos);
+  const auto parsed =
+      ParseResponse(std::string_view(line).substr(0, line.size() - 1));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->shards_total, 0);
+  EXPECT_EQ(parsed->shards_answered, 0);
+}
+
+
 }  // namespace
 }  // namespace ipin::serve

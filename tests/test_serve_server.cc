@@ -5,6 +5,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -26,6 +27,7 @@
 #include "ipin/datasets/synthetic.h"
 #include "ipin/obs/metrics.h"
 #include "ipin/serve/client.h"
+#include "ipin/sketch/estimators.h"
 
 namespace ipin::serve {
 namespace {
@@ -855,6 +857,61 @@ TEST_F(ServeServerTest, EphemeralTcpPortWorks) {
   ASSERT_TRUE(response.has_value());
   EXPECT_EQ(response->status, StatusCode::kOk);
 }
+
+
+TEST_F(ServeServerTest, WantRanksReturnsTheUnionRankVector) {
+  StartServer();
+  OracleClient client(MakeClientOptions());
+  Request request;
+  request.method = Method::kQuery;
+  request.seeds = {1, 2, 3};
+  request.mode = QueryMode::kSketch;
+  request.want_ranks = true;
+  const auto response = client.Call(request);
+  ASSERT_TRUE(response.has_value());
+  ASSERT_EQ(response->status, StatusCode::kOk);
+  // One rank cell per HLL register at the index's precision.
+  const size_t cells = size_t{1} << index_->Current()->options().precision;
+  ASSERT_EQ(response->ranks.size(), cells);
+  // The vector is the answer: estimating from it reproduces both the wire
+  // estimate and the local oracle bit for bit. This is the invariant the
+  // sharded router's merge relies on.
+  EXPECT_DOUBLE_EQ(EstimateFromRanks(response->ranks), response->estimate);
+  EXPECT_DOUBLE_EQ(response->estimate,
+                   index_->Current()->EstimateUnionSize(request.seeds));
+}
+
+TEST_F(ServeServerTest, TopkVerbMatchesLocalRanking) {
+  StartServer();
+  OracleClient client(MakeClientOptions());
+  Request request;
+  request.method = Method::kTopk;
+  request.k = 7;
+  const auto response = client.Call(request);
+  ASSERT_TRUE(response.has_value());
+  ASSERT_EQ(response->status, StatusCode::kOk);
+
+  // Ground truth straight off the in-process index: every sketched node,
+  // estimate descending, ties by ascending node id.
+  std::vector<std::pair<NodeId, double>> truth;
+  const auto index = index_->Current();
+  for (NodeId u = 0; u < index->num_nodes(); ++u) {
+    const auto* sketch = index->Sketch(u);
+    if (sketch != nullptr) truth.emplace_back(u, sketch->Estimate());
+  }
+  std::sort(truth.begin(), truth.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  truth.resize(std::min<size_t>(7, truth.size()));
+
+  ASSERT_EQ(response->topk.size(), truth.size());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_EQ(response->topk[i].first, truth[i].first) << "rank " << i;
+    EXPECT_DOUBLE_EQ(response->topk[i].second, truth[i].second);
+  }
+}
+
 
 }  // namespace
 }  // namespace ipin::serve

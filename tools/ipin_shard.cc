@@ -1,0 +1,177 @@
+// ipin_shard: offline sharding for the scatter-gather serving tier
+// (DESIGN.md §11). Splits one full influence index into per-shard index
+// files — each keeping the full node space with only its owned nodes'
+// sketches, the invariant the router's exact merge rests on — and writes
+// the matching "ipin.shardmap.v1" map that ipin_routerd routes by.
+//
+// Usage:
+//   ipin_shard split --index=<full.bin> --shards=<n> --out_prefix=<p>
+//       --map_out=<shards.json>
+//       [--socket_prefix=/tmp/ipin-shard]   shard i dials <prefix><i>.sock
+//       [--virtual_points=64]               consistent-hash ring density
+//
+//     Writes <p>0.bin ... <p>{n-1}.bin plus the map. Start one ipin_oracled
+//     per shard file (--shard_id=i --shard_count=n) on the map's endpoint,
+//     then point ipin_routerd at the map.
+//
+//   ipin_shard show --map=<shards.json> [--nodes=100000]
+//
+//     Prints the parsed map and the ownership balance over the first
+//     --nodes node ids.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ipin/common/flags.h"
+#include "ipin/common/logging.h"
+#include "ipin/common/string_util.h"
+#include "ipin/core/oracle_io.h"
+#include "ipin/serve/shard_map.h"
+
+namespace ipin {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: ipin_shard split --index=<full.bin> --shards=<n>\n"
+      "         --out_prefix=<p> --map_out=<shards.json>\n"
+      "         [--socket_prefix=/tmp/ipin-shard] [--virtual_points=64]\n"
+      "       ipin_shard show --map=<shards.json> [--nodes=100000]\n"
+      "       ipin_shard owner --map=<shards.json> --node=<id>\n");
+  return 2;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << content << '\n';
+  return static_cast<bool>(out.flush());
+}
+
+int RunSplit(const FlagMap& flags) {
+  const std::string index_path = flags.GetString("index");
+  const int64_t num_shards = flags.GetInt("shards", 0);
+  const std::string out_prefix = flags.GetString("out_prefix");
+  const std::string map_out = flags.GetString("map_out");
+  if (index_path.empty() || num_shards < 1 || out_prefix.empty() ||
+      map_out.empty()) {
+    return Usage();
+  }
+  const std::string socket_prefix =
+      flags.GetString("socket_prefix", "/tmp/ipin-shard");
+  const int virtual_points =
+      static_cast<int>(flags.GetInt("virtual_points", 64));
+
+  std::vector<serve::ShardInfo> shards(static_cast<size_t>(num_shards));
+  for (size_t i = 0; i < shards.size(); ++i) {
+    shards[i].name = StrFormat("shard%zu", i);
+    shards[i].endpoint.unix_socket_path =
+        StrFormat("%s%zu.sock", socket_prefix.c_str(), i);
+  }
+  const serve::ShardMap map(shards, virtual_points);
+  if (map.num_shards() != shards.size()) {
+    std::fprintf(stderr, "ipin_shard: invalid shard configuration\n");
+    return 2;
+  }
+
+  const IndexLoadResult load = LoadInfluenceIndexDetailed(index_path);
+  if (!load.usable()) {
+    std::fprintf(stderr, "ipin_shard: cannot load index '%s'\n",
+                 index_path.c_str());
+    return 2;
+  }
+  const IrsApprox& full = *load.index;
+
+  for (size_t i = 0; i < map.num_shards(); ++i) {
+    const IrsApprox piece = serve::ExtractShardIndex(full, map, i);
+    size_t owned = 0;
+    for (NodeId u = 0; u < piece.num_nodes(); ++u) {
+      if (piece.Sketch(u) != nullptr) ++owned;
+    }
+    const std::string out = StrFormat("%s%zu.bin", out_prefix.c_str(), i);
+    if (!SaveInfluenceIndex(piece, out)) {
+      std::fprintf(stderr, "ipin_shard: cannot write '%s'\n", out.c_str());
+      return 1;
+    }
+    std::printf("ipin_shard: %s <- %s (%zu/%zu nodes owned)\n", out.c_str(),
+                map.shard(i).name.c_str(), owned, piece.num_nodes());
+  }
+
+  if (!WriteTextFile(map_out, map.ToJson())) {
+    std::fprintf(stderr, "ipin_shard: cannot write map '%s'\n",
+                 map_out.c_str());
+    return 1;
+  }
+  std::printf("ipin_shard: wrote map %s (%zu shards, %d virtual points)\n",
+              map_out.c_str(), map.num_shards(), map.virtual_points());
+  return 0;
+}
+
+int RunShow(const FlagMap& flags) {
+  const std::string map_path = flags.GetString("map");
+  if (map_path.empty()) return Usage();
+  std::string error;
+  const auto map = serve::ShardMap::ParseFile(map_path, &error);
+  if (!map.has_value()) {
+    std::fprintf(stderr, "ipin_shard: %s: %s\n", map_path.c_str(),
+                 error.c_str());
+    return 2;
+  }
+  std::printf("%s: %zu shards, %d virtual points\n", map_path.c_str(),
+              map->num_shards(), map->virtual_points());
+  const size_t num_nodes =
+      static_cast<size_t>(flags.GetInt("nodes", 100000));
+  std::vector<size_t> owned(map->num_shards(), 0);
+  for (NodeId u = 0; u < num_nodes; ++u) ++owned[map->OwnerOf(u)];
+  for (size_t i = 0; i < map->num_shards(); ++i) {
+    const serve::ShardInfo& info = map->shard(i);
+    const std::string endpoint =
+        !info.endpoint.unix_socket_path.empty()
+            ? info.endpoint.unix_socket_path
+            : StrFormat("%s:%d", info.endpoint.tcp_host.c_str(),
+                        info.endpoint.tcp_port);
+    std::printf("  %-10s %-32s owns %6zu/%zu (%.1f%%)%s\n",
+                info.name.c_str(), endpoint.c_str(), owned[i], num_nodes,
+                100.0 * static_cast<double>(owned[i]) /
+                    static_cast<double>(num_nodes),
+                info.mirror.valid() ? "  [mirrored]" : "");
+  }
+  return 0;
+}
+
+// Resolves which shard owns a node — fault drills use this to pick the one
+// daemon whose death is guaranteed to leave the queried seed unanswered.
+int RunOwner(const FlagMap& flags) {
+  const std::string map_path = flags.GetString("map");
+  const int64_t node = flags.GetInt("node", -1);
+  if (map_path.empty() || node < 0) return Usage();
+  std::string error;
+  const auto map = serve::ShardMap::ParseFile(map_path, &error);
+  if (!map.has_value()) {
+    std::fprintf(stderr, "ipin_shard: %s: %s\n", map_path.c_str(),
+                 error.c_str());
+    return 2;
+  }
+  const size_t shard = map->OwnerOf(static_cast<NodeId>(node));
+  std::printf("node=%lld shard=%zu name=%s\n", static_cast<long long>(node),
+              shard, map->shard(shard).name.c_str());
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  const FlagMap flags = FlagMap::Parse(argc, argv);
+  if (flags.positional().empty()) return Usage();
+  const std::string& verb = flags.positional()[0];
+  if (verb == "split") return RunSplit(flags);
+  if (verb == "show") return RunShow(flags);
+  if (verb == "owner") return RunOwner(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace ipin
+
+int main(int argc, char** argv) { return ipin::Run(argc, argv); }
