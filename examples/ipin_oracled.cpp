@@ -39,6 +39,7 @@
 #include "ipin/obs/memtally.h"
 #include "ipin/obs/trace_events.h"
 #include "ipin/serve/index_manager.h"
+#include "ipin/serve/port_file.h"
 #include "ipin/serve/server.h"
 
 namespace ipin {
@@ -57,6 +58,7 @@ int Usage() {
                "[--audit_rate=0]\n"
                "  [--stats_window_s=10] [--trace_out=<json>]\n"
                "  [--metrics_out=<json>] [--log_level=<level>]\n"
+               "  [--port_file=<path>]   publish pid+bound endpoint once serving\n"
                "  [--shard_id=<i> --shard_count=<n>]   sharded deployment\n");
   return 2;
 }
@@ -163,6 +165,20 @@ int Run(int argc, char** argv) {
                 static_cast<unsigned long long>(index.Epoch()));
   }
   std::fflush(stdout);
+
+  // --port_file publishes the bound endpoint once serving: with --port=0
+  // (kernel-assigned port) scripts read the file instead of guessing a
+  // fixed port that another test running in parallel may hold. Written
+  // via rename so a reader never sees a half-written file.
+  const std::string port_file = flags.GetString("port_file", "");
+  if (!port_file.empty() &&
+      !serve::WritePortFile(port_file, "ipin_oracled", server.bound_port(),
+                            socket_path)) {
+    std::fprintf(stderr, "ipin_oracled: cannot write port file '%s'\n",
+                 port_file.c_str());
+    server.Shutdown();
+    return 1;
+  }
 
   while (g_stop == 0) {
     if (g_dump != 0) {

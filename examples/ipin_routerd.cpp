@@ -41,6 +41,7 @@
 #include "ipin/obs/ledger.h"
 #include "ipin/obs/memtally.h"
 #include "ipin/obs/trace_events.h"
+#include "ipin/serve/port_file.h"
 #include "ipin/serve/router.h"
 #include "ipin/serve/shard_map.h"
 
@@ -60,7 +61,8 @@ int Usage() {
                "  [--slow_query_us=100000] [--flight_size=256]\n"
                "  [--flight_slow_size=64] [--stats_window_s=10]\n"
                "  [--ledger_dir=<dir>] [--trace_out=<json>]\n"
-               "  [--metrics_out=<json>] [--log_level=<level>]\n");
+               "  [--metrics_out=<json>] [--log_level=<level>]\n"
+               "  [--port_file=<path>]   publish pid+bound endpoint once serving\n");
   return 2;
 }
 
@@ -169,6 +171,20 @@ int Run(int argc, char** argv) {
                 static_cast<unsigned long long>(map.Epoch()));
   }
   std::fflush(stdout);
+
+  // --port_file publishes the bound endpoint once routing (see
+  // serve/port_file.h): with --port=0 scripts read the kernel-assigned
+  // port from the file instead of hardcoding one.
+  const std::string port_file = flags.GetString("port_file", "");
+  if (!port_file.empty() &&
+      !serve::WritePortFile(port_file, "ipin_routerd", server.bound_port(),
+                            socket_path)) {
+    std::fprintf(stderr, "ipin_routerd: cannot write port file '%s'\n",
+                 port_file.c_str());
+    server.Shutdown();
+    ledger.Finish(1);
+    return 1;
+  }
 
   while (g_stop == 0) {
     if (g_reload != 0) {

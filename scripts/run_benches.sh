@@ -120,7 +120,7 @@ done
 # --- harness benches (ipin.metrics.v1 reports) ----------------------------
 if [[ $QUICK == 0 ]]; then
   HARNESSES=(fig3_processing_time fig4_oracle_query table4_memory
-             oracle_serving oracle_serving_shards)
+             oracle_serving oracle_serving_shards reshard)
   for bench in "${HARNESSES[@]}"; do
     # oracle_serving_shards is the same binary in scatter-gather mode: the
     # router over 2/4/8 in-process shards, its own history document.

@@ -1,0 +1,233 @@
+#ifndef IPIN_SERVE_CHAOS_H_
+#define IPIN_SERVE_CHAOS_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ipin/serve/client.h"
+
+// The deterministic chaos-drill engine (DESIGN.md §11): a seeded,
+// schedule-driven orchestrator that replays a timeline of fault actions
+// against a running serving fleet while a verifier thread asserts the
+// tier's headline invariants. It replaces the ad-hoc shell drills of
+// router_smoke_test.sh with a reusable harness any robustness change can
+// script against, and — because the schedule is a pure function of
+// (scenario, seed) — a failing drill replays EXACTLY from its seed.
+//
+// The engine splits in two:
+//
+//   * ChaosSchedule::Generate(scenario, seed): the pure part. Produces the
+//     action timeline — kinds, targets (e.g. which primary dies), and
+//     jittered offsets — from an ipin::Rng(seed). Same scenario + seed =
+//     byte-identical ToJson(), asserted by tests/test_chaos_schedule.cc;
+//     no processes, no clocks.
+//
+//   * ChaosDrill: the orchestration part (fork/exec; Linux). Spawns the
+//     fleet described by ChaosDrillOptions (daemons publish readiness via
+//     --port_file, see port_file.h), executes the schedule's actions at
+//     their offsets (SIGKILL, respawn, shard-map installs + wire reloads,
+//     corrupt-map rollback probes), and runs a verifier thread that
+//     hammers the router with seeded queries, comparing every answer
+//     against a reference single-index daemon:
+//
+//       - ZERO WRONG ANSWERS: a non-degraded OK answer (estimate or topk)
+//         must be bit-identical to the reference's;
+//       - HONEST DEGRADATION: degraded must be flagged iff coverage < 1;
+//       - AVAILABILITY: >= min_availability of completed queries answered
+//         OK (degraded allowed) across the whole timeline;
+//       - RECOVERY: after the last action, an exact undegraded answer
+//         within recovery_deadline_ms;
+//       - NO LEAKED DAEMONS: after teardown every spawned pid is gone.
+//
+//     Every spawn, signal, install, and verdict is appended to a JSONL
+//     ledger (schema "ipin.chaos.v1") for CI artifact upload.
+//
+// tools/ipin_chaos prepares the fleet artifacts (dataset, index, shard
+// pieces, transition maps) and wires them into ChaosDrillOptions; see its
+// header comment for the scenario walkthroughs.
+
+namespace ipin::serve {
+
+enum class ChaosActionKind {
+  /// Start the daemons listed as new_shards (the grown fleet's additions).
+  kSpawnNewShards,
+  /// Install the transition (v2, old->new) map over the live map file and
+  /// reload the router: double-dispatch begins.
+  kInstallTransitionMap,
+  /// SIGKILL the primary daemon named by `target`.
+  kKillPrimary,
+  /// Overwrite the live map with garbage and reload: the router must roll
+  /// back (old epoch keeps routing); the good map is then restored.
+  kCorruptMapReload,
+  /// Respawn the daemon named by `target` with its original spec.
+  kRestartDaemon,
+  /// Install the finalized (transition-stripped) map and reload: the
+  /// reshard completes and double-dispatch ends.
+  kFinalizeMap,
+};
+
+/// Stable wire spelling ("spawn-new-shards", "kill-primary", ...).
+const char* ChaosActionKindName(ChaosActionKind kind);
+
+struct ChaosAction {
+  /// Offset from drill start.
+  int64_t at_ms = 0;
+  ChaosActionKind kind = ChaosActionKind::kKillPrimary;
+  /// Daemon name for kill/restart actions ("old2"); empty otherwise.
+  std::string target;
+};
+
+struct ChaosScheduleOptions {
+  /// Base spacing between consecutive actions.
+  int64_t spacing_ms = 500;
+  /// Each offset is jittered uniformly in +-(jitter * spacing_ms) — drawn
+  /// from the schedule's Rng, so jitter is deterministic per seed.
+  double jitter = 0.1;
+  /// Shard counts of the reshard scenarios (old fleet -> grown fleet).
+  size_t num_old_shards = 4;
+  size_t num_new_shards = 6;
+};
+
+/// A generated drill timeline. Actions are ordered by at_ms.
+struct ChaosSchedule {
+  std::string scenario;
+  uint64_t seed = 0;
+  std::vector<ChaosAction> actions;
+
+  /// One "ipin.chaos.v1" JSON object (stable field order): the replay
+  /// contract — identical for identical (scenario, seed, options).
+  std::string ToJson() const;
+
+  /// Scenarios:
+  ///   "kill-primary-mid-reshard"  spawn new shards, install the
+  ///       transition map, SIGKILL a seed-chosen old primary mid-
+  ///       migration, probe corrupt-map rollback, restart the victim,
+  ///       finalize. The acceptance drill.
+  ///   "replica-failover"  SIGKILL a seed-chosen primary, later restart
+  ///       it: exercises replica promotion and probe-driven demotion with
+  ///       no reshard in flight.
+  /// nullopt for an unknown scenario.
+  static std::optional<ChaosSchedule> Generate(
+      const std::string& scenario, uint64_t seed,
+      const ChaosScheduleOptions& options = {});
+};
+
+/// One daemon the drill owns: how to exec it, where its stdout/stderr go,
+/// and the port file it publishes readiness through.
+struct ChaosDaemonSpec {
+  /// Schedule-addressable name ("old0", "replica2", "new4", "router",
+  /// "reference").
+  std::string name;
+  /// argv[0] is the binary path.
+  std::vector<std::string> argv;
+  std::string log_file;
+  /// Must match a --port_file argument in argv; readiness = the file
+  /// reports the freshly spawned pid (stale files from a previous
+  /// incarnation are ignored).
+  std::string port_file;
+};
+
+struct ChaosDrillOptions {
+  ChaosSchedule schedule;
+
+  /// Fleet running from t=0: old-fleet primaries, replicas, the reference
+  /// single-index daemon, and the router (in start order; the router
+  /// should come last so its first probes find live backends).
+  std::vector<ChaosDaemonSpec> initial_daemons;
+  /// Daemons started by kSpawnNewShards.
+  std::vector<ChaosDaemonSpec> new_shards;
+
+  /// The live map file the router watches, and the prepared map documents
+  /// the install actions copy over it.
+  std::string live_map_path;
+  std::string transition_map_path;
+  std::string final_map_path;
+
+  /// Router endpoint the verifier queries, and the reference daemon's.
+  ClientOptions router;
+  ClientOptions reference;
+
+  /// Verifier: seeds drawn from [0, num_nodes) with its own
+  /// Rng(schedule.seed), seed-set sizes in [1, max_seeds_per_query]; every
+  /// verifier_topk_every-th query is a topk comparison instead.
+  size_t num_nodes = 0;
+  size_t max_seeds_per_query = 8;
+  size_t verifier_topk_every = 16;
+  int64_t query_deadline_ms = 400;
+  /// Pause between verifier queries (0 = hammer).
+  int64_t verifier_pause_ms = 2;
+
+  /// Invariant thresholds.
+  double min_availability = 0.99;
+  int64_t recovery_deadline_ms = 10000;
+  /// Teardown: SIGTERM then this long before escalating to SIGKILL (a
+  /// daemon needing SIGKILL at teardown is reported as leaked).
+  int64_t drain_deadline_ms = 5000;
+
+  /// JSONL ledger path (required).
+  std::string ledger_path;
+};
+
+/// Drill outcome. `passed` is the conjunction of the five invariants; on
+/// failure `failure` names the first broken one.
+struct ChaosDrillReport {
+  size_t queries_total = 0;
+  /// OK answers (degraded or not); availability = queries_ok / total.
+  size_t queries_ok = 0;
+  size_t queries_degraded = 0;
+  /// Non-degraded answers that differed from the reference, plus
+  /// degraded/coverage contradictions.
+  size_t wrong_answers = 0;
+  size_t invariant_violations = 0;
+  /// UNAVAILABLE answers and exhausted-retry transport failures.
+  size_t queries_failed = 0;
+  double availability = 0.0;
+  bool recovered = false;
+  int64_t recovery_ms = -1;
+  /// Daemons that survived SIGTERM teardown (killed, then reported here).
+  std::vector<std::string> leaked_daemons;
+  bool passed = false;
+  std::string failure;
+};
+
+/// Executes one drill. Construction does nothing; Run() spawns the fleet,
+/// replays the schedule, joins the verifier, tears the fleet down, and
+/// writes the ledger. Run() is one-shot.
+class ChaosDrill {
+ public:
+  explicit ChaosDrill(ChaosDrillOptions options);
+  ~ChaosDrill();
+
+  ChaosDrill(const ChaosDrill&) = delete;
+  ChaosDrill& operator=(const ChaosDrill&) = delete;
+
+  ChaosDrillReport Run();
+
+ private:
+  struct Daemon {
+    ChaosDaemonSpec spec;
+    long pid = -1;
+    bool alive = false;
+  };
+
+  bool SpawnDaemon(const ChaosDaemonSpec& spec, std::string* error);
+  bool WaitReady(const Daemon& daemon, int64_t deadline_ms,
+                 std::string* error);
+  bool InstallMap(const std::string& source_path, bool expect_rollback,
+                  std::string* error);
+  bool ExecuteAction(const ChaosAction& action, std::string* error);
+  void Teardown(ChaosDrillReport* report);
+  void LedgerLine(const std::string& json_object);
+
+  ChaosDrillOptions options_;
+  std::map<std::string, Daemon> daemons_;
+  int ledger_fd_ = -1;
+  int64_t start_ms_ = 0;  // drill epoch on the steady clock
+};
+
+}  // namespace ipin::serve
+
+#endif  // IPIN_SERVE_CHAOS_H_

@@ -28,6 +28,7 @@
 //   {"id": 7,                  // echoed back; any int64 (default 0)
 //    "method": "query",        // "query" | "topk" | "health" | "stats"
 //                              // | "reload" | "metrics" | "debug"
+//                              // | "reshard_status" (router only)
 //    "seeds": [1, 2, 3],       // query only: node ids
 //    "mode": "auto",           // query only: "sketch" | "exact" | "auto"
 //    "k": 10,                  // topk only: result count (default 10)
@@ -80,6 +81,12 @@
 //           exposition) or "json" (the ipin.metrics.v1 report document).
 //   debug   the slow-query flight recorder dump (ipin.debug.v1 JSON, see
 //           flight_recorder.h) in "payload", answered inline.
+//   reshard_status
+//           router-only admin verb, answered inline: the live-reshard state
+//           in "info" — map_epoch, in_transition (0|1), shards /
+//           prev_shards (current and previous-epoch shard counts),
+//           replicas_total, shards_down / prev_shards_down. A plain
+//           ipin_oracled answers BAD_REQUEST (it has no shard map).
 //
 // Response object:
 //   {"id": 7,
@@ -134,7 +141,16 @@
 
 namespace ipin::serve {
 
-enum class Method { kQuery, kTopk, kHealth, kStats, kReload, kMetrics, kDebug };
+enum class Method {
+  kQuery,
+  kTopk,
+  kHealth,
+  kStats,
+  kReload,
+  kMetrics,
+  kDebug,
+  kReshardStatus,
+};
 
 /// Formats accepted by the "metrics" method.
 enum class MetricsFormat { kPrometheus, kJson };

@@ -80,28 +80,55 @@ struct RouterServer::Connection {
   std::atomic<bool> reader_done{false};
 };
 
+namespace {
+
+// Per-shard endpoint count (primary + replicas) for the health tracker.
+std::vector<size_t> EndpointCounts(const ShardMap& map) {
+  std::vector<size_t> counts(map.num_shards());
+  for (size_t i = 0; i < map.num_shards(); ++i) {
+    counts[i] = 1 + map.shard(i).replicas.size();
+  }
+  return counts;
+}
+
+}  // namespace
+
 RouterServer::ShardFleet::ShardFleet(std::shared_ptr<const ShardMap> map,
                                      uint64_t epoch,
                                      const RouterOptions& options)
     : map(std::move(map)),
       epoch(epoch),
       options(options),
-      health(this->map->num_shards(), options.health) {
-  pools.reserve(this->map->num_shards());
-  for (size_t i = 0; i < this->map->num_shards(); ++i) {
-    pools.push_back(std::make_unique<Pool>());
+      health(EndpointCounts(*this->map), options.health) {
+  const auto build_pools = [](const ShardMap& m) {
+    std::vector<std::vector<std::unique_ptr<Pool>>> built(m.num_shards());
+    for (size_t i = 0; i < m.num_shards(); ++i) {
+      built[i].resize(1 + m.shard(i).replicas.size());
+      for (auto& pool : built[i]) pool = std::make_unique<Pool>();
+    }
+    return built;
+  };
+  pools = build_pools(*this->map);
+  if (this->map->InTransition()) {
+    prev_health = std::make_unique<ShardHealthTracker>(
+        EndpointCounts(*this->map->previous()), options.health);
+    prev_pools = build_pools(*this->map->previous());
   }
 }
 
 std::unique_ptr<OracleClient> RouterServer::ShardFleet::NewClient(
-    size_t shard, bool prefer_mirror) const {
-  const ShardInfo& info = map->shard(shard);
-  const ShardEndpoint& ep =
-      prefer_mirror && info.mirror.valid() ? info.mirror : info.endpoint;
+    bool prev, size_t shard, size_t endpoint, bool prefer_mirror) const {
+  const ShardInfo& info = SideMap(prev).shard(shard);
+  const ShardEndpoint* ep = &info.endpoint;
+  if (prefer_mirror && info.mirror.valid()) {
+    ep = &info.mirror;
+  } else if (endpoint >= 1 && endpoint <= info.replicas.size()) {
+    ep = &info.replicas[endpoint - 1];
+  }
   ClientOptions client_options;
-  client_options.unix_socket_path = ep.unix_socket_path;
-  client_options.tcp_host = ep.tcp_host;
-  client_options.tcp_port = ep.tcp_port;
+  client_options.unix_socket_path = ep->unix_socket_path;
+  client_options.tcp_host = ep->tcp_host;
+  client_options.tcp_port = ep->tcp_port;
   client_options.connect_timeout_ms = options.connect_timeout_ms;
   // The router owns the retry policy (hedging + the next request's fresh
   // fan-out); a leg client must fail fast, not add its own backoff loop.
@@ -109,24 +136,30 @@ std::unique_ptr<OracleClient> RouterServer::ShardFleet::NewClient(
   return std::make_unique<OracleClient>(client_options);
 }
 
-std::unique_ptr<OracleClient> RouterServer::ShardFleet::Borrow(size_t shard) {
-  {
-    std::lock_guard<std::mutex> lock(pools[shard]->mu);
-    if (!pools[shard]->idle.empty()) {
-      auto client = std::move(pools[shard]->idle.back());
-      pools[shard]->idle.pop_back();
+std::unique_ptr<OracleClient> RouterServer::ShardFleet::Borrow(
+    bool prev, size_t shard, size_t endpoint) {
+  auto& side = prev ? prev_pools : pools;
+  if (endpoint < side[shard].size()) {
+    Pool& pool = *side[shard][endpoint];
+    std::lock_guard<std::mutex> lock(pool.mu);
+    if (!pool.idle.empty()) {
+      auto client = std::move(pool.idle.back());
+      pool.idle.pop_back();
       return client;
     }
   }
-  return NewClient(shard, /*prefer_mirror=*/false);
+  return NewClient(prev, shard, endpoint, /*prefer_mirror=*/false);
 }
 
-void RouterServer::ShardFleet::Return(size_t shard,
+void RouterServer::ShardFleet::Return(bool prev, size_t shard, size_t endpoint,
                                       std::unique_ptr<OracleClient> client) {
   constexpr size_t kMaxIdlePerShard = 8;
-  std::lock_guard<std::mutex> lock(pools[shard]->mu);
-  if (pools[shard]->idle.size() < kMaxIdlePerShard) {
-    pools[shard]->idle.push_back(std::move(client));
+  auto& side = prev ? prev_pools : pools;
+  if (endpoint >= side[shard].size()) return;
+  Pool& pool = *side[shard][endpoint];
+  std::lock_guard<std::mutex> lock(pool.mu);
+  if (pool.idle.size() < kMaxIdlePerShard) {
+    pool.idle.push_back(std::move(client));
   }
 }
 
@@ -433,6 +466,52 @@ void RouterServer::HandleRequest(const std::shared_ptr<Connection>& conn,
       WriteResponse(conn, response, options_.write_timeout_ms);
       return;
     }
+    case Method::kReshardStatus: {
+      // Live-reshard admin verb, answered inline: where the fleet stands in
+      // the old->new transition, plus both sides' health.
+      IPIN_LATENCY_SCOPE("serve.latency.stats_us");
+      Response response;
+      response.id = request.id;
+      response.trace_id = request.trace_id;
+      response.status = StatusCode::kOk;
+      const std::shared_ptr<ShardFleet> fleet = Fleet();
+      response.epoch = fleet ? fleet->epoch : 0;
+      response.info.emplace_back(
+          "map_epoch", fleet ? static_cast<double>(fleet->epoch) : 0.0);
+      if (fleet) {
+        const bool in_transition = fleet->map->InTransition();
+        response.info.emplace_back("in_transition", in_transition ? 1.0 : 0.0);
+        response.info.emplace_back(
+            "shards", static_cast<double>(fleet->map->num_shards()));
+        response.info.emplace_back(
+            "prev_shards",
+            in_transition
+                ? static_cast<double>(fleet->map->previous()->num_shards())
+                : 0.0);
+        size_t replicas_total = 0;
+        for (size_t s = 0; s < fleet->map->num_shards(); ++s) {
+          replicas_total += fleet->map->shard(s).replicas.size();
+        }
+        response.info.emplace_back("replicas_total",
+                                   static_cast<double>(replicas_total));
+        response.info.emplace_back(
+            "shards_down", static_cast<double>(fleet->health.DownCount()));
+        response.info.emplace_back(
+            "prev_shards_down",
+            fleet->prev_health
+                ? static_cast<double>(fleet->prev_health->DownCount())
+                : 0.0);
+      } else {
+        response.info.emplace_back("in_transition", 0.0);
+        response.info.emplace_back("shards", 0.0);
+        response.info.emplace_back("prev_shards", 0.0);
+        response.info.emplace_back("replicas_total", 0.0);
+        response.info.emplace_back("shards_down", 0.0);
+        response.info.emplace_back("prev_shards_down", 0.0);
+      }
+      WriteResponse(conn, response, options_.write_timeout_ms);
+      return;
+    }
     case Method::kQuery:
     case Method::kTopk:
       break;
@@ -571,11 +650,14 @@ void RouterServer::WorkerLoop() {
 }
 
 std::optional<Response> RouterServer::RunShardLeg(
-    const std::shared_ptr<ShardFleet>& fleet, size_t shard, const Request& leg,
-    Clock::time_point leg_deadline, FlightRecorder* flight) {
+    const std::shared_ptr<ShardFleet>& fleet, bool prev, size_t shard,
+    const Request& leg, Clock::time_point leg_deadline,
+    FlightRecorder* flight) {
   const Clock::time_point start = Clock::now();
   IPIN_COUNTER_ADD("serve.shard.legs", 1);
+  if (prev) IPIN_COUNTER_ADD("serve.shard.legs.fallback", 1);
   IPIN_TRACE_ASYNC_BEGIN("serve.shard.leg", leg.trace_id);
+  ShardHealthTracker& health = fleet->SideHealth(prev);
 
   // One flight record per leg, tagged with its shard, under the request's
   // trace id — the dump shows which leg made a request slow or partial.
@@ -594,13 +676,18 @@ std::optional<Response> RouterServer::RunShardLeg(
     IPIN_TRACE_ASYNC_END("serve.shard.leg", leg.trace_id);
   };
 
-  if (!fleet->health.AllowRequest(shard)) {
-    // Circuit open: report the shard missing immediately instead of burning
-    // the request's budget on a backend known to be down.
+  if (!health.AllowRequest(shard)) {
+    // Circuit open on every endpoint: report the shard missing immediately
+    // instead of burning the request's budget on backends known to be down.
     IPIN_COUNTER_ADD("serve.shard.legs.skipped", 1);
     record_leg(StatusCode::kUnavailable, 0);
     return std::nullopt;
   }
+  // Replica failover: dial whatever endpoint the health tracker currently
+  // designates (the primary, or a promoted replica while the primary's
+  // circuit is open). All outcome bookkeeping is addressed to this endpoint
+  // so a replica's failures never count against the primary.
+  const size_t endpoint = health.ActiveEndpoint(shard);
   int64_t remaining_ms = MillisUntil(leg_deadline);
   if (remaining_ms < 1) {
     // Never ran: says nothing about the shard's health.
@@ -613,7 +700,7 @@ std::optional<Response> RouterServer::RunShardLeg(
   if (IPIN_FAILPOINT("serve.shard.connect").fail) {
     error = "injected serve.shard.connect fault";
   } else {
-    auto client = fleet->Borrow(shard);
+    auto client = fleet->Borrow(prev, shard, endpoint);
     const bool hedge = fleet->options.hedge_after_ms > 0 &&
                        fleet->options.hedge_after_ms < remaining_ms;
     client->SetIoTimeout(hedge ? fleet->options.hedge_after_ms
@@ -625,18 +712,19 @@ std::optional<Response> RouterServer::RunShardLeg(
       result = client->Call(leg, &error);
     }
     if (result.has_value()) {
-      fleet->Return(shard, std::move(client));
+      fleet->Return(prev, shard, endpoint, std::move(client));
     } else if (hedge) {
       // Hedged retry: the first attempt straggled past hedge_after_ms (or
-      // failed outright); re-send once on the mirror — or the primary when
-      // none is configured — with whatever budget is left.
+      // failed outright); re-send once on the mirror — or the same endpoint
+      // when none is configured — with whatever budget is left.
       IPIN_COUNTER_ADD("serve.shard.hedged", 1);
       remaining_ms = MillisUntil(leg_deadline);
       if (remaining_ms >= 1) {
         if (IPIN_FAILPOINT("serve.shard.rpc").fail) {
           error = "injected serve.shard.rpc fault";
         } else {
-          auto hedged = fleet->NewClient(shard, /*prefer_mirror=*/true);
+          auto hedged =
+              fleet->NewClient(prev, shard, endpoint, /*prefer_mirror=*/true);
           hedged->SetIoTimeout(remaining_ms);
           result = hedged->Call(leg, &error);
         }
@@ -648,21 +736,23 @@ std::optional<Response> RouterServer::RunShardLeg(
   // A usable partial is OK (merged) or BAD_REQUEST (propagated: the seed
   // range check is deterministic across shards). Everything else — no
   // response, OVERLOADED, UNAVAILABLE, DEADLINE_EXCEEDED, INTERNAL — counts
-  // against the shard's health and the leg is reported missing.
+  // against the endpoint's health and the leg is reported missing.
   const bool usable = result.has_value() &&
                       (result->status == StatusCode::kOk ||
                        result->status == StatusCode::kBadRequest);
   if (usable) {
-    fleet->health.OnSuccess(shard);
+    health.OnEndpointSuccess(shard, endpoint);
     IPIN_COUNTER_ADD("serve.shard.legs.ok", 1);
     record_leg(result->status, result->epoch);
     return result;
   }
-  fleet->health.OnFailure(shard);
+  health.OnEndpointFailure(shard, endpoint);
   IPIN_COUNTER_ADD("serve.shard.legs.failed", 1);
   if (!result.has_value()) {
-    LogDebug(StrFormat("route: shard %zu leg failed trace_id=%s: %s", shard,
-                       TraceIdToHex(leg.trace_id).c_str(), error.c_str()));
+    LogDebug(StrFormat("route: shard %zu endpoint %zu leg failed "
+                       "trace_id=%s: %s",
+                       shard, endpoint, TraceIdToHex(leg.trace_id).c_str(),
+                       error.c_str()));
   }
   record_leg(result.has_value() ? result->status : StatusCode::kUnavailable,
              result.has_value() ? result->epoch : 0);
@@ -686,10 +776,20 @@ Response RouterServer::EvaluateScatter(const Request& request,
 
   // Fan-out plan: for a query, one leg per shard owning >= 1 seed (with its
   // disjoint seed subset, want_ranks=true, sketch mode); for topk, one leg
-  // per shard (every shard may own top nodes).
+  // per shard (every shard may own top nodes). During a transition, moved
+  // seeds additionally ride a fallback leg to their previous-epoch owner
+  // (double-dispatch: the merge is idempotent, so the overlap is free), and
+  // topk fans out to the previous fleet as well.
   const bool topk = request.method == Method::kTopk;
+  const bool in_transition = fleet->map->InTransition();
   struct Leg {
-    size_t shard;
+    size_t shard = 0;
+    /// Targets the previous-epoch fleet (fallback leg of a double
+    /// dispatch).
+    bool prev = false;
+    /// Positions in request.seeds this leg carries (coverage accounting —
+    /// overlapping legs must not double-count a seed).
+    std::vector<size_t> seed_idx;
     Request request;
   };
   std::vector<Leg> legs;
@@ -701,34 +801,63 @@ Response RouterServer::EvaluateScatter(const Request& request,
       deadline - std::chrono::milliseconds(options_.shard_deadline_margin_ms));
   const int64_t leg_deadline_ms = std::max<int64_t>(1,
                                                     MillisUntil(leg_deadline));
-  if (topk) {
-    legs.reserve(fleet->map->num_shards());
-    for (size_t s = 0; s < fleet->map->num_shards(); ++s) {
-      Leg leg;
-      leg.shard = s;
-      leg.request.method = Method::kTopk;
+  const auto make_leg = [&](size_t shard, bool prev) {
+    Leg leg;
+    leg.shard = shard;
+    leg.prev = prev;
+    leg.request.method = topk ? Method::kTopk : Method::kQuery;
+    if (topk) {
       leg.request.k = request.k;
-      leg.request.deadline_ms = leg_deadline_ms;
-      leg.request.trace_id = request.trace_id;
-      leg.request.parent_span = request.trace_id;
-      legs.push_back(std::move(leg));
-    }
-  } else {
-    std::vector<std::vector<NodeId>> parts =
-        fleet->map->PartitionSeeds(request.seeds);
-    for (size_t s = 0; s < parts.size(); ++s) {
-      if (parts[s].empty()) continue;
-      Leg leg;
-      leg.shard = s;
-      leg.request.method = Method::kQuery;
-      leg.request.seeds = std::move(parts[s]);
+    } else {
       leg.request.mode = QueryMode::kSketch;
       leg.request.want_ranks = true;
-      leg.request.deadline_ms = leg_deadline_ms;
-      leg.request.trace_id = request.trace_id;
-      leg.request.parent_span = request.trace_id;
-      legs.push_back(std::move(leg));
     }
+    leg.request.deadline_ms = leg_deadline_ms;
+    leg.request.trace_id = request.trace_id;
+    leg.request.parent_span = request.trace_id;
+    return leg;
+  };
+  size_t num_new_legs = 0;  // topk: legs on the new epoch's fleet
+  if (topk) {
+    num_new_legs = fleet->map->num_shards();
+    legs.reserve(num_new_legs +
+                 (in_transition ? fleet->map->previous()->num_shards() : 0));
+    for (size_t s = 0; s < num_new_legs; ++s) {
+      legs.push_back(make_leg(s, /*prev=*/false));
+    }
+    if (in_transition) {
+      for (size_t s = 0; s < fleet->map->previous()->num_shards(); ++s) {
+        legs.push_back(make_leg(s, /*prev=*/true));
+      }
+    }
+  } else {
+    // Partition by the NEW map, remembering each seed's position; moved
+    // seeds get a second, previous-epoch partition.
+    std::vector<std::vector<size_t>> parts(fleet->map->num_shards());
+    std::vector<std::vector<size_t>> prev_parts(
+        in_transition ? fleet->map->previous()->num_shards() : 0);
+    for (size_t i = 0; i < request.seeds.size(); ++i) {
+      const NodeId seed = request.seeds[i];
+      parts[fleet->map->OwnerOf(seed)].push_back(i);
+      if (in_transition && fleet->map->OwnerMoved(seed)) {
+        prev_parts[fleet->map->previous()->OwnerOf(seed)].push_back(i);
+      }
+    }
+    const auto emit = [&](std::vector<std::vector<size_t>>& side_parts,
+                          bool prev) {
+      for (size_t s = 0; s < side_parts.size(); ++s) {
+        if (side_parts[s].empty()) continue;
+        Leg leg = make_leg(s, prev);
+        leg.seed_idx = std::move(side_parts[s]);
+        leg.request.seeds.reserve(leg.seed_idx.size());
+        for (const size_t i : leg.seed_idx) {
+          leg.request.seeds.push_back(request.seeds[i]);
+        }
+        legs.push_back(std::move(leg));
+      }
+    };
+    emit(parts, /*prev=*/false);
+    if (in_transition) emit(prev_parts, /*prev=*/true);
   }
   if (legs.empty()) {
     // A query whose seed set is empty unions nothing — the single-process
@@ -752,9 +881,9 @@ Response RouterServer::EvaluateScatter(const Request& request,
   for (size_t i = 0; i < legs.size(); ++i) {
     GlobalPool().Submit([fleet, gather, flight, i,
                          leg = legs[i].request, shard = legs[i].shard,
-                         leg_deadline] {
+                         prev = legs[i].prev, leg_deadline] {
       std::optional<Response> result =
-          RunShardLeg(fleet, shard, leg, leg_deadline, flight.get());
+          RunShardLeg(fleet, prev, shard, leg, leg_deadline, flight.get());
       std::lock_guard<std::mutex> lock(gather->mu);
       gather->results[i] = std::move(result);
       --gather->pending;
@@ -771,9 +900,15 @@ Response RouterServer::EvaluateScatter(const Request& request,
     results = gather->results;
   }
 
-  // Merge.
+  // Merge. During a transition the same seed (query) or the same node
+  // (topk) may arrive from both epochs; the cellwise max is idempotent and
+  // both epochs computed the identical per-node sketch, so the overlap
+  // merges away — per-seed coverage bits and a by-node dedupe keep the
+  // accounting honest.
   size_t answered = 0;
-  size_t answered_seeds = 0;
+  size_t answered_new = 0;   // topk: usable legs on the new fleet
+  size_t answered_prev = 0;  // topk: usable legs on the previous fleet
+  std::vector<bool> covered(total_seeds, false);
   std::vector<uint8_t> merged;
   std::vector<std::pair<NodeId, double>> candidates;
   for (size_t i = 0; i < legs.size(); ++i) {
@@ -807,9 +942,14 @@ Response RouterServer::EvaluateScatter(const Request& request,
           if (partial.ranks[c] > merged[c]) merged[c] = partial.ranks[c];
         }
       }
+      for (const size_t idx : legs[i].seed_idx) covered[idx] = true;
     }
     ++answered;
-    answered_seeds += legs[i].request.seeds.size();
+    if (legs[i].prev) {
+      ++answered_prev;
+    } else {
+      ++answered_new;
+    }
   }
 
   if (IPIN_FAILPOINT("serve.shard.merge").fail) {
@@ -831,21 +971,54 @@ Response RouterServer::EvaluateScatter(const Request& request,
   }
 
   response.status = StatusCode::kOk;
-  response.coverage =
-      topk ? static_cast<double>(answered) / static_cast<double>(legs.size())
-           : (total_seeds == 0
-                  ? 1.0
-                  : static_cast<double>(answered_seeds) /
-                        static_cast<double>(total_seeds));
-  // A partial answer is a degraded answer; so is a sketch-merged answer
-  // where the client explicitly asked for exact evaluation (the router
-  // always merges on the sketch path).
-  response.degraded =
-      answered < legs.size() || request.mode == QueryMode::kExact;
   if (topk) {
-    // Ownership is disjoint, so the global top-k is the k best of the
-    // shards' local top-k lists — same order (estimate desc, ties by node
-    // id asc) as a single backend would produce.
+    // Either epoch's fleet can produce the complete answer on its own, so
+    // coverage is the better of the two fractions (no transition: all legs
+    // are new-side and this is the usual answered/total).
+    const size_t prev_legs = legs.size() - num_new_legs;
+    const double new_frac =
+        num_new_legs == 0 ? 0.0
+                          : static_cast<double>(answered_new) /
+                                static_cast<double>(num_new_legs);
+    const double prev_frac =
+        prev_legs == 0 ? 0.0
+                       : static_cast<double>(answered_prev) /
+                             static_cast<double>(prev_legs);
+    response.coverage = std::max(new_frac, prev_frac);
+  } else {
+    size_t marked = 0;
+    for (const bool c : covered) marked += c ? 1 : 0;
+    response.coverage = total_seeds == 0
+                            ? 1.0
+                            : static_cast<double>(marked) /
+                                  static_cast<double>(total_seeds);
+  }
+  // Incomplete coverage is a degraded answer (double-dispatch means a lost
+  // leg is harmless when the seed's other-epoch owner answered); so is a
+  // sketch-merged answer where the client explicitly asked for exact
+  // evaluation (the router always merges on the sketch path).
+  response.degraded =
+      response.coverage < 1.0 || (!topk && request.mode == QueryMode::kExact);
+  if (topk) {
+    // Ownership is disjoint within an epoch, so the global top-k is the k
+    // best of the shards' local top-k lists — same order (estimate desc,
+    // ties by node id asc) as a single backend would produce. Across epochs
+    // the same node may appear twice with the identical estimate (both
+    // epochs answer from the same per-node sketch): dedupe by node id
+    // before cutting to k.
+    std::sort(candidates.begin(), candidates.end(),
+              [](const std::pair<NodeId, double>& a,
+                 const std::pair<NodeId, double>& b) {
+                if (a.first != b.first) return a.first < b.first;
+                return a.second > b.second;
+              });
+    candidates.erase(
+        std::unique(candidates.begin(), candidates.end(),
+                    [](const std::pair<NodeId, double>& a,
+                       const std::pair<NodeId, double>& b) {
+                      return a.first == b.first;
+                    }),
+        candidates.end());
     std::sort(candidates.begin(), candidates.end(),
               [](const std::pair<NodeId, double>& a,
                  const std::pair<NodeId, double>& b) {
@@ -898,23 +1071,33 @@ void RouterServer::ProbeLoop() {
       fleet = fleet_;
     }
     if (fleet == nullptr) continue;
-    for (size_t s = 0; s < fleet->map->num_shards(); ++s) {
-      if (!fleet->health.ProbeDue(s)) continue;
-      IPIN_COUNTER_ADD("serve.shard.probe", 1);
-      Request probe;
-      probe.method = Method::kHealth;
-      auto client = fleet->NewClient(s, /*prefer_mirror=*/false);
-      client->SetIoTimeout(std::max<int64_t>(10, interval_ms));
-      std::string error;
-      const std::optional<Response> result = client->Call(probe, &error);
-      // Recovery requires a SERVING backend: a daemon that answers health
-      // with UNAVAILABLE (no index yet) stays down rather than flapping
-      // between probe-recovered and leg-failed.
-      if (result.has_value() && result->status == StatusCode::kOk) {
-        IPIN_COUNTER_ADD("serve.shard.probe.ok", 1);
-        fleet->health.OnSuccess(s);
-      } else {
-        fleet->health.OnFailure(s);
+    // Probe both epochs during a transition — the previous fleet keeps
+    // serving fallback legs until the map is finalized, so its endpoints
+    // need recovery probes too.
+    for (const bool prev : {false, true}) {
+      if (prev && fleet->prev_health == nullptr) continue;
+      ShardHealthTracker& health = fleet->SideHealth(prev);
+      const ShardMap& map = fleet->SideMap(prev);
+      for (size_t s = 0; s < map.num_shards(); ++s) {
+        size_t endpoint = 0;
+        if (!health.ProbeDueEndpoint(s, &endpoint)) continue;
+        IPIN_COUNTER_ADD("serve.shard.probe", 1);
+        Request probe;
+        probe.method = Method::kHealth;
+        auto client =
+            fleet->NewClient(prev, s, endpoint, /*prefer_mirror=*/false);
+        client->SetIoTimeout(std::max<int64_t>(10, interval_ms));
+        std::string error;
+        const std::optional<Response> result = client->Call(probe, &error);
+        // Recovery requires a SERVING backend: a daemon that answers health
+        // with UNAVAILABLE (no index yet) stays down rather than flapping
+        // between probe-recovered and leg-failed.
+        if (result.has_value() && result->status == StatusCode::kOk) {
+          IPIN_COUNTER_ADD("serve.shard.probe.ok", 1);
+          health.OnEndpointSuccess(s, endpoint);
+        } else {
+          health.OnEndpointFailure(s, endpoint);
+        }
       }
     }
   }

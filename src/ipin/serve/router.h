@@ -55,7 +55,25 @@
 //     verb or SIGHUP in ipin_routerd): epoch-swapped pickup, rollback on a
 //     corrupt map. In-flight requests finish their fan-out on the map (and
 //     client fleet) they started with. Router responses report the
-//     shard-map epoch.
+//     shard-map epoch. While the map carries a transition block (a live
+//     reshard, see shard_map.h), the router DOUBLE-DISPATCHES every seed
+//     whose owner differs between the epochs: the seed rides its new
+//     owner's leg AND a fallback leg to its old owner, concurrently. The
+//     merge is cellwise max — idempotent — so the overlap cannot double-
+//     count, and the answer stays bit-identical to the single-index answer
+//     as long as either owner is up. A seed counts as covered when ANY leg
+//     carrying it answers; coverage/degraded are computed per seed, so a
+//     SIGKILLed new owner mid-migration costs nothing while the old owner
+//     still answers. topk fans out to both epochs' fleets and dedupes
+//     candidates by node id (estimates agree — same sketches).
+//   * Replica failover. Each shard may list R replicas in the map (v2),
+//     each serving the same shard file. The health tracker runs its state
+//     machine per endpoint and keeps an active endpoint per shard: when the
+//     active endpoint's circuit opens a replica is PROMOTED (all subsequent
+//     legs dial it, not just hedged retries), and a probe healing the
+//     primary demotes the replica. The shard only reports down when every
+//     endpoint is down. The "reshard_status" admin verb reports transition
+//     state and per-epoch down counts.
 //
 // Failpoint sites: serve.shard.connect (leg fails before dialing),
 // serve.shard.rpc (each RPC attempt fails — error_prob(p) gives seeded
@@ -148,19 +166,33 @@ class RouterServer {
   };
 
   // One shard-map epoch's worth of backends: the map, its health tracker,
-  // and a pool of reusable clients per shard. Legs hold the fleet via
-  // shared_ptr, so a reshard builds a fresh fleet while in-flight requests
-  // finish on the old one (health state starts clean after a reshard —
-  // the prober re-discovers a down backend within one failure round).
+  // and a pool of reusable clients per shard endpoint. Legs hold the fleet
+  // via shared_ptr, so a reshard builds a fresh fleet while in-flight
+  // requests finish on the old one (health state starts clean after a
+  // reshard — the prober re-discovers a down backend within one failure
+  // round). When the map is in transition the fleet also carries the
+  // PREVIOUS epoch's pools and health tracker (`prev` = true selects them)
+  // so double-dispatch fallback legs can dial the old owners.
   struct ShardFleet {
     ShardFleet(std::shared_ptr<const ShardMap> map, uint64_t epoch,
                const RouterOptions& options);
 
-    std::unique_ptr<OracleClient> Borrow(size_t shard);
-    void Return(size_t shard, std::unique_ptr<OracleClient> client);
-    /// A fresh, unpooled client; prefer_mirror picks the mirror endpoint
-    /// when the shard has one (hedged retries and probes).
-    std::unique_ptr<OracleClient> NewClient(size_t shard,
+    const ShardMap& SideMap(bool prev) const {
+      return prev ? *map->previous() : *map;
+    }
+    ShardHealthTracker& SideHealth(bool prev) {
+      return prev ? *prev_health : health;
+    }
+
+    std::unique_ptr<OracleClient> Borrow(bool prev, size_t shard,
+                                         size_t endpoint);
+    void Return(bool prev, size_t shard, size_t endpoint,
+                std::unique_ptr<OracleClient> client);
+    /// A fresh, unpooled client for the given endpoint index (0 = primary,
+    /// i = replicas[i-1]); prefer_mirror picks the mirror endpoint when the
+    /// shard has one (hedged retries only — mirrors are not replicas).
+    std::unique_ptr<OracleClient> NewClient(bool prev, size_t shard,
+                                            size_t endpoint,
                                             bool prefer_mirror) const;
 
     const std::shared_ptr<const ShardMap> map;
@@ -169,12 +201,16 @@ class RouterServer {
     // must not reference RouterServer members.
     const RouterOptions options;
     ShardHealthTracker health;
+    /// Previous-epoch health; non-null iff map->InTransition().
+    std::unique_ptr<ShardHealthTracker> prev_health;
 
     struct Pool {
       std::mutex mu;
       std::vector<std::unique_ptr<OracleClient>> idle;
     };
-    std::vector<std::unique_ptr<Pool>> pools;  // one per shard
+    /// pools[shard][endpoint]; prev_pools mirrors the previous map's shards.
+    std::vector<std::vector<std::unique_ptr<Pool>>> pools;
+    std::vector<std::vector<std::unique_ptr<Pool>>> prev_pools;
   };
 
   // Scatter-gather rendezvous: one slot per leg, workers wait on the cv
@@ -207,12 +243,14 @@ class RouterServer {
   /// or after a reshard. nullptr while no map is installed.
   std::shared_ptr<ShardFleet> Fleet();
 
-  /// One shard RPC with health bookkeeping, hedging, failpoints, and a leg
-  /// flight record; returns the shard response or nullopt. Static and fed
-  /// only refcounted state: a leg stuck in a socket timeout may outlive
-  /// the scatter wait (and even server shutdown) without dangling.
+  /// One shard RPC with health bookkeeping, replica failover, hedging,
+  /// failpoints, and a leg flight record; returns the shard response or
+  /// nullopt. `prev` targets the previous-epoch fleet (double-dispatch
+  /// fallback legs during a transition). Static and fed only refcounted
+  /// state: a leg stuck in a socket timeout may outlive the scatter wait
+  /// (and even server shutdown) without dangling.
   static std::optional<Response> RunShardLeg(
-      const std::shared_ptr<ShardFleet>& fleet, size_t shard,
+      const std::shared_ptr<ShardFleet>& fleet, bool prev, size_t shard,
       const Request& leg, Clock::time_point leg_deadline,
       FlightRecorder* flight);
 

@@ -450,6 +450,19 @@ void OracleServer::HandleRequest(const std::shared_ptr<Connection>& conn,
       }
       return;
     }
+    case Method::kReshardStatus: {
+      // Router-only admin verb: an oracle backend has no shard map to
+      // report on, and answering OK here would make a misconfigured client
+      // believe it is talking to a router.
+      Response response;
+      response.id = request.id;
+      response.trace_id = request.trace_id;
+      response.status = StatusCode::kBadRequest;
+      response.error = "reshard_status is a router verb";
+      IPIN_COUNTER_ADD("serve.requests.bad", 1);
+      WriteResponse(conn, response, options_.write_timeout_ms);
+      return;
+    }
     case Method::kQuery:
     case Method::kTopk:
       break;

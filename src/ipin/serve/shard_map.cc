@@ -19,7 +19,8 @@
 namespace ipin::serve {
 namespace {
 
-constexpr char kSchema[] = "ipin.shardmap.v1";
+constexpr char kSchemaV1[] = "ipin.shardmap.v1";
+constexpr char kSchemaV2[] = "ipin.shardmap.v2";
 
 // Writer side is hand-rolled like protocol.cc (common/json is a reader).
 std::string JsonEscape(std::string_view s) {
@@ -89,6 +90,151 @@ bool ParseEndpoint(const JsonValue& shard, const std::string& prefix,
   return true;
 }
 
+// Parses one epoch's {virtual_points, shards} pair out of `doc` into a
+// ShardMap; shared between the top-level document and its transition block.
+std::optional<ShardMap> ParseAssignment(const JsonValue& doc,
+                                        std::string* error) {
+  const double virtual_points = doc.FindNumber("virtual_points", 64.0);
+  if (virtual_points < 1 || virtual_points > 4096 ||
+      virtual_points != static_cast<int>(virtual_points)) {
+    Fail(error, "bad virtual_points (want an integer in [1, 4096])");
+    return std::nullopt;
+  }
+  const JsonValue* shards = doc.Find("shards");
+  if (shards == nullptr || !shards->is_array() ||
+      shards->array_items().empty()) {
+    Fail(error, "shard map needs a non-empty shards array");
+    return std::nullopt;
+  }
+  std::vector<ShardInfo> infos;
+  std::unordered_set<std::string> names;
+  infos.reserve(shards->array_items().size());
+  for (const JsonValue& entry : shards->array_items()) {
+    if (!entry.is_object()) {
+      Fail(error, "shard entry is not an object");
+      return std::nullopt;
+    }
+    ShardInfo info;
+    info.name = entry.FindString("name", "");
+    if (info.name.empty()) {
+      Fail(error, "shard without a name");
+      return std::nullopt;
+    }
+    if (!names.insert(info.name).second) {
+      Fail(error, "duplicate shard name: " + info.name);
+      return std::nullopt;
+    }
+    if (!ParseEndpoint(entry, "", &info.endpoint, error)) return std::nullopt;
+    if (!info.endpoint.valid()) {
+      Fail(error, "shard " + info.name + " has no endpoint");
+      return std::nullopt;
+    }
+    if (!ParseEndpoint(entry, "mirror_", &info.mirror, error)) {
+      return std::nullopt;
+    }
+    const JsonValue* replicas = entry.Find("replicas");
+    if (replicas != nullptr) {
+      if (!replicas->is_array() ||
+          replicas->array_items().size() > kMaxReplicas) {
+        Fail(error, "shard " + info.name + ": replicas must be an array of " +
+                        "at most " + std::to_string(kMaxReplicas) +
+                        " endpoints");
+        return std::nullopt;
+      }
+      for (const JsonValue& replica : replicas->array_items()) {
+        if (!replica.is_object()) {
+          Fail(error, "shard " + info.name + ": replica is not an object");
+          return std::nullopt;
+        }
+        ShardEndpoint ep;
+        if (!ParseEndpoint(replica, "", &ep, error)) return std::nullopt;
+        if (!ep.valid()) {
+          Fail(error, "shard " + info.name + ": replica has no endpoint");
+          return std::nullopt;
+        }
+        if (ep == info.endpoint) {
+          Fail(error, "shard " + info.name +
+                          ": replica duplicates the primary endpoint");
+          return std::nullopt;
+        }
+        for (const ShardEndpoint& prior : info.replicas) {
+          if (ep == prior) {
+            Fail(error, "shard " + info.name + ": duplicate replica");
+            return std::nullopt;
+          }
+        }
+        info.replicas.push_back(std::move(ep));
+      }
+    }
+    info.index_file = entry.FindString("index_file", "");
+    info.fingerprint = entry.FindString("fingerprint", "");
+    infos.push_back(std::move(info));
+  }
+  ShardMap map(std::move(infos), static_cast<int>(virtual_points));
+  if (map.num_shards() == 0) {
+    Fail(error, "invalid shard list");
+    return std::nullopt;
+  }
+  return map;
+}
+
+void AppendShardJson(std::string* out, const ShardInfo& shard) {
+  *out += "{\"name\": \"" + JsonEscape(shard.name) + "\"";
+  const auto append_endpoint = [out](const std::string& prefix,
+                                     const ShardEndpoint& ep) {
+    if (!ep.unix_socket_path.empty()) {
+      *out += ", \"" + prefix + "unix_socket\": \"" +
+              JsonEscape(ep.unix_socket_path) + "\"";
+    } else if (ep.tcp_port >= 0) {
+      *out += ", \"" + prefix + "tcp_host\": \"" + JsonEscape(ep.tcp_host) +
+              "\", \"" + prefix + "tcp_port\": " + std::to_string(ep.tcp_port);
+    }
+  };
+  append_endpoint("", shard.endpoint);
+  if (shard.mirror.valid()) append_endpoint("mirror_", shard.mirror);
+  if (!shard.replicas.empty()) {
+    *out += ", \"replicas\": [";
+    for (size_t r = 0; r < shard.replicas.size(); ++r) {
+      if (r > 0) *out += ", ";
+      *out += "{";
+      // append_endpoint writes a leading ", " — splice it out of the
+      // object opener.
+      std::string ep;
+      const auto append_bare = [&ep](const std::string& prefix,
+                                     const ShardEndpoint& e) {
+        if (!e.unix_socket_path.empty()) {
+          ep += "\"" + prefix + "unix_socket\": \"" +
+                JsonEscape(e.unix_socket_path) + "\"";
+        } else if (e.tcp_port >= 0) {
+          ep += "\"" + prefix + "tcp_host\": \"" + JsonEscape(e.tcp_host) +
+                "\", \"" + prefix + "tcp_port\": " +
+                std::to_string(e.tcp_port);
+        }
+      };
+      append_bare("", shard.replicas[r]);
+      *out += ep + "}";
+    }
+    *out += "]";
+  }
+  if (!shard.index_file.empty()) {
+    *out += ", \"index_file\": \"" + JsonEscape(shard.index_file) + "\"";
+  }
+  if (!shard.fingerprint.empty()) {
+    *out += ", \"fingerprint\": \"" + JsonEscape(shard.fingerprint) + "\"";
+  }
+  *out += "}";
+}
+
+void AppendAssignmentJson(std::string* out, const ShardMap& map) {
+  *out += "\"virtual_points\": " + std::to_string(map.virtual_points());
+  *out += ", \"shards\": [";
+  for (size_t i = 0; i < map.num_shards(); ++i) {
+    if (i > 0) *out += ", ";
+    AppendShardJson(out, map.shard(i));
+  }
+  *out += "]";
+}
+
 }  // namespace
 
 ShardMap::ShardMap(std::vector<ShardInfo> shards, int virtual_points)
@@ -139,6 +285,24 @@ std::vector<std::vector<NodeId>> ShardMap::PartitionSeeds(
   return parts;
 }
 
+void ShardMap::BeginTransition(std::shared_ptr<const ShardMap> previous) {
+  if (previous != nullptr && previous->InTransition()) {
+    // One hop only: a transition's previous epoch is always final. (The
+    // rebalance tool never produces a nested block; defend anyway.)
+    auto flattened = std::make_shared<ShardMap>(*previous);
+    flattened->ClearTransition();
+    previous_ = std::move(flattened);
+    return;
+  }
+  previous_ = std::move(previous);
+}
+
+bool ShardMap::OwnerMoved(NodeId node) const {
+  if (previous_ == nullptr) return false;
+  return shards_[OwnerOf(node)].name !=
+         previous_->shard(previous_->OwnerOf(node)).name;
+}
+
 std::optional<ShardMap> ShardMap::Parse(std::string_view json,
                                         std::string* error) {
   const auto doc = JsonValue::Parse(json);
@@ -146,54 +310,32 @@ std::optional<ShardMap> ShardMap::Parse(std::string_view json,
     Fail(error, "shard map is not a JSON object");
     return std::nullopt;
   }
-  if (doc->FindString("schema", "") != kSchema) {
-    Fail(error, std::string("shard map schema is not ") + kSchema);
+  const std::string schema = doc->FindString("schema", "");
+  if (schema != kSchemaV1 && schema != kSchemaV2) {
+    Fail(error, std::string("shard map schema is neither ") + kSchemaV1 +
+                    " nor " + kSchemaV2);
     return std::nullopt;
   }
-  const double virtual_points = doc->FindNumber("virtual_points", 64.0);
-  if (virtual_points < 1 || virtual_points > 4096 ||
-      virtual_points != static_cast<int>(virtual_points)) {
-    Fail(error, "bad virtual_points (want an integer in [1, 4096])");
-    return std::nullopt;
-  }
-  const JsonValue* shards = doc->Find("shards");
-  if (shards == nullptr || !shards->is_array() ||
-      shards->array_items().empty()) {
-    Fail(error, "shard map needs a non-empty shards array");
-    return std::nullopt;
-  }
-  std::vector<ShardInfo> infos;
-  std::unordered_set<std::string> names;
-  infos.reserve(shards->array_items().size());
-  for (const JsonValue& entry : shards->array_items()) {
-    if (!entry.is_object()) {
-      Fail(error, "shard entry is not an object");
+  auto map = ParseAssignment(*doc, error);
+  if (!map.has_value()) return std::nullopt;
+  const JsonValue* transition = doc->Find("transition");
+  if (transition != nullptr) {
+    if (!transition->is_object()) {
+      Fail(error, "transition is not an object");
       return std::nullopt;
     }
-    ShardInfo info;
-    info.name = entry.FindString("name", "");
-    if (info.name.empty()) {
-      Fail(error, "shard without a name");
+    if (transition->Find("transition") != nullptr) {
+      Fail(error, "nested transition blocks are not allowed");
       return std::nullopt;
     }
-    if (!names.insert(info.name).second) {
-      Fail(error, "duplicate shard name: " + info.name);
+    std::string prev_error;
+    auto previous = ParseAssignment(*transition, &prev_error);
+    if (!previous.has_value()) {
+      Fail(error, "transition: " + prev_error);
       return std::nullopt;
     }
-    if (!ParseEndpoint(entry, "", &info.endpoint, error)) return std::nullopt;
-    if (!info.endpoint.valid()) {
-      Fail(error, "shard " + info.name + " has no endpoint");
-      return std::nullopt;
-    }
-    if (!ParseEndpoint(entry, "mirror_", &info.mirror, error)) {
-      return std::nullopt;
-    }
-    infos.push_back(std::move(info));
-  }
-  ShardMap map(std::move(infos), static_cast<int>(virtual_points));
-  if (map.num_shards() == 0) {
-    Fail(error, "invalid shard list");
-    return std::nullopt;
+    map->BeginTransition(
+        std::make_shared<const ShardMap>(std::move(*previous)));
   }
   return map;
 }
@@ -209,29 +351,24 @@ std::optional<ShardMap> ShardMap::ParseFile(const std::string& path,
 }
 
 std::string ShardMap::ToJson() const {
+  bool v2 = InTransition();
+  for (const ShardInfo& shard : shards_) {
+    if (!shard.replicas.empty() || !shard.index_file.empty() ||
+        !shard.fingerprint.empty()) {
+      v2 = true;
+      break;
+    }
+  }
   std::string out = "{\"schema\": \"";
-  out += kSchema;
-  out += "\", \"virtual_points\": " + std::to_string(virtual_points_);
-  out += ", \"shards\": [";
-  for (size_t i = 0; i < shards_.size(); ++i) {
-    const ShardInfo& shard = shards_[i];
-    if (i > 0) out += ", ";
-    out += "{\"name\": \"" + JsonEscape(shard.name) + "\"";
-    const auto append_endpoint = [&out](const std::string& prefix,
-                                        const ShardEndpoint& ep) {
-      if (!ep.unix_socket_path.empty()) {
-        out += ", \"" + prefix + "unix_socket\": \"" +
-               JsonEscape(ep.unix_socket_path) + "\"";
-      } else if (ep.tcp_port >= 0) {
-        out += ", \"" + prefix + "tcp_host\": \"" + JsonEscape(ep.tcp_host) +
-               "\", \"" + prefix + "tcp_port\": " + std::to_string(ep.tcp_port);
-      }
-    };
-    append_endpoint("", shard.endpoint);
-    if (shard.mirror.valid()) append_endpoint("mirror_", shard.mirror);
+  out += v2 ? kSchemaV2 : kSchemaV1;
+  out += "\", ";
+  AppendAssignmentJson(&out, *this);
+  if (InTransition()) {
+    out += ", \"transition\": {";
+    AppendAssignmentJson(&out, *previous_);
     out += "}";
   }
-  out += "]}";
+  out += "}";
   return out;
 }
 
@@ -307,9 +444,10 @@ ReloadStatus ShardMapManager::Reload(bool force) {
     epoch_.fetch_add(1, std::memory_order_acq_rel);
   }
   IPIN_COUNTER_ADD("serve.shard.map.ok", 1);
-  LogInfo(StrFormat("serve: shard map loaded from %s (%zu shards, epoch %llu)",
+  LogInfo(StrFormat("serve: shard map loaded from %s (%zu shards, epoch %llu%s)",
                     map_path_.c_str(), Current()->num_shards(),
-                    static_cast<unsigned long long>(Epoch())));
+                    static_cast<unsigned long long>(Epoch()),
+                    Current()->InTransition() ? ", in transition" : ""));
   return ReloadStatus::kOk;
 }
 

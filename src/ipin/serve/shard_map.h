@@ -42,20 +42,44 @@
 //      identity of cellwise max — matching the single-process "no sketch"
 //      path, which returns 0.)
 //
-// Serialized form ("ipin.shardmap.v1", one JSON document):
+// Serialized form: "ipin.shardmap.v1" (still parsed) or "ipin.shardmap.v2"
+// (emitted whenever any v2 feature is present), one JSON document:
 //
-//   {"schema": "ipin.shardmap.v1",
+//   {"schema": "ipin.shardmap.v2",
 //    "virtual_points": 64,
 //    "shards": [
-//      {"name": "shard0", "unix_socket": "/tmp/ipin-shard0.sock"},
+//      {"name": "shard0", "unix_socket": "/tmp/ipin-shard0.sock",
+//       "index_file": "shard0.bin", "fingerprint": "crc32c:89ab12cd",
+//       "replicas": [{"unix_socket": "/tmp/ipin-shard0r.sock"}]},
 //      {"name": "shard1", "tcp_host": "127.0.0.1", "tcp_port": 7101,
-//       "mirror_unix_socket": "/tmp/ipin-shard1b.sock"}]}
+//       "mirror_unix_socket": "/tmp/ipin-shard1b.sock"}],
+//    "transition": {"virtual_points": 64, "shards": [...]}}
 //
 // Each shard needs a name (unique; it seeds the ring points, so renaming a
 // shard moves its ownership) and exactly one primary endpoint (unix_socket
 // or tcp_port [+ tcp_host, default 127.0.0.1]). An optional mirror endpoint
 // (mirror_unix_socket / mirror_tcp_port [+ mirror_tcp_host]) is where the
 // router sends hedged retries for straggling legs.
+//
+// v2 additions:
+//   * "replicas": up to kMaxReplicas failover endpoints per shard, each a
+//     daemon serving the SAME shard file. Distinct from the mirror: the
+//     mirror absorbs hedged retries of a slow leg, a replica is PROMOTED by
+//     the router's health tracker when the primary's circuit opens and
+//     carries all subsequent legs until a probe recovers the primary.
+//   * "index_file" / "fingerprint": the shard's index file (relative name)
+//     and its crc32c fingerprint ("crc32c:%08x" over the file bytes), bound
+//     at materialization time by ipin_shard and checked by `ipin_shard
+//     verify`.
+//   * "transition": the PREVIOUS epoch's assignment (shard list +
+//     virtual_points, same schema minus nesting). While present, the map is
+//     "in transition": the router double-dispatches every seed whose owner
+//     differs between the two assignments — preferring the new owner,
+//     falling back to the old — so a mid-migration answer stays bit-
+//     identical to the single-index answer as long as either epoch's owner
+//     is up (cellwise max is idempotent, so overlapping partials cannot
+//     double-count). `ipin_shard rebalance` emits a transition map;
+//     `ipin_shard finalize` strips the block once the old fleet retires.
 
 namespace ipin::serve {
 
@@ -66,6 +90,7 @@ struct ShardEndpoint {
   int tcp_port = -1;
 
   bool valid() const { return !unix_socket_path.empty() || tcp_port >= 0; }
+  bool operator==(const ShardEndpoint&) const = default;
 };
 
 struct ShardInfo {
@@ -74,7 +99,18 @@ struct ShardInfo {
   /// Optional hedging target; !valid() when the shard has no mirror
   /// (the default: no socket path and tcp_port = -1).
   ShardEndpoint mirror;
+  /// Failover endpoints (v2). Each serves the same shard file as the
+  /// primary; the router promotes replicas[0], replicas[1], ... in order
+  /// when the active endpoint goes down.
+  std::vector<ShardEndpoint> replicas;
+  /// Relative file name of this shard's index (v2; set by ipin_shard).
+  std::string index_file;
+  /// "crc32c:%08x" over the index file's bytes (v2; set by ipin_shard).
+  std::string fingerprint;
 };
+
+/// Upper bound on replicas per shard (a sanity cap, not a tuning knob).
+inline constexpr size_t kMaxReplicas = 4;
 
 class ShardMap {
  public:
@@ -83,16 +119,19 @@ class ShardMap {
   /// input leaves an empty map — prefer Parse for untrusted input).
   explicit ShardMap(std::vector<ShardInfo> shards, int virtual_points = 64);
 
-  /// Parses an "ipin.shardmap.v1" document. nullopt (with *error filled
-  /// when non-null) on syntax errors, a wrong/missing schema tag, an empty
-  /// shard list, duplicate names, or a shard without a valid endpoint.
+  /// Parses an "ipin.shardmap.v1" or "ipin.shardmap.v2" document. nullopt
+  /// (with *error filled when non-null) on syntax errors, a wrong/missing
+  /// schema tag, an empty shard list, duplicate names, a shard without a
+  /// valid endpoint, bad replicas, or a nested transition block.
   static std::optional<ShardMap> Parse(std::string_view json,
                                        std::string* error);
   static std::optional<ShardMap> ParseFile(const std::string& path,
                                            std::string* error);
 
-  /// Serializes back to the "ipin.shardmap.v1" document (one line, stable
-  /// field order; Parse(ToJson()) reproduces the map exactly).
+  /// Serializes back to one line with stable field order; Parse(ToJson())
+  /// reproduces the map exactly. Emits the v1 schema tag when no v2 feature
+  /// (replicas / index_file / fingerprint / transition) is present, v2
+  /// otherwise.
   std::string ToJson() const;
 
   size_t num_shards() const { return shards_.size(); }
@@ -107,6 +146,25 @@ class ShardMap {
   std::vector<std::vector<NodeId>> PartitionSeeds(
       std::span<const NodeId> seeds) const;
 
+  /// --- Transition (v2) ---
+
+  /// True while a previous-epoch assignment rides along (the router then
+  /// double-dispatches moved keys).
+  bool InTransition() const { return previous_ != nullptr; }
+  /// The previous assignment; nullptr when not in transition.
+  const ShardMap* previous() const { return previous_.get(); }
+
+  /// Attaches/clears the previous assignment. `previous` must itself not be
+  /// in transition (one hop only); a nested transition is dropped.
+  void BeginTransition(std::shared_ptr<const ShardMap> previous);
+  void ClearTransition() { previous_.reset(); }
+
+  /// Does `node`'s owning DAEMON differ between the epochs? (Owners are
+  /// compared by shard name, so shard0 staying shard0 is not a move even
+  /// though the two maps index it independently.) Always false when not in
+  /// transition.
+  bool OwnerMoved(NodeId node) const;
+
  private:
   ShardMap() = default;
 
@@ -116,6 +174,8 @@ class ShardMap {
   int virtual_points_ = 64;
   /// (ring point, shard index), sorted by point.
   std::vector<std::pair<uint64_t, uint32_t>> ring_;
+  /// Previous epoch's assignment during a live reshard (never nested).
+  std::shared_ptr<const ShardMap> previous_;
 };
 
 /// Copies out the slice of `full` that `shard` owns under `map`: same

@@ -57,14 +57,21 @@ trap cleanup EXIT
 
 fail() { echo "router smoke FAILED: $*" >&2; exit 1; }
 
-# Waits for a readiness marker ($2) in a log file ($1).
+# Waits for a daemon's port file ($1) to report the freshly started pid
+# ($2); $3 is the log file for diagnostics. Daemons write the file (via
+# rename) only once their socket is accepting, so a pid match means ready —
+# and a stale file from a previous incarnation can never satisfy it.
 wait_ready() {
   for _ in $(seq 1 150); do
-    if grep -q "$2" "$1"; then return 0; fi
+    if [ -f "$1" ] && grep -q "pid=$2 " "$1"; then return 0; fi
+    if ! kill -0 "$2" 2>/dev/null; then
+      cat "$3" >&2
+      fail "daemon (pid $2) died before publishing $1"
+    fi
     sleep 0.1
   done
-  cat "$1" >&2
-  fail "no readiness line '$2' in $1"
+  cat "$3" >&2
+  fail "no port file $1 from pid $2"
 }
 
 # Extracts "key=value" from client output.
@@ -73,10 +80,11 @@ field() { sed -n "s/.*$2=\([^ ]*\).*/\1/p" "$1" | head -1; }
 start_shard() {
   local i="$1"
   "${DAEMON}" --index="${WORK}/piece${i}.bin" --socket="${WORK}/shard${i}.sock" \
+    --port_file="${WORK}/shard${i}.port" \
     --shard_id="${i}" --shard_count="${NUM_SHARDS}" --workers=2 \
     > "${WORK}/shard${i}.log" 2>&1 &
   register_pid $! "shard${i}"
-  wait_ready "${WORK}/shard${i}.log" "ipin_oracled: serving"
+  wait_ready "${WORK}/shard${i}.port" "$!" "${WORK}/shard${i}.log"
 }
 
 # --- Build the dataset, the full index, and the shard split ---------------
@@ -97,17 +105,19 @@ cp "${WORK}/map.json" "${WORK}/map.good"
 for i in $(seq 0 $((NUM_SHARDS - 1))); do start_shard "${i}"; done
 
 "${DAEMON}" --index="${WORK}/index.bin" --socket="${SINGLE_SOCK}" \
+  --port_file="${WORK}/single.port" \
   --workers=2 > "${WORK}/single.log" 2>&1 &
 register_pid $! "single"
-wait_ready "${WORK}/single.log" "ipin_oracled: serving"
+wait_ready "${WORK}/single.port" "$!" "${WORK}/single.log"
 
 "${ROUTER}" --map="${WORK}/map.json" --socket="${ROUTER_SOCK}" --workers=2 \
+  --port_file="${WORK}/router.port" \
   --suspect_after=1 --down_after=2 --probe_interval_ms=100 \
   --ledger_dir="${WORK}/ledger" --metrics_out="${WORK}/router_metrics.json" \
   > "${WORK}/router.log" 2>&1 &
 ROUTER_PID=$!
 register_pid "${ROUTER_PID}" "router"
-wait_ready "${WORK}/router.log" "ipin_routerd: routing ${NUM_SHARDS} shards"
+wait_ready "${WORK}/router.port" "${ROUTER_PID}" "${WORK}/router.log"
 
 # --- Phase 1: merged answers are exactly the single-process answers -------
 for seeds in "0" "0,1,2" "3,7,11,15" "0,1,2,3,4,5,6,7,8,9"; do

@@ -35,6 +35,11 @@ IPIN_TOP="${5:-}"
 ARTIFACTS="${6:-${IPIN_SMOKE_ARTIFACTS:-}}"
 WORK="$(mktemp -d)"
 SOCK="${WORK}/ipin.sock"
+# Phases 2-5 bind --port=0 (kernel-assigned) and publish the endpoint via
+# --port_file: nothing in this script names a fixed TCP port, so parallel
+# ctest runs cannot collide. wait_ready reads the file back pid-matched.
+PORT_FILE="${WORK}/daemon.port"
+PORT=""
 DAEMON_PID=""
 
 PIDFILE_DIR="${WORK}/pids"
@@ -66,10 +71,19 @@ trap cleanup EXIT
 
 fail() { echo "serve smoke FAILED: $*" >&2; exit 1; }
 
-# Waits for the daemon readiness line in $1 (the log file).
+# Waits for the daemon's port file to report the freshly started pid ($1 is
+# the log file, for diagnostics). The daemon writes the file only once its
+# socket is accepting, and matching the pid defeats stale files left by a
+# previous incarnation. Exports PORT (the bound TCP port, or -1 for a
+# unix-socket daemon).
 wait_ready() {
+  PORT=""
   for _ in $(seq 1 150); do
-    if grep -q "ipin_oracled: serving" "$1"; then return 0; fi
+    if [ -f "${PORT_FILE}" ] \
+        && grep -q "pid=${DAEMON_PID} " "${PORT_FILE}"; then
+      PORT="$(sed -n 's/.*port=\(-\{0,1\}[0-9]*\).*/\1/p' "${PORT_FILE}")"
+      return 0
+    fi
     if [ -n "${DAEMON_PID}" ] && ! kill -0 "${DAEMON_PID}" 2>/dev/null; then
       cat "$1" >&2
       fail "daemon died before becoming ready"
@@ -77,7 +91,7 @@ wait_ready() {
     sleep 0.1
   done
   cat "$1" >&2
-  fail "daemon did not become ready"
+  fail "daemon did not publish its port file"
 }
 
 # SIGTERMs the daemon and asserts a clean drain (exit 0 + drain line).
@@ -104,7 +118,7 @@ cp "${WORK}/index.bin" "${WORK}/index.good"
 
 # --- Phase 1: basic serving + clean SIGTERM drain ------------------------
 "${DAEMON}" --index="${WORK}/index.bin" --socket="${SOCK}" \
-  --graph="${WORK}/net.txt" --workers=2 \
+  --port_file="${PORT_FILE}" --graph="${WORK}/net.txt" --workers=2 \
   --metrics_out="${WORK}/m1.json" > "${WORK}/d1.log" 2>&1 &
 register_daemon
 wait_ready "${WORK}/d1.log"
@@ -134,14 +148,15 @@ fi
 # exact budget: auto queries must fall back to sketch (degraded=true), and a
 # 16-way closed loop against 2 workers and a 4-deep queue must shed.
 IPIN_FAILPOINTS="serve.eval=delay(30)" \
-  "${DAEMON}" --index="${WORK}/index.bin" --socket="${SOCK}" \
+  "${DAEMON}" --index="${WORK}/index.bin" --port=0 \
+  --port_file="${PORT_FILE}" \
   --graph="${WORK}/net.txt" --workers=2 --queue_capacity=4 \
   --exact_budget_ms=10 --retry_after_ms=20 \
   --metrics_out="${WORK}/m2.json" > "${WORK}/d2.log" 2>&1 &
 register_daemon
 wait_ready "${WORK}/d2.log"
 
-"${CLIENT}" --socket="${SOCK}" --seeds=0,1,2 --mode=auto \
+"${CLIENT}" --port="${PORT}" --seeds=0,1,2 --mode=auto \
   --requests=200 --concurrency=16 > "${WORK}/burst.txt" || true
 cat "${WORK}/burst.txt"
 ok="$(field "${WORK}/burst.txt" ok)"
@@ -158,13 +173,13 @@ transport="$(field "${WORK}/burst.txt" transport_errors)"
   || fail "every OK under the slow-eval fault should be degraded"
 
 # A hopeless deadline gets DEADLINE_EXCEEDED, not a late answer.
-"${CLIENT}" --socket="${SOCK}" --seeds=0,1,2 --mode=auto --deadline_ms=1 \
+"${CLIENT}" --port="${PORT}" --seeds=0,1,2 --mode=auto --deadline_ms=1 \
   > "${WORK}/q_deadline.txt" || true
 grep -q "status=DEADLINE_EXCEEDED" "${WORK}/q_deadline.txt" \
   || fail "1ms deadline should be exceeded under the slow-eval fault"
 
 # A retrying client eventually gets through the overload.
-"${CLIENT}" --socket="${SOCK}" --seeds=0,1 --mode=sketch \
+"${CLIENT}" --port="${PORT}" --seeds=0,1 --mode=sketch \
   --requests=40 --concurrency=12 --retry_overloaded --max_attempts=6 \
   > "${WORK}/burst_retry.txt" || true
 retry_ok="$(field "${WORK}/burst_retry.txt" ok)"
@@ -180,22 +195,23 @@ if [ "${OBS_MODE}" = "obs-enabled" ]; then
 fi
 
 # --- Phase 3: corrupt reload rolls back; fixed file recovers -------------
-"${DAEMON}" --index="${WORK}/index.bin" --socket="${SOCK}" \
+"${DAEMON}" --index="${WORK}/index.bin" --port=0 \
+  --port_file="${PORT_FILE}" \
   --metrics_out="${WORK}/m3.json" > "${WORK}/d3.log" 2>&1 &
 register_daemon
 wait_ready "${WORK}/d3.log"
 
-"${CLIENT}" --socket="${SOCK}" --seeds=0,1,2 > "${WORK}/q_pre.txt"
+"${CLIENT}" --port="${PORT}" --seeds=0,1,2 > "${WORK}/q_pre.txt"
 epoch_pre="$(field "${WORK}/q_pre.txt" epoch)"
 
 # Flip one byte inside a section payload: the reload must verify, reject,
 # and keep the old index serving on the old epoch.
 printf '\x41' | dd of="${WORK}/index.bin" bs=1 seek=200 conv=notrunc \
   status=none
-"${CLIENT}" --socket="${SOCK}" --method=reload > "${WORK}/r_bad.txt" || true
+"${CLIENT}" --port="${PORT}" --method=reload > "${WORK}/r_bad.txt" || true
 grep -q "rolled_back=1" "${WORK}/r_bad.txt" \
   || fail "corrupt reload did not report rollback"
-"${CLIENT}" --socket="${SOCK}" --seeds=0,1,2 > "${WORK}/q_post.txt"
+"${CLIENT}" --port="${PORT}" --seeds=0,1,2 > "${WORK}/q_post.txt"
 grep -q "status=OK" "${WORK}/q_post.txt" \
   || fail "old index stopped serving after corrupt reload"
 [ "$(field "${WORK}/q_post.txt" epoch)" = "${epoch_pre}" ] \
@@ -203,7 +219,7 @@ grep -q "status=OK" "${WORK}/q_post.txt" \
 
 # Restore the good bytes: the next reload must swap and advance the epoch.
 cp "${WORK}/index.good" "${WORK}/index.bin"
-"${CLIENT}" --socket="${SOCK}" --method=reload > "${WORK}/r_good.txt"
+"${CLIENT}" --port="${PORT}" --method=reload > "${WORK}/r_good.txt"
 grep -q "rolled_back=0" "${WORK}/r_good.txt" \
   || fail "reload of the restored file rolled back"
 epoch_post="$(field "${WORK}/r_good.txt" epoch)"
@@ -221,22 +237,22 @@ fi
 # for a second; killing the daemon in the middle of a client-triggered
 # reload must not hurt the on-disk index.
 IPIN_FAILPOINTS="serve.reload=delay(1000)" \
-  "${DAEMON}" --index="${WORK}/index.bin" --socket="${SOCK}" \
-  > "${WORK}/d4.log" 2>&1 &
+  "${DAEMON}" --index="${WORK}/index.bin" --port=0 \
+  --port_file="${PORT_FILE}" > "${WORK}/d4.log" 2>&1 &
 register_daemon
 wait_ready "${WORK}/d4.log"
-"${CLIENT}" --socket="${SOCK}" --method=reload > /dev/null 2>&1 || true &
+"${CLIENT}" --port="${PORT}" --method=reload > /dev/null 2>&1 || true &
 sleep 0.3
 kill -KILL "${DAEMON_PID}"
 wait "${DAEMON_PID}" 2>/dev/null || true
 DAEMON_PID=""
 wait || true  # reap the backgrounded client
 
-"${DAEMON}" --index="${WORK}/index.bin" --socket="${WORK}/ipin2.sock" \
-  > "${WORK}/d5.log" 2>&1 &
+"${DAEMON}" --index="${WORK}/index.bin" --port=0 \
+  --port_file="${PORT_FILE}" > "${WORK}/d5.log" 2>&1 &
 register_daemon
 wait_ready "${WORK}/d5.log"
-"${CLIENT}" --socket="${WORK}/ipin2.sock" --seeds=0,1,2 \
+"${CLIENT}" --port="${PORT}" --seeds=0,1,2 \
   | grep -q "status=OK" || fail "index unusable after SIGKILL mid-reload"
 stop_daemon "${WORK}/d5.log"
 
@@ -245,7 +261,8 @@ stop_daemon "${WORK}/d5.log"
 # threshold, so the traced query below must land in the slow ring with its
 # eval stage blamed. audit_rate=1 audits every sketch-served answer.
 IPIN_FAILPOINTS="serve.eval=delay(30)" \
-  "${DAEMON}" --index="${WORK}/index.bin" --socket="${SOCK}" \
+  "${DAEMON}" --index="${WORK}/index.bin" --port=0 \
+  --port_file="${PORT_FILE}" \
   --graph="${WORK}/net.txt" --workers=2 --slow_query_us=5000 \
   --audit_rate=1 --trace_out="${WORK}/trace.json" \
   --metrics_out="${WORK}/m6.json" > "${WORK}/d6.log" 2>&1 &
@@ -253,19 +270,19 @@ register_daemon
 wait_ready "${WORK}/d6.log"
 
 # An explicit trace id rides the wire and comes back padded to 16 hex chars.
-"${CLIENT}" --socket="${SOCK}" --seeds=0,1,2 --mode=exact \
+"${CLIENT}" --port="${PORT}" --seeds=0,1,2 --mode=exact \
   --trace_id=c0ffee > "${WORK}/q_traced.txt"
 grep -q "trace_id=0000000000c0ffee" "${WORK}/q_traced.txt" \
   || fail "explicit trace id not echoed"
 # A query without one still prints the (client-generated) trace id.
-"${CLIENT}" --socket="${SOCK}" --seeds=0,1,2 --mode=sketch \
+"${CLIENT}" --port="${PORT}" --seeds=0,1,2 --mode=sketch \
   > "${WORK}/q_gen.txt"
 grep -q "trace_id=" "${WORK}/q_gen.txt" || fail "no trace id on plain query"
 
 # The metrics verb scrapes inline; Prometheus text only in obs-enabled
 # builds (the obs-disabled registry is empty, but the verb must still
 # answer OK).
-"${CLIENT}" --socket="${SOCK}" --method=metrics > "${WORK}/metrics.txt"
+"${CLIENT}" --port="${PORT}" --method=metrics > "${WORK}/metrics.txt"
 grep -q "status=OK" "${WORK}/metrics.txt" || fail "metrics verb not OK"
 if [ "${OBS_MODE}" = "obs-enabled" ]; then
   grep -q "# TYPE" "${WORK}/metrics.txt" \
@@ -276,7 +293,7 @@ fi
 
 # The debug verb dumps the flight recorder: the delayed query is in there,
 # identified by its trace id, with per-stage timings.
-"${CLIENT}" --socket="${SOCK}" --method=debug > "${WORK}/debug.txt"
+"${CLIENT}" --port="${PORT}" --method=debug > "${WORK}/debug.txt"
 grep -q "ipin.debug.v1" "${WORK}/debug.txt" || fail "debug verb missing schema"
 grep -q "eval_us" "${WORK}/debug.txt" || fail "debug dump missing timings"
 grep -q "0000000000c0ffee" "${WORK}/debug.txt" \
@@ -290,12 +307,12 @@ for _ in $(seq 1 50); do
 done
 grep -q "flight recorder dump" "${WORK}/d6.log" \
   || fail "SIGUSR1 did not log the flight recorder dump"
-"${CLIENT}" --socket="${SOCK}" --method=health | grep -q "status=OK" \
+"${CLIENT}" --port="${PORT}" --method=health | grep -q "status=OK" \
   || fail "server unhealthy after SIGUSR1 dump"
 
 # The live dashboard renders one sample when its binary was handed to us.
 if [ -n "${IPIN_TOP}" ]; then
-  "${IPIN_TOP}" --socket="${SOCK}" --once > "${WORK}/top.txt"
+  "${IPIN_TOP}" --port="${PORT}" --once > "${WORK}/top.txt"
   grep -q "epoch" "${WORK}/top.txt" || fail "ipin_top rendered nothing"
 fi
 

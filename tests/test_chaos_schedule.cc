@@ -1,0 +1,127 @@
+#include "ipin/serve/chaos.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+// The pure half of the chaos-drill engine: schedules must be a
+// deterministic function of (scenario, seed, options) — that is the whole
+// replay contract ("replay with --seed=N"). No processes are spawned here;
+// this binary is in the TSan suite.
+
+namespace ipin::serve {
+namespace {
+
+TEST(ChaosScheduleTest, SameSeedYieldsByteIdenticalJson) {
+  for (const char* scenario :
+       {"kill-primary-mid-reshard", "replica-failover"}) {
+    const auto a = ChaosSchedule::Generate(scenario, 42);
+    const auto b = ChaosSchedule::Generate(scenario, 42);
+    ASSERT_TRUE(a.has_value()) << scenario;
+    ASSERT_TRUE(b.has_value()) << scenario;
+    EXPECT_EQ(a->ToJson(), b->ToJson()) << scenario;
+  }
+}
+
+TEST(ChaosScheduleTest, DifferentSeedsDifferInOffsetsOrVictim) {
+  const auto a = ChaosSchedule::Generate("kill-primary-mid-reshard", 1);
+  const auto b = ChaosSchedule::Generate("kill-primary-mid-reshard", 2);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_NE(a->ToJson(), b->ToJson());
+}
+
+TEST(ChaosScheduleTest, UnknownScenarioIsRejected) {
+  EXPECT_FALSE(ChaosSchedule::Generate("eat-the-disk", 7).has_value());
+}
+
+TEST(ChaosScheduleTest, ActionsAreOrderedWithPositiveOffsets) {
+  const auto schedule =
+      ChaosSchedule::Generate("kill-primary-mid-reshard", 1234);
+  ASSERT_TRUE(schedule.has_value());
+  int64_t last = 0;
+  for (const ChaosAction& action : schedule->actions) {
+    EXPECT_GE(action.at_ms, 1);
+    EXPECT_GE(action.at_ms, last) << "actions must be time-ordered";
+    last = action.at_ms;
+  }
+}
+
+TEST(ChaosScheduleTest, ReshardScenarioHasTheFullActionArc) {
+  const auto schedule =
+      ChaosSchedule::Generate("kill-primary-mid-reshard", 99);
+  ASSERT_TRUE(schedule.has_value());
+  ASSERT_EQ(schedule->actions.size(), 6u);
+  EXPECT_EQ(schedule->actions[0].kind, ChaosActionKind::kSpawnNewShards);
+  EXPECT_EQ(schedule->actions[1].kind,
+            ChaosActionKind::kInstallTransitionMap);
+  EXPECT_EQ(schedule->actions[2].kind, ChaosActionKind::kKillPrimary);
+  EXPECT_EQ(schedule->actions[3].kind, ChaosActionKind::kCorruptMapReload);
+  EXPECT_EQ(schedule->actions[4].kind, ChaosActionKind::kRestartDaemon);
+  EXPECT_EQ(schedule->actions[5].kind, ChaosActionKind::kFinalizeMap);
+  // The restart targets exactly the daemon the kill took out.
+  EXPECT_EQ(schedule->actions[2].target, schedule->actions[4].target);
+  EXPECT_EQ(schedule->actions[2].target.rfind("old", 0), 0u);
+}
+
+TEST(ChaosScheduleTest, VictimIsSeedChosenWithinTheOldFleet) {
+  ChaosScheduleOptions options;
+  options.num_old_shards = 4;
+  std::set<std::string> victims;
+  for (uint64_t seed = 0; seed < 64; ++seed) {
+    const auto schedule =
+        ChaosSchedule::Generate("kill-primary-mid-reshard", seed, options);
+    ASSERT_TRUE(schedule.has_value());
+    const std::string& target = schedule->actions[2].target;
+    ASSERT_EQ(target.rfind("old", 0), 0u);
+    const int index = std::stoi(target.substr(3));
+    EXPECT_GE(index, 0);
+    EXPECT_LT(index, 4);
+    victims.insert(target);
+  }
+  // 64 seeds over 4 shards: the draw must actually vary.
+  EXPECT_GT(victims.size(), 1u);
+}
+
+TEST(ChaosScheduleTest, JsonCarriesSchemaSeedAndKindSpellings) {
+  const auto schedule = ChaosSchedule::Generate("replica-failover", 5);
+  ASSERT_TRUE(schedule.has_value());
+  const std::string json = schedule->ToJson();
+  EXPECT_NE(json.find("\"schema\": \"ipin.chaos.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"seed\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"kill-primary\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"restart-daemon\""), std::string::npos);
+}
+
+TEST(ChaosScheduleTest, KindNamesAreStable) {
+  EXPECT_STREQ(ChaosActionKindName(ChaosActionKind::kSpawnNewShards),
+               "spawn-new-shards");
+  EXPECT_STREQ(ChaosActionKindName(ChaosActionKind::kInstallTransitionMap),
+               "install-transition-map");
+  EXPECT_STREQ(ChaosActionKindName(ChaosActionKind::kKillPrimary),
+               "kill-primary");
+  EXPECT_STREQ(ChaosActionKindName(ChaosActionKind::kCorruptMapReload),
+               "corrupt-map-reload");
+  EXPECT_STREQ(ChaosActionKindName(ChaosActionKind::kRestartDaemon),
+               "restart-daemon");
+  EXPECT_STREQ(ChaosActionKindName(ChaosActionKind::kFinalizeMap),
+               "finalize-map");
+}
+
+TEST(ChaosScheduleTest, SpacingAndJitterBoundTheOffsets) {
+  ChaosScheduleOptions options;
+  options.spacing_ms = 100;
+  options.jitter = 0.2;  // +-20 ms around each 100 ms step
+  const auto schedule =
+      ChaosSchedule::Generate("kill-primary-mid-reshard", 17, options);
+  ASSERT_TRUE(schedule.has_value());
+  for (size_t i = 0; i < schedule->actions.size(); ++i) {
+    const int64_t nominal = 100 * static_cast<int64_t>(i + 1);
+    EXPECT_GE(schedule->actions[i].at_ms, nominal - 20) << "action " << i;
+    EXPECT_LE(schedule->actions[i].at_ms, nominal + 20) << "action " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ipin::serve

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -128,6 +129,88 @@ TEST_F(ShardHealthTest, OptionsAreClampedToSaneValues) {
   // One failure must now take the shard down (both thresholds clamp to 1).
   tracker.OnFailure(0);
   EXPECT_EQ(tracker.state(0), ShardState::kDown);
+}
+
+// --- Replica failover: the per-endpoint state machine ---------------------
+
+TEST_F(ShardHealthTest, PrimaryDownPromotesTheFirstLiveReplica) {
+  // Shard 0 has a primary + two replicas; shard 1 is primary-only.
+  ShardHealthTracker tracker({3, 1}, FastProbeOptions(1, 2));
+  EXPECT_EQ(tracker.NumEndpoints(0), 3u);
+  EXPECT_EQ(tracker.ActiveEndpoint(0), 0u);
+
+  tracker.OnFailure(0);  // addressed to the active endpoint (the primary)
+  tracker.OnFailure(0);
+  // The primary's circuit opened; traffic moves to replica 1 and the shard
+  // as a whole keeps accepting requests.
+  EXPECT_EQ(tracker.endpoint_state(0, 0), ShardState::kDown);
+  EXPECT_EQ(tracker.ActiveEndpoint(0), 1u);
+  EXPECT_TRUE(tracker.AllowRequest(0));
+  EXPECT_EQ(tracker.state(0), ShardState::kHealthy) << "active endpoint";
+  EXPECT_EQ(tracker.DownCount(), 0u);
+
+  // The replica failing too moves traffic to replica 2...
+  tracker.OnFailure(0);
+  tracker.OnFailure(0);
+  EXPECT_EQ(tracker.ActiveEndpoint(0), 2u);
+  EXPECT_TRUE(tracker.AllowRequest(0));
+  // ...and only when EVERY endpoint is down does the circuit open.
+  tracker.OnFailure(0);
+  tracker.OnFailure(0);
+  EXPECT_FALSE(tracker.AllowRequest(0));
+  EXPECT_EQ(tracker.DownCount(), 1u);
+}
+
+TEST_F(ShardHealthTest, PrimaryRecoveryDemotesTheReplica) {
+  ShardHealthTracker tracker(std::vector<size_t>{2}, FastProbeOptions(1, 2, 10));
+  tracker.OnFailure(0);
+  tracker.OnFailure(0);
+  ASSERT_EQ(tracker.ActiveEndpoint(0), 1u);
+
+  // The prober offers the PRIMARY first so demotion happens the moment it
+  // heals.
+  size_t endpoint = 99;
+  ASSERT_TRUE(tracker.ProbeDueEndpoint(0, &endpoint));
+  EXPECT_EQ(endpoint, 0u);
+  tracker.OnEndpointSuccess(0, 0);
+  EXPECT_EQ(tracker.endpoint_state(0, 0), ShardState::kHealthy);
+  EXPECT_EQ(tracker.ActiveEndpoint(0), 0u) << "traffic returns home";
+}
+
+TEST_F(ShardHealthTest, ReplicaRecoveryDoesNotStealTraffic) {
+  ShardHealthTracker tracker(std::vector<size_t>{2}, FastProbeOptions(1, 1, 10));
+  // Kill the replica while the primary serves: nothing should move.
+  tracker.OnEndpointFailure(0, 1);
+  ASSERT_EQ(tracker.endpoint_state(0, 1), ShardState::kDown);
+  EXPECT_EQ(tracker.ActiveEndpoint(0), 0u);
+
+  // The down replica is probe-eligible; its recovery restores its circuit
+  // but the primary keeps the traffic.
+  size_t endpoint = 99;
+  ASSERT_TRUE(tracker.ProbeDueEndpoint(0, &endpoint));
+  EXPECT_EQ(endpoint, 1u);
+  tracker.OnEndpointSuccess(0, 1);
+  EXPECT_EQ(tracker.endpoint_state(0, 1), ShardState::kHealthy);
+  EXPECT_EQ(tracker.ActiveEndpoint(0), 0u);
+}
+
+TEST_F(ShardHealthTest, FailoverStateSurvivesProbeRateLimiting) {
+  // With primary AND replica down, probe slots alternate per endpoint and
+  // are individually rate-limited — the pattern the router's prober relies
+  // on during a reshard (it probes both epochs' fleets on one clock).
+  ShardHealthTracker tracker(std::vector<size_t>{2}, FastProbeOptions(1, 1, 30));
+  tracker.OnEndpointFailure(0, 0);
+  tracker.OnEndpointFailure(0, 1);
+  ASSERT_FALSE(tracker.AllowRequest(0));
+
+  size_t first = 99;
+  size_t second = 99;
+  ASSERT_TRUE(tracker.ProbeDueEndpoint(0, &first));
+  ASSERT_TRUE(tracker.ProbeDueEndpoint(0, &second));
+  EXPECT_NE(first, second) << "both down endpoints get a probe slot";
+  EXPECT_FALSE(tracker.ProbeDue(0)) << "then the interval gates";
+  std::this_thread::sleep_for(std::chrono::milliseconds(45));
+  EXPECT_TRUE(tracker.ProbeDue(0));
 }
 
 }  // namespace
