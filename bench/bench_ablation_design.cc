@@ -42,7 +42,8 @@ int Run(int argc, char** argv) {
     const Duration window = graph.WindowFromPercent(10.0);
     IrsApproxOptions options;
     options.precision = 9;
-    const IrsApprox irs = IrsApprox::Compute(graph, window, options);
+    IrsApprox irs = IrsApprox::Compute(graph, window, options);
+    irs.Seal();
     const SketchInfluenceOracle oracle(&irs);
 
     const SeedSelection greedy = SelectSeedsGreedy(oracle, k);
@@ -81,7 +82,8 @@ int Run(int argc, char** argv) {
     const Duration window = graph.WindowFromPercent(10.0);
     IrsApproxOptions options;
     options.precision = 9;
-    const IrsApprox irs = IrsApprox::Compute(graph, window, options);
+    IrsApprox irs = IrsApprox::Compute(graph, window, options);
+    irs.Seal();
     const SketchInfluenceOracle oracle(&irs);
     const SeedSelection seeds = SelectSeedsCelf(oracle, k);
 

@@ -37,8 +37,9 @@ int Run(int argc, char** argv) {
     const InteractionGraph graph = LoadBenchDataset(name, scale);
     IrsApproxOptions options;
     options.precision = precision;
-    const IrsApprox approx =
+    IrsApprox approx =
         IrsApprox::Compute(graph, graph.WindowFromPercent(20.0), options);
+    approx.Seal();  // build -> query handoff: pack for the union fast path
 
     Rng rng(4242);
     std::vector<std::string> row = {name, TablePrinter::Cell(graph.num_nodes())};

@@ -65,7 +65,8 @@ std::vector<MethodSeeds> SelectAllSeeds(const InteractionGraph& graph,
 
   IrsApproxOptions approx_options;
   approx_options.precision = 9;
-  const IrsApprox approx = IrsApprox::Compute(graph, window, approx_options);
+  IrsApprox approx = IrsApprox::Compute(graph, window, approx_options);
+  approx.Seal();
   const SketchInfluenceOracle sketch_oracle(&approx);
   all.push_back(
       {"IRS(Approx)", SelectSeedsCelf(sketch_oracle, k).seeds});

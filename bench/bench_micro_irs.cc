@@ -57,8 +57,8 @@ void BM_OracleUnionQuery(benchmark::State& state) {
   const InteractionGraph g = MakeGraph(20000);
   IrsApproxOptions options;
   options.precision = 9;
-  const IrsApprox irs =
-      IrsApprox::Compute(g, g.WindowFromPercent(20.0), options);
+  IrsApprox irs = IrsApprox::Compute(g, g.WindowFromPercent(20.0), options);
+  irs.Seal();  // query micro-bench: measure the sealed fast path
   Rng rng(5);
   std::vector<NodeId> seeds;
   for (int64_t i = 0; i < state.range(0); ++i) {

@@ -4,11 +4,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <bit>
 #include <vector>
 
 #include "ipin/common/random.h"
 #include "ipin/sketch/bottom_k.h"
 #include "ipin/sketch/hll.h"
+#include "ipin/sketch/kernels.h"
 #include "ipin/sketch/vhll.h"
 
 namespace ipin {
@@ -140,6 +142,147 @@ void BM_AblationPrunedCell(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AblationPrunedCell);
+
+// --- SIMD kernel engine ---------------------------------------------------
+// Scalar vs dispatched variants of the same workload, in the same binary on
+// the same machine, so the speedup is a clean in-run ratio
+// (scripts/check_kernel_speedup.py gates on it in CI). The scalar kernel is
+// compiled with auto-vectorization disabled — it is the true portable
+// baseline, not GCC quietly emitting the same SIMD.
+
+constexpr size_t kUnionWidth = 16;  // sketches folded per union estimate
+
+// Production-shaped rank rows: HLL ranks are geometric (half the cells hold
+// rank 1), and the histogram build's store-forwarding behavior depends on
+// the value distribution, so uniform filler would misstate the kernels.
+std::vector<std::vector<uint8_t>> RandomRankRows(size_t beta, size_t rows) {
+  Rng rng(9);
+  std::vector<std::vector<uint8_t>> out(rows, std::vector<uint8_t>(beta));
+  for (auto& row : out) {
+    for (auto& r : row) {
+      r = static_cast<uint8_t>(
+          std::countr_zero(rng.NextUint64() | (uint64_t{1} << 62)) + 1);
+    }
+  }
+  return out;
+}
+
+// One oracle union estimate: fold kUnionWidth max-rank rows into a scratch
+// accumulator, then estimate — the exact inner loop of EstimateUnionSize.
+void RunUnionEstimate(benchmark::State& state,
+                      const kernels::KernelOps& ops) {
+  const size_t beta = size_t{1} << static_cast<int>(state.range(0));
+  const auto rows = RandomRankRows(beta, kUnionWidth);
+  std::vector<uint8_t> scratch(beta);
+  for (auto _ : state) {
+    std::fill(scratch.begin(), scratch.end(), 0);
+    for (const auto& row : rows) {
+      ops.cellwise_max_u8(scratch.data(), row.data(), beta);
+    }
+    benchmark::DoNotOptimize(ops.estimate_from_ranks(scratch.data(), beta));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kUnionWidth * beta));
+}
+
+void BM_KernelUnionEstimateScalar(benchmark::State& state) {
+  RunUnionEstimate(state,
+                   *kernels::KernelsFor(kernels::SimdTarget::kScalar));
+}
+BENCHMARK(BM_KernelUnionEstimateScalar)->Arg(6)->Arg(9)->Arg(12);
+
+void BM_KernelUnionEstimateDispatched(benchmark::State& state) {
+  state.SetLabel(kernels::SimdTargetName(kernels::DispatchedTarget()));
+  RunUnionEstimate(state, kernels::Dispatched());
+}
+BENCHMARK(BM_KernelUnionEstimateDispatched)->Arg(6)->Arg(9)->Arg(12);
+
+void RunCellwiseMax(benchmark::State& state, const kernels::KernelOps& ops) {
+  const size_t beta = size_t{1} << static_cast<int>(state.range(0));
+  const auto rows = RandomRankRows(beta, 2);
+  std::vector<uint8_t> dst(rows[0]);
+  for (auto _ : state) {
+    ops.cellwise_max_u8(dst.data(), rows[1].data(), beta);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(beta));
+}
+
+void BM_KernelCellwiseMaxScalar(benchmark::State& state) {
+  RunCellwiseMax(state, *kernels::KernelsFor(kernels::SimdTarget::kScalar));
+}
+BENCHMARK(BM_KernelCellwiseMaxScalar)->Arg(9)->Arg(12);
+
+void BM_KernelCellwiseMaxDispatched(benchmark::State& state) {
+  state.SetLabel(kernels::SimdTargetName(kernels::DispatchedTarget()));
+  RunCellwiseMax(state, kernels::Dispatched());
+}
+BENCHMARK(BM_KernelCellwiseMaxDispatched)->Arg(9)->Arg(12);
+
+void RunEstimateFromRanks(benchmark::State& state,
+                          const kernels::KernelOps& ops) {
+  const size_t beta = size_t{1} << static_cast<int>(state.range(0));
+  auto ranks = RandomRankRows(beta, 1)[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops.estimate_from_ranks(ranks.data(), beta));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(beta));
+}
+
+void BM_KernelEstimateFromRanksScalar(benchmark::State& state) {
+  RunEstimateFromRanks(state,
+                       *kernels::KernelsFor(kernels::SimdTarget::kScalar));
+}
+BENCHMARK(BM_KernelEstimateFromRanksScalar)->Arg(9)->Arg(12);
+
+void BM_KernelEstimateFromRanksDispatched(benchmark::State& state) {
+  state.SetLabel(kernels::SimdTargetName(kernels::DispatchedTarget()));
+  RunEstimateFromRanks(state, kernels::Dispatched());
+}
+BENCHMARK(BM_KernelEstimateFromRanksDispatched)->Arg(9)->Arg(12);
+
+// The windowed materialization kernel over arena-layout entry lists.
+void RunBoundedMaxInto(benchmark::State& state,
+                       const kernels::KernelOps& ops) {
+  const int precision = static_cast<int>(state.range(0));
+  const size_t beta = size_t{1} << precision;
+  VersionedHll sketch(precision);
+  Rng rng(10);
+  for (int i = 0; i < 50000; ++i) {
+    sketch.Add(rng.NextUint64(), static_cast<Timestamp>(rng.NextBounded(10000)));
+  }
+  std::vector<uint8_t> counts(beta);
+  std::vector<uint8_t> ranks;
+  std::vector<int64_t> times;
+  for (size_t c = 0; c < beta; ++c) {
+    counts[c] = static_cast<uint8_t>(sketch.cell(c).size());
+    for (const auto& e : sketch.cell(c)) {
+      ranks.push_back(e.rank);
+      times.push_back(e.time);
+    }
+  }
+  std::vector<uint8_t> dst(beta);
+  for (auto _ : state) {
+    std::fill(dst.begin(), dst.end(), 0);
+    ops.bounded_max_into(counts.data(), ranks.data(), times.data(), beta,
+                         ranks.size(), 5000, dst.data());
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ranks.size()));
+}
+
+void BM_KernelBoundedMaxIntoScalar(benchmark::State& state) {
+  RunBoundedMaxInto(state,
+                    *kernels::KernelsFor(kernels::SimdTarget::kScalar));
+}
+BENCHMARK(BM_KernelBoundedMaxIntoScalar)->Arg(6)->Arg(9);
+
+void BM_KernelBoundedMaxIntoDispatched(benchmark::State& state) {
+  state.SetLabel(kernels::SimdTargetName(kernels::DispatchedTarget()));
+  RunBoundedMaxInto(state, kernels::Dispatched());
+}
+BENCHMARK(BM_KernelBoundedMaxIntoDispatched)->Arg(6)->Arg(9);
 
 void BM_BottomKAdd(benchmark::State& state) {
   BottomK sketch(static_cast<size_t>(state.range(0)));

@@ -214,8 +214,10 @@ int Run(int argc, char** argv) {
   IrsApproxOptions options;
   options.precision = precision;
   serve::IndexManager index("");
-  index.Install(std::make_shared<const IrsApprox>(
-      IrsApprox::Compute(graph, graph.WindowFromPercent(20.0), options)));
+  auto built = std::make_shared<IrsApprox>(
+      IrsApprox::Compute(graph, graph.WindowFromPercent(20.0), options));
+  built->Seal();  // build -> serve handoff: pack for the query fast paths
+  index.Install(std::move(built));
 
   Rng rng(4242);
   serve::Request request;

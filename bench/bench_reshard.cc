@@ -153,8 +153,10 @@ int Run(int argc, char** argv) {
       datasets.empty() ? "slashdot" : datasets.front(), scale);
   IrsApproxOptions options;
   options.precision = precision;
-  const auto full = std::make_shared<const IrsApprox>(
+  auto built = std::make_shared<IrsApprox>(
       IrsApprox::Compute(graph, graph.WindowFromPercent(20.0), options));
+  built->Seal();
+  const std::shared_ptr<const IrsApprox> full = std::move(built);
 
   // Six endpoints; the first four form the old fleet. Old shards keep
   // their names (and thus their ring points) in the grown map, so growth

@@ -56,7 +56,8 @@ int Run(int argc, char** argv) {
         const Duration window = graph.WindowFromPercent(window_percents[wi]);
         IrsApproxOptions options;
         options.precision = precision;
-        const IrsApprox approx = IrsApprox::Compute(graph, window, options);
+        IrsApprox approx = IrsApprox::Compute(graph, window, options);
+        approx.Seal();
         std::vector<double> est(graph.num_nodes());
         for (NodeId u = 0; u < graph.num_nodes(); ++u) {
           est[u] = approx.EstimateIrsSize(u);

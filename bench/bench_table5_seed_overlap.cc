@@ -32,8 +32,9 @@ int Run(int argc, char** argv) {
     for (const double pct : percents) {
       IrsApproxOptions options;
       options.precision = 9;
-      const IrsApprox approx =
+      IrsApprox approx =
           IrsApprox::Compute(graph, graph.WindowFromPercent(pct), options);
+      approx.Seal();
       const SketchInfluenceOracle oracle(&approx);
       seeds.push_back(SelectSeedsCelf(oracle, k).seeds);
     }

@@ -40,8 +40,9 @@ int Run(int argc, char** argv) {
       WallTimer timer;
       IrsApproxOptions options;
       options.precision = 9;
-      const IrsApprox approx =
+      IrsApprox approx =
           IrsApprox::Compute(graph, graph.WindowFromPercent(10.0), options);
+      approx.Seal();
       const SketchInfluenceOracle oracle(&approx);
       const auto seeds = SelectSeedsCelf(oracle, k);
       (void)seeds;

@@ -281,9 +281,9 @@ void SerializeApproxChunk(const IrsApprox& irs, NodeId first, uint32_t count,
   AppendRaw<uint64_t>(out, first);
   AppendRaw<uint32_t>(out, count);
   for (NodeId u = first; u < first + count; ++u) {
-    const VersionedHll* sketch = irs.Sketch(u);
-    AppendRaw<uint8_t>(out, sketch != nullptr ? 1 : 0);
-    if (sketch != nullptr) sketch->Serialize(out);
+    const SketchView sketch = irs.Sketch(u);
+    AppendRaw<uint8_t>(out, sketch ? 1 : 0);
+    if (sketch) sketch.Serialize(out);
   }
 }
 
@@ -559,6 +559,12 @@ IrsApprox ComputeIrsApproxCheckpointed(const InteractionGraph& graph,
   phase.SetDone(done);
   CheckpointAccess::Publish(irs);
   PublishCheckpointMetrics(*stats);
+  // Checkpointed builds feed the save/serve path directly, so pack into the
+  // arena here (plain Compute() defers this to the caller). Earlier mid-scan
+  // checkpoints serialized from the mutable sketches — the same bytes
+  // SerializeNode produces from the arena, so a full rebuild and a resumed
+  // one still emit identical files.
+  irs.Seal();
   return irs;
 }
 

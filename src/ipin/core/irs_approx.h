@@ -8,6 +8,7 @@
 
 #include "ipin/graph/interaction_graph.h"
 #include "ipin/graph/types.h"
+#include "ipin/sketch/sketch_arena.h"
 #include "ipin/sketch/vhll.h"
 
 namespace ipin {
@@ -54,14 +55,34 @@ class IrsApprox {
   IrsApprox(size_t num_nodes, Duration window, const IrsApproxOptions& options);
 
   /// Reassembles an instance from per-node sketches (nullptr = node never
-  /// sent). Used by the oracle persistence layer (oracle_io.h); every
-  /// non-null sketch must match `options`' precision and salt (checked).
+  /// sent). Used by the oracle persistence layer (oracle_io.h) and shard
+  /// extraction; every non-null sketch must match `options`' precision and
+  /// salt (checked). The result is sealed (query-facing from birth).
   IrsApprox(Duration window, const IrsApproxOptions& options,
             std::vector<std::unique_ptr<VersionedHll>> sketches);
 
   /// Processes one interaction; MUST be called in non-increasing time order
-  /// (checked).
+  /// (checked). Only valid while the instance is unsealed.
   void ProcessInteraction(const Interaction& interaction);
+
+  /// Packs the per-node build sketches into a read-only SketchArena
+  /// (struct-of-arrays; DESIGN.md §12) and frees them. Queries answered
+  /// after sealing are bit-identical to before (same entries, same
+  /// kernels), just faster: unions and estimates stream the contiguous
+  /// max-rank plane. Compute/ComputeParallel return UNSEALED so the pack +
+  /// free cost stays out of the timed build scan (fig3); call Seal() at the
+  /// build->query handoff, before sustained querying. The restore paths
+  /// (oracle load, shard extraction) seal automatically — those instances
+  /// are query-facing from birth. Idempotent. After sealing,
+  /// ProcessInteraction is forbidden (checked).
+  void Seal();
+
+  /// True once Seal() ran (directly or via a Compute/restore path).
+  bool sealed() const { return sealed_; }
+
+  /// The packed sketch store, or nullptr while unsealed. Query hot loops
+  /// (influence_oracle.cc) use it to stream rank-plane rows directly.
+  const SketchArena* arena() const { return arena_.get(); }
 
   /// Estimated |sigma_omega(u)|.
   double EstimateIrsSize(NodeId u) const;
@@ -71,11 +92,20 @@ class IrsApprox {
   /// O(|seeds| * beta * log) time, independent of the set sizes.
   double EstimateUnionSize(std::span<const NodeId> seeds) const;
 
-  /// The raw sketch of node u, or nullptr if u never appeared as a source
-  /// (its IRS is empty).
-  const VersionedHll* Sketch(NodeId u) const { return sketches_[u].get(); }
+  /// As above, reusing *scratch for the union rank vector instead of
+  /// allocating one per call (hot under greedy/CELF and oracle serving).
+  /// *scratch is resized as needed; contents on entry are ignored.
+  double EstimateUnionSize(std::span<const NodeId> seeds,
+                           std::vector<uint8_t>* scratch) const;
 
-  size_t num_nodes() const { return sketches_.size(); }
+  /// View of node u's sketch (invalid if u never appeared as a source —
+  /// its IRS is empty). Works in both storage modes; see SketchView.
+  SketchView Sketch(NodeId u) const {
+    if (sealed_) return SketchView(arena_.get(), u);
+    return SketchView(sketches_[u].get());
+  }
+
+  size_t num_nodes() const { return num_nodes_; }
   Duration window() const { return window_; }
   const IrsApproxOptions& options() const { return options_; }
 
@@ -118,16 +148,27 @@ class IrsApprox {
 
   Duration window_;
   IrsApproxOptions options_;
+  size_t num_nodes_ = 0;
   Timestamp last_time_ = 0;
   bool saw_interaction_ = false;
   // Scan tallies: plain members so the per-edge path stays atomics-free;
   // Compute() rolls them up into the metrics registry once per build.
   size_t edges_scanned_ = 0;
   size_t merge_calls_ = 0;
-  // Sketches are allocated lazily: a node that never sends has an empty IRS
-  // and needs no sketch. This mirrors phi(v) = {} in the exact algorithm and
-  // keeps memory proportional to the number of *active* sources.
+  // Dual-mode storage. While building, sketches are allocated lazily (a
+  // node that never sends has an empty IRS and needs no sketch — phi(v) =
+  // {} in the exact algorithm, memory proportional to *active* sources).
+  // Seal() packs them into arena_ and frees them; exactly one of the two
+  // representations is live at a time.
   std::vector<std::unique_ptr<VersionedHll>> sketches_;
+  std::unique_ptr<SketchArena> arena_;
+  bool sealed_ = false;
+  // Per-sketch lifetime tallies, captured by Seal() before the sketches
+  // are freed so the Total*() accessors keep working.
+  size_t sealed_insert_attempts_ = 0;
+  size_t sealed_evictions_ = 0;
+  size_t sealed_merge_entries_scanned_ = 0;
+  size_t sealed_cell_updates_ = 0;
 };
 
 }  // namespace ipin

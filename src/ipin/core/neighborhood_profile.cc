@@ -207,23 +207,28 @@ void WindowedProfileApprox::ProcessInteraction(
 
 double WindowedProfileApprox::EstimateNeighborhoodSize(NodeId u,
                                                        int distance) const {
+  std::vector<uint8_t> scratch;
+  return EstimateNeighborhoodSize(u, distance, &scratch);
+}
+
+double WindowedProfileApprox::EstimateNeighborhoodSize(
+    NodeId u, int distance, std::vector<uint8_t>* scratch) const {
   IPIN_CHECK_LT(u, sketches_.size());
   IPIN_CHECK_GE(distance, 1);
   IPIN_CHECK_LE(distance, options_.max_distance);
   if (!saw_interaction_) return 0.0;
   const Timestamp bound = -(now_ - options_.window);
   const size_t beta = static_cast<size_t>(1) << sketch_options_.precision;
-  std::vector<uint8_t> ranks(beta, 0);
+  scratch->assign(beta, 0);
   bool any = false;
   for (int d = 1; d <= distance; ++d) {
     const auto& sketch = sketches_[u][static_cast<size_t>(d) - 1];
     if (sketch == nullptr) continue;
     any = true;
-    sketch->MaxRanks(bound, &ranks);
+    sketch->MaxRanks(bound, scratch);
   }
   if (!any) return 0.0;
-  const double estimate = EstimateFromRanks(ranks);
-  return estimate;
+  return EstimateFromRanks(*scratch);
 }
 
 size_t WindowedProfileApprox::MemoryUsageBytes() const {

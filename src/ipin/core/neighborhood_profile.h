@@ -93,6 +93,12 @@ class WindowedProfileApprox {
   /// in the current snapshot.
   double EstimateNeighborhoodSize(NodeId u, int distance) const;
 
+  /// As above, reusing *scratch for the union rank vector instead of
+  /// allocating one per call (hot when profiling every node each tick).
+  /// *scratch is resized as needed; contents on entry are ignored.
+  double EstimateNeighborhoodSize(NodeId u, int distance,
+                                  std::vector<uint8_t>* scratch) const;
+
   Timestamp now() const { return saw_interaction_ ? now_ : kNoTimestamp; }
   const ProfileOptions& options() const { return options_; }
   size_t num_nodes() const { return in_edges_.size(); }

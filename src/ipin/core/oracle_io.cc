@@ -195,9 +195,9 @@ bool SaveInfluenceIndex(const IrsApprox& index, const std::string& path) {
     AppendRaw<uint64_t>(&chunk, first);
     AppendRaw<uint32_t>(&chunk, count);
     for (uint64_t u = first; u < first + count; ++u) {
-      const VersionedHll* sketch = index.Sketch(static_cast<NodeId>(u));
-      AppendRaw<uint8_t>(&chunk, sketch != nullptr ? 1 : 0);
-      if (sketch != nullptr) sketch->Serialize(&chunk);
+      const SketchView sketch = index.Sketch(static_cast<NodeId>(u));
+      AppendRaw<uint8_t>(&chunk, sketch ? 1 : 0);
+      if (sketch) sketch.Serialize(&chunk);
     }
     charge.Resize(chunk.capacity());
     // Torn-section injection: hand safe_io a CRC-consistent but truncated

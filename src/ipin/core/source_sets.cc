@@ -5,6 +5,7 @@
 #include "ipin/common/check.h"
 #include "ipin/common/memory.h"
 #include "ipin/sketch/estimators.h"
+#include "ipin/sketch/kernels.h"
 
 namespace ipin {
 
@@ -90,7 +91,10 @@ size_t SourceSetExact::MemoryUsageBytes() const {
 
 SourceSetApprox::SourceSetApprox(size_t num_nodes, Duration window,
                                  const IrsApproxOptions& options)
-    : window_(window), options_(options), sketches_(num_nodes) {
+    : window_(window),
+      options_(options),
+      num_nodes_(num_nodes),
+      sketches_(num_nodes) {
   IPIN_CHECK_GE(window, 1);
 }
 
@@ -102,7 +106,17 @@ SourceSetApprox SourceSetApprox::Compute(const InteractionGraph& graph,
   for (const Interaction& e : graph.interactions()) {
     sets.ProcessInteraction(e);
   }
+  sets.Seal();
   return sets;
+}
+
+void SourceSetApprox::Seal() {
+  if (sealed_) return;
+  arena_ = std::make_unique<SketchArena>(options_.precision, options_.salt,
+                                         std::span(sketches_));
+  sealed_ = true;
+  sketches_.clear();
+  sketches_.shrink_to_fit();
 }
 
 VersionedHll* SourceSetApprox::MutableSketch(NodeId v) {
@@ -115,6 +129,7 @@ VersionedHll* SourceSetApprox::MutableSketch(NodeId v) {
 
 void SourceSetApprox::ProcessInteraction(const Interaction& interaction) {
   const auto [u, v, t] = interaction;
+  IPIN_CHECK(!sealed_);
   IPIN_CHECK_LT(u, sketches_.size());
   IPIN_CHECK_LT(v, sketches_.size());
   if (saw_interaction_) {
@@ -137,31 +152,39 @@ void SourceSetApprox::ProcessInteraction(const Interaction& interaction) {
 }
 
 double SourceSetApprox::EstimateSourceSetSize(NodeId v) const {
-  IPIN_CHECK_LT(v, sketches_.size());
+  IPIN_CHECK_LT(v, num_nodes_);
+  if (sealed_) {
+    return arena_->has_node(v) ? arena_->EstimateNode(v) : 0.0;
+  }
   const VersionedHll* sketch = sketches_[v].get();
   return sketch == nullptr ? 0.0 : sketch->Estimate();
 }
 
 double SourceSetApprox::EstimateUnionSize(
     std::span<const NodeId> targets) const {
+  std::vector<uint8_t> ranks;
+  return EstimateUnionSize(targets, &ranks);
+}
+
+double SourceSetApprox::EstimateUnionSize(
+    std::span<const NodeId> targets, std::vector<uint8_t>* scratch) const {
   const size_t beta = static_cast<size_t>(1) << options_.precision;
-  std::vector<uint8_t> ranks(beta, 0);
+  scratch->assign(beta, 0);
+  uint8_t* const ranks = scratch->data();
   bool any = false;
   for (const NodeId v : targets) {
-    IPIN_CHECK_LT(v, sketches_.size());
-    const VersionedHll* sketch = sketches_[v].get();
-    if (sketch == nullptr) continue;
+    IPIN_CHECK_LT(v, num_nodes_);
+    const SketchView sketch = Sketch(v);
+    if (!sketch) continue;
     any = true;
-    const std::span<const uint8_t> max_ranks = sketch->max_ranks();
-    for (size_t c = 0; c < beta; ++c) {
-      if (max_ranks[c] > ranks[c]) ranks[c] = max_ranks[c];
-    }
+    kernels::CellwiseMaxU8(ranks, sketch.max_ranks().data(), beta);
   }
   if (!any) return 0.0;
-  return EstimateFromRanks(ranks);
+  return kernels::Dispatched().estimate_from_ranks(ranks, beta);
 }
 
 size_t SourceSetApprox::NumAllocatedSketches() const {
+  if (sealed_) return arena_->NumAllocated();
   size_t count = 0;
   for (const auto& s : sketches_) {
     if (s != nullptr) ++count;
@@ -170,6 +193,7 @@ size_t SourceSetApprox::NumAllocatedSketches() const {
 }
 
 size_t SourceSetApprox::TotalSketchEntries() const {
+  if (sealed_) return arena_->TotalEntries();
   size_t total = 0;
   for (const auto& s : sketches_) {
     if (s != nullptr) total += s->NumEntries();
@@ -178,6 +202,7 @@ size_t SourceSetApprox::TotalSketchEntries() const {
 }
 
 size_t SourceSetApprox::MemoryUsageBytes() const {
+  if (sealed_) return arena_->MemoryUsageBytes();
   size_t bytes = sketches_.capacity() * sizeof(std::unique_ptr<VersionedHll>);
   for (const auto& s : sketches_) {
     if (s != nullptr) bytes += sizeof(VersionedHll) + s->MemoryUsageBytes();
@@ -198,28 +223,27 @@ class SourceSetCoverage : public CoverageState {
   double Covered() const override { return covered_; }
 
   double GainOf(NodeId v) const override {
-    const VersionedHll* sketch = sets_->Sketch(v);
-    if (sketch == nullptr) return 0.0;
-    std::vector<uint8_t> merged = ranks_;
-    MaxInto(*sketch, &merged);
+    const SketchView sketch = sets_->Sketch(v);
+    if (!sketch) return 0.0;
+    // thread_local scratch instead of a per-call copy: GainOf is the inner
+    // loop of greedy/CELF and may be called concurrently by the parallel
+    // maximizer, which forbids a shared mutable member.
+    static thread_local std::vector<uint8_t> merged;
+    merged = ranks_;
+    kernels::CellwiseMaxU8(merged.data(), sketch.max_ranks().data(),
+                           merged.size());
     return std::max(0.0, EstimateOf(merged) - covered_);
   }
 
   void Commit(NodeId v) override {
-    const VersionedHll* sketch = sets_->Sketch(v);
-    if (sketch == nullptr) return;
-    MaxInto(*sketch, &ranks_);
+    const SketchView sketch = sets_->Sketch(v);
+    if (!sketch) return;
+    kernels::CellwiseMaxU8(ranks_.data(), sketch.max_ranks().data(),
+                           ranks_.size());
     covered_ = EstimateOf(ranks_);
   }
 
  private:
-  static void MaxInto(const VersionedHll& sketch, std::vector<uint8_t>* ranks) {
-    const std::span<const uint8_t> max_ranks = sketch.max_ranks();
-    for (size_t c = 0; c < ranks->size(); ++c) {
-      if (max_ranks[c] > (*ranks)[c]) (*ranks)[c] = max_ranks[c];
-    }
-  }
-
   static double EstimateOf(const std::vector<uint8_t>& ranks) {
     for (const uint8_t r : ranks) {
       if (r != 0) return EstimateFromRanks(ranks);

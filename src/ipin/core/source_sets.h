@@ -12,6 +12,7 @@
 #include "ipin/core/irs_exact.h"
 #include "ipin/graph/interaction_graph.h"
 #include "ipin/graph/types.h"
+#include "ipin/sketch/sketch_arena.h"
 #include "ipin/sketch/vhll.h"
 
 // Influence SOURCE sets: the exact dual of the paper's influence
@@ -93,8 +94,16 @@ class SourceSetApprox {
                                  Duration window,
                                  const IrsApproxOptions& options = {});
 
-  /// Processes one interaction in arrival order.
+  /// Processes one interaction in arrival order. Only valid while unsealed
+  /// (the class stays a streaming structure unless the caller seals it).
   void ProcessInteraction(const Interaction& interaction);
+
+  /// Packs the per-node sketches into a read-only SketchArena and frees
+  /// them (see IrsApprox::Seal). Compute() seals its result; hand-streamed
+  /// instances stay unsealed — and feedable — until sealed explicitly.
+  void Seal();
+  bool sealed() const { return sealed_; }
+  const SketchArena* arena() const { return arena_.get(); }
 
   /// Estimated |tau_omega(v)|.
   double EstimateSourceSetSize(NodeId v) const;
@@ -102,10 +111,18 @@ class SourceSetApprox {
   /// Estimated |union of tau_omega(v)| over the targets.
   double EstimateUnionSize(std::span<const NodeId> targets) const;
 
-  /// The raw sketch of node v, or nullptr if v never received anything.
-  const VersionedHll* Sketch(NodeId v) const { return sketches_[v].get(); }
+  /// As above, reusing *scratch for the union rank vector (contents on
+  /// entry are ignored).
+  double EstimateUnionSize(std::span<const NodeId> targets,
+                           std::vector<uint8_t>* scratch) const;
 
-  size_t num_nodes() const { return sketches_.size(); }
+  /// View of node v's sketch (invalid if v never received anything).
+  SketchView Sketch(NodeId v) const {
+    if (sealed_) return SketchView(arena_.get(), v);
+    return SketchView(sketches_[v].get());
+  }
+
+  size_t num_nodes() const { return num_nodes_; }
   Duration window() const { return window_; }
   const IrsApproxOptions& options() const { return options_; }
 
@@ -118,9 +135,14 @@ class SourceSetApprox {
 
   Duration window_;
   IrsApproxOptions options_;
+  size_t num_nodes_ = 0;
   Timestamp last_time_ = 0;
   bool saw_interaction_ = false;
+  // Dual-mode storage, same scheme as IrsApprox: build sketches until
+  // Seal() packs them into arena_.
   std::vector<std::unique_ptr<VersionedHll>> sketches_;
+  std::unique_ptr<SketchArena> arena_;
+  bool sealed_ = false;
 };
 
 /// Influence-oracle adapter over the sketch-based source sets: treats

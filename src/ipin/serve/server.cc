@@ -22,6 +22,7 @@
 #include "ipin/obs/metrics.h"
 #include "ipin/obs/trace_events.h"
 #include "ipin/sketch/estimators.h"
+#include "ipin/sketch/kernels.h"
 
 namespace ipin::serve {
 namespace {
@@ -659,9 +660,9 @@ Response OracleServer::EvaluateQuery(const Request& request,
         IPIN_COUNTER_ADD("serve.requests.deadline_exceeded", 1);
         return response;
       }
-      const VersionedHll* sketch = index->Sketch(u);
-      if (sketch == nullptr) continue;
-      worst_first.emplace(u, sketch->Estimate());
+      const SketchView sketch = index->Sketch(u);
+      if (!sketch) continue;
+      worst_first.emplace(u, sketch.Estimate());
       if (worst_first.size() > k) worst_first.pop();
     }
     response.topk.resize(worst_first.size());
@@ -743,13 +744,10 @@ Response OracleServer::EvaluateQuery(const Request& request,
         IPIN_COUNTER_ADD("serve.requests.deadline_exceeded", 1);
         return response;
       }
-      const VersionedHll* sketch = index->Sketch(u);
-      if (sketch == nullptr) continue;
+      const SketchView sketch = index->Sketch(u);
+      if (!sketch) continue;
       any = true;
-      const std::span<const uint8_t> max_ranks = sketch->max_ranks();
-      for (size_t c = 0; c < beta; ++c) {
-        if (max_ranks[c] > ranks[c]) ranks[c] = max_ranks[c];
-      }
+      kernels::CellwiseMaxU8(ranks.data(), sketch.max_ranks().data(), beta);
     }
     estimate = any ? EstimateFromRanks(ranks) : 0.0;
     response.ranks = std::move(ranks);

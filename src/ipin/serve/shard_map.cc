@@ -376,9 +376,9 @@ IrsApprox ExtractShardIndex(const IrsApprox& full, const ShardMap& map,
                             size_t shard) {
   std::vector<std::unique_ptr<VersionedHll>> sketches(full.num_nodes());
   for (NodeId u = 0; u < full.num_nodes(); ++u) {
-    const VersionedHll* sketch = full.Sketch(u);
-    if (sketch != nullptr && map.OwnerOf(u) == shard) {
-      sketches[u] = std::make_unique<VersionedHll>(*sketch);
+    const SketchView sketch = full.Sketch(u);
+    if (sketch && map.OwnerOf(u) == shard) {
+      sketches[u] = sketch.Materialize();
     }
   }
   return IrsApprox(full.window(), full.options(), std::move(sketches));

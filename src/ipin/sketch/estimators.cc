@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "ipin/common/check.h"
+#include "ipin/sketch/kernels.h"
 
 namespace ipin {
 
@@ -22,21 +23,11 @@ double HllAlpha(size_t num_cells) {
 }
 
 double EstimateFromRanks(std::span<const uint8_t> ranks) {
-  const size_t m = ranks.size();
-  IPIN_CHECK_GE(m, 2u);
-  double inverse_sum = 0.0;
-  size_t zeros = 0;
-  for (const uint8_t r : ranks) {
-    inverse_sum += std::ldexp(1.0, -static_cast<int>(r));
-    if (r == 0) ++zeros;
-  }
-  const double md = static_cast<double>(m);
-  const double raw = HllAlpha(m) * md * md / inverse_sum;
-  if (raw <= 2.5 * md && zeros > 0) {
-    // Linear counting in the small-cardinality regime.
-    return md * std::log(md / static_cast<double>(zeros));
-  }
-  return raw;
+  IPIN_CHECK_GE(ranks.size(), 2u);
+  // Delegates to the dispatched kernel (kernels.cc): a 256-bin rank
+  // histogram folded against a precomputed 2^-r table in fixed ascending-
+  // rank order, so the result is bit-identical across SIMD targets.
+  return kernels::Dispatched().estimate_from_ranks(ranks.data(), ranks.size());
 }
 
 double HllStandardError(size_t num_cells) {

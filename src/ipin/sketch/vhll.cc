@@ -138,12 +138,13 @@ void VersionedHll::MaxRanks(Timestamp bound,
   IPIN_CHECK_EQ(ranks->size(), cells_.size());
   for (size_t c = 0; c < cells_.size(); ++c) {
     const CellList& list = cells_[c];
-    uint8_t best = (*ranks)[c];
-    for (const Entry& e : list) {
-      if (e.time >= bound) break;
-      best = std::max(best, e.rank);
+    // Times ascend and ranks strictly ascend, so the in-window entries are
+    // a prefix whose max rank is its last entry — no max fold needed.
+    size_t k = 0;
+    while (k < list.size() && list[k].time < bound) ++k;
+    if (k > 0 && list[k - 1].rank > (*ranks)[c]) {
+      (*ranks)[c] = list[k - 1].rank;
     }
-    (*ranks)[c] = best;
   }
 }
 

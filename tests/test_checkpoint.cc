@@ -46,13 +46,13 @@ void ExpectExactEqual(const IrsExact& got, const IrsExact& want) {
 void ExpectApproxEqual(const IrsApprox& got, const IrsApprox& want) {
   ASSERT_EQ(got.num_nodes(), want.num_nodes());
   for (NodeId u = 0; u < want.num_nodes(); ++u) {
-    const VersionedHll* a = got.Sketch(u);
-    const VersionedHll* b = want.Sketch(u);
-    ASSERT_EQ(a == nullptr, b == nullptr) << "node " << u;
-    if (b == nullptr) continue;
+    const SketchView a = got.Sketch(u);
+    const SketchView b = want.Sketch(u);
+    ASSERT_EQ(a.valid(), b.valid()) << "node " << u;
+    if (!b) continue;
     std::string a_bytes, b_bytes;
-    a->Serialize(&a_bytes);
-    b->Serialize(&b_bytes);
+    a.Serialize(&a_bytes);
+    b.Serialize(&b_bytes);
     EXPECT_EQ(a_bytes, b_bytes) << "node " << u;
     EXPECT_EQ(got.EstimateIrsSize(u), want.EstimateIrsSize(u))
         << "node " << u;

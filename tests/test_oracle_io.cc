@@ -277,7 +277,7 @@ TEST_F(OracleIoTest, LegacyFormatStillLoads) {
   ASSERT_TRUE(result.usable());
   EXPECT_EQ(result.index->num_nodes(), 3u);
   EXPECT_EQ(result.index->window(), 123);
-  ASSERT_NE(result.index->Sketch(1), nullptr);
+  ASSERT_TRUE(result.index->Sketch(1).valid());
   EXPECT_DOUBLE_EQ(result.index->EstimateIrsSize(1), sketch.Estimate());
 }
 

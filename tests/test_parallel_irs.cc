@@ -49,9 +49,9 @@ InteractionGraph TestGraph() {
 std::string Fingerprint(const IrsApprox& irs) {
   std::string out;
   for (NodeId u = 0; u < irs.num_nodes(); ++u) {
-    const VersionedHll* sketch = irs.Sketch(u);
-    out.push_back(sketch == nullptr ? '0' : '1');
-    if (sketch != nullptr) sketch->Serialize(&out);
+    const SketchView sketch = irs.Sketch(u);
+    out.push_back(sketch ? '1' : '0');
+    if (sketch) sketch.Serialize(&out);
   }
   return out;
 }

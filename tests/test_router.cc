@@ -201,8 +201,8 @@ TEST_F(RouterTest, TopkMergeMatchesSingleProcessOrder) {
   // by estimate descending, ties by node id ascending.
   std::vector<std::pair<NodeId, double>> expected;
   for (NodeId u = 0; u < full_->num_nodes(); ++u) {
-    if (full_->Sketch(u) != nullptr) {
-      expected.emplace_back(u, full_->Sketch(u)->Estimate());
+    if (full_->Sketch(u)) {
+      expected.emplace_back(u, full_->Sketch(u).Estimate());
     }
   }
   std::sort(expected.begin(), expected.end(),

@@ -896,8 +896,8 @@ TEST_F(ServeServerTest, TopkVerbMatchesLocalRanking) {
   std::vector<std::pair<NodeId, double>> truth;
   const auto index = index_->Current();
   for (NodeId u = 0; u < index->num_nodes(); ++u) {
-    const auto* sketch = index->Sketch(u);
-    if (sketch != nullptr) truth.emplace_back(u, sketch->Estimate());
+    const SketchView sketch = index->Sketch(u);
+    if (sketch) truth.emplace_back(u, sketch.Estimate());
   }
   std::sort(truth.begin(), truth.end(), [](const auto& a, const auto& b) {
     if (a.second != b.second) return a.second > b.second;

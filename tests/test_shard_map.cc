@@ -280,12 +280,12 @@ TEST_F(ShardIndexTest, ExtractKeepsFullNodeSpaceAndOnlyOwnedSketches) {
     const IrsApprox piece = ExtractShardIndex(full_, map, s);
     ASSERT_EQ(piece.num_nodes(), full_.num_nodes());
     for (NodeId u = 0; u < full_.num_nodes(); ++u) {
-      if (map.OwnerOf(u) == s && full_.Sketch(u) != nullptr) {
-        ASSERT_NE(piece.Sketch(u), nullptr) << "owned node " << u;
-        EXPECT_DOUBLE_EQ(piece.Sketch(u)->Estimate(),
-                         full_.Sketch(u)->Estimate());
+      if (map.OwnerOf(u) == s && full_.Sketch(u)) {
+        ASSERT_TRUE(piece.Sketch(u).valid()) << "owned node " << u;
+        EXPECT_DOUBLE_EQ(piece.Sketch(u).Estimate(),
+                         full_.Sketch(u).Estimate());
       } else {
-        EXPECT_EQ(piece.Sketch(u), nullptr) << "unowned node " << u;
+        EXPECT_FALSE(piece.Sketch(u).valid()) << "unowned node " << u;
       }
     }
   }
@@ -309,9 +309,9 @@ TEST_F(ShardIndexTest, ShardedRankMergeMatchesFullUnionExactly) {
       const auto parts = map.PartitionSeeds(seeds);
       for (size_t s = 0; s < num_shards; ++s) {
         for (const NodeId u : parts[s]) {
-          const VersionedHll* sketch = pieces[s].Sketch(u);
-          if (sketch == nullptr) continue;
-          const auto ranks = sketch->max_ranks();
+          const SketchView sketch = pieces[s].Sketch(u);
+          if (!sketch) continue;
+          const auto ranks = sketch.max_ranks();
           for (size_t c = 0; c < beta; ++c) {
             if (ranks[c] > merged[c]) merged[c] = ranks[c];
           }

@@ -106,8 +106,8 @@ TEST(SourceSetApproxTest, SketchesKeepInvariants) {
   options.precision = 6;
   const SourceSetApprox approx = SourceSetApprox::Compute(g, 500, options);
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    if (approx.Sketch(v) != nullptr) {
-      EXPECT_TRUE(approx.Sketch(v)->CheckInvariants()) << "node " << v;
+    if (approx.Sketch(v)) {
+      EXPECT_TRUE(approx.Sketch(v).CheckInvariants()) << "node " << v;
     }
   }
 }
@@ -157,8 +157,8 @@ TEST(SourceSetApproxTest, LazyAllocationOnlyForReceivers) {
   IrsApproxOptions options;
   options.precision = 6;
   const SourceSetApprox approx = SourceSetApprox::Compute(g, 5, options);
-  EXPECT_EQ(approx.Sketch(1) != nullptr, true);
-  EXPECT_EQ(approx.Sketch(0), nullptr);  // pure sender
+  EXPECT_TRUE(approx.Sketch(1).valid());
+  EXPECT_FALSE(approx.Sketch(0).valid());  // pure sender
   EXPECT_EQ(approx.NumAllocatedSketches(), 1u);
   EXPECT_DOUBLE_EQ(approx.EstimateSourceSetSize(0), 0.0);
 }

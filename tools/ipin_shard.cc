@@ -217,7 +217,7 @@ int RunSplit(const FlagMap& flags) {
     const IrsApprox piece = serve::ExtractShardIndex(full, map, i);
     size_t owned = 0;
     for (NodeId u = 0; u < piece.num_nodes(); ++u) {
-      if (piece.Sketch(u) != nullptr) ++owned;
+      if (piece.Sketch(u)) ++owned;
     }
     const std::string out = StrFormat("%s%zu.bin", out_prefix.c_str(), i);
     if (!SaveInfluenceIndex(piece, out)) {
@@ -424,8 +424,8 @@ std::optional<IrsApprox> ReconstructFullIndex(const serve::ShardMap& old_map,
       return std::nullopt;
     }
     for (NodeId u = 0; u < piece.num_nodes(); ++u) {
-      const VersionedHll* sketch = piece.Sketch(u);
-      if (sketch == nullptr) continue;
+      const SketchView sketch = piece.Sketch(u);
+      if (!sketch) continue;
       if (old_map.OwnerOf(u) != i) {
         std::fprintf(stderr,
                      "ipin_shard: piece '%s' holds node %llu owned by "
@@ -440,7 +440,7 @@ std::optional<IrsApprox> ReconstructFullIndex(const serve::ShardMap& old_map,
                      static_cast<unsigned long long>(u));
         return std::nullopt;
       }
-      sketches[u] = std::make_unique<VersionedHll>(*sketch);
+      sketches[u] = sketch.Materialize();
     }
   }
   if (!window.has_value()) {
@@ -511,13 +511,13 @@ int RunRebalance(const FlagMap& flags) {
       const NodeId u =
           static_cast<NodeId>(rng.NextBounded(full->num_nodes()));
       if (new_map.OwnerOf(u) != i) continue;
-      const VersionedHll* want = full->Sketch(u);
-      const VersionedHll* got = reload.index->Sketch(u);
+      const SketchView want = full->Sketch(u);
+      const SketchView got = reload.index->Sketch(u);
       const bool equal =
-          (want == nullptr) == (got == nullptr) &&
-          (want == nullptr ||
-           std::equal(want->max_ranks().begin(), want->max_ranks().end(),
-                      got->max_ranks().begin(), got->max_ranks().end()));
+          want.valid() == got.valid() &&
+          (!want ||
+           std::equal(want.max_ranks().begin(), want.max_ranks().end(),
+                      got.max_ranks().begin(), got.max_ranks().end()));
       if (!equal) {
         std::fprintf(stderr,
                      "ipin_shard: rank mismatch for node %llu in '%s'\n",
@@ -631,7 +631,7 @@ size_t VerifyAssignment(const serve::ShardMap& map, const std::string& dir,
     size_t owned = 0;
     size_t foreign = 0;
     for (NodeId u = 0; u < piece.num_nodes(); ++u) {
-      if (piece.Sketch(u) == nullptr) continue;
+      if (!piece.Sketch(u)) continue;
       if (map.OwnerOf(u) == i) {
         ++owned;
       } else {
